@@ -1,0 +1,47 @@
+//! Criterion bench: AP selection — Spider's utility ranking vs the exact
+//! knapsack solver (Appendix A's complexity argument in numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_core::utility::{UtilityConfig, UtilityTable};
+use spider_model::selection::{density_score, greedy_select, optimal_select, ApOption};
+use spider_simcore::{SimRng, SimTime};
+use spider_wire::{Channel, MacAddr, Ssid};
+use std::hint::black_box;
+
+fn options(n: usize) -> Vec<ApOption> {
+    let mut rng = SimRng::new(5);
+    (0..n)
+        .map(|_| ApOption {
+            value: rng.uniform_in(1.0, 100.0),
+            cost: rng.uniform_in(0.5, 10.0),
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for n in [8usize, 16, 64] {
+        let opts = options(n);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &opts, |b, opts| {
+            b.iter(|| black_box(greedy_select(opts, 30.0, density_score)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &opts, |b, opts| {
+            b.iter(|| black_box(optimal_select(opts, 30.0, 1_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_utility_table(c: &mut Criterion) {
+    let mut table = UtilityTable::new(UtilityConfig::default());
+    let now = SimTime::from_secs(1);
+    for i in 0..200u64 {
+        table.observe(now, MacAddr::from_id(i), &Ssid::new("x"), Channel::CH6, -60.0);
+    }
+    c.bench_function("utility_best_candidate_200aps", |b| {
+        b.iter(|| black_box(table.best_candidate(now, &[Channel::CH6], &[])))
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_utility_table);
+criterion_main!(benches);

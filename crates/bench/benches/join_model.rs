@@ -1,0 +1,32 @@
+//! Criterion bench: evaluating the analytical join model (Eq. 7) and the
+//! two-channel optimiser (Eqs. 8-10) — these run inside parameter sweeps,
+//! so their cost bounds how fine a grid the figures can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+use std::hint::black_box;
+
+fn bench_p_join(c: &mut Criterion) {
+    let model = JoinModel::paper_defaults(10.0);
+    c.bench_function("p_join_t4s", |b| {
+        b.iter(|| black_box(model.p_join(black_box(0.4), black_box(4.0))))
+    });
+    c.bench_function("p_join_t40s", |b| {
+        b.iter(|| black_box(model.p_join(black_box(0.4), black_box(40.0))))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut optimizer = ThroughputOptimizer::paper(JoinModel::paper_defaults(10.0));
+    optimizer.grid = 20;
+    let scenarios = [
+        ChannelScenario { joined_frac: 0.5, available_frac: 0.0 },
+        ChannelScenario { joined_frac: 0.0, available_frac: 0.5 },
+    ];
+    c.bench_function("two_channel_optimize_grid20", |b| {
+        b.iter(|| black_box(optimizer.optimize(black_box(&scenarios), 6.6)))
+    });
+}
+
+criterion_group!(benches, bench_p_join, bench_optimizer);
+criterion_main!(benches);

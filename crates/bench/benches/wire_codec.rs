@@ -1,0 +1,67 @@
+//! Criterion bench: the frame capture codec (encode/decode round trips).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_simcore::SimDuration;
+use spider_wire::codec::{decode, encode};
+use spider_wire::ip::L4;
+use spider_wire::{Frame, FrameBody, Ipv4Addr, Ipv4Packet, MacAddr, TcpFlags, TcpSegment};
+use std::hint::black_box;
+
+fn data_frame() -> Frame {
+    Frame {
+        src: MacAddr::from_id(1),
+        dst: MacAddr::from_id(2),
+        bssid: MacAddr::from_id(2),
+        body: FrameBody::Data {
+            packet: Ipv4Packet {
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(192, 0, 2, 1),
+                payload: L4::Tcp(TcpSegment {
+                    src_port: 5000,
+                    dst_port: 80,
+                    seq: 123456,
+                    ack: 654321,
+                    window: 65535,
+                    flags: TcpFlags::ACK,
+                    payload_len: 1448,
+                }),
+            },
+            more_data: false,
+        },
+    }
+}
+
+fn beacon() -> Frame {
+    Frame {
+        src: MacAddr::from_id(9),
+        dst: MacAddr::BROADCAST,
+        bssid: MacAddr::from_id(9),
+        body: FrameBody::Beacon {
+            ssid: "downtown-open-wifi".into(),
+            channel: spider_wire::Channel::CH6,
+            interval: SimDuration::from_micros(102_400),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let frames = [data_frame(), beacon()];
+    c.bench_function("encode_data_and_beacon", |b| {
+        b.iter(|| {
+            for f in &frames {
+                black_box(encode(f));
+            }
+        })
+    });
+    let encoded: Vec<Vec<u8>> = frames.iter().map(encode).collect();
+    c.bench_function("decode_data_and_beacon", |b| {
+        b.iter(|| {
+            for bytes in &encoded {
+                black_box(decode(bytes).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: simulator performance — simulated seconds per
+//! wall-clock second for a town drive. This is the figure that bounds
+//! how many evaluation configurations a sweep can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::{town_scenario, ScenarioParams};
+use spider_workloads::World;
+use std::hint::black_box;
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    group.sample_size(10);
+    group.bench_function("town_60s_single_channel", |b| {
+        b.iter(|| {
+            let params = ScenarioParams {
+                duration: SimDuration::from_secs(60),
+                seed: 1,
+                ..Default::default()
+            };
+            let world = town_scenario(&params);
+            let driver = SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH1),
+                1,
+            ));
+            black_box(World::new(world, driver).run())
+        })
+    });
+    group.bench_function("town_60s_three_channel", |b| {
+        b.iter(|| {
+            let params = ScenarioParams {
+                duration: SimDuration::from_secs(60),
+                seed: 1,
+                ..Default::default()
+            };
+            let world = town_scenario(&params);
+            let driver = SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::MultiChannelMultiAp {
+                    period: SimDuration::from_millis(600),
+                },
+                1,
+            ));
+            black_box(World::new(world, driver).run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

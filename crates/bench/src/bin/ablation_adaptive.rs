@@ -1,0 +1,63 @@
+//! Ablation: the §4.8 adaptive scheduler vs the four static modes,
+//! across speeds.
+//!
+//! The adaptive policy should track the best static mode at each speed:
+//! multi-channel at walking pace (connectivity-rich), single-channel at
+//! vehicular speed (the dividing-speed result).
+
+use spider_bench::{print_table, write_csv, town_params};
+use spider_core::adaptive::{AdaptivePolicy, AdaptiveSpider};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::town_scenario;
+use spider_workloads::World;
+
+fn main() {
+    let period = SimDuration::from_millis(600);
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for speed in [2.5, 5.0, 10.0, 20.0] {
+        let mut params = town_params(1);
+        params.speed_mps = speed;
+        // Static modes.
+        let mut cells = vec![format!("{speed}")];
+        let mut row = vec![speed];
+        for (name, mode) in [
+            ("ch1 multi-AP", OperationMode::SingleChannelMultiAp(Channel::CH1)),
+            ("3ch multi-AP", OperationMode::MultiChannelMultiAp { period }),
+        ] {
+            let world = town_scenario(&params);
+            let result = World::new(world, SpiderDriver::new(SpiderConfig::for_mode(mode, 1))).run();
+            let _ = name;
+            row.push(result.throughput_kbs());
+            row.push(result.connectivity_pct());
+            cells.push(format!("{:.0}/{:.0}%", result.throughput_kbs(), result.connectivity_pct()));
+        }
+        // Adaptive.
+        let world = town_scenario(&params);
+        let inner = SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH6),
+            1,
+        ));
+        let mut adaptive = AdaptiveSpider::new(inner, AdaptivePolicy::default());
+        adaptive.set_speed_hint(speed);
+        let result = World::new(world, adaptive).run();
+        row.push(result.throughput_kbs());
+        row.push(result.connectivity_pct());
+        cells.push(format!("{:.0}/{:.0}%", result.throughput_kbs(), result.connectivity_pct()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Ablation: adaptive scheduling vs static modes (KB/s / connectivity)",
+        &["speed(m/s)", "static ch1 multi-AP", "static 3ch multi-AP", "adaptive"],
+        &table,
+    );
+    let path = write_csv(
+        "ablation_adaptive.csv",
+        &["speed", "ch1_kbs", "ch1_conn", "m3_kbs", "m3_conn", "adaptive_kbs", "adaptive_conn"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Ablation: sensitivity of the dividing speed (Fig. 4) to the AP
+//! response time βmax and frame loss h.
+//!
+//! Slower APs and lossier channels push the dividing speed down: the
+//! faster you move, the less tolerance there is for joining elsewhere.
+
+use spider_bench::{print_table, write_csv};
+use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+
+fn main() {
+    let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 13.3, 20.0];
+    let scenarios = [
+        ChannelScenario { joined_frac: 0.75, available_frac: 0.0 },
+        ChannelScenario { joined_frac: 0.0, available_frac: 0.25 },
+    ];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for beta_max in [2.0, 5.0, 10.0] {
+        for h in [0.0, 0.1, 0.3] {
+            let mut model = JoinModel::paper_defaults(beta_max);
+            model.h = h;
+            let optimizer = ThroughputOptimizer::paper(model);
+            let div = optimizer.dividing_speed(&scenarios, &speeds);
+            rows.push(vec![
+                format!("{beta_max}"),
+                format!("{h}"),
+                format!("{:?}", div),
+            ]);
+            table.push(vec![
+                format!("{beta_max}"),
+                format!("{h}"),
+                div.map(|v| format!("{v} m/s")).unwrap_or("> 20 m/s".into()),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: dividing speed vs beta_max and loss h (75/25 scenario)",
+        &["beta_max(s)", "h", "dividing speed"],
+        &table,
+    );
+    let path = write_csv("ablation_dividing.csv", &["beta_max", "h", "dividing_speed"], rows);
+    println!("\nwrote {}", path.display());
+}

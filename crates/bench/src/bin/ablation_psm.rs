@@ -1,0 +1,69 @@
+//! Ablation: *why* do multi-channel joins fail? The paper's answer: the
+//! join's DHCP responses cannot be PSM-buffered while the client serves
+//! another channel (§1). This counterfactual grants APs a magic ability
+//! real 802.11 lacks — buffering DHCP responses for sleeping clients —
+//! and measures how much of the multi-channel join penalty disappears.
+
+use spider_bench::{print_table, write_csv, town_params};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::{Cdf, OnlineStats, SimDuration};
+use spider_workloads::scenarios::town_scenario;
+use spider_workloads::World;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, magic_buffering) in [
+        ("real 802.11 (join traffic unbufferable)", false),
+        ("counterfactual (APs buffer DHCP for sleepers)", true),
+    ] {
+        let mut fail = OnlineStats::new();
+        let mut thr = OnlineStats::new();
+        let mut joins = Cdf::new();
+        for seed in 1..=5u64 {
+            let mut world = town_scenario(&town_params(seed));
+            world.psm_buffers_join_traffic = magic_buffering;
+            let cfg = SpiderConfig::for_mode(
+                OperationMode::MultiChannelMultiAp {
+                    period: SimDuration::from_millis(600),
+                },
+                1,
+            );
+            let result = World::new(world, SpiderDriver::new(cfg)).run();
+            if let Some(r) = result.join_log.dhcp_failure_ratio() {
+                fail.push(r * 100.0);
+            }
+            thr.push(result.throughput_kbs());
+            joins.merge(&result.join_log.join_cdf());
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", fail.mean()),
+            format!("{:.2}", joins.median()),
+            format!("{:.1}", thr.mean()),
+        ]);
+        table.push(vec![
+            label.to_string(),
+            format!("{:.1}%", fail.mean()),
+            format!("{:.2}s", joins.median()),
+            format!("{:.1} KB/s", thr.mean()),
+        ]);
+    }
+    print_table(
+        "Ablation: is the multi-channel penalty really the unbufferable join?",
+        &["world", "dhcp failures", "median join", "throughput"],
+        &table,
+    );
+    let path = write_csv(
+        "ablation_psm.csv",
+        &["world", "dhcp_fail_pct", "median_join_s", "throughput_kbs"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+    println!(
+        "\n3-channel schedule, 30-minute drives. If the counterfactual closes\n\
+         most of the failure gap, the paper's mechanism is confirmed: it is\n\
+         the DHCP exchange's intolerance of absence — not switching cost or\n\
+         airtime — that breaks fractional schedules."
+    );
+}

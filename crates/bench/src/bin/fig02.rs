@@ -1,0 +1,50 @@
+//! Figure 2: probability of join success vs. fraction of time on the
+//! channel — closed-form model (Eq. 7) against Monte-Carlo simulation,
+//! for βmax = 5 s and 10 s.
+//!
+//! Paper parameters: D = 500 ms, t = 4 s, βmin = 500 ms, w = 7 ms,
+//! c = 100 ms, h = 10 %; 100 runs × 100 trials per point.
+
+use spider_bench::{print_table, write_csv};
+use spider_model::{simulate_join_probability, JoinModel};
+use spider_simcore::SimRng;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for beta_max in [5.0, 10.0] {
+        let model = JoinModel::paper_defaults(beta_max);
+        let mut rng = SimRng::new(2);
+        for i in 1..=20 {
+            let fi = i as f64 / 20.0;
+            let analytic = model.p_join(fi, 4.0);
+            let mc = simulate_join_probability(&model, fi, 4.0, 100, 100, &mut rng);
+            rows.push(vec![
+                beta_max,
+                fi,
+                analytic,
+                mc.mean,
+                mc.std_dev,
+            ]);
+            if i % 4 == 0 {
+                table.push(vec![
+                    format!("{beta_max}"),
+                    format!("{fi:.2}"),
+                    format!("{analytic:.3}"),
+                    format!("{:.3} ± {:.3}", mc.mean, mc.std_dev),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig 2: p(join) vs fraction of time on channel (model vs simulation)",
+        &["beta_max(s)", "f_i", "model", "simulation"],
+        &table,
+    );
+    let path = write_csv(
+        "fig02.csv",
+        &["beta_max", "fi", "model", "sim_mean", "sim_sd"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Figure 3: probability of join success as a function of the maximum AP
+//! response time βmax, for f_i ∈ {0.10, 0.25, 0.40, 0.50} (t = 4 s).
+//!
+//! "When a fixed fraction of time is spent on the channel, shorter
+//! maximum join times lead to higher chances of join success" — the
+//! motivation for DHCP caching and reduced timeouts.
+
+use spider_bench::{print_table, write_csv};
+use spider_model::JoinModel;
+
+fn main() {
+    let fractions = [0.10, 0.25, 0.40, 0.50];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for i in 1..=20 {
+        let beta_max = i as f64 / 2.0; // 0.5..10s
+        let model = JoinModel::paper_defaults(beta_max);
+        let ps: Vec<f64> = fractions.iter().map(|&f| model.p_join(f, 4.0)).collect();
+        rows.push(vec![beta_max, ps[0], ps[1], ps[2], ps[3]]);
+        if i % 2 == 0 {
+            table.push(vec![
+                format!("{beta_max:.1}"),
+                format!("{:.3}", ps[0]),
+                format!("{:.3}", ps[1]),
+                format!("{:.3}", ps[2]),
+                format!("{:.3}", ps[3]),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 3: p(join) vs beta_max",
+        &["beta_max(s)", "fi=0.10", "fi=0.25", "fi=0.40", "fi=0.50"],
+        &table,
+    );
+    let path = write_csv(
+        "fig03.csv",
+        &["beta_max", "fi_010", "fi_025", "fi_040", "fi_050"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

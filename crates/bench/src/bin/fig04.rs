@@ -1,0 +1,63 @@
+//! Figure 4: maximum aggregated bandwidth per channel for different node
+//! speeds under the two-channel throughput-maximisation framework
+//! (Eqs. 8–10), for offered-bandwidth splits (25/75), (50/50), (75/25)
+//! of Bw = 11 Mb/s, βmax = 10 s.
+//!
+//! The headline: every scenario has a *dividing speed* — above it, the
+//! optimum abandons the join-needing channel entirely.
+
+use spider_bench::{print_table, write_csv};
+use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+
+fn main() {
+    let optimizer = ThroughputOptimizer::paper(JoinModel::paper_defaults(10.0));
+    let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 20.0];
+    let splits = [(0.25, 0.75), (0.5, 0.5), (0.75, 0.25)];
+    let mut rows = Vec::new();
+    for (joined1, avail2) in splits {
+        let scenarios = [
+            ChannelScenario {
+                joined_frac: joined1,
+                available_frac: 0.0,
+            },
+            ChannelScenario {
+                joined_frac: 0.0,
+                available_frac: avail2,
+            },
+        ];
+        let mut table = Vec::new();
+        for &v in &speeds {
+            let opt = optimizer.optimize(&scenarios, v);
+            rows.push(vec![
+                joined1,
+                avail2,
+                v,
+                opt.per_channel_bps[0] / 1_000.0,
+                opt.per_channel_bps[1] / 1_000.0,
+            ]);
+            table.push(vec![
+                format!("{v}"),
+                format!("{:.0}", opt.per_channel_bps[0] / 1_000.0),
+                format!("{:.0}", opt.per_channel_bps[1] / 1_000.0),
+                format!("{:.0}", opt.total_bps / 1_000.0),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig 4: optimal per-channel bandwidth, offered = ({:.0}%, {:.0}%) of Bw",
+                joined1 * 100.0,
+                avail2 * 100.0
+            ),
+            &["speed(m/s)", "ch1(kbps)", "ch2(kbps)", "total(kbps)"],
+            &table,
+        );
+        let div = optimizer.dividing_speed(&scenarios, &speeds);
+        println!("dividing speed: {:?} m/s", div);
+    }
+    let path = write_csv(
+        "fig04.csv",
+        &["joined1", "avail2", "speed_mps", "ch1_kbps", "ch2_kbps"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,60 @@
+//! Figure 7: average TCP throughput as a function of the percentage of
+//! time spent on the primary channel (indoor static client, one AP,
+//! D = 400 ms).
+//!
+//! "Since the cumulative time spent on all the channels is 400 ms (which
+//! is less than two RTTs) the throughput is proportional to the
+//! percentage of time spent on the primary channel" — i.e. monotone.
+
+use spider_bench::{print_table, write_csv};
+use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::indoor_scenario;
+use spider_workloads::World;
+
+fn main() {
+    let period = SimDuration::from_millis(400);
+    let backhaul = 500_000.0; // 4 Mb/s: the air, not the wire, should gate
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for pct in [10u32, 25, 40, 50, 60, 75, 90, 100] {
+        let x = pct as f64 / 100.0;
+        let schedule = if pct == 100 {
+            ChannelSchedule::single(Channel::CH1)
+        } else {
+            let rest = (1.0 - x) / 2.0;
+            ChannelSchedule::custom(
+                period,
+                vec![
+                    (Channel::CH1, x),
+                    (Channel::CH6, rest),
+                    (Channel::CH11, rest),
+                ],
+            )
+        };
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp { period },
+            1,
+        )
+        .with_schedule(schedule);
+        let world = indoor_scenario(
+            &[Channel::CH1],
+            10.0,
+            backhaul,
+            SimDuration::from_secs(120),
+            7,
+        );
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        let kbps = result.avg_throughput_bps * 8.0 / 1_000.0;
+        rows.push(vec![pct as f64, kbps]);
+        table.push(vec![format!("{pct}%"), format!("{kbps:.0}")]);
+    }
+    print_table(
+        "Fig 7: avg TCP throughput vs % of time on the primary channel",
+        &["time on primary", "throughput (kb/s)"],
+        &table,
+    );
+    let path = write_csv("fig07.csv", &["pct_primary", "throughput_kbps"], rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Figure 8: average TCP throughput as a function of the *absolute* time
+//! spent on each channel under an equal 3-channel schedule (indoor
+//! static client, one AP on the primary channel: for dwell x, the
+//! client is away for 2x).
+//!
+//! The paper's point: unlike Fig. 7's fixed 400 ms period, growing the
+//! period means long absences — TCP timeouts and slow-start make the
+//! curve non-monotonic.
+
+use spider_bench::{print_table, write_csv};
+use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::indoor_scenario;
+use spider_workloads::World;
+
+fn main() {
+    let backhaul = 500_000.0;
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for dwell_ms in [25u64, 50, 75, 100, 150, 200, 300, 400] {
+        let period = SimDuration::from_millis(3 * dwell_ms);
+        let schedule = ChannelSchedule::equal(&Channel::ORTHOGONAL, period);
+        let cfg = SpiderConfig::for_mode(OperationMode::MultiChannelMultiAp { period }, 1)
+            .with_schedule(schedule);
+        let world = indoor_scenario(
+            &[Channel::CH1],
+            10.0,
+            backhaul,
+            SimDuration::from_secs(120),
+            7,
+        );
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        let kbps = result.avg_throughput_bps * 8.0 / 1_000.0;
+        rows.push(vec![dwell_ms as f64, kbps, result.tcp_timeouts as f64]);
+        table.push(vec![
+            format!("{dwell_ms}ms"),
+            format!("{kbps:.0}"),
+            format!("{}", result.tcp_timeouts),
+        ]);
+    }
+    print_table(
+        "Fig 8: avg TCP throughput vs absolute per-channel dwell (away 2x)",
+        &["dwell per channel", "throughput (kb/s)", "TCP timeouts"],
+        &table,
+    );
+    let path = write_csv(
+        "fig08.csv",
+        &["dwell_ms", "throughput_kbps", "tcp_timeouts"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,121 @@
+//! Figure 10: throughput micro-benchmark — aggregate throughput vs the
+//! backhaul bandwidth available through each AP, for five
+//! configurations:
+//!
+//! * one card, stock driver (single AP),
+//! * two cards, stock drivers (reported as 2× the single-card run —
+//!   two independent radios don't interact below saturation),
+//! * Spider (100, 0, 0): two APs on channel 1, no switching,
+//! * Spider (50, 0, 50): one AP each on channels 1 and 11, 50 ms dwell,
+//! * Spider (100, 0, 100): same, 100 ms dwell.
+//!
+//! Expected shape: Spider on one channel tracks the two-card line (2×
+//! backhaul) until the air saturates; multi-channel schedules trade
+//! throughput for switching overhead, with the faster schedule better
+//! at high backhaul.
+
+use spider_baselines::{StockConfig, StockDriver};
+use spider_bench::{print_table, write_csv};
+use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::lab_scenario;
+use spider_workloads::World;
+
+const RUN: SimDuration = SimDuration::from_secs(60);
+
+fn spider(schedule: ChannelSchedule, max_aps: usize) -> SpiderDriver {
+    let mode = OperationMode::MultiChannelMultiAp {
+        period: schedule.period(),
+    };
+    let mut cfg = SpiderConfig::for_mode(mode, 1).with_schedule(schedule);
+    cfg.max_concurrent = max_aps;
+    SpiderDriver::new(cfg)
+}
+
+fn main() {
+    // Backhaul sweep: 0.5 - 5 Mb/s per AP, in bytes/second.
+    let backhauls_mbps = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &mbps in &backhauls_mbps {
+        let bps = mbps * 1e6 / 8.0;
+        // One card, stock.
+        let one = World::new(
+            lab_scenario(&[Channel::CH1], bps, RUN, 3),
+            StockDriver::new(StockConfig::quickwifi(1)),
+        )
+        .run();
+        // Spider, two APs on ch1, all time there.
+        let s100 = World::new(
+            lab_scenario(&[Channel::CH1, Channel::CH1], bps, RUN, 3),
+            spider(ChannelSchedule::single(Channel::CH1), 7),
+        )
+        .run();
+        // Spider across ch1 + ch11 with 50ms / 100ms dwells.
+        let s50_50 = World::new(
+            lab_scenario(&[Channel::CH1, Channel::CH11], bps, RUN, 3),
+            spider(
+                ChannelSchedule::custom(
+                    SimDuration::from_millis(100),
+                    vec![(Channel::CH1, 0.5), (Channel::CH11, 0.5)],
+                ),
+                7,
+            ),
+        )
+        .run();
+        let s100_100 = World::new(
+            lab_scenario(&[Channel::CH1, Channel::CH11], bps, RUN, 3),
+            spider(
+                ChannelSchedule::custom(
+                    SimDuration::from_millis(200),
+                    vec![(Channel::CH1, 0.5), (Channel::CH11, 0.5)],
+                ),
+                7,
+            ),
+        )
+        .run();
+        let kb = |r: &spider_workloads::RunResult| r.avg_throughput_bps / 1_000.0;
+        rows.push(vec![
+            mbps,
+            kb(&one),
+            2.0 * kb(&one),
+            kb(&s100),
+            kb(&s50_50),
+            kb(&s100_100),
+        ]);
+        table.push(vec![
+            format!("{mbps}"),
+            format!("{:.0}", kb(&one)),
+            format!("{:.0}", 2.0 * kb(&one)),
+            format!("{:.0}", kb(&s100)),
+            format!("{:.0}", kb(&s50_50)),
+            format!("{:.0}", kb(&s100_100)),
+        ]);
+    }
+    print_table(
+        "Fig 10: aggregate throughput (KB/s) vs per-AP backhaul",
+        &[
+            "backhaul(Mbps)",
+            "1 card stock",
+            "2 cards stock",
+            "Spider(100,0,0)",
+            "Spider(50,0,50)",
+            "Spider(100,0,100)",
+        ],
+        &table,
+    );
+    let path = write_csv(
+        "fig10.csv",
+        &[
+            "backhaul_mbps",
+            "one_stock_kbs",
+            "two_stock_kbs",
+            "spider_100_kbs",
+            "spider_50_50_kbs",
+            "spider_100_100_kbs",
+        ],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Figure 11: CDF of Internet connectivity duration for the four Spider
+//! configurations.
+//!
+//! The paper: the longest connections come from staying on one channel
+//! with multiple APs; the multi-channel multi-AP configuration has the
+//! shortest connections (joins on other channels interrupt flows).
+
+use spider_bench::{print_table, write_csv, StdConfigs};
+
+fn main() {
+    let probe_s = [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, result) in StdConfigs::table2(1).into_iter().take(4) {
+        let mut cdf = result.connection_cdf();
+        let mut cells = vec![label.clone(), format!("{}", cdf.len())];
+        let mut row = vec![label.clone()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.1}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 11: CDF of connection duration (fraction of connections <= t)",
+        &["config", "n", "2s", "5s", "10s", "20s", "50s", "100s", "250s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig11.csv",
+        &["config", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s", "le_250s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Figure 12: CDF of disruption lengths for the four Spider
+//! configurations.
+//!
+//! The paper: multi-channel multi-AP has the *shortest* disruptions
+//! (largest AP pool); single-channel configurations suffer the longest
+//! outages (stretches of road with no AP on the chosen channel).
+
+use spider_bench::{print_table, write_csv, StdConfigs};
+
+fn main() {
+    let probe_s = [2.0, 5.0, 10.0, 30.0, 60.0, 150.0, 300.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, result) in StdConfigs::table2(1).into_iter().take(4) {
+        let mut cdf = result.disruption_cdf();
+        let mut cells = vec![label.clone(), format!("{}", cdf.len())];
+        let mut row = vec![label.clone()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.1}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 12: CDF of disruption length (fraction of disruptions <= t)",
+        &["config", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig12.csv",
+        &["config", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Figure 13: CDF of instantaneous bandwidth (KB/s during seconds with
+//! data) for the four Spider configurations.
+//!
+//! The paper: single-channel multi-AP is best (60th pct ≈ 300 KB/s,
+//! 90th ≈ 1000 KB/s); multi-channel multi-AP is strangled by join
+//! overhead on orthogonal channels.
+
+use spider_bench::{print_table, write_csv, StdConfigs};
+
+fn main() {
+    let quantiles = [0.1, 0.25, 0.5, 0.6, 0.75, 0.9];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, mut result) in StdConfigs::table2(1).into_iter().take(4) {
+        let cdf = &mut result.instantaneous_bps;
+        let mut cells = vec![label.clone(), format!("{}", cdf.len())];
+        let mut row = vec![label.clone()];
+        for &q in &quantiles {
+            let v = cdf.quantile(q) / 1_000.0;
+            row.push(format!("{v:.1}"));
+            cells.push(format!("{v:.0}"));
+        }
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 13: instantaneous bandwidth quantiles (KB/s while connected)",
+        &["config", "n", "p10", "p25", "p50", "p60", "p75", "p90"],
+        &table,
+    );
+    let path = write_csv(
+        "fig13.csv",
+        &["config", "p10_kbs", "p25_kbs", "p50_kbs", "p60_kbs", "p75_kbs", "p90_kbs"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,71 @@
+//! Figure 14: rate of successful joins (association + DHCP, verified by
+//! ping) as a function of the DHCP timeout — 200/400/600 ms and default
+//! timers on channel 1, plus default and 200 ms over three channels.
+//!
+//! The paper's finding: reduced timeouts improve the median join time,
+//! but "the cost of switching among channels overshadows the benefit";
+//! multi-channel joins take ~2x longer.
+
+use spider_bench::{print_table, write_csv, town_params};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_mac80211::ClientMacConfig;
+use spider_netstack::DhcpClientConfig;
+use spider_simcore::{Cdf, SimDuration};
+use spider_wire::Channel;
+use spider_workloads::scenarios::town_scenario;
+use spider_workloads::World;
+
+fn join_cdf(multi_channel: bool, mac: ClientMacConfig, dhcp: DhcpClientConfig) -> Cdf {
+    let mut cdf = Cdf::new();
+    for seed in 1..=5u64 {
+        let mode = if multi_channel {
+            OperationMode::MultiChannelMultiAp { period: SimDuration::from_millis(600) }
+        } else {
+            OperationMode::SingleChannelMultiAp(Channel::CH1)
+        };
+        let spider = SpiderConfig::for_mode(mode, 1).with_timeouts(mac.clone(), dhcp.clone());
+        let world = town_scenario(&town_params(seed));
+        let result = World::new(world, SpiderDriver::new(spider)).run();
+        cdf.merge(&result.join_log.join_cdf());
+    }
+    cdf
+}
+
+fn main() {
+    let ll = ClientMacConfig::reduced;
+    let configs: Vec<(&str, bool, ClientMacConfig, DhcpClientConfig)> = vec![
+        ("200ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(200))),
+        ("400ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(400))),
+        ("600ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(600))),
+        ("default, channel 1", false, ClientMacConfig::stock(), DhcpClientConfig::stock()),
+        ("default, 3 channels", true, ClientMacConfig::stock(), DhcpClientConfig::stock()),
+        ("200ms, 3 channels", true, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(200))),
+    ];
+    let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, multi, mac, dhcp) in configs {
+        let mut cdf = join_cdf(multi, mac, dhcp);
+        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
+        let mut row = vec![label.to_string()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.2}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 14: fraction of successful joins within t, by DHCP timeout",
+        &["config", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig14.csv",
+        &["config", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

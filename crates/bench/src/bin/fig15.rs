@@ -1,0 +1,86 @@
+//! Figure 15: join delay (association + DHCP, verified end-to-end) for
+//! six scheduling policies — interface counts, channel splits and timer
+//! settings.
+//!
+//! The paper: a single channel with reduced timeouts joins fastest;
+//! splitting time across channels roughly doubles join delay.
+
+use spider_bench::{print_table, write_csv, town_params};
+use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
+use spider_mac80211::ClientMacConfig;
+use spider_netstack::DhcpClientConfig;
+use spider_simcore::{Cdf, SimDuration};
+use spider_wire::Channel;
+use spider_workloads::scenarios::town_scenario;
+use spider_workloads::World;
+
+fn run(cfg: SpiderConfig) -> Cdf {
+    let mut cdf = Cdf::new();
+    for seed in 1..=5u64 {
+        let world = town_scenario(&town_params(seed));
+        let result = World::new(world, SpiderDriver::new(cfg.clone())).run();
+        cdf.merge(&result.join_log.join_cdf());
+    }
+    cdf
+}
+
+fn main() {
+    let period = SimDuration::from_millis(600);
+    let reduced = || {
+        (
+            ClientMacConfig::reduced(),
+            DhcpClientConfig::reduced(SimDuration::from_millis(200)),
+        )
+    };
+    let stock = || (ClientMacConfig::stock(), DhcpClientConfig::stock());
+    let ch1 = OperationMode::SingleChannelMultiAp(Channel::CH1);
+    let multi = OperationMode::MultiChannelMultiAp { period };
+    let half = ChannelSchedule::custom(
+        SimDuration::from_millis(400),
+        vec![(Channel::CH1, 0.5), (Channel::CH6, 0.5)],
+    );
+
+    let mk = |mode: OperationMode, timers: (ClientMacConfig, DhcpClientConfig), n: usize| {
+        SpiderConfig::for_mode(mode, 1)
+            .with_timeouts(timers.0, timers.1)
+            .with_ifaces(n)
+    };
+    let configs: Vec<(&str, SpiderConfig)> = vec![
+        ("1 iface, ch1 100%, default TO", mk(ch1.clone(), stock(), 1)),
+        ("7 ifaces, ch1 100%, default TO", mk(ch1.clone(), stock(), 7)),
+        ("7 ifaces, ch1 100%, dhcp 200ms ll 100ms", mk(ch1.clone(), reduced(), 7)),
+        (
+            "7 ifaces, ch1 50% ch6 50%, default TO",
+            mk(multi.clone(), stock(), 7).with_schedule(half),
+        ),
+        ("7 ifaces, 3 chans eq, default TO", mk(multi.clone(), stock(), 7)),
+        ("7 ifaces, 3 chans eq, dhcp 200ms ll 100ms", mk(multi, reduced(), 7)),
+    ];
+    let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, cfg) in configs {
+        let mut cdf = run(cfg);
+        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
+        let mut row = vec![label.to_string()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.2}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 15: join delay CDF by scheduling policy",
+        &["policy", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig15.csv",
+        &["policy", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

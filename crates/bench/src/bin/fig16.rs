@@ -1,0 +1,48 @@
+//! Figure 16: comparison of connection lengths — what mesh users'
+//! TCP flows need vs what Spider provides (single-channel multi-AP and
+//! multi-channel multi-AP).
+//!
+//! The paper: "Spider can support all the TCP flows that users need" —
+//! Spider's connection durations stochastically dominate the users'
+//! flow-length demand curve.
+
+use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_workloads::meshusers::{generate, MeshUserParams};
+
+fn main() {
+    let trace = generate(&MeshUserParams::default(), 42);
+    let mut users = trace.flow_durations;
+    let runs = StdConfigs::table2(1);
+    let mut ch1 = runs[0].1.connection_cdf();
+    let mut multi = runs[2].1.connection_cdf();
+    let probe_s = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, cdf) in [
+        ("users' flow durations", &mut users),
+        ("Spider multi-AP (ch1)", &mut ch1),
+        ("Spider multi-AP (multi-channel)", &mut multi),
+    ] {
+        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
+        let mut row = vec![label.to_string()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.1}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 16: connection-length CDFs — user demand vs Spider supply",
+        &["series", "n", "1s", "2s", "5s", "10s", "20s", "50s", "100s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig16.csv",
+        &["series", "le_1s", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! Figure 17: comparison of disruption lengths — mesh users'
+//! inter-connection gaps vs Spider's disruptions.
+//!
+//! The paper: "when Spider uses multiple channels and multiple APs, it
+//! experiences disruptions comparable to what real users can sustain."
+
+use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_workloads::meshusers::{generate, MeshUserParams};
+
+fn main() {
+    let trace = generate(&MeshUserParams::default(), 42);
+    let mut users = trace.inter_connection_gaps;
+    let runs = StdConfigs::table2(1);
+    let mut ch1 = runs[0].1.disruption_cdf();
+    let mut multi = runs[2].1.disruption_cdf();
+    let probe_s = [2.0, 5.0, 10.0, 30.0, 60.0, 150.0, 300.0];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (label, cdf) in [
+        ("user inter-connection gaps", &mut users),
+        ("Spider multi-AP (ch1)", &mut ch1),
+        ("Spider multi-AP (multi-channel)", &mut multi),
+    ] {
+        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
+        let mut row = vec![label.to_string()];
+        for &s in &probe_s {
+            let frac = cdf.fraction_le(s);
+            row.push(format!("{frac:.3}"));
+            cells.push(format!("{frac:.2}"));
+        }
+        cells.push(format!("{:.1}s", cdf.median()));
+        rows.push(row);
+        table.push(cells);
+    }
+    print_table(
+        "Fig 17: disruption-length CDFs — user tolerance vs Spider",
+        &["series", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median"],
+        &table,
+    );
+    let path = write_csv(
+        "fig17.csv",
+        &["series", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s"],
+        rows,
+    );
+    println!("\nwrote {}", path.display());
+}

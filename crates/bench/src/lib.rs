@@ -1,0 +1,15 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! prints the same rows/series the paper reports and drops a CSV under
+//! `target/experiments/`. Run them with `--release`; a full experiment
+//! is a 30-minute simulated drive and takes well under a second of wall
+//! time per configuration.
+
+pub mod output;
+pub mod runs;
+
+pub use output::{print_table, write_csv, OutDir};
+pub use runs::{
+    run_driver, spider_run, town_params, StdConfigs,
+};

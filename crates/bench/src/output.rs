@@ -1,0 +1,108 @@
+//! Result output: aligned console tables + CSV files.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The experiment output directory (`target/experiments`), created on
+/// first use.
+pub struct OutDir(PathBuf);
+
+impl OutDir {
+    /// Open (and create) the output directory.
+    pub fn open() -> OutDir {
+        // Walk up from the current dir to find the workspace target/.
+        let base = std::env::var("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target"));
+        let dir = base.join("experiments");
+        fs::create_dir_all(&dir).expect("create target/experiments");
+        OutDir(dir)
+    }
+
+    /// Path for a named artifact.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+/// Write rows to a CSV file under the experiment directory. Returns the
+/// path written.
+pub fn write_csv<R, C>(name: &str, headers: &[&str], rows: R) -> PathBuf
+where
+    R: IntoIterator<Item = Vec<C>>,
+    C: Display,
+{
+    let out = OutDir::open();
+    let path = out.path(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).unwrap();
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().map(|c| c.to_string()).collect();
+        writeln!(f, "{}", cells.join(",")).unwrap();
+    }
+    path
+}
+
+/// Print an aligned table to stdout.
+pub fn print_table<C: Display>(title: &str, headers: &[&str], rows: &[Vec<C>]) {
+    println!("\n== {title} ==");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cols: &[String]| {
+        cols.iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in &cells {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Convenience: does a path exist (used by tests).
+pub fn exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            vec![vec![1.0, 2.0], vec![3.5, 4.25]],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("3.5,4.25"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "test",
+            &["config", "throughput"],
+            &[vec!["x".to_string(), "1.0".to_string()]],
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Standard experiment runs shared across binaries.
+
+use spider_baselines::{StockConfig, StockDriver};
+use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
+use spider_mac80211::ClientSystem;
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::metrics::RunResult;
+use spider_workloads::scenarios::{boston_scenario, town_scenario, ScenarioParams};
+use spider_workloads::{World, WorldConfig};
+
+/// Standard town-drive parameters used by the §4 experiments (30-minute
+/// loop drive at 10 m/s through the measured channel mix).
+pub fn town_params(seed: u64) -> ScenarioParams {
+    ScenarioParams {
+        duration: SimDuration::from_secs(1_800),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Run any client system through a world.
+pub fn run_driver<C: ClientSystem>(cfg: WorldConfig, client: C) -> RunResult {
+    World::new(cfg, client).run()
+}
+
+/// Run Spider with the given configuration.
+pub fn spider_run(cfg: WorldConfig, spider: SpiderConfig) -> RunResult {
+    run_driver(cfg, SpiderDriver::new(spider))
+}
+
+/// The standard §4 configurations, each paired with the label used in
+/// the paper's Table 2.
+pub struct StdConfigs;
+
+impl StdConfigs {
+    /// The paper's multi-channel scheduling period (600 ms over 1/6/11).
+    pub fn period() -> SimDuration {
+        SimDuration::from_millis(600)
+    }
+
+    /// Table 2's four Spider rows on the town drive (plus MadWiFi), with
+    /// the Cambridge rows from the Boston scenario.
+    pub fn table2(seed: u64) -> Vec<(String, RunResult)> {
+        let period = Self::period();
+        let mut out = Vec::new();
+        let configs = [
+            (
+                "(1) Channel 1, Multi-AP",
+                OperationMode::SingleChannelMultiAp(Channel::CH1),
+            ),
+            (
+                "(2) Channel 1, Single-AP",
+                OperationMode::SingleChannelSingleAp(Channel::CH1),
+            ),
+            (
+                "(3) Multi-channel, Multi-AP",
+                OperationMode::MultiChannelMultiAp { period },
+            ),
+            (
+                "(4) Multi-channel, Single-AP",
+                OperationMode::MultiChannelSingleAp { period },
+            ),
+        ];
+        for (label, mode) in configs {
+            let world = town_scenario(&town_params(seed));
+            let result = spider_run(world, SpiderConfig::for_mode(mode, 1));
+            out.push((label.to_string(), result));
+        }
+        // Cambridge (Boston mix): channel 6 single-AP, the external
+        // validation row.
+        let world = boston_scenario(&town_params(seed));
+        let result = spider_run(
+            world,
+            SpiderConfig::for_mode(OperationMode::SingleChannelSingleAp(Channel::CH6), 1),
+        );
+        out.push(("(2) Channel 6, Single-AP (Cambridge)".to_string(), result));
+        // Stock MadWiFi.
+        let world = town_scenario(&town_params(seed));
+        let result = run_driver(world, StockDriver::new(StockConfig::stock(1)));
+        out.push(("MadWiFi driver".to_string(), result));
+        out
+    }
+
+    /// A Spider run on the town drive with an arbitrary channel schedule
+    /// (used by the figure-5/6/7/8 style schedule sweeps).
+    pub fn scheduled_town(seed: u64, schedule: ChannelSchedule) -> RunResult {
+        let world = town_scenario(&town_params(seed));
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp {
+                period: schedule.period(),
+            },
+            1,
+        )
+        .with_schedule(schedule);
+        spider_run(world, cfg)
+    }
+
+    /// The §2.2 schedule family: fraction `x` of the period on channel 6,
+    /// the remainder split between channels 1 and 11 (`D = 400 ms`).
+    pub fn f6_schedule(x: f64) -> ChannelSchedule {
+        let period = SimDuration::from_millis(400);
+        if x >= 1.0 {
+            ChannelSchedule::single(Channel::CH6)
+        } else {
+            let rest = (1.0 - x) / 2.0;
+            ChannelSchedule::custom(
+                period,
+                vec![
+                    (Channel::CH6, x),
+                    (Channel::CH1, rest),
+                    (Channel::CH11, rest),
+                ],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f6_schedule_fractions() {
+        let s = StdConfigs::f6_schedule(0.5);
+        assert!((s.fraction(Channel::CH6) - 0.5).abs() < 1e-9);
+        assert!((s.fraction(Channel::CH1) - 0.25).abs() < 1e-9);
+        let full = StdConfigs::f6_schedule(1.0);
+        assert!(full.is_single_channel());
+    }
+
+    #[test]
+    fn short_table2_smoke() {
+        // A 60-second version of the Table 2 run as a smoke test.
+        let mut params = town_params(3);
+        params.duration = SimDuration::from_secs(60);
+        let world = town_scenario(&params);
+        let result = spider_run(
+            world,
+            SpiderConfig::for_mode(OperationMode::SingleChannelMultiAp(Channel::CH1), 1),
+        );
+        assert!(result.duration == SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,94 @@
+//! The driver API between the simulation world and a client system.
+//!
+//! A *client system* is everything that runs on the mobile node: the
+//! (virtualised or stock) Wi-Fi driver, the link-management logic, the
+//! DHCP clients and the transport endpoints. The world owns the radio
+//! and the medium; the client system reacts to received frames and timer
+//! wakeups by emitting [`DriverAction`]s.
+//!
+//! The contract:
+//!
+//! * The world delivers a frame via [`ClientSystem::on_frame`] only when
+//!   the radio is tuned to the frame's channel (and the frame survived
+//!   propagation and loss).
+//! * `SwitchChannel` starts a hardware switch; the radio is deaf until
+//!   the world calls [`ClientSystem::on_switch_complete`].
+//! * [`ClientSystem::poll`] is called whenever simulated time reaches
+//!   [`ClientSystem::next_wakeup`].
+//! * `Transmit` actions are honoured only while tuned; the world drops
+//!   transmissions requested mid-switch (a real card's TX queue is held
+//!   in reset).
+
+use crate::stats::JoinLog;
+use spider_simcore::SimTime;
+use spider_wire::{Channel, Frame};
+
+/// A frame as received by the client radio.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// The frame.
+    pub frame: Frame,
+    /// Channel it was received on.
+    pub channel: Channel,
+    /// Received signal strength.
+    pub rssi_dbm: f64,
+}
+
+/// An action requested by the client system.
+#[derive(Debug, Clone)]
+pub enum DriverAction {
+    /// Transmit a frame from virtual interface `iface`. The frame's
+    /// `src` must be that interface's MAC address.
+    Transmit {
+        /// Index of the virtual interface transmitting.
+        iface: usize,
+        /// The frame to put on the air.
+        frame: Frame,
+    },
+    /// Begin a hardware channel switch.
+    SwitchChannel(Channel),
+}
+
+/// A complete client-side system (driver + link management + network
+/// stack), driven by the simulation world.
+pub trait ClientSystem {
+    /// Human-readable configuration name (appears in experiment output).
+    fn label(&self) -> String;
+
+    /// A frame arrived while tuned to `rx.channel`.
+    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction>;
+
+    /// A previously requested channel switch completed; the radio is now
+    /// tuned to `ch`.
+    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction>;
+
+    /// Timer-driven processing. Called at least whenever `now` reaches
+    /// the time previously returned by [`next_wakeup`](Self::next_wakeup).
+    fn poll(&mut self, now: SimTime) -> Vec<DriverAction>;
+
+    /// The next instant this system needs a `poll` call, or
+    /// [`SimTime::MAX`] if it is fully idle.
+    fn next_wakeup(&self, now: SimTime) -> SimTime;
+
+    /// Join/association timing log for the evaluation harness.
+    fn join_log(&self) -> &JoinLog;
+
+    /// Whether the system currently believes it has end-to-end
+    /// connectivity on any interface (used for connectivity accounting).
+    fn is_connected(&self) -> bool;
+
+    /// Cumulative application bytes delivered in order across all
+    /// interfaces (the throughput every evaluation figure measures).
+    fn delivered_bytes(&self) -> u64;
+
+    /// Number of interfaces currently associated at the link layer. The
+    /// radio's channel-switch latency grows with this count (PSM frames
+    /// around the hardware reset — Table 1).
+    fn associated_interfaces(&self) -> usize {
+        0
+    }
+
+    /// The channel this system assumes the radio is tuned to at t = 0.
+    /// The world initialises the physical radio accordingly.
+    fn initial_channel(&self) -> Channel;
+}

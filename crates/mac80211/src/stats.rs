@@ -1,0 +1,136 @@
+//! Join timing statistics.
+//!
+//! Every driver records the timings the paper's evaluation plots:
+//! association delay (Fig. 5), DHCP lease delay (Fig. 6), full join
+//! delay = association + DHCP + connectivity check (Figs. 14–15), and
+//! the corresponding failure counts (Table 3).
+
+use spider_simcore::{Cdf, SimDuration, SimTime};
+
+/// One completed timing sample.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedSample {
+    /// When the attempt completed.
+    pub at: SimTime,
+    /// How long it took.
+    pub took: SimDuration,
+}
+
+/// Join timing log filled in by a driver as it operates.
+#[derive(Debug, Clone, Default)]
+pub struct JoinLog {
+    /// Successful link-layer associations.
+    pub assoc: Vec<TimedSample>,
+    /// Association attempts abandoned after retries ran out.
+    pub assoc_failures: u64,
+    /// Successful DHCP lease acquisitions (duration measured from the
+    /// first DISCOVER/REQUEST to the ACK).
+    pub dhcp: Vec<TimedSample>,
+    /// DHCP attempts that timed out.
+    pub dhcp_failures: u64,
+    /// Full joins: association start to verified end-to-end connectivity.
+    pub join: Vec<TimedSample>,
+    /// Joins that never reached verified connectivity.
+    pub join_failures: u64,
+}
+
+impl JoinLog {
+    /// Create an empty log.
+    pub fn new() -> JoinLog {
+        JoinLog::default()
+    }
+
+    /// Record a successful association.
+    pub fn record_assoc(&mut self, at: SimTime, took: SimDuration) {
+        self.assoc.push(TimedSample { at, took });
+    }
+
+    /// Record a successful DHCP acquisition.
+    pub fn record_dhcp(&mut self, at: SimTime, took: SimDuration) {
+        self.dhcp.push(TimedSample { at, took });
+    }
+
+    /// Record a verified full join.
+    pub fn record_join(&mut self, at: SimTime, took: SimDuration) {
+        self.join.push(TimedSample { at, took });
+    }
+
+    /// Association durations in seconds as a CDF (Fig. 5's y-axis is the
+    /// fraction of successful associations completing within x).
+    pub fn assoc_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.assoc.iter().map(|s| s.took.as_secs_f64()).collect())
+    }
+
+    /// DHCP durations in seconds as a CDF (Fig. 6).
+    pub fn dhcp_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.dhcp.iter().map(|s| s.took.as_secs_f64()).collect())
+    }
+
+    /// Full-join durations in seconds as a CDF (Figs. 14–15).
+    pub fn join_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.join.iter().map(|s| s.took.as_secs_f64()).collect())
+    }
+
+    /// DHCP failure ratio: failures / (successes + failures), the
+    /// quantity of Table 3. `None` when no attempts happened.
+    pub fn dhcp_failure_ratio(&self) -> Option<f64> {
+        let total = self.dhcp.len() as u64 + self.dhcp_failures;
+        (total > 0).then(|| self.dhcp_failures as f64 / total as f64)
+    }
+
+    /// Association failure ratio.
+    pub fn assoc_failure_ratio(&self) -> Option<f64> {
+        let total = self.assoc.len() as u64 + self.assoc_failures;
+        (total > 0).then(|| self.assoc_failures as f64 / total as f64)
+    }
+
+    /// Merge another log into this one (for multi-run aggregation).
+    pub fn merge(&mut self, other: &JoinLog) {
+        self.assoc.extend_from_slice(&other.assoc);
+        self.assoc_failures += other.assoc_failures;
+        self.dhcp.extend_from_slice(&other.dhcp);
+        self.dhcp_failures += other.dhcp_failures;
+        self.join.extend_from_slice(&other.join);
+        self.join_failures += other.join_failures;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut log = JoinLog::new();
+        assert_eq!(log.dhcp_failure_ratio(), None);
+        log.record_dhcp(SimTime::from_secs(1), SimDuration::from_millis(1_300));
+        log.record_dhcp(SimTime::from_secs(2), SimDuration::from_millis(2_500));
+        log.dhcp_failures = 2;
+        assert_eq!(log.dhcp_failure_ratio(), Some(0.5));
+        log.assoc_failures = 1;
+        assert_eq!(log.assoc_failure_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn cdfs_are_in_seconds() {
+        let mut log = JoinLog::new();
+        log.record_assoc(SimTime::from_secs(1), SimDuration::from_millis(200));
+        log.record_assoc(SimTime::from_secs(2), SimDuration::from_millis(400));
+        let mut cdf = log.assoc_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert!((cdf.median() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = JoinLog::new();
+        a.record_join(SimTime::from_secs(1), SimDuration::from_secs(2));
+        a.join_failures = 1;
+        let mut b = JoinLog::new();
+        b.record_join(SimTime::from_secs(5), SimDuration::from_secs(3));
+        b.join_failures = 2;
+        a.merge(&b);
+        assert_eq!(a.join.len(), 2);
+        assert_eq!(a.join_failures, 3);
+    }
+}

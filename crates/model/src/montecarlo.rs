@@ -1,0 +1,154 @@
+//! Monte-Carlo validation of the join model (the "Simulation" series of
+//! Fig. 2).
+//!
+//! Simulates the *same simplified process* the closed form describes —
+//! one-shot join requests every `c` seconds while on-channel, uniform
+//! response times, independent per-direction losses — and estimates the
+//! join probability empirically. Agreement between this and
+//! [`JoinModel::p_join`](crate::join::JoinModel::p_join) is what the
+//! paper calls internal validation (§2.1.1).
+
+use crate::join::JoinModel;
+use spider_simcore::SimRng;
+
+/// Result of a Monte-Carlo estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloEstimate {
+    /// Mean join probability across runs.
+    pub mean: f64,
+    /// Standard deviation across runs (the error bars of Fig. 2).
+    pub std_dev: f64,
+}
+
+/// Estimate the probability of a successful join within `t` seconds at
+/// channel fraction `fi`, using `runs` independent runs of `trials`
+/// trials each (the paper uses 100 × 100).
+pub fn simulate_join_probability(
+    model: &JoinModel,
+    fi: f64,
+    t: f64,
+    runs: usize,
+    trials: usize,
+    rng: &mut SimRng,
+) -> MonteCarloEstimate {
+    let rounds = (t / model.d).floor() as usize;
+    let segments = model.segments(fi);
+    let mut run_means = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            if single_trial(model, fi, rounds, segments, rng) {
+                successes += 1;
+            }
+        }
+        run_means.push(successes as f64 / trials.max(1) as f64);
+    }
+    let mean = run_means.iter().sum::<f64>() / runs.max(1) as f64;
+    let var = run_means
+        .iter()
+        .map(|x| (x - mean).powi(2))
+        .sum::<f64>()
+        / runs.max(1) as f64;
+    MonteCarloEstimate {
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// One trial: does any request sent during `rounds` rounds get its
+/// response back inside an on-channel window?
+fn single_trial(
+    model: &JoinModel,
+    fi: f64,
+    rounds: usize,
+    segments: usize,
+    rng: &mut SimRng,
+) -> bool {
+    let ok = |rng: &mut SimRng, h: f64| !rng.chance(h);
+    for m in 1..=rounds {
+        let round_start = (m - 1) as f64 * model.d;
+        for k in 1..=segments {
+            // Request leaves at the start of segment k (after the switch
+            // cost w), per the model's Fig. 1 geometry.
+            if !ok(rng, model.h) || !ok(rng, model.h) {
+                continue; // request or response lost
+            }
+            let beta = rng.uniform_in(model.beta_min, model.beta_max);
+            let arrival = round_start + model.w + (k - 1) as f64 * model.c + beta;
+            // Success iff the arrival falls inside the on-channel window
+            // of some round n >= m within the encounter.
+            for n in m..=rounds {
+                let win_start = (n - 1) as f64 * model.d;
+                let win_end = win_start + fi * model.d;
+                if arrival >= win_start && arrival <= win_end {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_model_shape() {
+        // Fig. 2's claim: "The simulation results are statistically
+        // equivalent to the model." We check agreement within a few
+        // percent at several operating points.
+        let model = JoinModel::paper_defaults(5.0);
+        let mut rng = SimRng::new(42);
+        for fi in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let analytic = model.p_join(fi, 4.0);
+            let mc = simulate_join_probability(&model, fi, 4.0, 40, 100, &mut rng);
+            assert!(
+                (analytic - mc.mean).abs() < 0.08 + 2.5 * mc.std_dev,
+                "fi={fi}: model {analytic:.3} vs sim {:.3} (sd {:.3})",
+                mc.mean,
+                mc.std_dev,
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_model_for_slow_aps() {
+        let model = JoinModel::paper_defaults(10.0);
+        let mut rng = SimRng::new(7);
+        for fi in [0.25, 0.5, 1.0] {
+            let analytic = model.p_join(fi, 4.0);
+            let mc = simulate_join_probability(&model, fi, 4.0, 40, 100, &mut rng);
+            assert!(
+                (analytic - mc.mean).abs() < 0.08 + 2.5 * mc.std_dev,
+                "fi={fi}: model {analytic:.3} vs sim {:.3}",
+                mc.mean
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_monotone_in_fi() {
+        let model = JoinModel::paper_defaults(5.0);
+        let mut rng = SimRng::new(3);
+        let lo = simulate_join_probability(&model, 0.1, 4.0, 20, 200, &mut rng);
+        let hi = simulate_join_probability(&model, 0.9, 4.0, 20, 200, &mut rng);
+        assert!(hi.mean > lo.mean);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = JoinModel::paper_defaults(5.0);
+        let a = simulate_join_probability(&model, 0.5, 4.0, 5, 50, &mut SimRng::new(1));
+        let b = simulate_join_probability(&model, 0.5, 4.0, 5, 50, &mut SimRng::new(1));
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_dev, b.std_dev);
+    }
+
+    #[test]
+    fn zero_rounds_never_join() {
+        let model = JoinModel::paper_defaults(5.0);
+        let mc = simulate_join_probability(&model, 0.5, 0.2, 5, 50, &mut SimRng::new(2));
+        assert_eq!(mc.mean, 0.0);
+    }
+}

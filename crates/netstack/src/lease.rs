@@ -1,0 +1,134 @@
+//! DHCP leases and the per-BSSID lease cache.
+
+use spider_simcore::SimTime;
+use spider_wire::{Ipv4Addr, MacAddr};
+use std::collections::HashMap;
+
+/// A granted DHCP lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Address assigned to the client.
+    pub ip: Ipv4Addr,
+    /// The DHCP server (the AP's gateway address).
+    pub server: Ipv4Addr,
+    /// When the lease expires.
+    pub expires: SimTime,
+}
+
+impl Lease {
+    /// Whether the lease is still valid at `now`.
+    pub fn valid_at(&self, now: SimTime) -> bool {
+        now < self.expires
+    }
+}
+
+/// A cache of leases previously obtained from specific APs, keyed by
+/// BSSID. Re-encountering a cached AP lets the client skip the
+/// DISCOVER/OFFER half of the exchange (DHCP INIT-REBOOT), which the
+/// paper identifies as essential for multi-AP systems (§2.1.2).
+#[derive(Debug, Clone, Default)]
+pub struct LeaseCache {
+    entries: HashMap<MacAddr, Lease>,
+    /// Cache hits observed (for experiment reporting).
+    pub hits: u64,
+    /// Cache misses observed.
+    pub misses: u64,
+}
+
+impl LeaseCache {
+    /// Create an empty cache.
+    pub fn new() -> LeaseCache {
+        LeaseCache::default()
+    }
+
+    /// Store a lease obtained from `bssid`.
+    pub fn insert(&mut self, bssid: MacAddr, lease: Lease) {
+        self.entries.insert(bssid, lease);
+    }
+
+    /// Look up a still-valid lease for `bssid`, recording hit/miss
+    /// statistics and evicting the entry if it has expired.
+    pub fn lookup(&mut self, now: SimTime, bssid: MacAddr) -> Option<Lease> {
+        match self.entries.get(&bssid) {
+            Some(l) if l.valid_at(now) => {
+                self.hits += 1;
+                Some(*l)
+            }
+            Some(_) => {
+                self.entries.remove(&bssid);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove a lease (e.g. after the server NAKs a re-confirmation).
+    pub fn invalidate(&mut self, bssid: MacAddr) {
+        self.entries.remove(&bssid);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lease(expires_s: u64) -> Lease {
+        Lease {
+            ip: Ipv4Addr::new(10, 0, 0, 5),
+            server: Ipv4Addr::new(10, 0, 0, 1),
+            expires: SimTime::from_secs(expires_s),
+        }
+    }
+
+    #[test]
+    fn validity() {
+        let l = lease(100);
+        assert!(l.valid_at(SimTime::from_secs(99)));
+        assert!(!l.valid_at(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn cache_hit_and_miss() {
+        let mut c = LeaseCache::new();
+        let ap = MacAddr::from_id(1);
+        assert_eq!(c.lookup(SimTime::ZERO, ap), None);
+        assert_eq!(c.misses, 1);
+        c.insert(ap, lease(100));
+        assert_eq!(c.lookup(SimTime::from_secs(10), ap), Some(lease(100)));
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn expired_entries_are_evicted() {
+        let mut c = LeaseCache::new();
+        let ap = MacAddr::from_id(1);
+        c.insert(ap, lease(100));
+        assert_eq!(c.lookup(SimTime::from_secs(200), ap), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = LeaseCache::new();
+        let ap = MacAddr::from_id(1);
+        c.insert(ap, lease(100));
+        c.invalidate(ap);
+        assert!(c.is_empty());
+    }
+
+}

@@ -1,0 +1,324 @@
+//! End-to-end liveness probing.
+//!
+//! Spider continuously verifies that a joined connection actually reaches
+//! the Internet: it pings end-to-end (or the gateway when ICMP is
+//! filtered) at 10 pings/second and declares the connection dropped
+//! after 30 consecutive losses (§3.2.2). The first successful reply is
+//! also what completes a "join" in the paper's accounting — a join is
+//! association + DHCP + *verified connectivity* (§3.1).
+
+use spider_simcore::{SimDuration, SimTime};
+use spider_wire::IcmpMessage;
+use std::collections::VecDeque;
+
+/// Liveness-probe configuration.
+#[derive(Debug, Clone)]
+pub struct PingConfig {
+    /// Interval between probes (100 ms → 10/s).
+    pub interval: SimDuration,
+    /// Consecutive losses after which the link is declared dead.
+    pub fail_threshold: u32,
+    /// ICMP identifier for this probe stream (one per interface).
+    pub id: u16,
+}
+
+impl PingConfig {
+    /// The paper's parameters: 10 pings/second, 30 consecutive failures.
+    pub fn paper(id: u16) -> PingConfig {
+        PingConfig {
+            interval: SimDuration::from_millis(100),
+            fail_threshold: 30,
+            id,
+        }
+    }
+}
+
+/// Events produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PingEvent {
+    /// Transmit this echo request.
+    Send(IcmpMessage),
+    /// First reply (or first after a Down): connectivity verified.
+    Up,
+    /// `fail_threshold` consecutive probes lost: connection dead.
+    Down,
+}
+
+/// The liveness engine for one interface.
+#[derive(Debug, Clone)]
+pub struct PingEngine {
+    cfg: PingConfig,
+    running: bool,
+    next_send: SimTime,
+    next_seq: u16,
+    /// Outstanding (seq, deadline) pairs, oldest first.
+    outstanding: VecDeque<(u16, SimTime)>,
+    consecutive_failures: u32,
+    alive: bool,
+    /// Total probes sent (observability).
+    pub sent: u64,
+    /// Total replies received.
+    pub received: u64,
+}
+
+impl PingEngine {
+    /// Create a stopped engine.
+    pub fn new(cfg: PingConfig) -> PingEngine {
+        PingEngine {
+            cfg,
+            running: false,
+            next_send: SimTime::ZERO,
+            next_seq: 0,
+            outstanding: VecDeque::new(),
+            consecutive_failures: 0,
+            alive: false,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Start probing at `now` (e.g. right after a DHCP bind).
+    pub fn start(&mut self, now: SimTime) {
+        self.running = true;
+        self.next_send = now;
+        self.outstanding.clear();
+        self.consecutive_failures = 0;
+        self.alive = false;
+    }
+
+    /// Stop probing (interface torn down).
+    pub fn stop(&mut self) {
+        self.running = false;
+        self.outstanding.clear();
+        self.alive = false;
+    }
+
+    /// Whether the engine currently believes the link is alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Whether the engine is probing.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Timer processing. Probes are sent only while `on_channel`; loss
+    /// deadlines expire regardless (a probe that got no answer is a
+    /// failure no matter where the radio is).
+    pub fn poll(&mut self, now: SimTime, on_channel: bool) -> Vec<PingEvent> {
+        let mut out = Vec::new();
+        if !self.running {
+            return out;
+        }
+        // Expire outstanding probes. A probe is failed if unanswered one
+        // full interval * threshold after transmission would be too lax;
+        // the paper counts a probe failed when the next is due, i.e.
+        // deadline = sent + interval.
+        while let Some(&(_, deadline)) = self.outstanding.front() {
+            if now >= deadline {
+                self.outstanding.pop_front();
+                self.consecutive_failures += 1;
+                if self.consecutive_failures == self.cfg.fail_threshold {
+                    if self.alive {
+                        self.alive = false;
+                        out.push(PingEvent::Down);
+                    } else {
+                        // Never came up: still report Down once so the
+                        // caller can abandon the join.
+                        out.push(PingEvent::Down);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // While off-channel the probe cannot be sent; skip it forward
+        // (the radio being elsewhere is not a liveness failure in
+        // itself — unanswered probes already in flight count above).
+        if now >= self.next_send && !on_channel {
+            self.next_send = now + self.cfg.interval;
+        }
+        // Send the next probe when due.
+        if now >= self.next_send && on_channel {
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.outstanding
+                .push_back((seq, now + self.cfg.interval * 3));
+            self.sent += 1;
+            self.next_send = now + self.cfg.interval;
+            out.push(PingEvent::Send(IcmpMessage::EchoRequest {
+                id: self.cfg.id,
+                seq,
+            }));
+        }
+        out
+    }
+
+    /// Next instant `poll` must run.
+    pub fn next_wakeup(&self) -> SimTime {
+        if !self.running {
+            return SimTime::MAX;
+        }
+        let dl = self
+            .outstanding
+            .front()
+            .map(|&(_, d)| d)
+            .unwrap_or(SimTime::MAX);
+        self.next_send.min(dl)
+    }
+
+    /// Process a received echo reply. Returns `Up` on a transition to
+    /// alive.
+    pub fn on_reply(&mut self, _now: SimTime, msg: &IcmpMessage) -> Vec<PingEvent> {
+        let IcmpMessage::EchoReply { id, seq } = msg else {
+            return Vec::new();
+        };
+        if *id != self.cfg.id || !self.running {
+            return Vec::new();
+        }
+        // Any reply for a still-outstanding probe counts; later probes
+        // whose replies raced are left to expire harmlessly (failures
+        // reset below anyway).
+        let Some(pos) = self.outstanding.iter().position(|&(s, _)| s == *seq) else {
+            return Vec::new();
+        };
+        // Everything older than the answered probe is moot.
+        self.outstanding.drain(..=pos);
+        self.received += 1;
+        self.consecutive_failures = 0;
+        if !self.alive {
+            self.alive = true;
+            vec![PingEvent::Up]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PingEngine {
+        let mut e = PingEngine::new(PingConfig {
+            interval: SimDuration::from_millis(100),
+            fail_threshold: 3,
+            id: 9,
+        });
+        e.start(SimTime::ZERO);
+        e
+    }
+
+    fn reply(seq: u16) -> IcmpMessage {
+        IcmpMessage::EchoReply { id: 9, seq }
+    }
+
+    #[test]
+    fn first_reply_reports_up() {
+        let mut e = engine();
+        let ev = e.poll(SimTime::ZERO, true);
+        assert!(matches!(&ev[..], [PingEvent::Send(IcmpMessage::EchoRequest { seq: 0, .. })]));
+        let ev = e.on_reply(SimTime::from_millis(20), &reply(0));
+        assert_eq!(ev, vec![PingEvent::Up]);
+        assert!(e.is_alive());
+        // A second reply does not re-announce.
+        e.poll(SimTime::from_millis(100), true);
+        let ev = e.on_reply(SimTime::from_millis(120), &reply(1));
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn consecutive_failures_report_down() {
+        let mut e = engine();
+        // Answer the first probe so we are Up.
+        e.poll(SimTime::ZERO, true);
+        e.on_reply(SimTime::from_millis(10), &reply(0));
+        // Let the next probes go unanswered. Deadline is send + 3*interval.
+        let mut down = false;
+        for i in 1..20 {
+            let t = SimTime::from_millis(i * 100);
+            for ev in e.poll(t, true) {
+                if ev == PingEvent::Down {
+                    down = true;
+                }
+            }
+            if down {
+                break;
+            }
+        }
+        assert!(down);
+        assert!(!e.is_alive());
+    }
+
+    #[test]
+    fn reply_resets_failure_count() {
+        let mut e = engine();
+        e.poll(SimTime::ZERO, true); // seq 0
+        e.on_reply(SimTime::from_millis(10), &reply(0));
+        e.poll(SimTime::from_millis(100), true); // seq 1
+        e.poll(SimTime::from_millis(200), true); // seq 2
+        e.poll(SimTime::from_millis(300), true); // seq 3
+        // seq1 expires at 400 (1 failure) ... then seq 3 answered at 450.
+        let ev = e.poll(SimTime::from_millis(400), true); // seq 4 sent, seq1 expired
+        assert!(!ev.contains(&PingEvent::Down));
+        e.on_reply(SimTime::from_millis(450), &reply(3));
+        // failures reset; takes 3 fresh expiries to go down again.
+        assert!(e.is_alive());
+    }
+
+    #[test]
+    fn probes_only_sent_on_channel() {
+        let mut e = engine();
+        // Off-channel: the due probe is skipped forward, not sent.
+        assert!(e.poll(SimTime::ZERO, false).is_empty());
+        assert_eq!(e.sent, 0);
+        assert_eq!(e.next_wakeup(), SimTime::from_millis(100));
+        // Back on channel after the skip: probe goes out.
+        let ev = e.poll(SimTime::from_millis(100), true);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(e.sent, 1);
+    }
+
+    #[test]
+    fn stop_silences_engine() {
+        let mut e = engine();
+        e.poll(SimTime::ZERO, true);
+        e.stop();
+        assert!(e.poll(SimTime::from_millis(100), true).is_empty());
+        assert_eq!(e.next_wakeup(), SimTime::MAX);
+        assert!(e.on_reply(SimTime::from_millis(110), &reply(0)).is_empty());
+    }
+
+    #[test]
+    fn foreign_id_is_ignored() {
+        let mut e = engine();
+        e.poll(SimTime::ZERO, true);
+        let foreign = IcmpMessage::EchoReply { id: 1, seq: 0 };
+        assert!(e.on_reply(SimTime::from_millis(1), &foreign).is_empty());
+        assert!(!e.is_alive());
+    }
+
+    #[test]
+    fn never_up_still_reports_down_once() {
+        let mut e = engine();
+        let mut downs = 0;
+        for i in 0..40 {
+            for ev in e.poll(SimTime::from_millis(i * 100), true) {
+                if ev == PingEvent::Down {
+                    downs += 1;
+                }
+            }
+        }
+        assert_eq!(downs, 1);
+    }
+
+    #[test]
+    fn wakeup_tracks_send_and_deadlines() {
+        let mut e = engine();
+        assert_eq!(e.next_wakeup(), SimTime::ZERO);
+        e.poll(SimTime::ZERO, true);
+        // Next send at 100ms; outstanding deadline at 300ms.
+        assert_eq!(e.next_wakeup(), SimTime::from_millis(100));
+    }
+}

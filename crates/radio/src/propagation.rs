@@ -1,0 +1,105 @@
+//! Radio propagation: reach and received signal strength.
+//!
+//! A disk model decides *whether* a frame is receivable (the paper's
+//! analysis assumes a practical range of 100 m); a log-distance path-loss
+//! model provides the RSSI Spider's AP-selection uses for tie-breaking
+//! and its "sufficient signal strength" bootstrap filter (§3.1, Design
+//! Choice 2).
+
+/// Propagation model parameters.
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    /// Hard communication range in metres (disk model cut-off).
+    pub range_m: f64,
+    /// Transmit power + antenna gains at 1 m, in dBm (reference RSSI).
+    pub rssi_at_1m_dbm: f64,
+    /// Path-loss exponent (2 = free space; 2.7–3.5 typical outdoor
+    /// suburban).
+    pub path_loss_exponent: f64,
+}
+
+impl Propagation {
+    /// Outdoor suburban defaults matching the paper's environment.
+    /// Calibrated so the edge of the 100 m practical range sits at
+    /// ≈ −84 dBm — comfortably above a client's selection floor, making
+    /// the whole disk usable as the paper's analysis assumes.
+    pub fn outdoor() -> Propagation {
+        Propagation {
+            range_m: 100.0,
+            rssi_at_1m_dbm: -30.0,
+            path_loss_exponent: 2.7,
+        }
+    }
+
+    /// Whether a frame sent over `distance_m` is receivable at all.
+    pub fn in_range(&self, distance_m: f64) -> bool {
+        distance_m <= self.range_m
+    }
+
+    /// Received signal strength in dBm at `distance_m` (log-distance
+    /// model, deterministic component).
+    pub fn rssi_dbm(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        self.rssi_at_1m_dbm - 10.0 * self.path_loss_exponent * d.log10()
+    }
+
+    /// RSSI at the edge of the disk — frames near this level are barely
+    /// receivable.
+    pub fn edge_rssi_dbm(&self) -> f64 {
+        self.rssi_dbm(self.range_m)
+    }
+}
+
+impl Default for Propagation {
+    fn default() -> Self {
+        Propagation::outdoor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn range_cutoff() {
+        let p = Propagation::outdoor();
+        assert!(p.in_range(0.0));
+        assert!(p.in_range(100.0));
+        assert!(!p.in_range(100.1));
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let p = Propagation::outdoor();
+        assert!(p.rssi_dbm(10.0) > p.rssi_dbm(50.0));
+        assert!(p.rssi_dbm(50.0) > p.rssi_dbm(100.0));
+    }
+
+    #[test]
+    fn rssi_values_are_plausible() {
+        let p = Propagation::outdoor();
+        // At 10m: -30 - 27 = -57 dBm. At 100m: -30 - 54 = -84 dBm.
+        assert!((p.rssi_dbm(10.0) - -57.0).abs() < 1e-9);
+        assert!((p.edge_rssi_dbm() - -84.0).abs() < 1e-9);
+        // The whole practical range is above a -90 dBm selection floor.
+        assert!(p.edge_rssi_dbm() > -90.0);
+    }
+
+    #[test]
+    fn sub_metre_distances_clamp() {
+        let p = Propagation::outdoor();
+        assert_eq!(p.rssi_dbm(0.0), p.rssi_dbm(1.0));
+        assert_eq!(p.rssi_dbm(0.5), p.rssi_dbm(1.0));
+    }
+
+    proptest! {
+        /// RSSI is monotone non-increasing in distance.
+        #[test]
+        fn rssi_monotone(a in 0.0f64..500.0, b in 0.0f64..500.0) {
+            let p = Propagation::outdoor();
+            let (near, far) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(p.rssi_dbm(near) >= p.rssi_dbm(far));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The client radio: tuning state and channel switching.
+//!
+//! A physical card listens on exactly one channel. Changing channels
+//! requires a hardware reset during which nothing can be sent or received
+//! (§3.2.1); the latency `w` is the paper's Table 1 measurement and the
+//! `w` of the analytical model. [`Radio`] is the state machine every
+//! driver (Spider and the baselines) drives.
+
+use crate::phy::PhyParams;
+use spider_simcore::SimTime;
+use spider_wire::Channel;
+
+/// The radio's tuning state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioState {
+    /// Tuned and able to send/receive on the channel.
+    Tuned(Channel),
+    /// Mid hardware reset; deaf until `until`.
+    Switching {
+        /// Channel being switched to.
+        to: Channel,
+        /// When the switch completes.
+        until: SimTime,
+    },
+}
+
+/// A single physical Wi-Fi radio.
+#[derive(Debug, Clone)]
+pub struct Radio {
+    state: RadioState,
+    switches: u64,
+}
+
+impl Radio {
+    /// Create a radio initially tuned to `ch`.
+    pub fn new(ch: Channel) -> Radio {
+        Radio {
+            state: RadioState::Tuned(ch),
+            switches: 0,
+        }
+    }
+
+    /// Current state (after settling any completed switch at `now`).
+    pub fn state_at(&mut self, now: SimTime) -> RadioState {
+        if let RadioState::Switching { to, until } = self.state {
+            if now >= until {
+                self.state = RadioState::Tuned(to);
+            }
+        }
+        self.state
+    }
+
+    /// The channel the radio can currently hear, or `None` while deaf
+    /// mid-switch.
+    pub fn listening_on(&mut self, now: SimTime) -> Option<Channel> {
+        match self.state_at(now) {
+            RadioState::Tuned(ch) => Some(ch),
+            RadioState::Switching { .. } => None,
+        }
+    }
+
+    /// Begin switching to `to` at time `now`. `associated_ifaces` is the
+    /// number of virtual interfaces that need PSM signalling around the
+    /// switch (raises latency, per Table 1). Returns the completion time.
+    ///
+    /// Switching to the already-tuned channel is free and returns `now`.
+    pub fn start_switch(
+        &mut self,
+        now: SimTime,
+        to: Channel,
+        phy: &PhyParams,
+        associated_ifaces: usize,
+    ) -> SimTime {
+        match self.state_at(now) {
+            RadioState::Tuned(ch) if ch == to => now,
+            RadioState::Switching { to: cur, until } if cur == to => until,
+            _ => {
+                let until = now + phy.switch_latency(associated_ifaces);
+                self.state = RadioState::Switching { to, until };
+                self.switches += 1;
+                until
+            }
+        }
+    }
+
+    /// Number of hardware switches performed.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_tuned() {
+        let mut r = Radio::new(Channel::CH6);
+        assert_eq!(r.listening_on(SimTime::ZERO), Some(Channel::CH6));
+    }
+
+    #[test]
+    fn switching_makes_radio_deaf_then_tuned() {
+        let phy = PhyParams::b11();
+        let mut r = Radio::new(Channel::CH1);
+        let done = r.start_switch(SimTime::ZERO, Channel::CH6, &phy, 0);
+        assert_eq!(done, SimTime::from_micros(4_900));
+        assert_eq!(r.listening_on(SimTime::from_micros(1_000)), None);
+        assert_eq!(r.listening_on(done), Some(Channel::CH6));
+        assert_eq!(r.switch_count(), 1);
+    }
+
+    #[test]
+    fn switch_to_same_channel_is_free() {
+        let phy = PhyParams::b11();
+        let mut r = Radio::new(Channel::CH6);
+        let done = r.start_switch(SimTime::from_millis(3), Channel::CH6, &phy, 2);
+        assert_eq!(done, SimTime::from_millis(3));
+        assert_eq!(r.switch_count(), 0);
+    }
+
+    #[test]
+    fn redundant_switch_request_returns_same_completion() {
+        let phy = PhyParams::b11();
+        let mut r = Radio::new(Channel::CH1);
+        let d1 = r.start_switch(SimTime::ZERO, Channel::CH11, &phy, 0);
+        let d2 = r.start_switch(SimTime::from_micros(100), Channel::CH11, &phy, 0);
+        assert_eq!(d1, d2);
+        assert_eq!(r.switch_count(), 1);
+    }
+
+    #[test]
+    fn interfaces_slow_the_switch() {
+        let phy = PhyParams::b11();
+        let mut a = Radio::new(Channel::CH1);
+        let mut b = Radio::new(Channel::CH1);
+        let da = a.start_switch(SimTime::ZERO, Channel::CH6, &phy, 0);
+        let db = b.start_switch(SimTime::ZERO, Channel::CH6, &phy, 4);
+        assert!(db > da);
+    }
+
+    #[test]
+    fn switch_can_be_redirected_mid_flight() {
+        let phy = PhyParams::b11();
+        let mut r = Radio::new(Channel::CH1);
+        r.start_switch(SimTime::ZERO, Channel::CH6, &phy, 0);
+        // Mid-switch, redirect to ch11: a fresh reset starts.
+        let done = r.start_switch(SimTime::from_micros(1_000), Channel::CH11, &phy, 0);
+        assert_eq!(done, SimTime::from_micros(1_000 + 4_900));
+        assert_eq!(r.listening_on(done), Some(Channel::CH11));
+        assert_eq!(r.switch_count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! A token-bucket rate limiter in simulated time.
+//!
+//! Used to model AP backhaul links: the paper shapes each AP's backhaul
+//! with a traffic shaper (§4.2, Fig. 10), and mobile measurements showed
+//! backhaul — not the air — is usually the bottleneck.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A token bucket: `rate` tokens/second refill up to a burst of
+/// `capacity` tokens. One token corresponds to one byte in backhaul
+/// modelling.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    capacity: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Create a bucket that refills at `rate_per_sec` tokens/second with a
+    /// maximum burst of `capacity` tokens, starting full at `now`.
+    pub fn new(now: SimTime, rate_per_sec: f64, capacity: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(capacity > 0.0, "capacity must be positive");
+        TokenBucket {
+            rate_per_sec,
+            capacity,
+            tokens: capacity,
+            last_refill: now,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
+        self.last_refill = self.last_refill.max(now);
+    }
+
+    /// Try to consume `amount` tokens at `now`; returns whether they were
+    /// available.
+    pub fn try_consume(&mut self, now: SimTime, amount: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= amount {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time from `now` until `amount` tokens will be available (zero if
+    /// they already are). Does not consume.
+    pub fn time_until_available(&mut self, now: SimTime, amount: f64) -> SimDuration {
+        self.refill(now);
+        if self.tokens >= amount {
+            return SimDuration::ZERO;
+        }
+        let deficit = amount - self.tokens;
+        SimDuration::from_secs_f64(deficit / self.rate_per_sec)
+    }
+
+    /// Tokens currently available at `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// The configured refill rate (tokens/second).
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(SimTime::ZERO, 1000.0, 500.0);
+        assert!(b.try_consume(SimTime::ZERO, 500.0));
+        assert!(!b.try_consume(SimTime::ZERO, 1.0));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(SimTime::ZERO, 1000.0, 500.0);
+        assert!(b.try_consume(SimTime::ZERO, 500.0));
+        // After 100ms, 100 tokens refilled.
+        let t = SimTime::from_millis(100);
+        assert!(b.try_consume(t, 100.0));
+        assert!(!b.try_consume(t, 1.0));
+    }
+
+    #[test]
+    fn capacity_caps_refill() {
+        let mut b = TokenBucket::new(SimTime::ZERO, 1000.0, 500.0);
+        let t = SimTime::from_secs(100);
+        assert!((b.available(t) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_until_available_is_exact() {
+        let mut b = TokenBucket::new(SimTime::ZERO, 1000.0, 500.0);
+        assert!(b.try_consume(SimTime::ZERO, 500.0));
+        let wait = b.time_until_available(SimTime::ZERO, 250.0);
+        assert_eq!(wait, SimDuration::from_millis(250));
+        let ready = SimTime::ZERO + wait;
+        assert!(b.try_consume(ready, 250.0));
+    }
+
+    proptest! {
+        /// A bucket never yields more tokens over an interval than
+        /// capacity + rate * elapsed (conservation).
+        #[test]
+        fn conservation(rate in 1.0f64..1e6, cap in 1.0f64..1e6,
+                        draws in prop::collection::vec((0u64..10_000, 0.0f64..1e4), 1..100)) {
+            let mut b = TokenBucket::new(SimTime::ZERO, rate, cap);
+            let mut now_us = 0u64;
+            let mut consumed = 0.0;
+            for (dt, amount) in draws {
+                now_us += dt;
+                if b.try_consume(SimTime::from_micros(now_us), amount) {
+                    consumed += amount;
+                }
+            }
+            let budget = cap + rate * (now_us as f64 / 1e6) + 1e-6;
+            prop_assert!(consumed <= budget, "consumed {} > budget {}", consumed, budget);
+        }
+    }
+}

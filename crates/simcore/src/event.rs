@@ -1,0 +1,210 @@
+//! A deterministic timestamped event queue.
+//!
+//! Events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO tie-breaking via a monotonically increasing
+//! sequence number). This makes simulation runs reproducible regardless of
+//! how the underlying binary heap happens to order equal keys.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of type `E` scheduled to fire at [`ScheduledEvent::at`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Scheduling sequence number; earlier-scheduled events with the same
+    /// timestamp fire first.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap but we want the
+        // earliest event (lowest time, then lowest seq) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue.
+///
+/// ```
+/// use spider_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(10), "b");
+/// q.schedule(SimTime::from_millis(5), "a");
+/// q.schedule(SimTime::from_millis(10), "c");
+/// assert_eq!(q.pop().unwrap().event, "a");
+/// assert_eq!(q.pop().unwrap().event, "b"); // FIFO among equal times
+/// assert_eq!(q.pop().unwrap().event, "c");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the timestamp of the last event
+    /// popped — scheduling into the past would violate causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.last_popped,
+            "event scheduled into the past: {} < {}",
+            at,
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop();
+        if let Some(ev) = &ev {
+            self.last_popped = ev.at;
+        }
+        ev
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the most recently popped event (the queue's notion of
+    /// "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Drop every pending event (used when resetting a world between
+    /// experiment repetitions without reallocating).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(10), 2);
+        q.schedule(SimTime::from_micros(40), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_millis(2), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn rejects_causality_violation() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(7), 'x');
+        q.schedule(SimTime::from_millis(3), 'y');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and events
+        /// scheduled at identical instants come out in scheduling order.
+        #[test]
+        fn pop_order_is_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut prev_time = SimTime::ZERO;
+            let mut prev_seq_at_time: Option<usize> = None;
+            while let Some(ev) = q.pop() {
+                prop_assert!(ev.at >= prev_time);
+                if ev.at == prev_time {
+                    if let Some(ps) = prev_seq_at_time {
+                        prop_assert!(ev.event > ps, "FIFO violated among equal timestamps");
+                    }
+                } else {
+                    prev_time = ev.at;
+                }
+                prev_seq_at_time = Some(ev.event);
+            }
+        }
+    }
+}

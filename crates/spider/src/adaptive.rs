@@ -1,0 +1,245 @@
+//! Adaptive channel scheduling — the paper's §4.8 extension.
+//!
+//! "An augmented design would encompass both mobile and nomadic scenarios
+//! by alternating between staying on one channel at high speeds and
+//! managing multiple channels when moving slowly." The analytical model
+//! puts the dividing speed below 10 m/s for typical parameters (§2.1.3,
+//! Fig. 4).
+//!
+//! [`AdaptiveSpider`] wraps a [`SpiderDriver`] and periodically reviews a
+//! speed hint (GPS in a real deployment; supplied by the scenario here)
+//! plus the scanner's per-channel AP census, re-targeting the schedule:
+//!
+//! * fast ⇒ single channel, picked as the one with the most usable APs
+//!   (falling back to the busiest historical channel),
+//! * slow ⇒ equal multi-channel rotation over the channels that actually
+//!   have APs.
+
+use crate::driver::SpiderDriver;
+use crate::schedule::ChannelSchedule;
+use spider_mac80211::{ClientSystem, DriverAction, JoinLog, RxFrame};
+use spider_simcore::{SimDuration, SimTime};
+use spider_wire::Channel;
+
+/// Adaptive policy parameters.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Speed above which only one channel is scheduled (the model's
+    /// dividing speed, ~10 m/s).
+    pub dividing_speed_mps: f64,
+    /// Scheduling period used when rotating multiple channels.
+    pub multi_period: SimDuration,
+    /// How often the schedule decision is reviewed.
+    pub review_interval: SimDuration,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            dividing_speed_mps: 10.0,
+            multi_period: SimDuration::from_millis(600),
+            review_interval: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Choose a schedule given the current speed and per-channel AP
+    /// census.
+    pub fn choose(
+        &self,
+        speed_mps: f64,
+        census: &std::collections::HashMap<Channel, usize>,
+    ) -> ChannelSchedule {
+        let mut channels: Vec<(Channel, usize)> = Channel::ORTHOGONAL
+            .iter()
+            .map(|&c| (c, census.get(&c).copied().unwrap_or(0)))
+            .collect();
+        channels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.number().cmp(&b.0.number())));
+        if speed_mps >= self.dividing_speed_mps {
+            ChannelSchedule::single(channels[0].0)
+        } else {
+            let populated: Vec<Channel> = channels
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(c, _)| c)
+                .collect();
+            if populated.len() >= 2 {
+                ChannelSchedule::equal(&populated, self.multi_period)
+            } else {
+                // A single radio only hears the channel it sits on, so a
+                // thin census is not evidence of an empty band — explore
+                // all orthogonal channels while moving slowly.
+                ChannelSchedule::equal(&Channel::ORTHOGONAL, self.multi_period)
+            }
+        }
+    }
+}
+
+/// A Spider driver that re-schedules itself based on observed conditions.
+pub struct AdaptiveSpider {
+    inner: SpiderDriver,
+    policy: AdaptivePolicy,
+    speed_hint_mps: f64,
+    next_review: SimTime,
+    /// Schedule replacements performed.
+    pub mode_changes: u64,
+}
+
+impl AdaptiveSpider {
+    /// Wrap a driver with the given policy.
+    pub fn new(inner: SpiderDriver, policy: AdaptivePolicy) -> AdaptiveSpider {
+        AdaptiveSpider {
+            inner,
+            policy,
+            speed_hint_mps: 0.0,
+            next_review: SimTime::ZERO,
+            mode_changes: 0,
+        }
+    }
+
+    /// Update the externally supplied speed estimate (GPS).
+    pub fn set_speed_hint(&mut self, mps: f64) {
+        self.speed_hint_mps = mps;
+    }
+
+    /// Access the wrapped driver.
+    pub fn inner(&self) -> &SpiderDriver {
+        &self.inner
+    }
+
+    fn review(&mut self, now: SimTime) {
+        if now < self.next_review {
+            return;
+        }
+        self.next_review = now + self.policy.review_interval;
+        let census = self.inner.utility_table().channel_census(now);
+        let desired = self.policy.choose(self.speed_hint_mps, &census);
+        let current = self.inner.schedule();
+        let same = current.slots().len() == desired.slots().len()
+            && current
+                .slots()
+                .iter()
+                .zip(desired.slots())
+                .all(|(a, b)| a.0 == b.0 && (a.1 - b.1).abs() < 1e-9);
+        if !same {
+            self.inner.set_schedule(desired);
+            self.mode_changes += 1;
+        }
+    }
+}
+
+impl ClientSystem for AdaptiveSpider {
+    fn label(&self) -> String {
+        format!("Adaptive[{}]", self.inner.label())
+    }
+
+    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
+        self.inner.on_frame(now, rx)
+    }
+
+    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
+        self.inner.on_switch_complete(now, ch)
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
+        self.review(now);
+        self.inner.poll(now)
+    }
+
+    fn next_wakeup(&self, now: SimTime) -> SimTime {
+        self.inner.next_wakeup(now).min(self.next_review).max(now)
+    }
+
+    fn join_log(&self) -> &JoinLog {
+        self.inner.join_log()
+    }
+
+    fn is_connected(&self) -> bool {
+        self.inner.is_connected()
+    }
+
+    fn delivered_bytes(&self) -> u64 {
+        self.inner.delivered_bytes()
+    }
+
+    fn associated_interfaces(&self) -> usize {
+        self.inner.associated_interfaces()
+    }
+
+    fn initial_channel(&self) -> Channel {
+        self.inner.initial_channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OperationMode, SpiderConfig};
+    use std::collections::HashMap;
+
+    #[test]
+    fn fast_speed_picks_single_busiest_channel() {
+        let p = AdaptivePolicy::default();
+        let mut census = HashMap::new();
+        census.insert(Channel::CH6, 5);
+        census.insert(Channel::CH1, 2);
+        let s = p.choose(15.0, &census);
+        assert!(s.is_single_channel());
+        assert_eq!(s.channels(), vec![Channel::CH6]);
+    }
+
+    #[test]
+    fn slow_speed_rotates_populated_channels() {
+        let p = AdaptivePolicy::default();
+        let mut census = HashMap::new();
+        census.insert(Channel::CH6, 3);
+        census.insert(Channel::CH11, 1);
+        let s = p.choose(3.0, &census);
+        assert_eq!(s.channels().len(), 2);
+        assert!(s.channels().contains(&Channel::CH6));
+        assert!(s.channels().contains(&Channel::CH11));
+    }
+
+    #[test]
+    fn slow_with_thin_census_explores_all_channels() {
+        // A single radio cannot hear channels it never visits; a slow
+        // node with a one-channel census must explore.
+        let p = AdaptivePolicy::default();
+        let mut census = HashMap::new();
+        census.insert(Channel::CH1, 4);
+        let s = p.choose(3.0, &census);
+        assert_eq!(s.channels().len(), 3);
+    }
+
+    #[test]
+    fn empty_census_explores_when_slow_but_not_fast() {
+        let p = AdaptivePolicy::default();
+        let slow = p.choose(3.0, &HashMap::new());
+        assert_eq!(slow.channels().len(), 3);
+        let fast = p.choose(15.0, &HashMap::new());
+        assert!(fast.is_single_channel());
+    }
+
+    #[test]
+    fn review_changes_schedule_on_speed_change() {
+        let inner = SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1,
+        ));
+        let mut ad = AdaptiveSpider::new(inner, AdaptivePolicy::default());
+        ad.set_speed_hint(15.0);
+        ad.poll(SimTime::ZERO);
+        assert!(ad.inner().schedule().is_single_channel());
+        // Slowing down triggers exploration of all orthogonal channels at
+        // the next review.
+        ad.set_speed_hint(2.0);
+        ad.poll(SimTime::from_secs(6));
+        assert!(!ad.inner().schedule().is_single_channel());
+        assert!(ad.mode_changes >= 1);
+        // Speeding back up re-locks a single channel.
+        ad.set_speed_hint(20.0);
+        ad.poll(SimTime::from_secs(12));
+        assert!(ad.inner().schedule().is_single_channel());
+    }
+}

@@ -1,0 +1,711 @@
+//! The Spider driver: channel scheduling, PSM choreography, opportunistic
+//! scanning and link management glued over the virtual interfaces.
+//!
+//! Implements [`ClientSystem`] so the simulation world can drive it
+//! exactly like the baseline drivers.
+
+use crate::config::SpiderConfig;
+use crate::iface::{ClientIface, IfaceEvent};
+use crate::schedule::ChannelSchedule;
+use crate::utility::{JoinOutcome, UtilityTable};
+use spider_mac80211::{ApTarget, ClientSystem, DriverAction, JoinLog, RxFrame};
+use spider_netstack::{LeaseCache, PingConfig};
+use spider_simcore::{SimDuration, SimTime};
+use spider_wire::{Channel, Frame, FrameBody, MacAddr};
+
+/// The Spider client system.
+pub struct SpiderDriver {
+    cfg: SpiderConfig,
+    ifaces: Vec<ClientIface>,
+    utility: UtilityTable,
+    lease_cache: LeaseCache,
+    log: JoinLog,
+    /// Tuned channel; `None` while a switch is in flight.
+    current: Option<Channel>,
+    switching_to: Option<Channel>,
+    next_housekeeping: SimTime,
+    next_probe: SimTime,
+    /// Per-interface (bssid, connected-at, delivered-at-connect) markers
+    /// for end-to-end throughput feedback into the utility table.
+    sessions: Vec<Option<(MacAddr, SimTime, u64)>>,
+    /// Channel switches requested (observability; the radio itself also
+    /// counts).
+    pub switches_requested: u64,
+}
+
+impl SpiderDriver {
+    /// Create a driver; the radio is assumed initially tuned to the first
+    /// scheduled channel.
+    pub fn new(cfg: SpiderConfig) -> SpiderDriver {
+        let ifaces = (0..cfg.num_ifaces)
+            .map(|i| {
+                ClientIface::new(
+                    i,
+                    MacAddr::from_id(cfg.client_id * 1_000 + i as u64 + 1),
+                    cfg.mac.clone(),
+                    cfg.dhcp.clone(),
+                    PingConfig::paper(i as u16),
+                    cfg.tcp_enabled,
+                )
+            })
+            .collect();
+        let utility = UtilityTable::new(cfg.utility.clone());
+        let current = Some(cfg.schedule.channel_at(SimTime::ZERO));
+        let sessions = vec![None; cfg.num_ifaces];
+        SpiderDriver {
+            cfg,
+            ifaces,
+            utility,
+            lease_cache: LeaseCache::new(),
+            log: JoinLog::new(),
+            current,
+            switching_to: None,
+            next_housekeeping: SimTime::ZERO,
+            next_probe: SimTime::ZERO,
+            sessions,
+            switches_requested: 0,
+        }
+    }
+
+    /// The channel the driver believes it is tuned to.
+    pub fn current_channel(&self) -> Option<Channel> {
+        self.current
+    }
+
+    /// `iwconfig`-style status dump: one line per virtual interface —
+    /// the paper's Design Choice 3 exposes each connection as a separate
+    /// Linux interface precisely so ordinary tooling can inspect it.
+    pub fn ifconfig(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for iface in &self.ifaces {
+            let _ = write!(out, "ath{}: ", iface.index);
+            match iface.target() {
+                None => {
+                    let _ = writeln!(out, "unassociated");
+                }
+                Some(t) => {
+                    let ip = iface
+                        .current_lease()
+                        .map(|l| l.ip.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    let _ = writeln!(
+                        out,
+                        "{} bssid {} {} ip {} [{:?}]{}",
+                        t.ssid,
+                        t.bssid,
+                        t.channel,
+                        ip,
+                        iface.phase(),
+                        if iface.is_connected() { " UP" } else { "" },
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The utility table (for experiment introspection).
+    pub fn utility_table(&self) -> &UtilityTable {
+        &self.utility
+    }
+
+    /// The lease cache (introspection).
+    pub fn lease_cache(&self) -> &LeaseCache {
+        &self.lease_cache
+    }
+
+    /// Interfaces currently associated at the link layer.
+    pub fn associated_count(&self) -> usize {
+        self.ifaces.iter().filter(|i| i.is_associated()).count()
+    }
+
+    /// Interfaces with verified connectivity.
+    pub fn connected_count(&self) -> usize {
+        self.ifaces.iter().filter(|i| i.is_connected()).count()
+    }
+
+    /// Replace the channel schedule at runtime ("the link management
+    /// module provides support for dynamically changing the schedule",
+    /// §3.2.2). Used by the adaptive extension.
+    pub fn set_schedule(&mut self, schedule: ChannelSchedule) {
+        self.cfg.schedule = schedule;
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &ChannelSchedule {
+        &self.cfg.schedule
+    }
+
+    fn on_channel(&self, iface: &ClientIface) -> bool {
+        match (self.current, iface.target()) {
+            (Some(cur), Some(t)) => cur == t.channel,
+            _ => false,
+        }
+    }
+
+    /// Consume interface events into driver actions + bookkeeping.
+    fn absorb(
+        &mut self,
+        now: SimTime,
+        iface_idx: usize,
+        events: Vec<IfaceEvent>,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        for ev in events {
+            match ev {
+                IfaceEvent::Transmit(frame) => actions.push(DriverAction::Transmit {
+                    iface: iface_idx,
+                    frame,
+                }),
+                IfaceEvent::GotLease { bssid, lease, .. } => {
+                    self.lease_cache.insert(bssid, lease);
+                    // IP-collision rule (§3.2.2): "if the same IP address
+                    // is assigned to different virtual interfaces by
+                    // different APs, we only use the most recently
+                    // assigned interface" — tear the older one down.
+                    let colliding: Vec<usize> = self
+                        .ifaces
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, other)| {
+                            *j != iface_idx
+                                && other.current_lease().map(|l| l.ip) == Some(lease.ip)
+                        })
+                        .map(|(j, _)| j)
+                        .collect();
+                    for j in colliding {
+                        let evs = self.ifaces[j].teardown(now);
+                        self.absorb(now, j, evs, actions);
+                    }
+                }
+                IfaceEvent::ConnectivityUp { bssid, .. } => {
+                    self.utility
+                        .record_outcome(now, bssid, JoinOutcome::FullyJoined);
+                    self.sessions[iface_idx] =
+                        Some((bssid, now, self.ifaces[iface_idx].delivered_bytes()));
+                }
+                IfaceEvent::Down { bssid, outcome } => {
+                    if let Some(outcome) = outcome {
+                        self.utility.record_outcome(now, bssid, outcome);
+                    }
+                    // Feed the session's measured throughput back into the
+                    // selection table (§4.8 extension; inert unless
+                    // `bandwidth_weight > 0`).
+                    if let Some((session_bssid, up_at, bytes_at_up)) =
+                        self.sessions[iface_idx].take()
+                    {
+                        if session_bssid == bssid {
+                            let span = now.saturating_since(up_at).as_secs_f64();
+                            if span > 0.5 {
+                                let bytes =
+                                    self.ifaces[iface_idx].delivered_bytes() - bytes_at_up;
+                                self.utility
+                                    .record_throughput(bssid, bytes as f64 / span);
+                            }
+                        }
+                    }
+                    // Try to rebind immediately.
+                    self.next_housekeeping = now;
+                }
+            }
+        }
+    }
+
+    /// Assign idle interfaces to the best candidate APs.
+    fn select_aps(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
+        loop {
+            let busy = self.ifaces.iter().filter(|i| i.is_busy()).count();
+            if busy >= self.cfg.max_concurrent {
+                return;
+            }
+            let now_ready =
+                |i: &ClientIface| !i.is_busy() && i.dhcp_ready(now);
+            let Some(idle_idx) = self.ifaces.iter().position(now_ready) else {
+                return;
+            };
+            let in_use: Vec<MacAddr> = self.ifaces.iter().filter_map(|i| i.bssid()).collect();
+            let channels = self
+                .cfg
+                .candidate_channels
+                .clone()
+                .unwrap_or_else(|| self.cfg.schedule.channels());
+            let Some((bssid, rec)) = self.utility.best_candidate(now, &channels, &in_use) else {
+                return;
+            };
+            let target = ApTarget {
+                bssid,
+                ssid: rec.ssid.clone(),
+                channel: rec.channel,
+            };
+            let cached = self.lease_cache.lookup(now, bssid);
+            self.ifaces[idle_idx].start_join(now, target, cached);
+            // Give it an immediate poll so the first frame goes out now.
+            let on_ch = self.on_channel(&self.ifaces[idle_idx]);
+            let mut log = std::mem::take(&mut self.log);
+            let evs = self.ifaces[idle_idx].poll(now, on_ch, &mut log);
+            self.log = log;
+            self.absorb(now, idle_idx, evs, actions);
+        }
+    }
+
+    /// PSM choreography + switch initiation when the schedule says so.
+    fn drive_schedule(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
+        if self.switching_to.is_some() {
+            return; // mid-switch
+        }
+        let desired = self.cfg.schedule.channel_at(now);
+        if self.current == Some(desired) {
+            return;
+        }
+        // Park every associated interface on the old channel.
+        if let Some(cur) = self.current {
+            for (idx, iface) in self.ifaces.iter().enumerate() {
+                if iface.is_associated()
+                    && iface.target().map(|t| t.channel) == Some(cur)
+                {
+                    if let Some(bssid) = iface.bssid() {
+                        actions.push(DriverAction::Transmit {
+                            iface: idx,
+                            frame: Frame {
+                                src: iface.addr,
+                                dst: bssid,
+                                bssid,
+                                body: FrameBody::Null { power_save: true },
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        self.switching_to = Some(desired);
+        self.current = None;
+        self.switches_requested += 1;
+        actions.push(DriverAction::SwitchChannel(desired));
+    }
+}
+
+impl ClientSystem for SpiderDriver {
+    fn label(&self) -> String {
+        let sched = &self.cfg.schedule;
+        let chans: Vec<String> = sched
+            .slots()
+            .iter()
+            .map(|(c, f)| format!("{c}:{:.0}%", f * 100.0))
+            .collect();
+        format!(
+            "Spider[{} ifaces, max {} APs, {}]",
+            self.cfg.num_ifaces,
+            self.cfg.max_concurrent,
+            chans.join("/")
+        )
+    }
+
+    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        // Opportunistic scanning: absorb any beacon / probe response we
+        // overhear, whether or not it was addressed to us.
+        match &rx.frame.body {
+            FrameBody::Beacon { ssid, channel, .. }
+            | FrameBody::ProbeResponse { ssid, channel } => {
+                self.utility
+                    .observe(now, rx.frame.src, ssid, *channel, rx.rssi_dbm);
+            }
+            _ => {}
+        }
+        // Route to the owning interface by destination address.
+        let idx = self
+            .ifaces
+            .iter()
+            .position(|i| rx.frame.dst == i.addr)
+            .or_else(|| {
+                // Broadcast DHCP responses address the chaddr inside.
+                if let FrameBody::Data { packet, .. } = &rx.frame.body {
+                    if let spider_wire::ip::L4::Dhcp(msg) = &packet.payload {
+                        return self.ifaces.iter().position(|i| i.addr == msg.chaddr);
+                    }
+                }
+                None
+            });
+        if let Some(idx) = idx {
+            let mut log = std::mem::take(&mut self.log);
+            let evs = self.ifaces[idx].on_frame(now, &rx.frame, &mut log);
+            // Flush any transmissions unlocked by the state change (e.g.
+            // the assoc request right after an auth response).
+            let on_ch = self.on_channel(&self.ifaces[idx]);
+            let evs2 = self.ifaces[idx].poll(now, on_ch, &mut log);
+            self.log = log;
+            self.absorb(now, idx, evs, &mut actions);
+            self.absorb(now, idx, evs2, &mut actions);
+        }
+        actions
+    }
+
+    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        self.current = Some(ch);
+        self.switching_to = None;
+        // Wake every associated interface on the new channel (flushes the
+        // AP-side PSM buffers).
+        for (idx, iface) in self.ifaces.iter().enumerate() {
+            if iface.is_associated() && iface.target().map(|t| t.channel) == Some(ch) {
+                if let Some(bssid) = iface.bssid() {
+                    actions.push(DriverAction::Transmit {
+                        iface: idx,
+                        frame: Frame {
+                            src: iface.addr,
+                            dst: bssid,
+                            bssid,
+                            body: FrameBody::Null { power_save: false },
+                        },
+                    });
+                }
+            }
+        }
+        // Immediately drive interfaces that were waiting for this channel.
+        for idx in 0..self.ifaces.len() {
+            let on_ch = self.on_channel(&self.ifaces[idx]);
+            if on_ch {
+                let mut log = std::mem::take(&mut self.log);
+                let evs = self.ifaces[idx].poll(now, true, &mut log);
+                self.log = log;
+                self.absorb(now, idx, evs, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        self.drive_schedule(now, &mut actions);
+        for idx in 0..self.ifaces.len() {
+            let on_ch = self.on_channel(&self.ifaces[idx]);
+            let mut log = std::mem::take(&mut self.log);
+            let evs = self.ifaces[idx].poll(now, on_ch, &mut log);
+            self.log = log;
+            self.absorb(now, idx, evs, &mut actions);
+        }
+        if now >= self.next_housekeeping {
+            self.next_housekeeping = now + self.cfg.housekeeping;
+            self.utility.expire(now, SimDuration::from_secs(3_600));
+            self.select_aps(now, &mut actions);
+        }
+        // Active scanning (§3.2.1, optional): a broadcast probe request
+        // solicits probe responses from every AP on the current channel,
+        // feeding the scanner faster than beacons alone.
+        if let (Some(interval), Some(_ch)) = (self.cfg.probe_interval, self.current) {
+            if now >= self.next_probe {
+                self.next_probe = now + interval;
+                let src = self.ifaces[0].addr;
+                actions.push(DriverAction::Transmit {
+                    iface: 0,
+                    frame: Frame {
+                        src,
+                        dst: MacAddr::BROADCAST,
+                        bssid: MacAddr::BROADCAST,
+                        body: FrameBody::ProbeRequest { ssid: None },
+                    },
+                });
+            }
+        }
+        actions
+    }
+
+    fn next_wakeup(&self, now: SimTime) -> SimTime {
+        let mut t = self.next_housekeeping;
+        if self.cfg.probe_interval.is_some() {
+            t = t.min(self.next_probe);
+        }
+        if !self.cfg.schedule.is_single_channel() && self.switching_to.is_none() {
+            t = t.min(self.cfg.schedule.next_boundary(now));
+        }
+        for iface in &self.ifaces {
+            t = t.min(iface.next_wakeup());
+        }
+        t.max(now)
+    }
+
+    fn join_log(&self) -> &JoinLog {
+        &self.log
+    }
+
+    fn is_connected(&self) -> bool {
+        self.ifaces.iter().any(|i| i.is_connected())
+    }
+
+    fn delivered_bytes(&self) -> u64 {
+        self.ifaces.iter().map(|i| i.delivered_bytes()).sum()
+    }
+
+    fn associated_interfaces(&self) -> usize {
+        self.associated_count()
+    }
+
+    fn initial_channel(&self) -> Channel {
+        self.cfg.schedule.channel_at(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperationMode;
+    use spider_wire::Ssid;
+
+    fn driver(mode: OperationMode) -> SpiderDriver {
+        SpiderDriver::new(SpiderConfig::for_mode(mode, 1))
+    }
+
+    fn beacon(ap_id: u64, ch: Channel) -> RxFrame {
+        RxFrame {
+            frame: Frame {
+                src: MacAddr::from_id(ap_id),
+                dst: MacAddr::BROADCAST,
+                bssid: MacAddr::from_id(ap_id),
+                body: FrameBody::Beacon {
+                    ssid: Ssid::new(format!("ap{ap_id}")),
+                    channel: ch,
+                    interval: SimDuration::from_micros(102_400),
+                },
+            },
+            channel: ch,
+            rssi_dbm: -60.0,
+        }
+    }
+
+    #[test]
+    fn single_channel_mode_never_switches() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
+        for i in 0..100 {
+            let actions = d.poll(SimTime::from_millis(i * 50));
+            assert!(actions
+                .iter()
+                .all(|a| !matches!(a, DriverAction::SwitchChannel(_))));
+        }
+        assert_eq!(d.switches_requested, 0);
+        assert_eq!(d.current_channel(), Some(Channel::CH1));
+    }
+
+    #[test]
+    fn multi_channel_mode_switches_at_boundaries() {
+        let mut d = driver(OperationMode::MultiChannelMultiAp {
+            period: SimDuration::from_millis(600),
+        });
+        assert_eq!(d.current_channel(), Some(Channel::CH1));
+        // At t=200ms the schedule moves to ch6.
+        let actions = d.poll(SimTime::from_millis(200));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DriverAction::SwitchChannel(c) if *c == Channel::CH6)));
+        assert_eq!(d.current_channel(), None, "deaf mid-switch");
+        let _ = d.on_switch_complete(SimTime::from_millis(205), Channel::CH6);
+        assert_eq!(d.current_channel(), Some(Channel::CH6));
+    }
+
+    #[test]
+    fn beacon_triggers_join_on_scheduled_channel() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
+        let t = SimTime::from_millis(10);
+        let actions = d.on_frame(t, &beacon(100, Channel::CH1));
+        // Selection happens on the housekeeping tick.
+        let actions2 = d.poll(SimTime::from_millis(100));
+        let all: Vec<&DriverAction> = actions.iter().chain(actions2.iter()).collect();
+        assert!(
+            all.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+                if matches!(frame.body, FrameBody::AuthRequest))),
+            "driver should start joining the advertised AP: {all:?}"
+        );
+    }
+
+    #[test]
+    fn off_schedule_channel_aps_are_ignored() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH11));
+        let actions = d.poll(SimTime::from_millis(100));
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, DriverAction::Transmit { frame, .. }
+                if matches!(frame.body, FrameBody::AuthRequest))));
+    }
+
+    #[test]
+    fn single_ap_mode_joins_at_most_one() {
+        let mut d = driver(OperationMode::SingleChannelSingleAp(Channel::CH1));
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1));
+        d.on_frame(SimTime::from_millis(11), &beacon(101, Channel::CH1));
+        let actions = d.poll(SimTime::from_millis(100));
+        let auth_targets: Vec<MacAddr> = actions
+            .iter()
+            .filter_map(|a| match a {
+                DriverAction::Transmit { frame, .. }
+                    if matches!(frame.body, FrameBody::AuthRequest) =>
+                {
+                    Some(frame.dst)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(auth_targets.len(), 1);
+    }
+
+    #[test]
+    fn multi_ap_mode_joins_several() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
+        for ap in 0..4 {
+            d.on_frame(SimTime::from_millis(10 + ap), &beacon(100 + ap, Channel::CH1));
+        }
+        let actions = d.poll(SimTime::from_millis(100));
+        let auth_targets: std::collections::HashSet<MacAddr> = actions
+            .iter()
+            .filter_map(|a| match a {
+                DriverAction::Transmit { frame, .. }
+                    if matches!(frame.body, FrameBody::AuthRequest) =>
+                {
+                    Some(frame.dst)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(auth_targets.len(), 4, "one join per distinct AP");
+    }
+
+    #[test]
+    fn psm_null_sent_before_switch() {
+        let mut d = driver(OperationMode::MultiChannelMultiAp {
+            period: SimDuration::from_millis(600),
+        });
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1));
+        let actions = d.poll(SimTime::from_millis(50));
+        // The join begins (auth request).
+        assert!(actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+            if matches!(frame.body, FrameBody::AuthRequest))));
+        // Answer auth + assoc so the iface is associated.
+        let auth_ok = RxFrame {
+            frame: Frame {
+                src: MacAddr::from_id(100),
+                dst: MacAddr::from_id(1_001),
+                bssid: MacAddr::from_id(100),
+                body: FrameBody::AuthResponse { ok: true },
+            },
+            channel: Channel::CH1,
+            rssi_dbm: -60.0,
+        };
+        d.on_frame(SimTime::from_millis(60), &auth_ok);
+        let assoc_ok = RxFrame {
+            frame: Frame {
+                src: MacAddr::from_id(100),
+                dst: MacAddr::from_id(1_001),
+                bssid: MacAddr::from_id(100),
+                body: FrameBody::AssocResponse { ok: true, aid: 1 },
+            },
+            channel: Channel::CH1,
+            rssi_dbm: -60.0,
+        };
+        d.on_frame(SimTime::from_millis(70), &assoc_ok);
+        assert_eq!(d.associated_count(), 1);
+        // At the boundary the driver parks the AP before switching.
+        let actions = d.poll(SimTime::from_millis(200));
+        let psm_then_switch = actions.iter().any(|a| {
+            matches!(a, DriverAction::Transmit { frame, .. }
+                if matches!(frame.body, FrameBody::Null { power_save: true }))
+        }) && actions
+            .iter()
+            .any(|a| matches!(a, DriverAction::SwitchChannel(_)));
+        assert!(psm_then_switch, "{actions:?}");
+        // On return to ch1 (next period) the driver wakes the AP.
+        d.on_switch_complete(SimTime::from_millis(205), Channel::CH6);
+        d.poll(SimTime::from_millis(400)); // -> switch to ch11
+        d.on_switch_complete(SimTime::from_millis(405), Channel::CH11);
+        d.poll(SimTime::from_millis(600)); // -> switch to ch1
+        let actions = d.on_switch_complete(SimTime::from_millis(605), Channel::CH1);
+        assert!(
+            actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+                if matches!(frame.body, FrameBody::Null { power_save: false }))),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_is_never_in_the_past_and_bounded_by_housekeeping() {
+        let d = driver(OperationMode::SingleChannelMultiAp(Channel::CH6));
+        let now = SimTime::from_millis(37);
+        let wk = d.next_wakeup(now);
+        assert!(wk >= now);
+        assert!(wk <= now + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn label_reflects_mode() {
+        let d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
+        assert!(d.label().contains("ch1"));
+        assert!(d.label().contains("max 7"));
+    }
+}
+
+#[cfg(test)]
+mod probing_tests {
+    use super::*;
+    use crate::config::OperationMode;
+    use spider_simcore::SimDuration;
+
+    #[test]
+    fn active_probing_broadcasts_probe_requests() {
+        let cfg = SpiderConfig::for_mode(OperationMode::SingleChannelMultiAp(Channel::CH6), 1)
+            .with_active_probing(SimDuration::from_millis(500));
+        let mut d = SpiderDriver::new(cfg);
+        let mut probes = 0;
+        for i in 0..20 {
+            for a in d.poll(SimTime::from_millis(i * 100)) {
+                if let DriverAction::Transmit { frame, .. } = a {
+                    if matches!(frame.body, FrameBody::ProbeRequest { .. }) {
+                        probes += 1;
+                        assert!(frame.dst.is_broadcast());
+                    }
+                }
+            }
+        }
+        // 2s of polling at a 500ms probe interval: 4-5 probes.
+        assert!((4..=5).contains(&probes), "probes: {probes}");
+    }
+
+    #[test]
+    fn passive_default_sends_no_probes() {
+        let cfg = SpiderConfig::for_mode(OperationMode::SingleChannelMultiAp(Channel::CH6), 1);
+        let mut d = SpiderDriver::new(cfg);
+        for i in 0..20 {
+            for a in d.poll(SimTime::from_millis(i * 100)) {
+                if let DriverAction::Transmit { frame, .. } = a {
+                    assert!(!matches!(frame.body, FrameBody::ProbeRequest { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_wakeups_are_scheduled() {
+        let cfg = SpiderConfig::for_mode(OperationMode::SingleChannelMultiAp(Channel::CH6), 1)
+            .with_active_probing(SimDuration::from_millis(300));
+        let mut d = SpiderDriver::new(cfg);
+        d.poll(SimTime::ZERO);
+        let wk = d.next_wakeup(SimTime::from_millis(1));
+        assert!(wk <= SimTime::from_millis(100).max(SimTime::from_millis(300)));
+    }
+}
+
+#[cfg(test)]
+mod ifconfig_tests {
+    use super::*;
+    use crate::config::OperationMode;
+
+    #[test]
+    fn ifconfig_lists_every_interface() {
+        let d = SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1,
+        ));
+        let dump = d.ifconfig();
+        assert_eq!(dump.lines().count(), 7);
+        assert!(dump.lines().all(|l| l.contains("unassociated")));
+        assert!(dump.starts_with("ath0:"));
+    }
+}

@@ -1,0 +1,606 @@
+//! The sending (server) side of a bulk TCP download.
+//!
+//! Models the wired server behind an AP's backhaul streaming an unbounded
+//! HTTP response — the paper's workload is "downloading large files over
+//! HTTP" (§4.2). Reno congestion control with NewReno-style partial-ACK
+//! handling in fast recovery.
+
+use crate::rtt::RttEstimator;
+use spider_simcore::{SimDuration, SimTime};
+use spider_wire::tcp::{seq_le, seq_lt};
+use spider_wire::{TcpFlags, TcpSegment};
+use std::collections::VecDeque;
+
+/// TCP tunables.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u32,
+    /// Initial congestion window in segments.
+    pub init_cwnd_segs: u32,
+    /// Initial slow-start threshold in bytes.
+    pub init_ssthresh: u32,
+    /// Duplicate ACKs that trigger fast retransmit.
+    pub dupack_threshold: u32,
+    /// Consecutive RTO backoffs before the connection is declared dead.
+    pub max_backoffs: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            init_cwnd_segs: 2,
+            init_ssthresh: 64 * 1024,
+            dupack_threshold: 3,
+            max_backoffs: 8,
+        }
+    }
+}
+
+/// Sender connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpSenderState {
+    /// Waiting for the client's SYN.
+    Listen,
+    /// SYN received, SYN-ACK sent, waiting for the final ACK.
+    SynReceived,
+    /// Streaming data.
+    Established,
+    /// Too many consecutive RTOs; the flow is abandoned.
+    Dead,
+}
+
+/// The server-side sender.
+#[derive(Debug, Clone)]
+pub struct TcpSender {
+    cfg: TcpConfig,
+    state: TcpSenderState,
+    /// Our initial sequence number.
+    iss: u32,
+    /// Peer's next expected byte from us == lowest unacknowledged.
+    snd_una: u32,
+    /// Next sequence number to send.
+    snd_nxt: u32,
+    /// Congestion window in bytes (f64 for smooth CA growth).
+    cwnd: f64,
+    ssthresh: f64,
+    /// Peer's advertised receive window.
+    rwnd: u32,
+    dupacks: u32,
+    in_recovery: bool,
+    /// Recovery point (snd_nxt at fast-retransmit time).
+    recover: u32,
+    rtt: RttEstimator,
+    rto_deadline: SimTime,
+    backoffs: u32,
+    /// (seq_end, sent_at, retransmitted) for RTT sampling (Karn).
+    tx_times: VecDeque<(u32, SimTime, bool)>,
+    src_port: u16,
+    dst_port: u16,
+    /// Cumulative bytes acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Retransmissions performed (observability).
+    pub retransmits: u64,
+    /// Timeouts experienced.
+    pub timeouts: u64,
+}
+
+impl TcpSender {
+    /// Create a listening sender bound to `src_port`, expecting a SYN
+    /// from `dst_port`.
+    pub fn new(cfg: TcpConfig, src_port: u16, dst_port: u16, iss: u32) -> TcpSender {
+        let cwnd = (cfg.init_cwnd_segs * cfg.mss) as f64;
+        let ssthresh = cfg.init_ssthresh as f64;
+        TcpSender {
+            cfg,
+            state: TcpSenderState::Listen,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            cwnd,
+            ssthresh,
+            rwnd: 0,
+            dupacks: 0,
+            in_recovery: false,
+            recover: iss,
+            rtt: RttEstimator::standard(),
+            rto_deadline: SimTime::MAX,
+            backoffs: 0,
+            tx_times: VecDeque::new(),
+            src_port,
+            dst_port,
+            bytes_acked: 0,
+            retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Connection state.
+    pub fn state(&self) -> TcpSenderState {
+        self.state
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd as u32
+    }
+
+    /// Current RTO.
+    pub fn rto(&self) -> SimDuration {
+        self.rtt.rto()
+    }
+
+    /// Bytes in flight.
+    pub fn flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    fn seg(&self, seq: u32, flags: TcpFlags, payload_len: u32) -> TcpSegment {
+        TcpSegment {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            seq,
+            ack: 0,
+            window: 65_535,
+            flags,
+            payload_len,
+        }
+    }
+
+    /// Process a segment from the receiver. Returns segments to transmit.
+    pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) -> Vec<TcpSegment> {
+        if seg.dst_port != self.src_port || seg.src_port != self.dst_port {
+            return Vec::new();
+        }
+        match self.state {
+            TcpSenderState::Listen => {
+                if seg.flags.syn && !seg.flags.ack {
+                    self.state = TcpSenderState::SynReceived;
+                    self.rwnd = seg.window;
+                    self.rto_deadline = now + self.rtt.rto();
+                    let mut synack = self.seg(self.iss, TcpFlags::SYN_ACK, 0);
+                    synack.ack = seg.seq.wrapping_add(1);
+                    vec![synack]
+                } else {
+                    Vec::new()
+                }
+            }
+            TcpSenderState::SynReceived => {
+                if seg.flags.syn && !seg.flags.ack {
+                    // Repeated SYN: client missed our SYN-ACK.
+                    let mut synack = self.seg(self.iss, TcpFlags::SYN_ACK, 0);
+                    synack.ack = seg.seq.wrapping_add(1);
+                    return vec![synack];
+                }
+                if seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                    self.state = TcpSenderState::Established;
+                    self.snd_una = seg.ack;
+                    self.snd_nxt = seg.ack;
+                    self.rwnd = seg.window;
+                    self.rto_deadline = SimTime::MAX;
+                    return self.try_send(now);
+                }
+                Vec::new()
+            }
+            TcpSenderState::Established => {
+                if !seg.flags.ack {
+                    return Vec::new();
+                }
+                self.rwnd = seg.window;
+                let ack = seg.ack;
+                if seq_lt(self.snd_una, ack) {
+                    // An ACK may legitimately point beyond a rewound
+                    // snd_nxt: after an RTO's go-back-N the receiver can
+                    // still acknowledge data that was in flight before
+                    // the timeout. Fast-forward rather than ignore it.
+                    if seq_lt(self.snd_nxt, ack) {
+                        self.snd_nxt = ack;
+                    }
+                    self.process_new_ack(now, ack)
+                } else if ack == self.snd_una && self.flight() > 0 {
+                    self.process_dupack(now)
+                } else {
+                    Vec::new()
+                }
+            }
+            TcpSenderState::Dead => Vec::new(),
+        }
+    }
+
+    fn process_new_ack(&mut self, now: SimTime, ack: u32) -> Vec<TcpSegment> {
+        let newly = ack.wrapping_sub(self.snd_una);
+        self.bytes_acked += newly as u64;
+        // RTT sample from the newest fully acked, never-retransmitted
+        // transmission (Karn's rule).
+        let mut sample: Option<SimTime> = None;
+        while let Some(&(seq_end, sent_at, rexmit)) = self.tx_times.front() {
+            if seq_le(seq_end, ack) {
+                self.tx_times.pop_front();
+                sample = if rexmit { None } else { Some(sent_at) };
+            } else {
+                break;
+            }
+        }
+        if let Some(sent_at) = sample {
+            self.rtt.sample(now.saturating_since(sent_at));
+        }
+        self.snd_una = ack;
+        self.backoffs = 0;
+        let mut out = Vec::new();
+        if self.in_recovery {
+            if seq_lt(ack, self.recover) {
+                // Partial ACK: retransmit the next hole, stay in recovery
+                // (NewReno), deflate by the acked amount.
+                let len = self.cfg.mss.min(self.recover.wrapping_sub(self.snd_una));
+                out.push(self.retransmit_front(now, len));
+                self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
+                    .max(self.cfg.mss as f64);
+            } else {
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh;
+                self.dupacks = 0;
+            }
+        } else {
+            self.dupacks = 0;
+            let mss = self.cfg.mss as f64;
+            if self.cwnd < self.ssthresh {
+                self.cwnd += (newly as f64).min(mss);
+            } else {
+                self.cwnd += mss * mss / self.cwnd;
+            }
+        }
+        self.rto_deadline = if self.flight() == 0 {
+            SimTime::MAX
+        } else {
+            now + self.rtt.rto()
+        };
+        out.extend(self.try_send(now));
+        out
+    }
+
+    fn process_dupack(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        self.dupacks += 1;
+        let mut out = Vec::new();
+        if !self.in_recovery && self.dupacks == self.cfg.dupack_threshold {
+            // Fast retransmit.
+            let mss = self.cfg.mss as f64;
+            self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * mss);
+            self.cwnd = self.ssthresh + self.cfg.dupack_threshold as f64 * mss;
+            self.in_recovery = true;
+            self.recover = self.snd_nxt;
+            out.push(self.retransmit_front(now, self.cfg.mss));
+            self.rto_deadline = now + self.rtt.rto();
+        } else if self.in_recovery {
+            // Window inflation lets new segments flow during recovery.
+            self.cwnd += self.cfg.mss as f64;
+            out.extend(self.try_send(now));
+        }
+        out
+    }
+
+    fn retransmit_front(&mut self, now: SimTime, len: u32) -> TcpSegment {
+        self.retransmits += 1;
+        // Mark any tracked transmission covering this range retransmitted.
+        let end = self.snd_una.wrapping_add(len);
+        for entry in &mut self.tx_times {
+            if seq_le(entry.0, end) {
+                entry.2 = true;
+            }
+        }
+        let _ = now;
+        self.seg(self.snd_una, TcpFlags::ACK, len)
+    }
+
+    /// Emit new segments permitted by the congestion and receive windows.
+    fn try_send(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        if self.state != TcpSenderState::Established {
+            return out;
+        }
+        let wnd = (self.cwnd as u32).min(self.rwnd);
+        while self.flight() + self.cfg.mss <= wnd {
+            let seq = self.snd_nxt;
+            self.snd_nxt = self.snd_nxt.wrapping_add(self.cfg.mss);
+            self.tx_times.push_back((self.snd_nxt, now, false));
+            out.push(self.seg(seq, TcpFlags::ACK, self.cfg.mss));
+            if self.rto_deadline == SimTime::MAX {
+                self.rto_deadline = now + self.rtt.rto();
+            }
+        }
+        out
+    }
+
+    /// Timer processing: RTO expiry.
+    pub fn poll(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        if now < self.rto_deadline {
+            return Vec::new();
+        }
+        match self.state {
+            TcpSenderState::SynReceived => {
+                self.backoffs += 1;
+                self.timeouts += 1;
+                if self.backoffs > self.cfg.max_backoffs {
+                    self.state = TcpSenderState::Dead;
+                    self.rto_deadline = SimTime::MAX;
+                    return Vec::new();
+                }
+                self.rto_deadline = now + self.backed_off_rto();
+                // We cannot reconstruct the client ISS here; the client
+                // retransmitting its SYN is the recovery path, so just
+                // keep the timer armed.
+                Vec::new()
+            }
+            TcpSenderState::Established => {
+                if self.flight() == 0 {
+                    self.rto_deadline = SimTime::MAX;
+                    return Vec::new();
+                }
+                self.timeouts += 1;
+                self.backoffs += 1;
+                if self.backoffs > self.cfg.max_backoffs {
+                    self.state = TcpSenderState::Dead;
+                    self.rto_deadline = SimTime::MAX;
+                    return Vec::new();
+                }
+                let mss = self.cfg.mss as f64;
+                self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * mss);
+                self.cwnd = mss;
+                self.in_recovery = false;
+                self.dupacks = 0;
+                // Go-back-N: everything past snd_una is presumed lost.
+                self.snd_nxt = self.snd_una.wrapping_add(self.cfg.mss);
+                self.tx_times.clear();
+                self.tx_times.push_back((self.snd_nxt, now, true));
+                self.rto_deadline = now + self.backed_off_rto();
+                vec![self.seg_with_rexmit()]
+            }
+            _ => {
+                self.rto_deadline = SimTime::MAX;
+                Vec::new()
+            }
+        }
+    }
+
+    fn seg_with_rexmit(&mut self) -> TcpSegment {
+        self.retransmits += 1;
+        self.seg(self.snd_una, TcpFlags::ACK, self.cfg.mss)
+    }
+
+    fn backed_off_rto(&self) -> SimDuration {
+        let mut rto = self.rtt.rto();
+        for _ in 0..self.backoffs.min(6) {
+            rto = (rto * 2).min(SimDuration::from_secs(60));
+        }
+        rto
+    }
+
+    /// Next instant `poll` must run.
+    pub fn next_wakeup(&self) -> SimTime {
+        self.rto_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1448;
+
+    fn sender() -> TcpSender {
+        TcpSender::new(TcpConfig::default(), 80, 5000, 1_000)
+    }
+
+    fn syn() -> TcpSegment {
+        TcpSegment {
+            src_port: 5000,
+            dst_port: 80,
+            seq: 500,
+            ack: 0,
+            window: 64 * 1024,
+            flags: TcpFlags::SYN,
+            payload_len: 0,
+        }
+    }
+
+    fn ack_seg(ack: u32) -> TcpSegment {
+        TcpSegment {
+            src_port: 5000,
+            dst_port: 80,
+            seq: 501,
+            ack,
+            window: 64 * 1024,
+            flags: TcpFlags::ACK,
+            payload_len: 0,
+        }
+    }
+
+    /// Establish and return (sender, initial data segments).
+    fn established() -> (TcpSender, Vec<TcpSegment>) {
+        let mut s = sender();
+        let synack = s.on_segment(SimTime::ZERO, &syn());
+        assert_eq!(synack.len(), 1);
+        assert!(synack[0].flags.syn && synack[0].flags.ack);
+        let data = s.on_segment(SimTime::from_millis(10), &ack_seg(1_001));
+        (s, data)
+    }
+
+    #[test]
+    fn handshake_then_initial_window() {
+        let (s, data) = established();
+        assert_eq!(s.state(), TcpSenderState::Established);
+        // Initial window = 2 segments.
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].seq, 1_001);
+        assert_eq!(data[1].seq, 1_001 + MSS);
+        assert_eq!(s.flight(), 2 * MSS);
+    }
+
+    #[test]
+    fn repeated_syn_resends_synack() {
+        let mut s = sender();
+        s.on_segment(SimTime::ZERO, &syn());
+        let again = s.on_segment(SimTime::from_millis(500), &syn());
+        assert_eq!(again.len(), 1);
+        assert!(again[0].flags.syn && again[0].flags.ack);
+        assert_eq!(s.state(), TcpSenderState::SynReceived);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let (mut s, mut data) = established();
+        let mut t = SimTime::from_millis(10);
+        let mut per_rtt = vec![data.len()];
+        for _ in 0..4 {
+            t += SimDuration::from_millis(50);
+            // ACK everything outstanding, segment by segment.
+            let mut new_data = Vec::new();
+            let segs: Vec<TcpSegment> = std::mem::take(&mut data);
+            for seg in &segs {
+                let ack = seg.seq.wrapping_add(seg.payload_len);
+                new_data.extend(s.on_segment(t, &ack_seg(ack)));
+            }
+            per_rtt.push(new_data.len());
+            data = new_data;
+        }
+        // Each full-window ACK round roughly doubles emissions: 2,2,4,8,16
+        // (first ACK round releases 1 per ack + growth).
+        assert!(per_rtt.windows(2).skip(1).all(|w| w[1] >= w[0]), "{per_rtt:?}");
+        assert!(*per_rtt.last().unwrap() >= 8, "{per_rtt:?}");
+    }
+
+    #[test]
+    fn dupacks_trigger_fast_retransmit() {
+        let (mut s, data) = established();
+        // Grow window enough to have several segments in flight.
+        let t = SimTime::from_millis(60);
+        let ack1 = data[0].seq.wrapping_add(MSS);
+        let more = s.on_segment(t, &ack_seg(ack1));
+        assert!(!more.is_empty());
+        let una = ack1;
+        let before_retx = s.retransmits;
+        // Three duplicate ACKs at the current snd_una.
+        let mut saw_retransmit = false;
+        for i in 0..3 {
+            let out = s.on_segment(t + SimDuration::from_millis(i + 1), &ack_seg(una));
+            if out.iter().any(|seg| seg.seq == una && seg.payload_len == MSS) {
+                saw_retransmit = true;
+            }
+        }
+        assert!(saw_retransmit);
+        assert_eq!(s.retransmits, before_retx + 1);
+    }
+
+    #[test]
+    fn recovery_exits_on_full_ack() {
+        let (mut s, data) = established();
+        let t = SimTime::from_millis(60);
+        let ack1 = data[0].seq.wrapping_add(MSS);
+        s.on_segment(t, &ack_seg(ack1));
+        for i in 0..3 {
+            s.on_segment(t + SimDuration::from_millis(i + 1), &ack_seg(ack1));
+        }
+        let recover_point = s.snd_nxt;
+        let cwnd_in_recovery = s.cwnd();
+        // Full ACK of the recovery point.
+        s.on_segment(t + SimDuration::from_millis(10), &ack_seg(recover_point));
+        assert!(!s.in_recovery);
+        assert!(s.cwnd() <= cwnd_in_recovery);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_backs_off() {
+        let (mut s, _data) = established();
+        let rto = s.rto();
+        let expire_at = SimTime::from_millis(10) + rto;
+        let out = s.poll(expire_at);
+        assert_eq!(out.len(), 1, "one go-back-N retransmission");
+        assert_eq!(out[0].seq, 1_001);
+        assert_eq!(s.cwnd(), MSS);
+        assert_eq!(s.timeouts, 1);
+        // Deadline backed off beyond a plain RTO.
+        let next = s.next_wakeup();
+        assert!(next.saturating_since(expire_at) >= rto);
+    }
+
+    #[test]
+    fn repeated_rtos_kill_the_connection() {
+        let (mut s, _data) = established();
+        let mut t = SimTime::from_secs(1);
+        for _ in 0..20 {
+            t = s.next_wakeup().max(t) + SimDuration::from_millis(1);
+            if t >= SimTime::MAX {
+                break;
+            }
+            s.poll(t);
+            if s.state() == TcpSenderState::Dead {
+                break;
+            }
+        }
+        assert_eq!(s.state(), TcpSenderState::Dead);
+    }
+
+    #[test]
+    fn recovery_after_rto_resumes_slow_start() {
+        let (mut s, _data) = established();
+        let t = SimTime::from_millis(10) + s.rto();
+        s.poll(t); // RTO
+        assert_eq!(s.cwnd(), MSS);
+        // ACK the retransmission: slow start growth resumes.
+        let out = s.on_segment(t + SimDuration::from_millis(30), &ack_seg(1_001 + MSS));
+        assert!(s.cwnd() >= 2 * MSS - 1);
+        assert!(!out.is_empty());
+        assert_eq!(s.state(), TcpSenderState::Established);
+    }
+
+    #[test]
+    fn respects_receive_window() {
+        let (mut s, _data) = established();
+        // Receiver advertises a tiny window.
+        let mut small = ack_seg(1_001 + MSS);
+        small.window = 2 * MSS;
+        let out = s.on_segment(SimTime::from_millis(50), &small);
+        // Flight may not exceed 2*MSS.
+        assert!(s.flight() <= 2 * MSS, "flight {}", s.flight());
+        let _ = out;
+    }
+
+    #[test]
+    fn foreign_ports_ignored() {
+        let mut s = sender();
+        let mut other = syn();
+        other.dst_port = 81;
+        assert!(s.on_segment(SimTime::ZERO, &other).is_empty());
+        assert_eq!(s.state(), TcpSenderState::Listen);
+    }
+
+    #[test]
+    fn idle_flight_disarms_timer() {
+        let (mut s, data) = established();
+        let t = SimTime::from_millis(60);
+        // ACK everything (including what try_send emitted in response —
+        // ack the final snd_nxt directly).
+        let mut acked = s.on_segment(t, &ack_seg(data.last().unwrap().seq.wrapping_add(MSS)));
+        // Keep acking until nothing is in flight.
+        let mut t2 = t;
+        let mut guard = 0;
+        while s.flight() > 0 && guard < 100 {
+            t2 += SimDuration::from_millis(10);
+            let top = acked
+                .last()
+                .map(|seg: &TcpSegment| seg.seq.wrapping_add(seg.payload_len))
+                .unwrap_or(s.snd_nxt);
+            acked = s.on_segment(t2, &ack_seg(top));
+            guard += 1;
+        }
+        // With an empty pipe the sender parks until the receiver window
+        // re-opens... since the source is infinite, it only idles when the
+        // window is exhausted by rwnd=0; otherwise flight stays positive.
+        // Either way next_wakeup is consistent:
+        if s.flight() == 0 {
+            assert_eq!(s.next_wakeup(), SimTime::MAX);
+        } else {
+            assert!(s.next_wakeup() < SimTime::MAX);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Addressing primitives: MAC addresses, IPv4 addresses and SSIDs.
+
+use std::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// AP BSSIDs and client (virtual) interface addresses are both `MacAddr`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally administered address derived from an integer id — handy
+    /// for generating distinct, stable addresses in tests and scenarios.
+    pub const fn from_id(id: u64) -> MacAddr {
+        MacAddr([
+            0x02, // locally administered, unicast
+            (id >> 32) as u8,
+            (id >> 24) as u8,
+            (id >> 16) as u8,
+            (id >> 8) as u8,
+            id as u8,
+        ])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A 32-bit IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0` (used as DHCP source).
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0, 0, 0, 0]);
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([255, 255, 255, 255]);
+
+    /// Construct from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Whether this is the unspecified address.
+    pub fn is_unspecified(&self) -> bool {
+        *self == Self::UNSPECIFIED
+    }
+
+    /// The address as a `u32` in network order semantics.
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Construct from a `u32`.
+    pub fn from_u32(v: u32) -> Ipv4Addr {
+        Ipv4Addr(v.to_be_bytes())
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// An 802.11 service set identifier (network name), at most 32 bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ssid(String);
+
+impl Ssid {
+    /// Construct an SSID, truncating to the 802.11 maximum of 32 bytes.
+    pub fn new(name: impl Into<String>) -> Ssid {
+        let mut s: String = name.into();
+        if s.len() > 32 {
+            // Truncate on a char boundary.
+            let mut end = 32;
+            while !s.is_char_boundary(end) {
+                end -= 1;
+            }
+            s.truncate(end);
+        }
+        Ssid(s)
+    }
+
+    /// The SSID string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Byte length on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Ssid {
+    fn from(s: &str) -> Ssid {
+        Ssid::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_id_is_stable_and_distinct() {
+        let a = MacAddr::from_id(1);
+        let b = MacAddr::from_id(2);
+        assert_ne!(a, b);
+        assert_eq!(a, MacAddr::from_id(1));
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::from_id(0x0102).to_string(), "02:00:00:00:01:02");
+    }
+
+    #[test]
+    fn ipv4_roundtrip_u32() {
+        let a = Ipv4Addr::new(192, 168, 1, 42);
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+        assert_eq!(a.to_string(), "192.168.1.42");
+        assert!(Ipv4Addr::UNSPECIFIED.is_unspecified());
+        assert!(!a.is_unspecified());
+    }
+
+    #[test]
+    fn ssid_truncates_to_32_bytes() {
+        let long = "x".repeat(40);
+        let ssid = Ssid::new(long);
+        assert_eq!(ssid.wire_len(), 32);
+        let short = Ssid::new("town-wifi");
+        assert_eq!(short.as_str(), "town-wifi");
+    }
+
+    #[test]
+    fn ssid_truncates_on_char_boundary() {
+        // 'é' is 2 bytes; 17 of them = 34 bytes, truncation must not split
+        // a code point.
+        let s = "é".repeat(17);
+        let ssid = Ssid::new(s);
+        assert!(ssid.wire_len() <= 32);
+        assert!(ssid.as_str().chars().all(|c| c == 'é'));
+    }
+}

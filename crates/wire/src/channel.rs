@@ -1,0 +1,102 @@
+//! 2.4 GHz 802.11 channels.
+//!
+//! The paper schedules among the three non-overlapping ("orthogonal")
+//! channels 1, 6 and 11, on which 83–95 % of deployed APs sit (§4.1).
+
+use std::fmt;
+
+/// A 2.4 GHz Wi-Fi channel (1–14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel(u8);
+
+impl Channel {
+    /// Channel 1 (2412 MHz).
+    pub const CH1: Channel = Channel(1);
+    /// Channel 6 (2437 MHz).
+    pub const CH6: Channel = Channel(6);
+    /// Channel 11 (2462 MHz).
+    pub const CH11: Channel = Channel(11);
+
+    /// The three mutually non-overlapping channels the paper schedules
+    /// over.
+    pub const ORTHOGONAL: [Channel; 3] = [Self::CH1, Self::CH6, Self::CH11];
+
+    /// Construct a channel; panics outside 1–14.
+    pub fn new(n: u8) -> Channel {
+        assert!((1..=14).contains(&n), "invalid 2.4GHz channel {n}");
+        Channel(n)
+    }
+
+    /// Fallible construction.
+    pub fn try_new(n: u8) -> Option<Channel> {
+        (1..=14).contains(&n).then_some(Channel(n))
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in MHz.
+    pub fn center_mhz(self) -> u32 {
+        if self.0 == 14 {
+            2484
+        } else {
+            2407 + 5 * self.0 as u32
+        }
+    }
+
+    /// Whether two channels' 22 MHz-wide masks overlap (channels fewer
+    /// than 5 apart interfere).
+    pub fn overlaps(self, other: Channel) -> bool {
+        self.0.abs_diff(other.0) < 5
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_channels_do_not_overlap() {
+        for (i, &a) in Channel::ORTHOGONAL.iter().enumerate() {
+            for &b in &Channel::ORTHOGONAL[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+            assert!(a.overlaps(a));
+        }
+    }
+
+    #[test]
+    fn adjacent_channels_overlap() {
+        assert!(Channel::new(1).overlaps(Channel::new(3)));
+        assert!(!Channel::new(1).overlaps(Channel::new(6)));
+    }
+
+    #[test]
+    fn frequencies() {
+        assert_eq!(Channel::CH1.center_mhz(), 2412);
+        assert_eq!(Channel::CH6.center_mhz(), 2437);
+        assert_eq!(Channel::CH11.center_mhz(), 2462);
+        assert_eq!(Channel::new(14).center_mhz(), 2484);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Channel::try_new(0).is_none());
+        assert!(Channel::try_new(15).is_none());
+        assert_eq!(Channel::try_new(6), Some(Channel::CH6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_invalid() {
+        Channel::new(0);
+    }
+}

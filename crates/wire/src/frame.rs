@@ -1,0 +1,230 @@
+//! 802.11 frames.
+//!
+//! The subset of 802.11 the Spider system exercises: beacons and probes
+//! (scanning), the authentication + association handshake (the paper's
+//! "link-layer join"), power-save signalling (how a virtualised client
+//! parks an AP while it serves another), deauthentication, and data
+//! frames carrying IPv4.
+
+use crate::addr::{MacAddr, Ssid};
+use crate::channel::Channel;
+use crate::ip::Ipv4Packet;
+use spider_simcore::SimDuration;
+
+/// Coarse 802.11 frame classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Beacons, probes, auth, assoc, deauth.
+    Management,
+    /// PS-Poll (and in real 802.11, ACK/RTS/CTS, which the PHY models
+    /// implicitly as per-frame overhead).
+    Control,
+    /// Data frames (including null data frames used for PSM signalling).
+    Data,
+}
+
+/// Body of an 802.11 frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameBody {
+    /// Periodic AP advertisement.
+    Beacon {
+        /// Network name.
+        ssid: Ssid,
+        /// The channel the AP operates on (as advertised in the DS
+        /// parameter set).
+        channel: Channel,
+        /// Beacon interval (typically ~102.4 ms).
+        interval: SimDuration,
+    },
+    /// Active-scan solicitation; `ssid: None` is a wildcard probe.
+    ProbeRequest {
+        /// Specific network probed for, or `None` for broadcast.
+        ssid: Option<Ssid>,
+    },
+    /// Unicast answer to a probe request.
+    ProbeResponse {
+        /// Network name.
+        ssid: Ssid,
+        /// Operating channel.
+        channel: Channel,
+    },
+    /// Open-system authentication request (first half of the link-layer
+    /// join's first handshake).
+    AuthRequest,
+    /// Authentication response.
+    AuthResponse {
+        /// Whether authentication succeeded.
+        ok: bool,
+    },
+    /// Association request (second handshake of the join).
+    AssocRequest {
+        /// Network being joined.
+        ssid: Ssid,
+    },
+    /// Association response.
+    AssocResponse {
+        /// Whether association succeeded.
+        ok: bool,
+        /// Association id assigned by the AP.
+        aid: u16,
+    },
+    /// Deauthentication / disassociation notice.
+    Deauth {
+        /// 802.11 reason code.
+        reason: u16,
+    },
+    /// Null data frame; `power_save: true` tells the AP to buffer
+    /// frames for this client (how Spider parks APs while off serving
+    /// another channel, §3.2.1).
+    Null {
+        /// The PS bit in the frame control field.
+        power_save: bool,
+    },
+    /// PS-Poll control frame: "I'm back, release my buffered frames."
+    PsPoll,
+    /// A data frame carrying an IPv4 packet.
+    Data {
+        /// The encapsulated packet.
+        packet: Ipv4Packet,
+        /// The AP sets this when more frames remain buffered for the
+        /// client (802.11 "More Data" bit).
+        more_data: bool,
+    },
+}
+
+/// A full 802.11 frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Transmitter address.
+    pub src: MacAddr,
+    /// Receiver address (may be broadcast).
+    pub dst: MacAddr,
+    /// BSSID the frame belongs to. For beacons/probe responses this is
+    /// the AP's address; for broadcast probes it is the broadcast
+    /// address.
+    pub bssid: MacAddr,
+    /// Frame body.
+    pub body: FrameBody,
+}
+
+/// 802.11 MAC header size (3-address format).
+const MAC_HEADER: usize = 24;
+/// Fixed beacon body: timestamp (8) + interval (2) + capabilities (2) +
+/// DS parameter (3) + supported rates (~10).
+const BEACON_FIXED: usize = 25;
+
+impl Frame {
+    /// Coarse class of this frame.
+    pub fn kind(&self) -> FrameKind {
+        match self.body {
+            FrameBody::Beacon { .. }
+            | FrameBody::ProbeRequest { .. }
+            | FrameBody::ProbeResponse { .. }
+            | FrameBody::AuthRequest
+            | FrameBody::AuthResponse { .. }
+            | FrameBody::AssocRequest { .. }
+            | FrameBody::AssocResponse { .. }
+            | FrameBody::Deauth { .. } => FrameKind::Management,
+            FrameBody::PsPoll => FrameKind::Control,
+            FrameBody::Null { .. } | FrameBody::Data { .. } => FrameKind::Data,
+        }
+    }
+
+    /// Whether the frame belongs to the link-layer join handshake.
+    pub fn is_join_management(&self) -> bool {
+        matches!(
+            self.body,
+            FrameBody::AuthRequest
+                | FrameBody::AuthResponse { .. }
+                | FrameBody::AssocRequest { .. }
+                | FrameBody::AssocResponse { .. }
+        )
+    }
+
+    /// Total size on the wire in bytes, used for airtime computation.
+    pub fn wire_size(&self) -> usize {
+        let body = match &self.body {
+            FrameBody::Beacon { ssid, .. } => BEACON_FIXED + 2 + ssid.wire_len(),
+            FrameBody::ProbeRequest { ssid } => {
+                2 + ssid.as_ref().map(Ssid::wire_len).unwrap_or(0) + 10
+            }
+            FrameBody::ProbeResponse { ssid, .. } => BEACON_FIXED + 2 + ssid.wire_len(),
+            FrameBody::AuthRequest | FrameBody::AuthResponse { .. } => 6,
+            FrameBody::AssocRequest { ssid } => 4 + 2 + ssid.wire_len() + 10,
+            FrameBody::AssocResponse { .. } => 6,
+            FrameBody::Deauth { .. } => 2,
+            FrameBody::Null { .. } => 0,
+            FrameBody::PsPoll => return 16, // short control frame, no body
+            FrameBody::Data { packet, .. } => 8 /* LLC/SNAP */ + packet.wire_size(),
+        };
+        MAC_HEADER + body + 4 /* FCS */
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::icmp::IcmpMessage;
+    use crate::ip::L4;
+
+    fn mk(body: FrameBody) -> Frame {
+        Frame {
+            src: MacAddr::from_id(1),
+            dst: MacAddr::from_id(2),
+            bssid: MacAddr::from_id(2),
+            body,
+        }
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(
+            mk(FrameBody::Beacon {
+                ssid: "x".into(),
+                channel: Channel::CH6,
+                interval: SimDuration::from_millis(102)
+            })
+            .kind(),
+            FrameKind::Management
+        );
+        assert_eq!(mk(FrameBody::PsPoll).kind(), FrameKind::Control);
+        assert_eq!(mk(FrameBody::Null { power_save: true }).kind(), FrameKind::Data);
+    }
+
+    #[test]
+    fn join_management_classification() {
+        assert!(mk(FrameBody::AuthRequest).is_join_management());
+        assert!(mk(FrameBody::AssocResponse { ok: true, aid: 1 }).is_join_management());
+        assert!(!mk(FrameBody::ProbeRequest { ssid: None }).is_join_management());
+        assert!(!mk(FrameBody::PsPoll).is_join_management());
+    }
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        // A beacon with an 8-byte SSID: 24 + 25 + 2 + 8 + 4 = 63.
+        let b = mk(FrameBody::Beacon {
+            ssid: "townwifi".into(),
+            channel: Channel::CH1,
+            interval: SimDuration::from_millis(102),
+        });
+        assert_eq!(b.wire_size(), 63);
+
+        // Null frame is header + FCS only.
+        assert_eq!(mk(FrameBody::Null { power_save: true }).wire_size(), 28);
+
+        // PS-Poll is a short control frame.
+        assert_eq!(mk(FrameBody::PsPoll).wire_size(), 16);
+
+        // Data: 24 + 4 + 8 + 20 + 64 = 120 for a ping.
+        let d = mk(FrameBody::Data {
+            packet: Ipv4Packet {
+                src: Ipv4Addr::new(10, 0, 0, 2),
+                dst: Ipv4Addr::new(8, 8, 8, 8),
+                payload: L4::Icmp(IcmpMessage::EchoRequest { id: 1, seq: 1 }),
+            },
+            more_data: false,
+        });
+        assert_eq!(d.wire_size(), 24 + 8 + 20 + 64 + 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! ICMP echo messages.
+//!
+//! Spider's link management module tests end-to-end liveness with pings —
+//! 10/second, with 30 consecutive losses declaring the link dead (§3.2.2).
+
+/// An ICMP message (only echo is modelled; that is all Spider uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request carrying an identifier and sequence number.
+    EchoRequest {
+        /// Identifier distinguishing ping streams (one per interface).
+        id: u16,
+        /// Monotonic sequence number within a stream.
+        seq: u16,
+    },
+    /// Echo reply mirroring the request's identifier and sequence.
+    EchoReply {
+        /// Mirrored identifier.
+        id: u16,
+        /// Mirrored sequence number.
+        seq: u16,
+    },
+}
+
+impl IcmpMessage {
+    /// Wire size of an echo message: 8-byte ICMP header + 56 bytes of
+    /// payload, the classic `ping` default.
+    pub const WIRE_SIZE: usize = 64;
+
+    /// Build the reply matching a request; `None` for non-requests.
+    pub fn reply_to(&self) -> Option<IcmpMessage> {
+        match *self {
+            IcmpMessage::EchoRequest { id, seq } => Some(IcmpMessage::EchoReply { id, seq }),
+            IcmpMessage::EchoReply { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpMessage::EchoRequest { id: 3, seq: 17 };
+        assert_eq!(req.reply_to(), Some(IcmpMessage::EchoReply { id: 3, seq: 17 }));
+        assert_eq!(req.reply_to().unwrap().reply_to(), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal IPv4 packets.
+//!
+//! Ties an L4 payload (TCP, ICMP, or DHCP-over-UDP) to source and
+//! destination addresses. There is no fragmentation — every simulated
+//! MSS fits the Wi-Fi MTU — and "UDP" exists only as the fixed header
+//! cost DHCP pays.
+
+use crate::addr::Ipv4Addr;
+use crate::dhcp::DhcpMessage;
+use crate::icmp::IcmpMessage;
+use crate::tcp::TcpSegment;
+
+/// Layer-4 payload of an IPv4 packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum L4 {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// An ICMP echo message.
+    Icmp(IcmpMessage),
+    /// A DHCP message (riding UDP 67/68; the UDP header is folded into
+    /// [`DhcpMessage::WIRE_SIZE`]).
+    Dhcp(DhcpMessage),
+}
+
+impl L4 {
+    /// Payload wire size, excluding the IPv4 header.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            L4::Tcp(t) => t.wire_size(),
+            L4::Icmp(_) => IcmpMessage::WIRE_SIZE,
+            L4::Dhcp(_) => DhcpMessage::WIRE_SIZE,
+        }
+    }
+}
+
+/// An IPv4 packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Layer-4 payload.
+    pub payload: L4,
+}
+
+impl Ipv4Packet {
+    /// IPv4 header size (no options).
+    pub const HEADER_SIZE: usize = 20;
+
+    /// Total wire size including the IPv4 header.
+    pub fn wire_size(&self) -> usize {
+        Self::HEADER_SIZE + self.payload.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::tcp::TcpFlags;
+
+    #[test]
+    fn wire_sizes_compose() {
+        let seg = TcpSegment {
+            src_port: 80,
+            dst_port: 1,
+            seq: 0,
+            ack: 0,
+            window: 0,
+            flags: TcpFlags::ACK,
+            payload_len: 1000,
+        };
+        let pkt = Ipv4Packet {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            payload: L4::Tcp(seg),
+        };
+        assert_eq!(pkt.wire_size(), 20 + 20 + 1000);
+
+        let ping = Ipv4Packet {
+            src: Ipv4Addr::new(10, 0, 0, 2),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            payload: L4::Icmp(IcmpMessage::EchoRequest { id: 1, seq: 1 }),
+        };
+        assert_eq!(ping.wire_size(), 20 + 64);
+
+        let dhcp = Ipv4Packet {
+            src: Ipv4Addr::UNSPECIFIED,
+            dst: Ipv4Addr::BROADCAST,
+            payload: L4::Dhcp(DhcpMessage::discover(1, MacAddr::from_id(1))),
+        };
+        assert_eq!(dhcp.wire_size(), 20 + 330);
+    }
+}

@@ -1,0 +1,37 @@
+//! Protocol data units for the Spider reproduction.
+//!
+//! This crate defines every message that crosses the simulated air or the
+//! simulated backhaul:
+//!
+//! * [`frame`] — 802.11 management/data frames (beacon, probe, auth,
+//!   association, power-save signalling, data),
+//! * [`dhcp`] — the four-message DHCP join handshake,
+//! * [`icmp`] — echo request/reply used by Spider's link-liveness probing,
+//! * [`tcp`] — TCP segments for the Reno model in `spider-tcpsim`,
+//! * [`ip`] — a minimal IPv4 packet wrapper tying L4 payloads to
+//!   addresses,
+//! * [`addr`] / [`channel`] — MAC addresses, SSIDs and 2.4 GHz channels,
+//! * [`codec`] — byte-level encode/decode for every frame type, used by
+//!   the pcap-style dump tooling and exercised by round-trip property
+//!   tests.
+//!
+//! Inside the simulator frames travel as typed values (no serialisation on
+//! the hot path), but every type has a faithful wire size so airtime and
+//! backhaul occupancy are computed from realistic byte counts.
+
+pub mod addr;
+pub mod channel;
+pub mod codec;
+pub mod dhcp;
+pub mod frame;
+pub mod icmp;
+pub mod ip;
+pub mod tcp;
+
+pub use addr::{Ipv4Addr, MacAddr, Ssid};
+pub use channel::Channel;
+pub use dhcp::{DhcpMessage, DhcpOp};
+pub use frame::{Frame, FrameBody, FrameKind};
+pub use icmp::IcmpMessage;
+pub use ip::{Ipv4Packet, L4};
+pub use tcp::{TcpFlags, TcpSegment};

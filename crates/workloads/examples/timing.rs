@@ -1,0 +1,40 @@
+use spider_baselines::{StockConfig, StockDriver};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::{town_scenario, ScenarioParams};
+use spider_workloads::World;
+use std::time::Instant;
+
+fn main() {
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(1800),
+        seed: 1,
+        ..Default::default()
+    };
+    let period = SimDuration::from_millis(600);
+    let modes = [
+        OperationMode::SingleChannelMultiAp(Channel::CH1),
+        OperationMode::SingleChannelSingleAp(Channel::CH1),
+        OperationMode::MultiChannelMultiAp { period },
+        OperationMode::MultiChannelSingleAp { period },
+    ];
+    for mode in modes {
+        let cfg = town_scenario(&params);
+        let driver = SpiderDriver::new(SpiderConfig::for_mode(mode, 1));
+        let t0 = Instant::now();
+        let result = World::new(cfg, driver).run();
+        println!("{result}  [wall {:.1}s] to={} rx={}", t0.elapsed().as_secs_f64(), result.tcp_timeouts, result.tcp_retransmits);
+        println!("   encountered={} assoc={}ok/{}fail dhcp={}ok/{}fail joins={}ok/{}fail",
+            result.aps_encountered,
+            result.join_log.assoc.len(), result.join_log.assoc_failures,
+            result.join_log.dhcp.len(), result.join_log.dhcp_failures,
+            result.join_log.join.len(), result.join_log.join_failures);
+    }
+    for mk in [StockConfig::stock as fn(u64)->StockConfig, StockConfig::quickwifi] {
+        let cfg = town_scenario(&params);
+        let t0 = Instant::now();
+        let result = World::new(cfg, StockDriver::new(mk(1))).run();
+        println!("{result}  [wall {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

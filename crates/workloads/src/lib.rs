@@ -1,0 +1,27 @@
+//! World assembly and evaluation workloads.
+//!
+//! * [`world`] — the discrete-event world: one mobile client (any
+//!   [`ClientSystem`](spider_mac80211::ClientSystem)), a deployment of
+//!   APs each with its own MAC, DHCP server, shaped backhaul and wired
+//!   sink server, a shared per-channel medium, propagation and loss.
+//! * [`metrics`] — per-run results: average throughput, connectivity
+//!   fraction, connection/disruption CDFs, instantaneous bandwidth,
+//!   join logs — the exact quantities the paper's tables and figures
+//!   report.
+//! * [`scenarios`] — builders for the paper's experimental setups: town
+//!   and Boston drives, the indoor static testbed of §2.2.2, and the
+//!   controlled two-AP lab of Fig. 10.
+//! * [`meshusers`] — the §4.7 usability study substrate: a synthetic
+//!   trace of user TCP flow durations and inter-connection gaps
+//!   matching the downtown-mesh measurements.
+
+pub mod capture;
+pub mod meshusers;
+pub mod metrics;
+pub mod scenarios;
+pub mod world;
+
+pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
+pub use metrics::RunResult;
+pub use scenarios::{lab_scenario, town_scenario, ScenarioParams};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,142 @@
+//! Synthetic mesh-user demand traces (§4.7).
+//!
+//! The paper's usability study collected one day of TCP flows from 161
+//! users of a 25-node downtown mesh (128,587 connections, 68 % HTTP) and
+//! compared their flow-duration and inter-connection-gap distributions
+//! against what Spider delivers (Figs. 16–17). The raw trace is not
+//! public; this generator produces a synthetic trace with the same CDF
+//! shape class — a log-normal body (most web flows are seconds long)
+//! with a Pareto tail (long downloads / streaming), and log-normal
+//! inter-connection gaps — calibrated to the figures' quantiles:
+//! the majority of flows complete within ~10 s and nearly all within
+//! ~100 s; inter-connection gaps concentrate below ~60 s with a tail to
+//! several minutes.
+
+use spider_simcore::{Cdf, SimRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MeshUserParams {
+    /// Number of flows to synthesise.
+    pub flows: usize,
+    /// Log-normal μ for flow durations (ln seconds).
+    pub duration_mu: f64,
+    /// Log-normal σ for flow durations.
+    pub duration_sigma: f64,
+    /// Fraction of flows drawn from the heavy Pareto tail.
+    pub heavy_fraction: f64,
+    /// Pareto scale (seconds) for the tail.
+    pub pareto_scale: f64,
+    /// Pareto shape for the tail.
+    pub pareto_shape: f64,
+    /// Log-normal μ for inter-connection gaps (ln seconds).
+    pub gap_mu: f64,
+    /// Log-normal σ for gaps.
+    pub gap_sigma: f64,
+}
+
+impl Default for MeshUserParams {
+    fn default() -> Self {
+        MeshUserParams {
+            flows: 10_000,
+            // Median ~3.5s: short interactive web flows dominate.
+            duration_mu: 1.25,
+            duration_sigma: 1.1,
+            heavy_fraction: 0.08,
+            pareto_scale: 20.0,
+            pareto_shape: 1.3,
+            // Median gap ~15s, tail to minutes.
+            gap_mu: 2.7,
+            gap_sigma: 1.2,
+        }
+    }
+}
+
+/// A synthetic day of mesh-user activity.
+#[derive(Debug, Clone)]
+pub struct MeshUserTrace {
+    /// TCP flow durations in seconds (Fig. 16's "users connection
+    /// duration").
+    pub flow_durations: Cdf,
+    /// Gaps between consecutive connections in seconds (Fig. 17's "user
+    /// inter-connection").
+    pub inter_connection_gaps: Cdf,
+}
+
+/// Generate a trace.
+pub fn generate(params: &MeshUserParams, seed: u64) -> MeshUserTrace {
+    let mut rng = SimRng::new(seed).stream("meshusers");
+    let mut durations = Vec::with_capacity(params.flows);
+    let mut gaps = Vec::with_capacity(params.flows);
+    for _ in 0..params.flows {
+        let d = if rng.chance(params.heavy_fraction) {
+            rng.pareto(params.pareto_scale, params.pareto_shape)
+        } else {
+            rng.log_normal(params.duration_mu, params.duration_sigma)
+        };
+        // Cap at a day: the trace covered 24h.
+        durations.push(d.min(86_400.0));
+        let g = rng.log_normal(params.gap_mu, params.gap_sigma);
+        gaps.push(g.min(3_600.0));
+    }
+    MeshUserTrace {
+        flow_durations: Cdf::from_samples(durations),
+        inter_connection_gaps: Cdf::from_samples(gaps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_figure_shapes() {
+        let mut trace = generate(&MeshUserParams::default(), 42);
+        // Fig. 16: the bulk of user TCP flows are short.
+        let median = trace.flow_durations.median();
+        assert!((1.0..10.0).contains(&median), "median flow {median}s");
+        let p90 = trace.flow_durations.quantile(0.9);
+        assert!(p90 < 120.0, "90th pct flow {p90}s");
+        // A real heavy tail exists.
+        let p999 = trace.flow_durations.quantile(0.999);
+        assert!(p999 > 60.0, "99.9th pct flow {p999}s");
+        // Fig. 17: gaps concentrate under a minute.
+        let gap_med = trace.inter_connection_gaps.median();
+        assert!((5.0..60.0).contains(&gap_med), "median gap {gap_med}s");
+        assert!(trace.inter_connection_gaps.quantile(0.95) < 600.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = generate(&MeshUserParams::default(), 7);
+        let mut b = generate(&MeshUserParams::default(), 7);
+        assert_eq!(a.flow_durations.median(), b.flow_durations.median());
+        assert_eq!(
+            a.inter_connection_gaps.quantile(0.9),
+            b.inter_connection_gaps.quantile(0.9)
+        );
+        let mut c = generate(&MeshUserParams::default(), 8);
+        assert_ne!(a.flow_durations.median(), c.flow_durations.median());
+    }
+
+    #[test]
+    fn flow_count_respected() {
+        let trace = generate(
+            &MeshUserParams {
+                flows: 123,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(trace.flow_durations.len(), 123);
+        assert_eq!(trace.inter_connection_gaps.len(), 123);
+    }
+
+    #[test]
+    fn durations_are_positive_and_capped() {
+        let mut trace = generate(&MeshUserParams::default(), 3);
+        assert!(trace.flow_durations.quantile(0.0) > 0.0);
+        assert!(trace.flow_durations.quantile(1.0) <= 86_400.0);
+        assert!(trace.inter_connection_gaps.quantile(1.0) <= 3_600.0);
+    }
+}

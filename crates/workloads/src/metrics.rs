@@ -1,0 +1,129 @@
+//! Per-run evaluation metrics.
+//!
+//! The paper's four key metrics (§4.3): average throughput, average
+//! connectivity (fraction of one-second windows with any data),
+//! disruption-length distribution, and instantaneous bandwidth. Plus the
+//! join-timing log (Figs. 5/6/14/15, Table 3) and switch counts
+//! (Table 1).
+
+use spider_mac80211::JoinLog;
+use spider_simcore::{Cdf, IntervalReport, SimDuration};
+use std::fmt;
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Driver label.
+    pub label: String,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Total application bytes delivered.
+    pub bytes: u64,
+    /// Average throughput in bytes/second over the whole run.
+    pub avg_throughput_bps: f64,
+    /// Fraction of 1-second windows in which data arrived.
+    pub connectivity: f64,
+    /// Per-window throughput samples (bytes/s) for windows with data —
+    /// Fig. 13's instantaneous bandwidth.
+    pub instantaneous_bps: Cdf,
+    /// Connection / disruption intervals of the driver's own
+    /// connectivity signal (Figs. 11–12).
+    pub intervals: IntervalReport,
+    /// Join timing log (Figs. 5, 6, 14, 15; Table 3).
+    pub join_log: JoinLog,
+    /// Hardware channel switches performed by the radio.
+    pub switches: u64,
+    /// Number of APs encountered (came within range) during the run.
+    pub aps_encountered: usize,
+    /// Server-side TCP retransmission timeouts across all flows.
+    pub tcp_timeouts: u64,
+    /// Server-side TCP retransmissions across all flows.
+    pub tcp_retransmits: u64,
+}
+
+impl RunResult {
+    /// Average throughput in KB/s, the unit of Tables 2 and 4.
+    pub fn throughput_kbs(&self) -> f64 {
+        self.avg_throughput_bps / 1_000.0
+    }
+
+    /// Connectivity as a percentage, the unit of Tables 2 and 4.
+    pub fn connectivity_pct(&self) -> f64 {
+        self.connectivity * 100.0
+    }
+
+    /// Connection-duration CDF in seconds (Fig. 11).
+    pub fn connection_cdf(&self) -> Cdf {
+        self.intervals.on_cdf()
+    }
+
+    /// Disruption-length CDF in seconds (Fig. 12).
+    pub fn disruption_cdf(&self) -> Cdf {
+        self.intervals.off_cdf()
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} KB/s, {:.1}% connectivity, {} joins, {} switches",
+            self.label,
+            self.throughput_kbs(),
+            self.connectivity_pct(),
+            self.join_log.join.len(),
+            self.switches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simcore::{IntervalTracker, SimTime};
+
+    fn result() -> RunResult {
+        let mut t = IntervalTracker::new(SimTime::ZERO, false);
+        t.set(SimTime::from_secs(10), true);
+        t.set(SimTime::from_secs(40), false);
+        RunResult {
+            label: "test".into(),
+            duration: SimDuration::from_secs(100),
+            bytes: 1_000_000,
+            avg_throughput_bps: 10_000.0,
+            connectivity: 0.30,
+            instantaneous_bps: Cdf::from_samples(vec![5_000.0, 20_000.0]),
+            intervals: t.finish(SimTime::from_secs(100)),
+            join_log: JoinLog::new(),
+            switches: 12,
+            aps_encountered: 5,
+            tcp_timeouts: 0,
+            tcp_retransmits: 0,
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = result();
+        assert_eq!(r.throughput_kbs(), 10.0);
+        assert_eq!(r.connectivity_pct(), 30.0);
+    }
+
+    #[test]
+    fn interval_cdfs() {
+        let r = result();
+        let mut on = r.connection_cdf();
+        assert_eq!(on.len(), 1);
+        assert_eq!(on.median(), 30.0);
+        let mut off = r.disruption_cdf();
+        assert_eq!(off.len(), 2);
+        assert!((off.quantile(1.0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = result().to_string();
+        assert!(s.contains("10.0 KB/s"));
+        assert!(s.contains("30.0%"));
+    }
+}

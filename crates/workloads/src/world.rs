@@ -1,0 +1,1085 @@
+//! The discrete-event vehicular Wi-Fi world.
+//!
+//! One mobile client — any [`ClientSystem`] — drives along a
+//! [`MobilityModel`] through a [`Deployment`] of APs. Each AP couples an
+//! 802.11 MAC (with PSM buffering), a DHCP server with the paper's β
+//! response-delay distribution, a rate-shaped backhaul, and a wired sink
+//! server answering pings and serving bulk TCP downloads. The air is a
+//! per-channel half-duplex medium with propagation-range and loss
+//! models; the client's single radio pays the hardware-reset latency for
+//! every channel switch.
+//!
+//! Every run is a pure function of the seed in [`WorldConfig`].
+
+use crate::capture::{CaptureWriter, Direction};
+use crate::metrics::RunResult;
+use spider_mac80211::{ApConfig, ApEvent, ApMac, ClientSystem, DriverAction, RxFrame};
+use spider_mobility::{Deployment, MobilityModel, Position};
+use spider_netstack::{DhcpServer, DhcpServerConfig};
+use spider_radio::{ChannelMedium, LossModel, PhyParams, Propagation, Radio};
+use spider_simcore::{EventQueue, RateMeter, SimDuration, SimRng, SimTime};
+use spider_simcore::IntervalTracker;
+use spider_tcpsim::{TcpConfig, TcpSender, TcpSenderState};
+use spider_wire::ip::L4;
+use spider_wire::{Channel, DhcpOp, Frame, FrameKind, Ipv4Addr, Ipv4Packet, MacAddr};
+use std::collections::{HashMap, HashSet};
+
+/// The well-known wired sink (re-exported from the Spider interface
+/// definitions so baselines and world agree).
+pub use spider_core::iface::{SERVER_IP, SERVER_PORT};
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// PHY parameters (rate, switch latency, range).
+    pub phy: PhyParams,
+    /// Propagation model.
+    pub propagation: Propagation,
+    /// Frame loss model.
+    pub loss: LossModel,
+    /// Client mobility.
+    pub mobility: MobilityModel,
+    /// AP deployment.
+    pub deployment: Deployment,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Root seed — the run is a pure function of it.
+    pub seed: u64,
+    /// TCP parameters for the bulk downloads.
+    pub tcp: TcpConfig,
+    /// Unicast MAC-layer transmission attempts (1 = no link-layer ARQ).
+    /// Real 802.11 retries unicast frames several times, so the residual
+    /// loss seen by upper layers mid-cell is far below the raw per-
+    /// transmission loss; broadcasts (beacons) are never retried.
+    pub mac_retries: u32,
+    /// Extra margin beyond radio range within which APs are actively
+    /// simulated (beaconing), in metres.
+    pub activation_margin_m: f64,
+    /// Maximum backhaul queueing delay before drop-tail (bufferbloat
+    /// guard that keeps TCP honest).
+    pub backhaul_queue_cap: SimDuration,
+    /// Write every delivered frame to this capture file (see
+    /// [`crate::capture`]); `(path, frame limit)` with 0 = unlimited.
+    pub capture: Option<(std::path::PathBuf, u64)>,
+    /// Counterfactual knob: let APs PSM-buffer DHCP responses for
+    /// sleeping clients. Real 802.11 does **not** behave this way — the
+    /// paper's whole multi-channel join penalty rests on join traffic
+    /// being unbufferable (§1). `ablation_psm` flips this to show how
+    /// much of the penalty that one mechanism explains.
+    pub psm_buffers_join_traffic: bool,
+}
+
+impl WorldConfig {
+    /// Sensible defaults around a deployment + mobility pair.
+    pub fn new(mobility: MobilityModel, deployment: Deployment, duration: SimDuration, seed: u64) -> WorldConfig {
+        WorldConfig {
+            phy: PhyParams::b11(),
+            propagation: Propagation::outdoor(),
+            loss: LossModel::paper_default(),
+            mobility,
+            deployment,
+            duration,
+            seed,
+            tcp: TcpConfig::default(),
+            mac_retries: 4,
+            activation_margin_m: 30.0,
+            backhaul_queue_cap: SimDuration::from_millis(200),
+            capture: None,
+            psm_buffers_join_traffic: false,
+        }
+    }
+}
+
+/// World events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Poll the client system.
+    ClientWake,
+    /// Poll AP `usize` (beacons + TCP sender timers).
+    ApWake(usize),
+    /// The client radio finished switching to the channel.
+    SwitchDone(Channel),
+    /// A frame arrives at the client antenna.
+    AirToClient {
+        /// The frame.
+        frame: Frame,
+        /// Channel it was sent on.
+        channel: Channel,
+        /// Transmitting AP (for RSSI computation).
+        ap: usize,
+    },
+    /// A frame arrives at AP `ap`.
+    AirToAp {
+        /// Receiving AP index.
+        ap: usize,
+        /// The frame.
+        frame: Frame,
+    },
+    /// An uplink packet reached AP `ap`'s wired server.
+    ServerRx {
+        /// The AP whose backhaul carried it.
+        ap: usize,
+        /// The packet.
+        packet: Ipv4Packet,
+    },
+    /// A downlink packet is ready at AP `ap` for wireless delivery.
+    Downlink {
+        /// The AP.
+        ap: usize,
+        /// Destination client MAC.
+        dst: MacAddr,
+        /// The packet.
+        packet: Ipv4Packet,
+        /// Whether the AP may PSM-buffer it (join traffic may not be).
+        bufferable: bool,
+    },
+    /// Periodic mobility / AP-activation sweep.
+    MobilityCheck,
+}
+
+/// One access point with everything behind it.
+struct ApNode {
+    /// Cumulative TCP timeout/retransmit counts from retired senders.
+    tcp_timeouts: u64,
+    tcp_retransmits: u64,
+    /// Whether the DHCP server answers (broken APs ignore DHCP).
+    dhcp_responsive: bool,
+    position: Position,
+    channel: Channel,
+    mac: ApMac,
+    dhcp: DhcpServer,
+    /// TCP senders keyed by the client's source port, with the client
+    /// IP recorded at SYN time.
+    senders: HashMap<u16, (Ipv4Addr, TcpSender)>,
+    /// IP → client MAC bindings learned from DHCP and uplink traffic.
+    arp: HashMap<Ipv4Addr, MacAddr>,
+    /// Backhaul serialisation horizon (downlink FIFO).
+    backhaul_free_at: SimTime,
+    /// Backhaul rate in bytes/second.
+    backhaul_bps: f64,
+    /// One-way backhaul latency.
+    backhaul_latency: SimDuration,
+    /// Whether the AP is inside the client's activation horizon.
+    active: bool,
+    /// Earliest scheduled ApWake (dedup).
+    wake_scheduled: SimTime,
+    /// Deterministic ISS source for new TCP connections.
+    iss_rng: SimRng,
+}
+
+/// The world.
+pub struct World<C: ClientSystem> {
+    cfg: WorldConfig,
+    queue: EventQueue<Ev>,
+    client: C,
+    radio: Radio,
+    medium: ChannelMedium,
+    aps: Vec<ApNode>,
+    bssid_index: HashMap<MacAddr, usize>,
+    rng_loss: SimRng,
+    // Metrics.
+    rate: RateMeter,
+    conn: IntervalTracker,
+    delivered_prev: u64,
+    encountered: HashSet<usize>,
+    client_wake_scheduled: SimTime,
+    capture: Option<CaptureWriter>,
+}
+
+impl<C: ClientSystem> World<C> {
+    /// Build a world around a client system.
+    pub fn new(cfg: WorldConfig, client: C) -> World<C> {
+        let root = SimRng::new(cfg.seed);
+        let mut aps = Vec::with_capacity(cfg.deployment.len());
+        let mut bssid_index = HashMap::new();
+        for site in &cfg.deployment.sites {
+            let bssid = MacAddr::from_id(0x00AA_0000 + site.id as u64);
+            let ssid = spider_wire::Ssid::new(format!("open-{}", site.id));
+            // Offset each AP's beacon phase so beacons do not collide in
+            // lockstep.
+            let mut phase_rng = root.stream_indexed("beacon-phase", site.id as u64);
+            let first_beacon =
+                SimTime::from_micros(phase_rng.uniform_u64(0, 102_400));
+            let mac = ApMac::new(ApConfig::open(bssid, ssid, site.channel), first_beacon);
+            let dhcp = DhcpServer::new(
+                DhcpServerConfig::for_ap(site.id, site.dhcp_beta),
+                root.stream_indexed("dhcp", site.id as u64),
+            );
+            bssid_index.insert(bssid, site.id);
+            aps.push(ApNode {
+                tcp_timeouts: 0,
+                tcp_retransmits: 0,
+                dhcp_responsive: site.dhcp_responsive,
+                position: site.position,
+                channel: site.channel,
+                mac,
+                dhcp,
+                senders: HashMap::new(),
+                arp: HashMap::new(),
+                backhaul_free_at: SimTime::ZERO,
+                backhaul_bps: site.backhaul_bps,
+                backhaul_latency: SimDuration::from_secs_f64(site.backhaul_latency_s),
+                active: false,
+                wake_scheduled: SimTime::MAX,
+                iss_rng: root.stream_indexed("iss", site.id as u64),
+            });
+        }
+        // The radio starts wherever the driver believes it is.
+        let radio = Radio::new(client.initial_channel());
+        let capture = cfg.capture.as_ref().map(|(path, limit)| {
+            CaptureWriter::create(path, *limit).expect("create capture file")
+        });
+        World {
+            queue: EventQueue::new(),
+            client,
+            radio,
+            medium: ChannelMedium::new(),
+            aps,
+            bssid_index,
+            rng_loss: root.stream("loss"),
+            rate: RateMeter::new(SimTime::ZERO, SimDuration::from_secs(1)),
+            conn: IntervalTracker::new(SimTime::ZERO, false),
+            delivered_prev: 0,
+            encountered: HashSet::new(),
+            client_wake_scheduled: SimTime::MAX,
+            capture,
+            cfg,
+        }
+    }
+
+    /// Immutable access to the client system.
+    pub fn client(&self) -> &C {
+        &self.client
+    }
+
+    /// The number of hardware channel switches so far.
+    pub fn switch_count(&self) -> u64 {
+        self.radio.switch_count()
+    }
+
+    fn client_pos(&self, now: SimTime) -> Position {
+        self.cfg.mobility.position(now)
+    }
+
+    fn distance_to_ap(&self, now: SimTime, ap: usize) -> f64 {
+        self.client_pos(now).distance_to(self.aps[ap].position)
+    }
+
+    /// Run the simulation to completion and produce the result.
+    pub fn run(self) -> RunResult {
+        self.run_with().0
+    }
+
+    /// Run to completion, returning the result *and* the client system
+    /// for post-run introspection (utility tables, lease caches, ...).
+    pub fn run_with(mut self) -> (RunResult, C) {
+        let end = SimTime::ZERO + self.cfg.duration;
+        self.queue.schedule(SimTime::ZERO, Ev::MobilityCheck);
+        self.queue.schedule(SimTime::ZERO, Ev::ClientWake);
+        self.client_wake_scheduled = SimTime::ZERO;
+        while let Some(ev) = self.queue.pop() {
+            let now = ev.at;
+            if now > end {
+                break;
+            }
+            self.dispatch(now, ev.event);
+            self.after_event(now);
+        }
+        let duration = self.cfg.duration;
+        let bytes = self.client.delivered_bytes();
+        let mut tcp_timeouts = 0;
+        let mut tcp_retransmits = 0;
+        for ap in &self.aps {
+            tcp_timeouts += ap.tcp_timeouts;
+            tcp_retransmits += ap.tcp_retransmits;
+            for (_, s) in ap.senders.values() {
+                tcp_timeouts += s.timeouts;
+                tcp_retransmits += s.retransmits;
+            }
+        }
+        if let Some(cap) = self.capture.take() {
+            cap.finish().expect("flush capture file");
+        }
+        let result = RunResult {
+            label: self.client.label(),
+            duration,
+            bytes,
+            avg_throughput_bps: self.rate.average_throughput(end),
+            connectivity: self.rate.connectivity_fraction(end),
+            instantaneous_bps: spider_simcore::Cdf::from_samples(
+                self.rate.instantaneous_rates(),
+            ),
+            intervals: self.conn.finish(end),
+            join_log: self.client.join_log().clone(),
+            switches: self.radio.switch_count(),
+            aps_encountered: self.encountered.len(),
+            tcp_timeouts,
+            tcp_retransmits,
+        };
+        (result, self.client)
+    }
+
+    fn after_event(&mut self, now: SimTime) {
+        // Throughput accounting.
+        let delivered = self.client.delivered_bytes();
+        if delivered > self.delivered_prev {
+            self.rate.record(now, delivered - self.delivered_prev);
+            self.delivered_prev = delivered;
+        }
+        // Connectivity signal.
+        self.conn.set(now, self.client.is_connected());
+        // Client wakeup maintenance.
+        let nw = self.client.next_wakeup(now).max(now);
+        if nw < self.client_wake_scheduled && nw < SimTime::MAX {
+            self.queue.schedule(nw, Ev::ClientWake);
+            self.client_wake_scheduled = nw;
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ClientWake => {
+                self.client_wake_scheduled = SimTime::MAX;
+                let actions = self.client.poll(now);
+                self.process_actions(now, actions);
+            }
+            Ev::SwitchDone(ch) => {
+                if self.radio.listening_on(now) == Some(ch) {
+                    let actions = self.client.on_switch_complete(now, ch);
+                    self.process_actions(now, actions);
+                }
+            }
+            Ev::ApWake(i) => {
+                self.aps[i].wake_scheduled = SimTime::MAX;
+                self.ap_wake(now, i);
+            }
+            Ev::AirToClient { frame, channel, ap } => {
+                if self.radio.listening_on(now) == Some(channel) {
+                    if let Some(cap) = &mut self.capture {
+                        cap.record(now, Direction::ToClient, &frame).ok();
+                    }
+                    let rssi = self
+                        .cfg
+                        .propagation
+                        .rssi_dbm(self.distance_to_ap(now, ap));
+                    let rx = RxFrame {
+                        frame,
+                        channel,
+                        rssi_dbm: rssi,
+                    };
+                    let actions = self.client.on_frame(now, &rx);
+                    self.process_actions(now, actions);
+                }
+            }
+            Ev::AirToAp { ap, frame } => {
+                if let Some(cap) = &mut self.capture {
+                    cap.record(now, Direction::ToAp, &frame).ok();
+                }
+                let evs = self.aps[ap].mac.on_frame(now, &frame);
+                self.process_ap_events(now, ap, evs);
+            }
+            Ev::ServerRx { ap, packet } => self.server_rx(now, ap, packet),
+            Ev::Downlink {
+                ap,
+                dst,
+                packet,
+                bufferable,
+            } => {
+                let evs = self.aps[ap]
+                    .mac
+                    .enqueue_downlink(now, dst, packet, bufferable);
+                self.process_ap_events(now, ap, evs);
+            }
+            Ev::MobilityCheck => {
+                self.mobility_check(now);
+                let next = now + SimDuration::from_millis(250);
+                if next <= SimTime::ZERO + self.cfg.duration {
+                    self.queue.schedule(next, Ev::MobilityCheck);
+                }
+            }
+        }
+    }
+
+    fn mobility_check(&mut self, now: SimTime) {
+        let horizon = self.cfg.propagation.range_m + self.cfg.activation_margin_m;
+        let pos = self.client_pos(now);
+        for i in 0..self.aps.len() {
+            let d = pos.distance_to(self.aps[i].position);
+            if d <= horizon {
+                if !self.aps[i].active {
+                    self.aps[i].active = true;
+                    self.aps[i].mac.resync_beacons(now);
+                    self.schedule_ap_wake(now, i, now);
+                }
+                if d <= self.cfg.propagation.range_m {
+                    self.encountered.insert(i);
+                }
+            } else {
+                self.aps[i].active = false;
+            }
+        }
+    }
+
+    fn schedule_ap_wake(&mut self, now: SimTime, i: usize, at: SimTime) {
+        let at = at.max(now);
+        if at < self.aps[i].wake_scheduled && at <= SimTime::ZERO + self.cfg.duration {
+            self.queue.schedule(at, Ev::ApWake(i));
+            self.aps[i].wake_scheduled = at;
+        }
+    }
+
+    fn ap_wake(&mut self, now: SimTime, i: usize) {
+        // Beacons (only while active — an AP beyond the horizon still
+        // beacons physically, but nothing can hear it).
+        if self.aps[i].active {
+            let evs = self.aps[i].mac.poll(now);
+            self.process_ap_events(now, i, evs);
+        }
+        // TCP sender timers (run regardless of radio range: the wired
+        // side keeps its own clock).
+        let ports: Vec<u16> = self.aps[i].senders.keys().copied().collect();
+        for port in ports {
+            let (client_ip, segs) = {
+                let (ip, sender) = self.aps[i].senders.get_mut(&port).unwrap();
+                (*ip, sender.poll(now))
+            };
+            for seg in segs {
+                self.backhaul_down_to(now, i, client_ip, seg);
+            }
+        }
+        let (mut dead_to, mut dead_rx) = (0, 0);
+        self.aps[i].senders.retain(|_, (_, s)| {
+            if s.state() == TcpSenderState::Dead {
+                dead_to += s.timeouts;
+                dead_rx += s.retransmits;
+                false
+            } else {
+                true
+            }
+        });
+        self.aps[i].tcp_timeouts += dead_to;
+        self.aps[i].tcp_retransmits += dead_rx;
+        // Re-arm.
+        let mut next = if self.aps[i].active {
+            self.aps[i].mac.next_wakeup()
+        } else {
+            SimTime::MAX
+        };
+        for (_, s) in self.aps[i].senders.values() {
+            next = next.min(s.next_wakeup());
+        }
+        if next < SimTime::MAX {
+            self.schedule_ap_wake(now, i, next);
+        }
+    }
+
+    fn process_actions(&mut self, now: SimTime, actions: Vec<DriverAction>) {
+        for action in actions {
+            match action {
+                DriverAction::Transmit { frame, .. } => {
+                    if let Some(ch) = self.radio.listening_on(now) {
+                        self.transmit_from_client(now, ch, frame);
+                    }
+                    // A transmit requested mid-switch is silently dropped:
+                    // the hardware queue is held in reset.
+                }
+                DriverAction::SwitchChannel(ch) => {
+                    let done = self.radio.start_switch(
+                        now,
+                        ch,
+                        &self.cfg.phy,
+                        self.client.associated_interfaces(),
+                    );
+                    self.queue.schedule(done.max(now), Ev::SwitchDone(ch));
+                }
+            }
+        }
+    }
+
+    /// Decide delivery of a unicast frame over a link with raw loss
+    /// probability `p`, modelling MAC-layer ARQ: the frame is lost only
+    /// if all attempts fail, and the medium pays for the expected number
+    /// of transmissions.
+    fn unicast_outcome(&mut self, p: f64) -> (bool, f64) {
+        let k = self.cfg.mac_retries.max(1);
+        let residual = p.powi(k as i32);
+        let delivered = !self.rng_loss.chance(residual);
+        // Expected transmissions (capped at k): (1 - p^k) / (1 - p).
+        let expected_tx = if p >= 1.0 {
+            k as f64
+        } else {
+            ((1.0 - residual) / (1.0 - p)).min(k as f64)
+        };
+        (delivered, expected_tx)
+    }
+
+    fn airtime(&self, frame: &Frame) -> SimDuration {
+        match frame.kind() {
+            FrameKind::Management | FrameKind::Control => {
+                self.cfg.phy.mgmt_airtime(frame.wire_size())
+            }
+            FrameKind::Data => self.cfg.phy.airtime(frame.wire_size()),
+        }
+    }
+
+    fn transmit_from_client(&mut self, now: SimTime, ch: Channel, frame: Frame) {
+        let airtime = self.airtime(&frame);
+        let (start, end) = self.medium.reserve(now, ch, airtime);
+        let pos = self.client_pos(start);
+        let broadcast = frame.dst.is_broadcast();
+        let targets: Vec<usize> = if broadcast {
+            self.aps
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.active && a.channel == ch)
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            self.bssid_index
+                .get(&frame.dst)
+                .copied()
+                .filter(|&i| self.aps[i].channel == ch)
+                .into_iter()
+                .collect()
+        };
+        let mut extra_airtime = 0.0f64;
+        for i in targets {
+            let d = pos.distance_to(self.aps[i].position);
+            if !self.cfg.propagation.in_range(d) {
+                continue;
+            }
+            let p = self
+                .cfg
+                .loss
+                .loss_probability(d, self.cfg.propagation.range_m);
+            let delivered = if broadcast {
+                !self.rng_loss.chance(p)
+            } else {
+                let (ok, expected_tx) = self.unicast_outcome(p);
+                extra_airtime += (expected_tx - 1.0).max(0.0);
+                ok
+            };
+            if !delivered {
+                continue;
+            }
+            self.queue.schedule(
+                end,
+                Ev::AirToAp {
+                    ap: i,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        if extra_airtime > 0.0 {
+            // Retries occupy the medium after the primary transmission.
+            self.medium
+                .reserve(end, ch, airtime.mul_f64(extra_airtime));
+        }
+    }
+
+    fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: Frame) {
+        let airtime = self.airtime(&frame);
+        let ch = self.aps[ap].channel;
+        let (start, end) = self.medium.reserve(now, ch, airtime);
+        let d = self.distance_to_ap(start, ap);
+        if !self.cfg.propagation.in_range(d) {
+            return;
+        }
+        let p = self
+            .cfg
+            .loss
+            .loss_probability(d, self.cfg.propagation.range_m);
+        let (delivered, expected_tx) = if frame.dst.is_broadcast() {
+            (!self.rng_loss.chance(p), 1.0)
+        } else {
+            self.unicast_outcome(p)
+        };
+        if expected_tx > 1.0 {
+            self.medium
+                .reserve(end, ch, airtime.mul_f64(expected_tx - 1.0));
+        }
+        if !delivered {
+            return;
+        }
+        self.queue.schedule(
+            end,
+            Ev::AirToClient {
+                frame,
+                channel: ch,
+                ap,
+            },
+        );
+    }
+
+    fn process_ap_events(&mut self, now: SimTime, ap: usize, evs: Vec<ApEvent>) {
+        for ev in evs {
+            match ev {
+                ApEvent::Send(frame) => self.transmit_from_ap(now, ap, frame),
+                ApEvent::DeliverUp { from, packet } => self.uplink(now, ap, from, packet),
+                ApEvent::ClientAssociated(_) | ApEvent::ClientGone(_) => {}
+            }
+        }
+    }
+
+    /// An uplink packet from an associated client reached the AP's
+    /// network side.
+    fn uplink(&mut self, now: SimTime, ap: usize, from: MacAddr, packet: Ipv4Packet) {
+        if !packet.src.is_unspecified() {
+            self.aps[ap].arp.insert(packet.src, from);
+        }
+        match &packet.payload {
+            L4::Dhcp(msg) => {
+                if !self.aps[ap].dhcp_responsive {
+                    return; // broken AP: DHCP silence
+                }
+                let responses = self.aps[ap].dhcp.on_message(now, msg);
+                for ds in responses {
+                    if ds.msg.op == DhcpOp::Ack {
+                        self.aps[ap].arp.insert(ds.msg.yiaddr, ds.msg.chaddr);
+                    }
+                    let gateway = self.aps[ap].dhcp.config().gateway;
+                    let dst_mac = ds.msg.chaddr;
+                    let reply = Ipv4Packet {
+                        src: gateway,
+                        dst: ds.msg.yiaddr,
+                        payload: L4::Dhcp(ds.msg),
+                    };
+                    self.queue.schedule(
+                        ds.at.max(now),
+                        Ev::Downlink {
+                            ap,
+                            dst: dst_mac,
+                            packet: reply,
+                            // Join traffic is not PSM-buffered (§2,
+                            // DESIGN.md) — unless the counterfactual
+                            // ablation knob says otherwise.
+                            bufferable: self.cfg.psm_buffers_join_traffic,
+                        },
+                    );
+                }
+            }
+            L4::Icmp(msg) => {
+                if packet.dst == SERVER_IP {
+                    if let Some(reply) = msg.reply_to() {
+                        let rtt = self.aps[ap].backhaul_latency * 2;
+                        let pkt = Ipv4Packet {
+                            src: SERVER_IP,
+                            dst: packet.src,
+                            payload: L4::Icmp(reply),
+                        };
+                        let dst_mac = from;
+                        self.queue.schedule(
+                            now + rtt,
+                            Ev::Downlink {
+                                ap,
+                                dst: dst_mac,
+                                packet: pkt,
+                                bufferable: true,
+                            },
+                        );
+                    }
+                } else if packet.dst == self.aps[ap].dhcp.config().gateway {
+                    // Gateway answers pings locally (Spider falls back to
+                    // pinging the gateway when end-to-end ICMP is
+                    // filtered, §3.2.2).
+                    if let Some(reply) = msg.reply_to() {
+                        let pkt = Ipv4Packet {
+                            src: packet.dst,
+                            dst: packet.src,
+                            payload: L4::Icmp(reply),
+                        };
+                        self.queue.schedule(
+                            now + SimDuration::from_micros(500),
+                            Ev::Downlink {
+                                ap,
+                                dst: from,
+                                packet: pkt,
+                                bufferable: true,
+                            },
+                        );
+                    }
+                }
+            }
+            L4::Tcp(_) => {
+                if packet.dst == SERVER_IP {
+                    let latency = self.aps[ap].backhaul_latency;
+                    self.queue.schedule(
+                        now + latency,
+                        Ev::ServerRx {
+                            ap,
+                            packet,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// An uplink TCP segment arrives at the wired server.
+    fn server_rx(&mut self, now: SimTime, ap: usize, packet: Ipv4Packet) {
+        let L4::Tcp(seg) = &packet.payload else { return };
+        let client_port = seg.src_port;
+        // A fresh SYN replaces any stale sender for this port (a new
+        // connection after the client reconnected).
+        if seg.flags.syn && !seg.flags.ack {
+            let needs_new = self.aps[ap]
+                .senders
+                .get(&client_port)
+                .map(|(_, s)| {
+                    s.state() != TcpSenderState::Listen
+                        && s.state() != TcpSenderState::SynReceived
+                })
+                .unwrap_or(true);
+            if needs_new {
+                let iss = self.aps[ap].iss_rng.next_u64() as u32;
+                let sender =
+                    TcpSender::new(self.cfg.tcp.clone(), SERVER_PORT, client_port, iss);
+                self.aps[ap].senders.insert(client_port, (packet.src, sender));
+            }
+        }
+        let Some((client_ip, sender)) = self.aps[ap].senders.get_mut(&client_port) else {
+            return;
+        };
+        let client_ip = *client_ip;
+        let out = sender.on_segment(now, seg);
+        let wake = sender.next_wakeup();
+        for seg_out in out {
+            self.backhaul_down_to(now, ap, client_ip, seg_out);
+        }
+        if wake < SimTime::MAX {
+            self.schedule_ap_wake(now, ap, wake);
+        }
+    }
+
+    fn backhaul_down_to(
+        &mut self,
+        now: SimTime,
+        ap: usize,
+        client_ip: Ipv4Addr,
+        seg: spider_wire::TcpSegment,
+    ) {
+        let bytes = (seg.wire_size() + Ipv4Packet::HEADER_SIZE) as f64;
+        let node = &mut self.aps[ap];
+        let free = node.backhaul_free_at.max(now);
+        // Drop-tail if the backhaul queue is too deep.
+        if free.saturating_since(now) > self.cfg.backhaul_queue_cap {
+            return;
+        }
+        let tx_done = free + SimDuration::from_secs_f64(bytes / node.backhaul_bps);
+        node.backhaul_free_at = tx_done;
+        let deliver_at = tx_done + node.backhaul_latency;
+        let dst_mac = node.arp.get(&client_ip).copied();
+        let Some(dst) = dst_mac else { return };
+        let packet = Ipv4Packet {
+            src: SERVER_IP,
+            dst: client_ip,
+            payload: L4::Tcp(seg),
+        };
+        self.queue.schedule(
+            deliver_at,
+            Ev::Downlink {
+                ap,
+                dst,
+                packet,
+                bufferable: true,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{lab_scenario, town_scenario, ScenarioParams};
+    use spider_baselines::{StockConfig, StockDriver};
+    use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+
+    fn spider(mode: OperationMode) -> SpiderDriver {
+        SpiderDriver::new(SpiderConfig::for_mode(mode, 1))
+    }
+
+    #[test]
+    fn static_spider_connects_and_downloads() {
+        let cfg = lab_scenario(
+            &[Channel::CH1],
+            250_000.0,
+            SimDuration::from_secs(30),
+            42,
+        );
+        let world = World::new(cfg, spider(OperationMode::SingleChannelMultiAp(Channel::CH1)));
+        let result = world.run();
+        assert!(!result.join_log.join.is_empty(), "{result}");
+        assert!(
+            result.bytes > 500_000,
+            "expected a real download, got {} bytes",
+            result.bytes
+        );
+        // Backhaul-limited: cannot beat 250 KB/s by much.
+        assert!(result.avg_throughput_bps < 300_000.0, "{result}");
+        assert!(result.connectivity > 0.5, "{result}");
+        assert_eq!(result.aps_encountered, 1);
+    }
+
+    #[test]
+    fn two_aps_on_one_channel_double_throughput() {
+        // Fig. 10's core claim: Spider on two same-channel APs matches
+        // two radios, i.e. ~2x the single-AP backhaul-limited rate.
+        let backhaul = 125_000.0; // 1 Mb/s each
+        let one = World::new(
+            lab_scenario(&[Channel::CH1], backhaul, SimDuration::from_secs(30), 7),
+            spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+        )
+        .run();
+        let two = World::new(
+            lab_scenario(
+                &[Channel::CH1, Channel::CH1],
+                backhaul,
+                SimDuration::from_secs(30),
+                7,
+            ),
+            spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+        )
+        .run();
+        assert!(
+            two.avg_throughput_bps > 1.6 * one.avg_throughput_bps,
+            "one: {one}, two: {two}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mk = || {
+            World::new(
+                lab_scenario(&[Channel::CH1], 250_000.0, SimDuration::from_secs(20), 5),
+                spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.join_log.join.len(), b.join_log.join.len());
+    }
+
+    #[test]
+    fn stock_driver_connects_in_lab() {
+        let cfg = lab_scenario(&[Channel::CH6], 250_000.0, SimDuration::from_secs(40), 9);
+        let result = World::new(cfg, StockDriver::new(StockConfig::quickwifi(1))).run();
+        assert!(!result.join_log.join.is_empty(), "{result}");
+        assert!(result.bytes > 100_000, "{result}");
+    }
+
+    #[test]
+    fn multichannel_spider_survives_switching() {
+        // APs on two channels; the 3-channel rotation must still join
+        // and move data on both.
+        let cfg = lab_scenario(
+            &[Channel::CH1, Channel::CH11],
+            250_000.0,
+            SimDuration::from_secs(40),
+            11,
+        );
+        let result = World::new(
+            cfg,
+            spider(OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            }),
+        )
+        .run();
+        assert!(result.switches > 50, "rotation must switch: {result}");
+        assert!(!result.join_log.join.is_empty(), "{result}");
+        assert!(result.bytes > 50_000, "{result}");
+    }
+
+    #[test]
+    fn town_drive_produces_encounters_and_joins() {
+        let params = ScenarioParams {
+            duration: SimDuration::from_secs(300),
+            seed: 3,
+            ..Default::default()
+        };
+        let cfg = town_scenario(&params);
+        let result = World::new(cfg, spider(OperationMode::SingleChannelMultiAp(Channel::CH6))).run();
+        assert!(result.aps_encountered > 5, "{result}");
+        assert!(!result.join_log.join.is_empty(), "{result}");
+        assert!(result.bytes > 0, "{result}");
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+    use crate::capture::{read_capture, Direction};
+    use crate::scenarios::lab_scenario;
+    use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+    use spider_wire::FrameBody;
+
+    #[test]
+    fn world_capture_records_a_join_in_order() {
+        let path = std::env::temp_dir().join("spider-world-capture.spdr");
+        let mut cfg = lab_scenario(&[Channel::CH1], 250_000.0, SimDuration::from_secs(5), 3);
+        cfg.capture = Some((path.clone(), 5_000));
+        let driver = SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1,
+        ));
+        let result = World::new(cfg, driver).run();
+        assert!(result.bytes > 0);
+
+        let records = read_capture(&path).unwrap();
+        assert!(records.len() > 20, "{} records", records.len());
+        // Timestamps are non-decreasing.
+        assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
+        // The join handshake appears, in protocol order, before data.
+        let pos = |pred: &dyn Fn(&FrameBody) -> bool| {
+            records.iter().position(|r| pred(&r.frame.body))
+        };
+        let auth_req = pos(&|b| matches!(b, FrameBody::AuthRequest)).expect("auth req");
+        let auth_resp =
+            pos(&|b| matches!(b, FrameBody::AuthResponse { .. })).expect("auth resp");
+        let assoc_resp =
+            pos(&|b| matches!(b, FrameBody::AssocResponse { .. })).expect("assoc resp");
+        let data = pos(&|b| matches!(b, FrameBody::Data { .. })).expect("data");
+        assert!(auth_req < auth_resp && auth_resp < assoc_resp && assoc_resp < data);
+        // Both directions occur.
+        assert!(records.iter().any(|r| r.direction == Direction::ToClient));
+        assert!(records.iter().any(|r| r.direction == Direction::ToAp));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::scenarios::{lab_scenario, town_scenario, ScenarioParams};
+    use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+    use spider_radio::LossModel;
+
+    fn spider_ch1() -> SpiderDriver {
+        SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1,
+        ))
+    }
+
+    #[test]
+    fn total_loss_means_no_joins_and_no_data() {
+        let mut cfg = lab_scenario(&[Channel::CH1], 250_000.0, SimDuration::from_secs(20), 4);
+        cfg.loss = LossModel::Bernoulli { h: 1.0 };
+        let result = World::new(cfg, spider_ch1()).run();
+        assert_eq!(result.join_log.assoc.len(), 0);
+        assert_eq!(result.bytes, 0);
+        assert_eq!(result.connectivity, 0.0);
+    }
+
+    #[test]
+    fn heavy_loss_still_makes_some_progress_with_mac_arq() {
+        let mut cfg = lab_scenario(&[Channel::CH1], 250_000.0, SimDuration::from_secs(30), 4);
+        cfg.loss = LossModel::Bernoulli { h: 0.30 };
+        let result = World::new(cfg, spider_ch1()).run();
+        // 30% raw loss with 4 ARQ attempts = 0.8% residual: joins and
+        // data must still flow.
+        assert!(!result.join_log.join.is_empty(), "{result}");
+        assert!(result.bytes > 100_000, "{result}");
+    }
+
+    #[test]
+    fn single_arq_attempt_restores_raw_loss_pain() {
+        let mk = |retries: u32| {
+            let mut cfg =
+                lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), 4);
+            cfg.loss = LossModel::Bernoulli { h: 0.10 };
+            cfg.mac_retries = retries;
+            World::new(cfg, spider_ch1()).run()
+        };
+        let with_arq = mk(4);
+        let without = mk(1);
+        assert!(
+            with_arq.avg_throughput_bps > 1.5 * without.avg_throughput_bps,
+            "ARQ {with_arq}; raw {without}"
+        );
+    }
+
+    #[test]
+    fn empty_deployment_is_silence_not_panic() {
+        let mut params = ScenarioParams {
+            duration: SimDuration::from_secs(60),
+            seed: 5,
+            density_per_km: 15.0,
+            ..Default::default()
+        };
+        params.density_per_km = 0.0001; // effectively no APs
+        let cfg = town_scenario(&params);
+        let result = World::new(cfg, spider_ch1()).run();
+        assert_eq!(result.bytes, 0);
+        assert_eq!(result.aps_encountered, 0);
+    }
+
+    #[test]
+    fn out_of_range_aps_are_never_heard() {
+        // One AP 500m from a static client.
+        let deployment = spider_mobility::Deployment::lab(
+            vec![(Position::new(500.0, 0.0), Channel::CH1)],
+            250_000.0,
+        );
+        let cfg = WorldConfig::new(
+            MobilityModel::Static(Position::ORIGIN),
+            deployment,
+            SimDuration::from_secs(20),
+            6,
+        );
+        let result = World::new(cfg, spider_ch1()).run();
+        assert_eq!(result.aps_encountered, 0);
+        assert_eq!(result.join_log.assoc.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod determinism_props {
+    use super::*;
+    use crate::scenarios::lab_scenario;
+    use proptest::prelude::*;
+    use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Any (seed, backhaul) pair yields bit-identical runs: the whole
+        /// pipeline is a pure function of its inputs.
+        #[test]
+        fn world_is_a_pure_function_of_its_inputs(
+            seed in 0u64..1_000,
+            backhaul_kbps in 50u64..500,
+        ) {
+            let run = || {
+                let cfg = lab_scenario(
+                    &[Channel::CH1],
+                    backhaul_kbps as f64 * 1_000.0,
+                    SimDuration::from_secs(10),
+                    seed,
+                );
+                World::new(
+                    cfg,
+                    SpiderDriver::new(SpiderConfig::for_mode(
+                        OperationMode::SingleChannelMultiAp(Channel::CH1),
+                        1,
+                    )),
+                )
+                .run()
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(a.tcp_retransmits, b.tcp_retransmits);
+            prop_assert_eq!(a.join_log.join.len(), b.join_log.join.len());
+            // And throughput never exceeds what the backhaul can carry
+            // (plus a small burst tolerance for the first window).
+            prop_assert!(
+                a.avg_throughput_bps <= backhaul_kbps as f64 * 1_000.0 * 1.10 + 1.0,
+                "throughput {} exceeds backhaul {}",
+                a.avg_throughput_bps,
+                backhaul_kbps * 1_000
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The analytical model end to end: join probabilities (Eq. 7), the
+//! throughput optimiser (Eqs. 8–10), and the dividing speed that decides
+//! Spider's whole channel strategy.
+//!
+//! ```sh
+//! cargo run --release --example dividing_speed
+//! ```
+
+use spider_repro::model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+
+fn main() {
+    // How likely is a mobile client to obtain a DHCP lease within 4 s,
+    // as a function of how much of its schedule it spends on the AP's
+    // channel? (Fig. 2's question.)
+    let model = JoinModel::paper_defaults(10.0);
+    println!("p(lease within 4s) for beta in [0.5s, 10s], D=500ms, h=10%:\n");
+    println!("{:>22} {:>12}", "time on channel", "p(join)");
+    for fi in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        println!("{:>20.0} % {:>12.3}", fi * 100.0, model.p_join(fi, 4.0));
+    }
+    println!(
+        "\n→ \"the node should spend nearly 100% of its time on the channel\n\
+         for an assured successful join\" (§2.1.2).\n"
+    );
+
+    // Where is the dividing speed? Two channels: 75% of Bw already
+    // joined on channel 1, 25% available-after-join on channel 2.
+    let optimizer = ThroughputOptimizer::paper(model);
+    let scenarios = [
+        ChannelScenario {
+            joined_frac: 0.75,
+            available_frac: 0.0,
+        },
+        ChannelScenario {
+            joined_frac: 0.0,
+            available_frac: 0.25,
+        },
+    ];
+    println!("optimal schedule vs speed (75% joined on ch1, 25% joinable on ch2):\n");
+    println!(
+        "{:>11} {:>9} {:>9} {:>13}",
+        "speed", "f_ch1", "f_ch2", "total (kbps)"
+    );
+    let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 20.0];
+    for &v in &speeds {
+        let opt = optimizer.optimize(&scenarios, v);
+        println!(
+            "{:>7} m/s {:>9.2} {:>9.2} {:>13.0}",
+            v,
+            opt.fractions[0],
+            opt.fractions[1],
+            opt.total_bps / 1e3
+        );
+    }
+    let div = optimizer.dividing_speed(&scenarios, &speeds).unwrap();
+    println!(
+        "\n→ dividing speed: {div} m/s. Faster than this, joining APs on a\n\
+         second channel cannot pay for the air time it costs (Eq. 9's\n\
+         fixed point collapses), so Spider stays on one channel — the\n\
+         result its whole design builds on."
+    );
+}
