@@ -142,7 +142,9 @@ impl FatVapDriver {
                     let e = self.estimate_for(bssid);
                     self.estimates.insert(bssid, e * 0.5);
                 }
-                IfaceEvent::GotLease { .. } | IfaceEvent::ConnectivityUp { .. } => {}
+                IfaceEvent::GotLease { .. }
+                | IfaceEvent::ConnectivityUp { .. }
+                | IfaceEvent::LeaseRejected { .. } => {}
             }
         }
     }

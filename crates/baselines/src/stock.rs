@@ -58,6 +58,10 @@ impl StockConfig {
                 interval: Dur::from_secs(1),
                 fail_threshold: 12,
                 id: 0,
+                // A stock stack has no tightened probe deadline and no
+                // gateway fallback; keep the old 3-interval grace.
+                reply_deadline: Dur::from_secs(3),
+                gateway_fallback_after: None,
             },
             tcp_enabled: true,
             client_id,
@@ -163,6 +167,9 @@ impl StockDriver {
                     }
                     // Back to scanning from the first channel.
                     self.start_scan(now, actions);
+                }
+                IfaceEvent::LeaseRejected { bssid } => {
+                    self.leases.invalidate(bssid);
                 }
             }
         }

@@ -309,6 +309,14 @@ impl ApMac {
         }
     }
 
+    /// Wipe all association state without notifying anyone — an AP
+    /// power-cycle. Clients still believing themselves associated must
+    /// re-join from scratch (their data frames will be ignored).
+    pub fn reset_associations(&mut self) {
+        self.clients.clear();
+        self.next_aid = 1;
+    }
+
     /// Remove a client (age-out by the AP's own logic).
     pub fn evict(&mut self, mac: MacAddr) -> Vec<ApEvent> {
         if self.clients.remove(&mac).is_some() {
@@ -622,7 +630,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod property_tests {
     use super::*;
     use proptest::prelude::*;

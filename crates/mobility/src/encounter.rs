@@ -249,7 +249,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod property_tests {
     use super::*;
     use crate::deployment::{Deployment, RoadsideParams};

@@ -70,7 +70,6 @@ impl Mul<f64> for Position {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn distances() {
@@ -93,7 +92,12 @@ mod tests {
         assert_eq!(v - v, Position::ORIGIN);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// Triangle inequality.
         #[test]
         fn triangle(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
@@ -103,6 +107,7 @@ mod tests {
             let b = Position::new(bx, by);
             let c = Position::new(cx, cy);
             prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+        }
         }
     }
 }

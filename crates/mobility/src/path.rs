@@ -96,7 +96,6 @@ impl MobilityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn static_never_moves() {
@@ -133,7 +132,12 @@ mod tests {
         );
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// Linear displacement over dt equals speed * dt.
         #[test]
         fn linear_speed_consistency(speed in 0.1f64..50.0, t1 in 0u64..1000, dt in 1u64..1000) {
@@ -151,6 +155,7 @@ mod tests {
             let p = m.position(SimTime::from_millis(t * 10));
             prop_assert!((-1e-9..=100.0 + 1e-9).contains(&p.x));
             prop_assert!((-1e-9..=50.0 + 1e-9).contains(&p.y));
+        }
         }
     }
 }

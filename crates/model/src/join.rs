@@ -125,7 +125,6 @@ impl JoinModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn model() -> JoinModel {
         JoinModel::paper_defaults(5.0)
@@ -237,7 +236,12 @@ mod tests {
         assert!(q_next > 0.0);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// q_success is always a valid probability.
         #[test]
         fn q_in_unit_interval(mn in 0usize..8, k in 1usize..6, fi in 0.01f64..1.0) {
@@ -256,6 +260,7 @@ mod tests {
             let p2 = m.p_join(fi, t + 1.0);
             prop_assert!((0.0..=1.0).contains(&p1));
             prop_assert!(p2 >= p1 - 1e-12);
+        }
         }
     }
 }

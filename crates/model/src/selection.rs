@@ -180,7 +180,6 @@ pub fn density_score(o: &ApOption) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn opts(pairs: &[(f64, f64)]) -> Vec<ApOption> {
         pairs
@@ -273,7 +272,12 @@ mod tests {
         assert_eq!(o.value, 0.0);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// The exact solver never violates the budget and always
         /// dominates greedy.
         #[test]
@@ -310,6 +314,7 @@ mod tests {
             let h = g.value.max(best_single);
             prop_assert!(h * 2.0 + 1e-6 >= o.value,
                 "combined heuristic {} below half of optimal {}", h, o.value);
+        }
         }
     }
 }

@@ -86,6 +86,11 @@ pub enum DhcpClientEvent {
     },
     /// The acquisition attempt failed (retries exhausted or NAK).
     Failed,
+    /// The server NAKed our REQUEST. Emitted *in addition to* the
+    /// recovery behaviour (fallback to DISCOVER on the cached path,
+    /// `Failed` otherwise) so the caller can evict the now-known-bad
+    /// lease from its [`LeaseCache`](crate::lease::LeaseCache).
+    Nak,
 }
 
 /// The DHCP client state machine.
@@ -259,10 +264,11 @@ impl DhcpClient {
                 });
             }
             (DhcpClientState::Requesting, DhcpOp::Nak) => {
+                out.push(DhcpClientEvent::Nak);
                 if self.via_cache {
                     // Cached lease rejected: fall back to a full exchange
-                    // immediately (the cache entry should be invalidated
-                    // by the caller).
+                    // immediately; the Nak event above tells the caller
+                    // to invalidate the cache entry.
                     self.via_cache = false;
                     self.offer = None;
                     self.state = DhcpClientState::Selecting;
@@ -387,7 +393,9 @@ mod tests {
             op: DhcpOp::Nak,
             ..ack(xid)
         };
-        assert!(c.on_message(SimTime::from_millis(20), &nak).is_empty());
+        // The NAK is surfaced so the caller can evict the cached lease.
+        let ev = c.on_message(SimTime::from_millis(20), &nak);
+        assert!(matches!(&ev[..], [DhcpClientEvent::Nak]));
         assert_eq!(c.state(), DhcpClientState::Selecting);
         let ev = c.poll(SimTime::from_millis(20), true);
         assert!(matches!(&ev[..], [DhcpClientEvent::Send(m)] if m.op == DhcpOp::Discover));

@@ -309,7 +309,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod property_tests {
     use super::*;
     use proptest::prelude::*;

@@ -71,6 +71,16 @@ impl LeaseCache {
         self.entries.remove(&bssid);
     }
 
+    /// Drop every expired lease. `lookup` evicts lazily on access;
+    /// this is the periodic sweep (driver housekeeping) that keeps
+    /// never-revisited BSSIDs from pinning dead entries forever.
+    /// Returns how many entries were evicted.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, l| l.valid_at(now));
+        before - self.entries.len()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -131,4 +141,17 @@ mod tests {
         assert!(c.is_empty());
     }
 
+    #[test]
+    fn evict_expired_sweeps_only_dead_entries() {
+        let mut c = LeaseCache::new();
+        c.insert(MacAddr::from_id(1), lease(100));
+        c.insert(MacAddr::from_id(2), lease(500));
+        c.insert(MacAddr::from_id(3), lease(50));
+        assert_eq!(c.evict_expired(SimTime::from_secs(200)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.lookup(SimTime::from_secs(200), MacAddr::from_id(2)),
+            Some(lease(500))
+        );
+    }
 }

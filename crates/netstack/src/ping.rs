@@ -20,15 +20,31 @@ pub struct PingConfig {
     pub fail_threshold: u32,
     /// ICMP identifier for this probe stream (one per interface).
     pub id: u16,
+    /// How long after transmission an unanswered probe counts as lost.
+    /// The paper counts a probe failed when the next one is due, so the
+    /// paper configuration sets this to `interval`; replies that arrive
+    /// after the deadline still reset the failure counter (see
+    /// [`PingEngine::on_reply`]), so a slow-but-alive path is not
+    /// declared dead.
+    pub reply_deadline: SimDuration,
+    /// After this many probes in a session with *no* replies at all,
+    /// the caller should redirect probes at the gateway — the §3.2.2
+    /// fallback for APs whose upstream filters end-to-end ICMP.
+    /// Exposed via [`PingEngine::should_fall_back`]; `None` disables.
+    pub gateway_fallback_after: Option<u32>,
 }
 
 impl PingConfig {
-    /// The paper's parameters: 10 pings/second, 30 consecutive failures.
+    /// The paper's parameters: 10 pings/second, 30 consecutive
+    /// failures, a probe counted lost when its successor is due, and
+    /// the gateway fallback armed after 10 unanswered probes.
     pub fn paper(id: u16) -> PingConfig {
         PingConfig {
             interval: SimDuration::from_millis(100),
             fail_threshold: 30,
             id,
+            reply_deadline: SimDuration::from_millis(100),
+            gateway_fallback_after: Some(10),
         }
     }
 }
@@ -55,6 +71,13 @@ pub struct PingEngine {
     outstanding: VecDeque<(u16, SimTime)>,
     consecutive_failures: u32,
     alive: bool,
+    /// First sequence number of the current session (set by `start`);
+    /// replies older than this are from a previous binding and ignored.
+    session_start_seq: u16,
+    /// Probes expired unanswered this session.
+    session_expired: u32,
+    /// Replies received this session (late ones included).
+    session_received: u64,
     /// Total probes sent (observability).
     pub sent: u64,
     /// Total replies received.
@@ -72,6 +95,9 @@ impl PingEngine {
             outstanding: VecDeque::new(),
             consecutive_failures: 0,
             alive: false,
+            session_start_seq: 0,
+            session_expired: 0,
+            session_received: 0,
             sent: 0,
             received: 0,
         }
@@ -84,6 +110,9 @@ impl PingEngine {
         self.outstanding.clear();
         self.consecutive_failures = 0;
         self.alive = false;
+        self.session_start_seq = self.next_seq;
+        self.session_expired = 0;
+        self.session_received = 0;
     }
 
     /// Stop probing (interface torn down).
@@ -111,14 +140,15 @@ impl PingEngine {
         if !self.running {
             return out;
         }
-        // Expire outstanding probes. A probe is failed if unanswered one
-        // full interval * threshold after transmission would be too lax;
-        // the paper counts a probe failed when the next is due, i.e.
-        // deadline = sent + interval.
+        // Expire outstanding probes at `sent + reply_deadline`. The
+        // paper counts a probe failed when the next one is due; a reply
+        // that shows up after its probe expired is handled in
+        // `on_reply` and still resets the failure counter.
         while let Some(&(_, deadline)) = self.outstanding.front() {
             if now >= deadline {
                 self.outstanding.pop_front();
                 self.consecutive_failures += 1;
+                self.session_expired += 1;
                 if self.consecutive_failures == self.cfg.fail_threshold {
                     if self.alive {
                         self.alive = false;
@@ -144,7 +174,7 @@ impl PingEngine {
             let seq = self.next_seq;
             self.next_seq = self.next_seq.wrapping_add(1);
             self.outstanding
-                .push_back((seq, now + self.cfg.interval * 3));
+                .push_back((seq, now + self.cfg.reply_deadline));
             self.sent += 1;
             self.next_send = now + self.cfg.interval;
             out.push(PingEvent::Send(IcmpMessage::EchoRequest {
@@ -180,12 +210,23 @@ impl PingEngine {
         // Any reply for a still-outstanding probe counts; later probes
         // whose replies raced are left to expire harmlessly (failures
         // reset below anyway).
-        let Some(pos) = self.outstanding.iter().position(|&(s, _)| s == *seq) else {
-            return Vec::new();
-        };
-        // Everything older than the answered probe is moot.
-        self.outstanding.drain(..=pos);
+        if let Some(pos) = self.outstanding.iter().position(|&(s, _)| s == *seq) {
+            // Everything older than the answered probe is moot.
+            self.outstanding.drain(..=pos);
+        } else {
+            // Not outstanding: either already expired (a slow path, e.g.
+            // a bloated backhaul queue) or from before this session.
+            // Late replies from *this* session still prove the path
+            // forwards, so they reset the failure counter; stale ones
+            // from a previous binding are ignored.
+            let age = seq.wrapping_sub(self.session_start_seq);
+            let sent_this_session = self.next_seq.wrapping_sub(self.session_start_seq);
+            if age >= sent_this_session {
+                return Vec::new();
+            }
+        }
         self.received += 1;
+        self.session_received += 1;
         self.consecutive_failures = 0;
         if !self.alive {
             self.alive = true;
@@ -194,17 +235,47 @@ impl PingEngine {
             Vec::new()
         }
     }
+
+    /// Whether the caller should redirect probes at the gateway: the
+    /// session has produced `gateway_fallback_after` expired probes and
+    /// not a single reply — end-to-end ICMP is likely filtered
+    /// upstream of this AP (§3.2.2).
+    pub fn should_fall_back(&self) -> bool {
+        match self.cfg.gateway_fallback_after {
+            Some(n) => {
+                self.running && self.session_received == 0 && self.session_expired >= n
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A relaxed engine: 3-interval reply deadline, no fallback. The
+    /// older tests below were written against this grace window.
     fn engine() -> PingEngine {
         let mut e = PingEngine::new(PingConfig {
             interval: SimDuration::from_millis(100),
             fail_threshold: 3,
             id: 9,
+            reply_deadline: SimDuration::from_millis(300),
+            gateway_fallback_after: None,
+        });
+        e.start(SimTime::ZERO);
+        e
+    }
+
+    /// Paper-style timing (deadline = interval) with a small threshold.
+    fn strict_engine(fail_threshold: u32) -> PingEngine {
+        let mut e = PingEngine::new(PingConfig {
+            interval: SimDuration::from_millis(100),
+            fail_threshold,
+            id: 9,
+            reply_deadline: SimDuration::from_millis(100),
+            gateway_fallback_after: None,
         });
         e.start(SimTime::ZERO);
         e
@@ -320,5 +391,108 @@ mod tests {
         e.poll(SimTime::ZERO, true);
         // Next send at 100ms; outstanding deadline at 300ms.
         assert_eq!(e.next_wakeup(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn down_fires_exactly_at_fail_threshold() {
+        // Boundary check: with threshold 3 and deadline = interval, the
+        // Down must fire at the tick where the 3rd probe expires — not
+        // one earlier, not one later. Probe i goes out at i*100ms and
+        // expires at (i+1)*100ms.
+        let mut e = strict_engine(3);
+        let mut down_at = None;
+        for i in 0..10u64 {
+            let t = SimTime::from_millis(i * 100);
+            for ev in e.poll(t, true) {
+                if ev == PingEvent::Down && down_at.is_none() {
+                    down_at = Some(t);
+                }
+            }
+        }
+        // Expiries land at 100/200/300ms; the 3rd is the threshold.
+        assert_eq!(down_at, Some(SimTime::from_millis(300)));
+    }
+
+    #[test]
+    fn reordered_reply_across_expiry_deadline_resets_counter() {
+        // seq 0 expires before its reply lands while seq 1's reply
+        // arrives in-order: the late seq-0 reply (already expired) must
+        // still be accepted as proof of life, not dropped as unknown.
+        let mut e = strict_engine(3);
+        e.poll(SimTime::ZERO, true); // seq 0, deadline 100ms
+        let ev = e.poll(SimTime::from_millis(100), true); // seq 0 expires, seq 1 out
+        assert!(!ev.contains(&PingEvent::Down));
+        // The reply to the expired probe arrives late, out of order.
+        let ev = e.on_reply(SimTime::from_millis(150), &reply(0));
+        assert_eq!(ev, vec![PingEvent::Up]);
+        assert!(e.is_alive());
+        // And the in-flight probe answers normally afterwards.
+        assert!(e.on_reply(SimTime::from_millis(160), &reply(1)).is_empty());
+    }
+
+    #[test]
+    fn late_success_after_down_resets_counter_and_revives() {
+        let mut e = strict_engine(3);
+        // Probes 0..=2 expire unanswered: Down at 300ms.
+        let mut down = false;
+        for i in 0..4u64 {
+            for ev in e.poll(SimTime::from_millis(i * 100), true) {
+                if ev == PingEvent::Down {
+                    down = true;
+                }
+            }
+        }
+        assert!(down);
+        // A straggler reply for probe 2 finally crawls back: failure
+        // counter resets and the engine reports Up again.
+        let ev = e.on_reply(SimTime::from_millis(350), &reply(2));
+        assert_eq!(ev, vec![PingEvent::Up]);
+        assert!(e.is_alive());
+        // Fresh failures must again accumulate from zero: the next Down
+        // needs 3 new expiries (probes 3..=5 expire at 400/500/600ms).
+        let mut second_down_at = None;
+        for i in 4..10u64 {
+            let t = SimTime::from_millis(i * 100);
+            for ev in e.poll(t, true) {
+                if ev == PingEvent::Down && second_down_at.is_none() {
+                    second_down_at = Some(t);
+                }
+            }
+        }
+        assert_eq!(second_down_at, Some(SimTime::from_millis(600)));
+    }
+
+    #[test]
+    fn stale_reply_from_previous_session_is_ignored() {
+        let mut e = strict_engine(3);
+        e.poll(SimTime::ZERO, true); // seq 0 of session 1
+        e.stop();
+        e.start(SimTime::from_secs(1)); // session 2 starts at seq 1
+        // Session-1 reply must not count for session 2.
+        assert!(e.on_reply(SimTime::from_secs(1), &reply(0)).is_empty());
+        assert!(!e.is_alive());
+        assert_eq!(e.received, 0);
+    }
+
+    #[test]
+    fn gateway_fallback_arms_after_silent_probes() {
+        let mut e = PingEngine::new(PingConfig {
+            interval: SimDuration::from_millis(100),
+            fail_threshold: 30,
+            id: 9,
+            reply_deadline: SimDuration::from_millis(100),
+            gateway_fallback_after: Some(5),
+        });
+        e.start(SimTime::ZERO);
+        for i in 0..5u64 {
+            e.poll(SimTime::from_millis(i * 100), true);
+            assert!(!e.should_fall_back());
+        }
+        // The 5th expiry happens at 500ms: now fall back.
+        e.poll(SimTime::from_millis(500), true);
+        assert!(e.should_fall_back());
+        // A reply (to the still-outstanding probe) disarms it for good.
+        e.on_reply(SimTime::from_millis(510), &reply(5));
+        assert!(!e.should_fall_back());
     }
 }

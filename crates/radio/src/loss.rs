@@ -73,7 +73,6 @@ impl Default for LossModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn none_never_loses() {
@@ -105,7 +104,12 @@ mod tests {
         assert_eq!(m.loss_probability(150.0, 100.0), 1.0);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// Loss probability is always a valid probability and monotone in
         /// distance for the ramp model.
         #[test]
@@ -120,6 +124,7 @@ mod tests {
             prop_assert!((0.0..=1.0).contains(&pn));
             prop_assert!((0.0..=1.0).contains(&pf));
             prop_assert!(pn <= pf + 1e-12);
+        }
         }
     }
 }

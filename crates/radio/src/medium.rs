@@ -63,7 +63,6 @@ impl ChannelMedium {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const CH: Channel = Channel::CH6;
 
@@ -108,7 +107,12 @@ mod tests {
         assert_eq!(m.airtime_used(Channel::CH1), SimDuration::ZERO);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// Transmissions on one channel never overlap.
         #[test]
         fn no_overlap(frames in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)) {
@@ -123,6 +127,7 @@ mod tests {
             for pair in intervals.windows(2) {
                 prop_assert!(pair[1].0 >= pair[0].1, "overlap: {:?}", pair);
             }
+        }
         }
     }
 }

@@ -59,7 +59,6 @@ impl Default for Propagation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn range_cutoff() {
@@ -93,13 +92,19 @@ mod tests {
         assert_eq!(p.rssi_dbm(0.5), p.rssi_dbm(1.0));
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// RSSI is monotone non-increasing in distance.
         #[test]
         fn rssi_monotone(a in 0.0f64..500.0, b in 0.0f64..500.0) {
             let p = Propagation::outdoor();
             let (near, far) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(p.rssi_dbm(near) >= p.rssi_dbm(far));
+        }
         }
     }
 }

@@ -75,7 +75,6 @@ impl TokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn starts_full_and_drains() {
@@ -111,7 +110,12 @@ mod tests {
         assert!(b.try_consume(ready, 250.0));
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// A bucket never yields more tokens over an interval than
         /// capacity + rate * elapsed (conservation).
         #[test]
@@ -128,6 +132,7 @@ mod tests {
             }
             let budget = cap + rate * (now_us as f64 / 1e6) + 1e-6;
             prop_assert!(consumed <= budget, "consumed {} > budget {}", consumed, budget);
+        }
         }
     }
 }

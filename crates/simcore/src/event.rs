@@ -139,7 +139,6 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn orders_by_time_then_fifo() {
@@ -183,7 +182,12 @@ mod tests {
         assert!(q.is_empty());
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// Popping always yields a non-decreasing time sequence, and events
         /// scheduled at identical instants come out in scheduling order.
         #[test]
@@ -205,6 +209,7 @@ mod tests {
                 }
                 prev_seq_at_time = Some(ev.event);
             }
+        }
         }
     }
 }

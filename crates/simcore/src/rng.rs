@@ -229,7 +229,6 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn same_seed_same_sequence() {
@@ -361,7 +360,12 @@ mod tests {
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn uniform_in_respects_bounds(lo in -1e6f64..1e6, span in 0.0f64..1e6, seed in 0u64..1000) {
             let mut rng = SimRng::new(seed);
@@ -383,6 +387,7 @@ mod tests {
             let mut rng = SimRng::new(seed);
             let x = rng.pareto(2.0, 1.5);
             prop_assert!(x >= 2.0);
+        }
         }
     }
 }

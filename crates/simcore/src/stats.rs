@@ -11,10 +11,9 @@
 //!   the instantaneous-bandwidth distribution of Figure 13.
 
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// Streaming summary statistics (Welford's online algorithm).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -119,7 +118,7 @@ impl OnlineStats {
 }
 
 /// An empirical cumulative distribution function.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<f64>,
     sorted: bool,
@@ -426,7 +425,6 @@ impl RateMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn online_stats_basics() {
@@ -517,7 +515,12 @@ mod tests {
         assert!((rates[1] - 500.0).abs() < 1e-9);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// The empirical CDF is monotone non-decreasing in its argument.
         #[test]
         fn cdf_monotone(mut xs in prop::collection::vec(-1e3f64..1e3, 1..100),
@@ -559,6 +562,7 @@ mod tests {
                 .map(|d| d.as_micros())
                 .sum();
             prop_assert_eq!(sum, end * 1000);
+        }
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Per-BSSID blacklist with exponential backoff.
+//!
+//! An AP whose join failed (or whose verified link just died) is a poor
+//! candidate to re-join immediately: a blacked-out or zombie AP will
+//! keep beaconing, keep winning the utility ranking on signal strength,
+//! and trap the driver in a join/fail loop. The blacklist holds each
+//! failed BSSID out of AP selection for an exponentially growing,
+//! jittered window — `base * 2^(strikes-1)` capped at `max` — and clears
+//! the slate on the first verified success. Jitter is deterministic per
+//! `(bssid, strikes)` so runs stay reproducible.
+
+use spider_simcore::{SimDuration, SimTime};
+use spider_wire::MacAddr;
+use std::collections::HashMap;
+
+/// Backoff tuning.
+#[derive(Debug, Clone)]
+pub struct BlacklistConfig {
+    /// First-strike hold-off.
+    pub base: SimDuration,
+    /// Backoff ceiling.
+    pub max: SimDuration,
+    /// Jitter fraction: the hold-off is scaled by a factor drawn
+    /// deterministically from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for BlacklistConfig {
+    fn default() -> BlacklistConfig {
+        BlacklistConfig {
+            base: SimDuration::from_secs(2),
+            max: SimDuration::from_secs(60),
+            jitter: 0.2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    strikes: u32,
+    blocked_until: SimTime,
+}
+
+/// The blacklist proper.
+#[derive(Debug, Clone)]
+pub struct ApBlacklist {
+    cfg: BlacklistConfig,
+    entries: HashMap<MacAddr, Entry>,
+}
+
+/// FNV-1a over the BSSID and strike count: a tiny, fully deterministic
+/// hash for jitter (the std hasher's keys are not guaranteed stable).
+fn jitter_hash(bssid: MacAddr, strikes: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bssid.0.iter().copied().chain(strikes.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ApBlacklist {
+    /// Empty blacklist.
+    pub fn new(cfg: BlacklistConfig) -> ApBlacklist {
+        ApBlacklist {
+            cfg,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Record a failure against `bssid` at `now`: strike count grows and
+    /// the AP is held out until the (jittered, capped) backoff passes.
+    /// Returns the instant the block expires.
+    pub fn record_failure(&mut self, now: SimTime, bssid: MacAddr) -> SimTime {
+        let entry = self.entries.entry(bssid).or_insert(Entry {
+            strikes: 0,
+            blocked_until: now,
+        });
+        entry.strikes = entry.strikes.saturating_add(1);
+        let exp = entry.strikes.saturating_sub(1).min(16);
+        let backoff = SimDuration::from_micros(
+            self.cfg
+                .base
+                .as_micros()
+                .saturating_mul(1u64 << exp)
+                .min(self.cfg.max.as_micros()),
+        );
+        // Map the hash into [1 - jitter, 1 + jitter].
+        let unit = (jitter_hash(bssid, entry.strikes) % 10_000) as f64 / 10_000.0;
+        let factor = 1.0 + self.cfg.jitter * (2.0 * unit - 1.0);
+        entry.blocked_until = now.saturating_add(backoff.mul_f64(factor));
+        entry.blocked_until
+    }
+
+    /// A verified join succeeded: forgive all strikes.
+    pub fn record_success(&mut self, bssid: MacAddr) {
+        self.entries.remove(&bssid);
+    }
+
+    /// Whether `bssid` is currently held out of selection.
+    pub fn is_blocked(&self, now: SimTime, bssid: MacAddr) -> bool {
+        self.entries
+            .get(&bssid)
+            .map(|e| now < e.blocked_until)
+            .unwrap_or(false)
+    }
+
+    /// When the block on `bssid` expires (None if not listed).
+    pub fn blocked_until(&self, bssid: MacAddr) -> Option<SimTime> {
+        self.entries.get(&bssid).map(|e| e.blocked_until)
+    }
+
+    /// Strike count for `bssid` (0 if not listed).
+    pub fn strikes(&self, bssid: MacAddr) -> u32 {
+        self.entries.get(&bssid).map(|e| e.strikes).unwrap_or(0)
+    }
+
+    /// All currently blocked BSSIDs, sorted for determinism.
+    pub fn blocked(&self, now: SimTime) -> Vec<MacAddr> {
+        let mut v: Vec<MacAddr> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now < e.blocked_until)
+            .map(|(b, _)| *b)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Forget entries whose block expired more than `cfg.max` ago —
+    /// long enough that fresh trouble should escalate from scratch.
+    pub fn prune(&mut self, now: SimTime) {
+        let grace = self.cfg.max;
+        self.entries
+            .retain(|_, e| now < e.blocked_until.saturating_add(grace));
+    }
+
+    /// Number of remembered BSSIDs (blocked or in post-block grace).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bl() -> ApBlacklist {
+        ApBlacklist::new(BlacklistConfig {
+            base: SimDuration::from_secs(2),
+            max: SimDuration::from_secs(60),
+            jitter: 0.0,
+        })
+    }
+
+    const AP: MacAddr = MacAddr([2, 0, 0, 0, 0, 7]);
+
+    #[test]
+    fn failure_blocks_and_expires() {
+        let mut b = bl();
+        assert!(!b.is_blocked(SimTime::ZERO, AP));
+        let until = b.record_failure(SimTime::ZERO, AP);
+        assert_eq!(until, SimTime::from_secs(2));
+        assert!(b.is_blocked(SimTime::from_millis(1_999), AP));
+        assert!(!b.is_blocked(SimTime::from_secs(2), AP));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut b = bl();
+        let t = SimTime::from_secs(100);
+        // Strikes 1..: 2, 4, 8, 16, 32, 60 (cap), 60 ...
+        let mut widths = Vec::new();
+        for _ in 0..7 {
+            let until = b.record_failure(t, AP);
+            widths.push(until.saturating_since(t));
+        }
+        let secs = |s| SimDuration::from_secs(s);
+        assert_eq!(
+            widths,
+            vec![secs(2), secs(4), secs(8), secs(16), secs(32), secs(60), secs(60)]
+        );
+    }
+
+    #[test]
+    fn success_forgives_all_strikes() {
+        let mut b = bl();
+        b.record_failure(SimTime::ZERO, AP);
+        b.record_failure(SimTime::ZERO, AP);
+        b.record_success(AP);
+        assert_eq!(b.strikes(AP), 0);
+        // Next failure starts the ladder over.
+        let until = b.record_failure(SimTime::from_secs(10), AP);
+        assert_eq!(until, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mk = || {
+            ApBlacklist::new(BlacklistConfig {
+                base: SimDuration::from_secs(2),
+                max: SimDuration::from_secs(60),
+                jitter: 0.2,
+            })
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ua = a.record_failure(SimTime::ZERO, AP);
+        let ub = b.record_failure(SimTime::ZERO, AP);
+        assert_eq!(ua, ub, "same inputs must give the same backoff");
+        let w = ua.saturating_since(SimTime::ZERO).as_millis_f64();
+        assert!((1_600.0..=2_400.0).contains(&w), "width {w} outside ±20%");
+        // A different BSSID jitters differently (with overwhelming
+        // likelihood for this pair).
+        let other = MacAddr([2, 0, 0, 0, 0, 8]);
+        let uo = a.record_failure(SimTime::ZERO, other);
+        assert_ne!(ua, uo);
+    }
+
+    #[test]
+    fn blocked_lists_only_active_blocks() {
+        let mut b = bl();
+        let other = MacAddr([2, 0, 0, 0, 0, 8]);
+        b.record_failure(SimTime::ZERO, AP); // until 2s
+        b.record_failure(SimTime::ZERO, other); // until 2s
+        assert_eq!(b.blocked(SimTime::from_secs(1)).len(), 2);
+        assert!(b.blocked(SimTime::from_secs(3)).is_empty());
+    }
+
+    #[test]
+    fn prune_forgets_long_expired_entries() {
+        let mut b = bl();
+        b.record_failure(SimTime::ZERO, AP); // blocked until 2s, grace 60s
+        b.prune(SimTime::from_secs(30));
+        assert_eq!(b.len(), 1, "still inside the strike-memory grace");
+        b.prune(SimTime::from_secs(63));
+        assert!(b.is_empty());
+    }
+}

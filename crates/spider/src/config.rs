@@ -1,5 +1,6 @@
 //! Spider configuration and the paper's four evaluation modes (§4.1).
 
+use crate::blacklist::BlacklistConfig;
 use crate::schedule::ChannelSchedule;
 use crate::utility::UtilityConfig;
 use spider_mac80211::ClientMacConfig;
@@ -74,6 +75,14 @@ pub struct SpiderConfig {
     /// ("Spider can also be configured to periodically broadcast probe
     /// requests", §3.2.1). `None` = purely passive scanning.
     pub probe_interval: Option<SimDuration>,
+    /// Exponential-backoff blacklist for APs whose joins fail (keeps a
+    /// blacked-out or zombie AP from trapping the driver in a
+    /// join/fail loop).
+    pub blacklist: BlacklistConfig,
+    /// Broadcast a probe request immediately when a connection dies, so
+    /// replacement candidates are discovered faster than the passive
+    /// beacon cadence allows.
+    pub rescan_on_down: bool,
 }
 
 impl SpiderConfig {
@@ -105,6 +114,8 @@ impl SpiderConfig {
             housekeeping: SimDuration::from_millis(100),
             candidate_channels: None,
             probe_interval: None,
+            blacklist: BlacklistConfig::default(),
+            rescan_on_down: true,
         }
     }
 

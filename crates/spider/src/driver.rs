@@ -4,6 +4,7 @@
 //! Implements [`ClientSystem`] so the simulation world can drive it
 //! exactly like the baseline drivers.
 
+use crate::blacklist::ApBlacklist;
 use crate::config::SpiderConfig;
 use crate::iface::{ClientIface, IfaceEvent};
 use crate::schedule::ChannelSchedule;
@@ -19,6 +20,10 @@ pub struct SpiderDriver {
     ifaces: Vec<ClientIface>,
     utility: UtilityTable,
     lease_cache: LeaseCache,
+    blacklist: ApBlacklist,
+    /// Set while absorbing events from a driver-initiated teardown (IP
+    /// collision): those Downs are not the AP's fault.
+    suppress_blacklist: bool,
     log: JoinLog,
     /// Tuned channel; `None` while a switch is in flight.
     current: Option<Channel>,
@@ -52,11 +57,14 @@ impl SpiderDriver {
         let utility = UtilityTable::new(cfg.utility.clone());
         let current = Some(cfg.schedule.channel_at(SimTime::ZERO));
         let sessions = vec![None; cfg.num_ifaces];
+        let blacklist = ApBlacklist::new(cfg.blacklist.clone());
         SpiderDriver {
             cfg,
             ifaces,
             utility,
             lease_cache: LeaseCache::new(),
+            blacklist,
+            suppress_blacklist: false,
             log: JoinLog::new(),
             current,
             switching_to: None,
@@ -113,6 +121,11 @@ impl SpiderDriver {
     /// The lease cache (introspection).
     pub fn lease_cache(&self) -> &LeaseCache {
         &self.lease_cache
+    }
+
+    /// The AP blacklist (introspection).
+    pub fn blacklist(&self) -> &ApBlacklist {
+        &self.blacklist
     }
 
     /// Interfaces currently associated at the link layer.
@@ -176,12 +189,18 @@ impl SpiderDriver {
                         .collect();
                     for j in colliding {
                         let evs = self.ifaces[j].teardown(now);
+                        // Not the AP's fault — don't let the recursive
+                        // absorb blacklist it.
+                        let prev = self.suppress_blacklist;
+                        self.suppress_blacklist = true;
                         self.absorb(now, j, evs, actions);
+                        self.suppress_blacklist = prev;
                     }
                 }
                 IfaceEvent::ConnectivityUp { bssid, .. } => {
                     self.utility
                         .record_outcome(now, bssid, JoinOutcome::FullyJoined);
+                    self.blacklist.record_success(bssid);
                     self.sessions[iface_idx] =
                         Some((bssid, now, self.ifaces[iface_idx].delivered_bytes()));
                 }
@@ -205,8 +224,34 @@ impl SpiderDriver {
                             }
                         }
                     }
+                    // A dead or failed AP goes into exponential-backoff
+                    // blacklist so selection doesn't loop on it while it
+                    // is still beaconing attractively.
+                    if !self.suppress_blacklist && bssid != MacAddr::BROADCAST {
+                        self.blacklist.record_failure(now, bssid);
+                    }
+                    // Re-scan right away: a broadcast probe solicits
+                    // responses from every AP on the current channel, so
+                    // a replacement is found faster than waiting out the
+                    // beacon interval.
+                    if self.cfg.rescan_on_down && self.current.is_some() {
+                        let src = self.ifaces[iface_idx].addr;
+                        actions.push(DriverAction::Transmit {
+                            iface: iface_idx,
+                            frame: Frame {
+                                src,
+                                dst: MacAddr::BROADCAST,
+                                bssid: MacAddr::BROADCAST,
+                                body: FrameBody::ProbeRequest { ssid: None },
+                            },
+                        });
+                    }
                     // Try to rebind immediately.
                     self.next_housekeeping = now;
+                }
+                IfaceEvent::LeaseRejected { bssid } => {
+                    // The server NAKed the cached lease: it is stale.
+                    self.lease_cache.invalidate(bssid);
                 }
             }
         }
@@ -224,7 +269,11 @@ impl SpiderDriver {
             let Some(idle_idx) = self.ifaces.iter().position(now_ready) else {
                 return;
             };
-            let in_use: Vec<MacAddr> = self.ifaces.iter().filter_map(|i| i.bssid()).collect();
+            let mut in_use: Vec<MacAddr> =
+                self.ifaces.iter().filter_map(|i| i.bssid()).collect();
+            // Blacklisted APs are excluded from selection exactly like
+            // ones we are already bound to.
+            in_use.extend(self.blacklist.blocked(now));
             let channels = self
                 .cfg
                 .candidate_channels
@@ -388,6 +437,8 @@ impl ClientSystem for SpiderDriver {
         if now >= self.next_housekeeping {
             self.next_housekeeping = now + self.cfg.housekeeping;
             self.utility.expire(now, SimDuration::from_secs(3_600));
+            self.blacklist.prune(now);
+            self.lease_cache.evict_expired(now);
             self.select_aps(now, &mut actions);
         }
         // Active scanning (§3.2.1, optional): a broadcast probe request
@@ -471,6 +522,80 @@ mod tests {
             channel: ch,
             rssi_dbm: -60.0,
         }
+    }
+
+    #[test]
+    fn lease_rejected_evicts_cached_lease() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH6));
+        let bssid = MacAddr::from_id(7);
+        d.lease_cache.insert(
+            bssid,
+            spider_netstack::Lease {
+                ip: spider_wire::Ipv4Addr::new(10, 0, 0, 9),
+                server: spider_wire::Ipv4Addr::new(10, 0, 0, 1),
+                expires: SimTime::from_secs(1_000),
+            },
+        );
+        let mut actions = Vec::new();
+        d.absorb(
+            SimTime::ZERO,
+            0,
+            vec![IfaceEvent::LeaseRejected { bssid }],
+            &mut actions,
+        );
+        assert!(d.lease_cache.is_empty(), "NAKed lease must be evicted");
+    }
+
+    #[test]
+    fn downed_ap_is_blacklisted_until_backoff_expires() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH6));
+        let bssid = MacAddr::from_id(7);
+        d.on_frame(SimTime::ZERO, &beacon(7, Channel::CH6));
+        let mut actions = Vec::new();
+        d.absorb(
+            SimTime::from_millis(10),
+            0,
+            vec![IfaceEvent::Down {
+                bssid,
+                outcome: Some(JoinOutcome::Failed),
+            }],
+            &mut actions,
+        );
+        assert!(d.blacklist.is_blocked(SimTime::from_millis(11), bssid));
+        // While blocked, housekeeping must not re-bind to the AP even
+        // though it is the only (and attractively loud) candidate.
+        d.poll(SimTime::from_millis(20));
+        assert!(
+            d.ifaces.iter().all(|i| !i.is_busy()),
+            "driver re-joined a blacklisted AP"
+        );
+        // Once the backoff passes, the AP is fair game again.
+        let until = d.blacklist.blocked_until(bssid).expect("listed");
+        d.poll(until + SimDuration::from_millis(1));
+        assert!(
+            d.ifaces.iter().any(|i| i.bssid() == Some(bssid)),
+            "driver should retry after the backoff expires"
+        );
+    }
+
+    #[test]
+    fn down_triggers_immediate_rescan_probe() {
+        let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH6));
+        let mut actions = Vec::new();
+        d.absorb(
+            SimTime::from_millis(10),
+            0,
+            vec![IfaceEvent::Down {
+                bssid: MacAddr::from_id(7),
+                outcome: Some(JoinOutcome::Failed),
+            }],
+            &mut actions,
+        );
+        assert!(
+            actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+                if matches!(frame.body, FrameBody::ProbeRequest { .. }))),
+            "a dead link should trigger an immediate broadcast probe"
+        );
     }
 
     #[test]

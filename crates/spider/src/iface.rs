@@ -71,6 +71,12 @@ pub enum IfaceEvent {
         /// Outcome to record against the AP's utility.
         outcome: Option<JoinOutcome>,
     },
+    /// The DHCP server NAKed our REQUEST — any cached lease for this
+    /// BSSID is stale and must be evicted from the driver's cache.
+    LeaseRejected {
+        /// The AP whose server rejected the lease.
+        bssid: MacAddr,
+    },
 }
 
 /// A virtual interface.
@@ -86,6 +92,9 @@ pub struct ClientIface {
     tcp: Option<TcpReceiver>,
     phase: IfacePhase,
     lease: Option<Lease>,
+    /// Probe the gateway instead of the wired server (set once the ping
+    /// engine reports that end-to-end ICMP looks filtered, §3.2.2).
+    ping_gateway: bool,
     join_started: SimTime,
     fully_joined: bool,
     tcp_enabled: bool,
@@ -118,6 +127,7 @@ impl ClientIface {
             tcp: None,
             phase: IfacePhase::Idle,
             lease: None,
+            ping_gateway: false,
             join_started: SimTime::ZERO,
             fully_joined: false,
             tcp_enabled,
@@ -212,6 +222,7 @@ impl ClientIface {
         self.dhcp.reset();
         self.mac.reset();
         self.lease = None;
+        self.ping_gateway = false;
         self.phase = IfacePhase::Idle;
     }
 
@@ -289,9 +300,16 @@ impl ClientIface {
     }
 
     fn wrap_icmp(&self, msg: spider_wire::IcmpMessage) -> Frame {
+        // Normally probe end-to-end; fall back to the gateway when the
+        // path upstream of the AP filters ICMP (§3.2.2).
+        let dst = if self.ping_gateway {
+            self.lease.map(|l| l.server).unwrap_or(SERVER_IP)
+        } else {
+            SERVER_IP
+        };
         self.data_frame(Ipv4Packet {
             src: self.ip(),
-            dst: SERVER_IP,
+            dst,
             payload: L4::Icmp(msg),
         })
     }
@@ -352,15 +370,21 @@ impl ClientIface {
                             self.teardown_stacks();
                             return out;
                         }
-                        DhcpClientEvent::Bound { .. } => {
+                        DhcpClientEvent::Bound { .. } | DhcpClientEvent::Nak => {
                             // Handled in on_frame path normally; poll can
-                            // not produce Bound.
+                            // produce neither.
                         }
                     }
                 }
             }
             IfacePhase::Verifying | IfacePhase::Connected => {
-                for ev in self.ping.poll(now, on_channel) {
+                let ping_events = self.ping.poll(now, on_channel);
+                // If the whole session has been silence, redirect the
+                // probes at the gateway before wrapping any Send below.
+                if !self.ping_gateway && self.ping.should_fall_back() {
+                    self.ping_gateway = true;
+                }
+                for ev in ping_events {
                     match ev {
                         PingEvent::Send(msg) => out.push(IfaceEvent::Transmit(self.wrap_icmp(msg))),
                         PingEvent::Down => {
@@ -521,6 +545,13 @@ impl ClientIface {
                                 });
                                 self.teardown_stacks();
                                 return out;
+                            }
+                            DhcpClientEvent::Nak => {
+                                // Stale cached lease: tell the driver to
+                                // evict it (the client already falls back
+                                // to a fresh DISCOVER or fails on its own).
+                                let bssid = self.bssid().unwrap_or(MacAddr::BROADCAST);
+                                out.push(IfaceEvent::LeaseRejected { bssid });
                             }
                         }
                     }
@@ -694,6 +725,132 @@ mod tests {
         assert!(ev.iter().any(|e| matches!(e, IfaceEvent::Transmit(f)
             if matches!(&f.body, FrameBody::Data { packet, .. }
                 if matches!(&packet.payload, L4::Tcp(s) if s.flags.syn)))));
+    }
+
+    #[test]
+    fn silent_path_falls_back_to_gateway_pings() {
+        let (mut iface, mut log) = iface();
+        let t0 = SimTime::ZERO;
+        iface.start_join(t0, target(), None);
+        iface.poll(t0, true, &mut log);
+        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.poll(t0, true, &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AssocResponse { ok: true, aid: 1 }),
+            &mut log,
+        );
+        let ev = iface.poll(t0, true, &mut log);
+        let xid = ev
+            .iter()
+            .find_map(|e| match e {
+                IfaceEvent::Transmit(f) => match &f.body {
+                    FrameBody::Data { packet, .. } => match &packet.payload {
+                        L4::Dhcp(m) => Some(m.xid),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("DISCOVER sent");
+        let offer = DhcpMessage {
+            op: DhcpOp::Offer,
+            xid,
+            chaddr: MacAddr::from_id(1),
+            yiaddr: Ipv4Addr::new(10, 0, 0, 9),
+            server_id: Ipv4Addr::new(10, 0, 0, 1),
+            lease: SimDuration::from_secs(3600),
+        };
+        iface.on_frame(t0, &ap_data(L4::Dhcp(offer.clone())), &mut log);
+        iface.poll(t0, true, &mut log); // REQUEST
+        let ack = DhcpMessage {
+            op: DhcpOp::Ack,
+            ..offer
+        };
+        iface.on_frame(t0, &ap_data(L4::Dhcp(ack)), &mut log);
+        assert_eq!(iface.phase(), IfacePhase::Verifying);
+        // Never answer a single probe: after 10 silent expiries the
+        // probes must redirect to the gateway (paper fallback, §3.2.2).
+        let mut server_pings = 0;
+        let mut gateway_pings = 0;
+        for i in 0..=11u64 {
+            let t = t0 + SimDuration::from_millis(i * 100);
+            for ev in iface.poll(t, true, &mut log) {
+                if let IfaceEvent::Transmit(f) = ev {
+                    if let FrameBody::Data { packet, .. } = f.body {
+                        if matches!(packet.payload, L4::Icmp(IcmpMessage::EchoRequest { .. })) {
+                            if packet.dst == SERVER_IP {
+                                server_pings += 1;
+                                assert_eq!(
+                                    gateway_pings, 0,
+                                    "must not flap back to end-to-end probing"
+                                );
+                            } else {
+                                assert_eq!(packet.dst, Ipv4Addr::new(10, 0, 0, 1));
+                                gateway_pings += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(server_pings, 10);
+        assert!(gateway_pings > 0);
+    }
+
+    #[test]
+    fn dhcp_nak_on_cached_lease_reports_lease_rejected() {
+        let (mut iface, mut log) = iface();
+        let t0 = SimTime::ZERO;
+        let cached = Lease {
+            ip: Ipv4Addr::new(10, 0, 0, 9),
+            server: Ipv4Addr::new(10, 0, 0, 1),
+            expires: SimTime::from_secs(3600),
+        };
+        iface.start_join(t0, target(), Some(cached));
+        iface.poll(t0, true, &mut log);
+        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.poll(t0, true, &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AssocResponse { ok: true, aid: 1 }),
+            &mut log,
+        );
+        // Cached fast path: the REQUEST goes straight out.
+        let ev = iface.poll(t0, true, &mut log);
+        let xid = ev
+            .iter()
+            .find_map(|e| match e {
+                IfaceEvent::Transmit(f) => match &f.body {
+                    FrameBody::Data { packet, .. } => match &packet.payload {
+                        L4::Dhcp(m) if m.op == DhcpOp::Request => Some(m.xid),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("cached REQUEST sent");
+        let nak = DhcpMessage {
+            op: DhcpOp::Nak,
+            xid,
+            chaddr: MacAddr::from_id(1),
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            server_id: Ipv4Addr::new(10, 0, 0, 1),
+            lease: SimDuration::ZERO,
+        };
+        let ev = iface.on_frame(t0, &ap_data(L4::Dhcp(nak)), &mut log);
+        // The driver is told to evict the stale cache entry...
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, IfaceEvent::LeaseRejected { bssid } if *bssid == AP)));
+        // ...while the client itself falls back to a fresh DISCOVER.
+        assert_eq!(iface.phase(), IfacePhase::Dhcp);
+        let ev = iface.poll(t0, true, &mut log);
+        assert!(ev.iter().any(|e| matches!(e, IfaceEvent::Transmit(f)
+            if matches!(&f.body, FrameBody::Data { packet, .. }
+                if matches!(&packet.payload, L4::Dhcp(m) if m.op == DhcpOp::Discover)))));
     }
 
     #[test]

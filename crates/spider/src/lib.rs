@@ -28,12 +28,14 @@
 //! conditions.
 
 pub mod adaptive;
+pub mod blacklist;
 pub mod config;
 pub mod driver;
 pub mod iface;
 pub mod schedule;
 pub mod utility;
 
+pub use blacklist::{ApBlacklist, BlacklistConfig};
 pub use config::{OperationMode, SpiderConfig};
 pub use driver::SpiderDriver;
 pub use schedule::ChannelSchedule;

@@ -167,7 +167,6 @@ impl ChannelSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn single_channel_never_switches() {
@@ -251,7 +250,12 @@ mod tests {
         );
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// channel_at is consistent with next_boundary: the channel is
         /// constant within [now, boundary).
         #[test]
@@ -268,6 +272,7 @@ mod tests {
             prop_assert_eq!(s.channel_at(just_before), ch);
             let just_after = boundary;
             prop_assert_ne!(s.channel_at(just_after), ch);
+        }
         }
     }
 }

@@ -71,7 +71,6 @@ impl RttEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn initial_rto_before_samples() {
@@ -110,7 +109,12 @@ mod tests {
         assert!(e.rto() > SimDuration::from_millis(300));
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// RTO is always within the configured clamp after any sample
         /// sequence.
         #[test]
@@ -122,6 +126,7 @@ mod tests {
             let rto = e.rto();
             prop_assert!(rto >= SimDuration::from_millis(200));
             prop_assert!(rto <= SimDuration::from_secs(60));
+        }
         }
     }
 }

@@ -412,7 +412,7 @@ fn decode_packet(r: &mut Reader<'_>) -> Result<Ipv4Packet, CodecError> {
     Ok(Ipv4Packet { src, dst, payload })
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -98,7 +98,6 @@ pub fn seq_le(a: u32, b: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn seg(seq: u32, len: u32, flags: TcpFlags) -> TcpSegment {
         TcpSegment {
@@ -145,7 +144,12 @@ mod tests {
         assert!(!seq_lt(3, u32::MAX));
     }
 
-    proptest! {
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         /// seq_lt is a strict ordering on any window smaller than 2^31.
         #[test]
         fn seq_lt_consistent_with_offsets(base: u32, d in 1u32..(1 << 30)) {
@@ -153,6 +157,7 @@ mod tests {
             prop_assert!(seq_lt(base, b));
             prop_assert!(!seq_lt(b, base));
             prop_assert!(seq_le(base, b));
+        }
         }
     }
 }

@@ -1,0 +1,475 @@
+//! Fault injection for the vehicular world.
+//!
+//! Real open-AP deployments fail in ways distance-based loss cannot
+//! model: APs power-cycle, forward nothing while still beaconing, run
+//! out of DHCP addresses, or filter end-to-end ICMP. Spider's recovery
+//! machinery (the §3.2.2 ping monitor, the gateway-ping fallback, lease
+//! caching and re-scan) exists for exactly these conditions, so the
+//! world needs a way to produce them on demand.
+//!
+//! A [`FaultPlan`] is a set of [`FaultEpisode`]s — per-AP (or global)
+//! time windows during which one [`FaultKind`] is active. Plans are
+//! either scripted (tests, examples) or generated stochastically from a
+//! seed and a [`FaultProfile`] ([`FaultPlan::seeded`]), so a faulty run
+//! remains a pure function of `(WorldConfig, FaultPlan)` like everything
+//! else in the simulator. The world consults the plan on every AP,
+//! DHCP, and medium interaction and attributes the damage in
+//! [`FaultStats`].
+
+use spider_simcore::{SimDuration, SimRng, SimTime};
+
+/// One class of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Full AP power loss: no beacons, no responses, no reception.
+    /// When the episode ends the AP reboots with empty association
+    /// state (clients must re-join from scratch).
+    Blackout,
+    /// "Zombie" AP: beacons, association and DHCP all work, but the AP
+    /// forwards nothing — the exact failure the end-to-end ping monitor
+    /// (§3.2.2) exists to catch. The local gateway stops answering
+    /// pings too, so even the gateway fallback sees a dead link.
+    Zombie,
+    /// The DHCP server stops answering (common "AP up, DHCP wedged"
+    /// failure; joins stall in the DHCP phase and time out).
+    DhcpSilence,
+    /// DHCP address-pool exhaustion: DISCOVER is ignored, REQUEST is
+    /// answered with a NAK — exercising lease-cache invalidation.
+    DhcpExhausted,
+    /// The gateway filters end-to-end ICMP: pings to the wired sink are
+    /// black-holed while the gateway itself still answers, forcing the
+    /// client onto the gateway-ping fallback (§3.2.2).
+    IcmpBlackhole,
+    /// A burst of extra channel loss (interference episode) layered on
+    /// top of the distance-based [`spider_radio::LossModel`].
+    LossBurst {
+        /// Additional independent loss probability in `[0, 1]`.
+        extra: f64,
+    },
+}
+
+/// One fault episode: a kind, a target, and a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEpisode {
+    /// Target AP index, or `None` for every AP (area-wide event).
+    pub ap: Option<usize>,
+    /// What fails.
+    pub kind: FaultKind,
+    /// Episode start (inclusive).
+    pub start: SimTime,
+    /// Episode end (exclusive).
+    pub end: SimTime,
+}
+
+impl FaultEpisode {
+    /// Does this episode cover `(now, ap)`?
+    fn applies(&self, now: SimTime, ap: usize) -> bool {
+        self.ap.map(|a| a == ap).unwrap_or(true) && self.start <= now && now < self.end
+    }
+}
+
+/// Knobs for stochastic fault generation: per-AP incidence rates
+/// (events per simulated hour) and episode-duration bounds (seconds,
+/// uniform). Rates of zero disable a class.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Blackout events per AP-hour.
+    pub blackout_per_hour: f64,
+    /// Blackout duration bounds in seconds.
+    pub blackout_secs: (f64, f64),
+    /// Zombie episodes per AP-hour.
+    pub zombie_per_hour: f64,
+    /// Zombie duration bounds in seconds.
+    pub zombie_secs: (f64, f64),
+    /// DHCP-silence episodes per AP-hour.
+    pub dhcp_silence_per_hour: f64,
+    /// DHCP-silence duration bounds in seconds.
+    pub dhcp_silence_secs: (f64, f64),
+    /// Pool-exhaustion episodes per AP-hour.
+    pub dhcp_exhausted_per_hour: f64,
+    /// Pool-exhaustion duration bounds in seconds.
+    pub dhcp_exhausted_secs: (f64, f64),
+    /// Fraction of APs whose gateway filters end-to-end ICMP for the
+    /// entire run.
+    pub icmp_filtered_fraction: f64,
+    /// Loss-burst episodes per AP-hour.
+    pub loss_burst_per_hour: f64,
+    /// Loss-burst duration bounds in seconds.
+    pub loss_burst_secs: (f64, f64),
+    /// Extra loss probability bounds for a burst.
+    pub loss_burst_extra: (f64, f64),
+}
+
+impl FaultProfile {
+    /// A mild profile: occasional short outages, a few percent of APs
+    /// ICMP-filtered. Roughly "a normal day in an open-AP deployment".
+    pub fn calm() -> FaultProfile {
+        FaultProfile {
+            blackout_per_hour: 0.5,
+            blackout_secs: (10.0, 60.0),
+            zombie_per_hour: 0.5,
+            zombie_secs: (20.0, 120.0),
+            dhcp_silence_per_hour: 0.5,
+            dhcp_silence_secs: (10.0, 60.0),
+            dhcp_exhausted_per_hour: 0.25,
+            dhcp_exhausted_secs: (30.0, 120.0),
+            icmp_filtered_fraction: 0.05,
+            loss_burst_per_hour: 1.0,
+            loss_burst_secs: (1.0, 10.0),
+            loss_burst_extra: (0.05, 0.3),
+        }
+    }
+
+    /// A hostile profile for chaos testing: frequent long outages,
+    /// widespread ICMP filtering, heavy interference bursts.
+    pub fn stormy() -> FaultProfile {
+        FaultProfile {
+            blackout_per_hour: 6.0,
+            blackout_secs: (20.0, 180.0),
+            zombie_per_hour: 6.0,
+            zombie_secs: (30.0, 300.0),
+            dhcp_silence_per_hour: 4.0,
+            dhcp_silence_secs: (20.0, 120.0),
+            dhcp_exhausted_per_hour: 3.0,
+            dhcp_exhausted_secs: (30.0, 180.0),
+            icmp_filtered_fraction: 0.25,
+            loss_burst_per_hour: 10.0,
+            loss_burst_secs: (2.0, 20.0),
+            loss_burst_extra: (0.2, 0.6),
+        }
+    }
+}
+
+/// A complete fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// All episodes, in no particular order.
+    pub episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A scripted plan (tests and examples).
+    pub fn scripted(episodes: Vec<FaultEpisode>) -> FaultPlan {
+        FaultPlan { episodes }
+    }
+
+    /// Generate a plan stochastically: for each AP and each fault
+    /// class, episodes arrive as a Poisson process (exponential
+    /// inter-arrivals) at the profile's rate, with uniform durations.
+    /// Pure function of `(seed, num_aps, duration, profile)`; the seed
+    /// is streamed per class and AP so plans are stable under profile
+    /// tweaks to other classes.
+    pub fn seeded(
+        seed: u64,
+        num_aps: usize,
+        duration: SimDuration,
+        profile: &FaultProfile,
+    ) -> FaultPlan {
+        let root = SimRng::new(seed);
+        let horizon = duration.as_secs_f64();
+        let mut episodes = Vec::new();
+        let classes: [(&str, f64, (f64, f64)); 5] = [
+            ("blackout", profile.blackout_per_hour, profile.blackout_secs),
+            ("zombie", profile.zombie_per_hour, profile.zombie_secs),
+            (
+                "dhcp-silence",
+                profile.dhcp_silence_per_hour,
+                profile.dhcp_silence_secs,
+            ),
+            (
+                "dhcp-exhausted",
+                profile.dhcp_exhausted_per_hour,
+                profile.dhcp_exhausted_secs,
+            ),
+            (
+                "loss-burst",
+                profile.loss_burst_per_hour,
+                profile.loss_burst_secs,
+            ),
+        ];
+        for ap in 0..num_aps {
+            for (label, per_hour, (lo, hi)) in classes {
+                if per_hour <= 0.0 {
+                    continue;
+                }
+                let mut rng =
+                    root.stream(&format!("fault-{label}")).stream_indexed("ap", ap as u64);
+                let mean_gap = 3600.0 / per_hour;
+                let mut t = rng.exponential(mean_gap);
+                while t < horizon {
+                    let dur = rng.uniform_in(lo, hi);
+                    let kind = match label {
+                        "blackout" => FaultKind::Blackout,
+                        "zombie" => FaultKind::Zombie,
+                        "dhcp-silence" => FaultKind::DhcpSilence,
+                        "dhcp-exhausted" => FaultKind::DhcpExhausted,
+                        _ => FaultKind::LossBurst {
+                            extra: rng.uniform_in(
+                                profile.loss_burst_extra.0,
+                                profile.loss_burst_extra.1,
+                            ),
+                        },
+                    };
+                    episodes.push(FaultEpisode {
+                        ap: Some(ap),
+                        kind,
+                        start: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        end: SimTime::ZERO + SimDuration::from_secs_f64((t + dur).min(horizon)),
+                    });
+                    t += dur + rng.exponential(mean_gap);
+                }
+            }
+            // ICMP filtering is a property of the gateway, not an
+            // episode: a filtered AP filters for the whole run.
+            let mut rng = root.stream("fault-icmp").stream_indexed("ap", ap as u64);
+            if rng.chance(profile.icmp_filtered_fraction) {
+                episodes.push(FaultEpisode {
+                    ap: Some(ap),
+                    kind: FaultKind::IcmpBlackhole,
+                    start: SimTime::ZERO,
+                    end: SimTime::ZERO + duration,
+                });
+            }
+        }
+        FaultPlan { episodes }
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    fn active(&self, now: SimTime, ap: usize, pred: impl Fn(FaultKind) -> bool) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| pred(e.kind) && e.applies(now, ap))
+    }
+
+    /// Is `ap` fully blacked out at `now`?
+    pub fn blackout(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::Blackout)
+    }
+
+    /// Is `ap` a zombie (associates but forwards nothing) at `now`?
+    pub fn zombie(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::Zombie)
+    }
+
+    /// Is `ap`'s DHCP server silent at `now`?
+    pub fn dhcp_silent(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::DhcpSilence)
+    }
+
+    /// Is `ap`'s DHCP pool exhausted at `now`?
+    pub fn dhcp_exhausted(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::DhcpExhausted)
+    }
+
+    /// Does `ap`'s gateway filter end-to-end ICMP at `now`?
+    pub fn icmp_filtered(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::IcmpBlackhole)
+    }
+
+    /// Combined extra loss probability on `ap`'s link at `now`
+    /// (independent bursts compose: `1 - Π(1 - extra_i)`).
+    pub fn extra_loss(&self, now: SimTime, ap: usize) -> f64 {
+        let mut pass = 1.0f64;
+        for e in &self.episodes {
+            if let FaultKind::LossBurst { extra } = e.kind {
+                if e.applies(now, ap) {
+                    pass *= 1.0 - extra.clamp(0.0, 1.0);
+                }
+            }
+        }
+        1.0 - pass
+    }
+
+    /// If a connectivity-killing (data-plane) fault is active on `ap`
+    /// at `now`, the start time of the earliest covering episode —
+    /// the reference point for time-to-detect measurement.
+    pub fn data_fault_onset(&self, now: SimTime, ap: usize) -> Option<SimTime> {
+        self.episodes
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie)
+                    && e.applies(now, ap)
+            })
+            .map(|e| e.start)
+            .min()
+    }
+}
+
+/// Fault-attribution counters accumulated by the world during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Frames (either direction) suppressed by AP blackouts.
+    pub frames_dropped_blackout: u64,
+    /// Uplink packets black-holed by zombie APs.
+    pub packets_dropped_zombie: u64,
+    /// DHCP requests ignored by silent DHCP servers.
+    pub dhcp_dropped_silent: u64,
+    /// NAKs synthesized for exhausted DHCP pools.
+    pub dhcp_naks_exhausted: u64,
+    /// End-to-end pings black-holed by ICMP-filtering gateways.
+    pub icmp_dropped_filtered: u64,
+    /// AP reboots performed at the end of blackout episodes.
+    pub ap_reboots: u64,
+    /// Time from data-plane fault onset to the client tearing the link
+    /// down (deauth), seconds — the ping monitor's detection latency.
+    pub detect_times_s: Vec<f64>,
+    /// Time from a fault-coincident connectivity loss to the next
+    /// restored connectivity, seconds.
+    pub recover_times_s: Vec<f64>,
+}
+
+impl FaultStats {
+    /// Total interactions suppressed across all fault classes.
+    pub fn total_drops(&self) -> u64 {
+        self.frames_dropped_blackout
+            + self.packets_dropped_zombie
+            + self.dhcp_dropped_silent
+            + self.dhcp_naks_exhausted
+            + self.icmp_dropped_filtered
+    }
+
+    /// Mean detection latency in seconds, if any detections happened.
+    pub fn mean_detect_s(&self) -> Option<f64> {
+        if self.detect_times_s.is_empty() {
+            None
+        } else {
+            Some(self.detect_times_s.iter().sum::<f64>() / self.detect_times_s.len() as f64)
+        }
+    }
+
+    /// Mean recovery latency in seconds, if any recoveries happened.
+    pub fn mean_recover_s(&self) -> Option<f64> {
+        if self.recover_times_s.is_empty() {
+            None
+        } else {
+            Some(self.recover_times_s.iter().sum::<f64>() / self.recover_times_s.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn scripted_windows_apply_half_open() {
+        let plan = FaultPlan::scripted(vec![FaultEpisode {
+            ap: Some(2),
+            kind: FaultKind::Blackout,
+            start: t(10.0),
+            end: t(20.0),
+        }]);
+        assert!(!plan.blackout(t(9.999), 2));
+        assert!(plan.blackout(t(10.0), 2));
+        assert!(plan.blackout(t(19.999), 2));
+        assert!(!plan.blackout(t(20.0), 2));
+        assert!(!plan.blackout(t(15.0), 1), "wrong AP untouched");
+    }
+
+    #[test]
+    fn global_episode_hits_every_ap() {
+        let plan = FaultPlan::scripted(vec![FaultEpisode {
+            ap: None,
+            kind: FaultKind::DhcpSilence,
+            start: t(0.0),
+            end: t(5.0),
+        }]);
+        for ap in 0..10 {
+            assert!(plan.dhcp_silent(t(1.0), ap));
+        }
+    }
+
+    #[test]
+    fn loss_bursts_compose_independently() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::LossBurst { extra: 0.5 },
+                start: t(0.0),
+                end: t(10.0),
+            },
+            FaultEpisode {
+                ap: None,
+                kind: FaultKind::LossBurst { extra: 0.5 },
+                start: t(0.0),
+                end: t(10.0),
+            },
+        ]);
+        assert!((plan.extra_loss(t(1.0), 0) - 0.75).abs() < 1e-12);
+        assert!((plan.extra_loss(t(1.0), 3) - 0.5).abs() < 1e-12);
+        assert_eq!(plan.extra_loss(t(11.0), 0), 0.0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let profile = FaultProfile::stormy();
+        let dur = SimDuration::from_secs(600);
+        let a = FaultPlan::seeded(7, 20, dur, &profile);
+        let b = FaultPlan::seeded(7, 20, dur, &profile);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "stormy profile over 20 AP-hours must fire");
+        for e in &a.episodes {
+            assert!(e.start < e.end);
+            assert!(e.end <= SimTime::ZERO + dur);
+        }
+        // A different seed gives a different storm.
+        let c = FaultPlan::seeded(8, 20, dur, &profile);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeded_respects_zero_rates() {
+        let profile = FaultProfile {
+            blackout_per_hour: 0.0,
+            zombie_per_hour: 0.0,
+            dhcp_silence_per_hour: 0.0,
+            dhcp_exhausted_per_hour: 0.0,
+            icmp_filtered_fraction: 0.0,
+            loss_burst_per_hour: 0.0,
+            ..FaultProfile::calm()
+        };
+        let plan = FaultPlan::seeded(1, 50, SimDuration::from_secs(3600), &profile);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn onset_reports_earliest_covering_data_fault() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::Zombie,
+                start: t(5.0),
+                end: t(50.0),
+            },
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::Blackout,
+                start: t(10.0),
+                end: t(20.0),
+            },
+            // DHCP faults are control-plane: never an "onset".
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::DhcpSilence,
+                start: t(0.0),
+                end: t(100.0),
+            },
+        ]);
+        assert_eq!(plan.data_fault_onset(t(1.0), 0), None);
+        assert_eq!(plan.data_fault_onset(t(15.0), 0), Some(t(5.0)));
+        assert_eq!(plan.data_fault_onset(t(60.0), 0), None);
+    }
+}

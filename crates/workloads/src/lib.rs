@@ -8,6 +8,11 @@
 //!   fraction, connection/disruption CDFs, instantaneous bandwidth,
 //!   join logs — the exact quantities the paper's tables and figures
 //!   report.
+//! * [`faults`] — fault injection: scripted or seeded per-AP outage
+//!   episodes (blackout/reboot, zombie forwarding, DHCP silence and
+//!   pool exhaustion, ICMP-filtered gateways, loss bursts) that the
+//!   world consults on every interaction, plus the attribution
+//!   counters reported in [`RunResult`].
 //! * [`scenarios`] — builders for the paper's experimental setups: town
 //!   and Boston drives, the indoor static testbed of §2.2.2, and the
 //!   controlled two-AP lab of Fig. 10.
@@ -16,12 +21,14 @@
 //!   matching the downtown-mesh measurements.
 
 pub mod capture;
+pub mod faults;
 pub mod meshusers;
 pub mod metrics;
 pub mod scenarios;
 pub mod world;
 
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
+pub use faults::{FaultEpisode, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use metrics::RunResult;
 pub use scenarios::{lab_scenario, town_scenario, ScenarioParams};
 pub use world::{World, WorldConfig};

@@ -6,6 +6,7 @@
 //! join-timing log (Figs. 5/6/14/15, Table 3) and switch counts
 //! (Table 1).
 
+use crate::faults::FaultStats;
 use spider_mac80211::JoinLog;
 use spider_simcore::{Cdf, IntervalReport, SimDuration};
 use std::fmt;
@@ -39,6 +40,9 @@ pub struct RunResult {
     pub tcp_timeouts: u64,
     /// Server-side TCP retransmissions across all flows.
     pub tcp_retransmits: u64,
+    /// Fault-attribution counters (all zero when the run's
+    /// [`FaultPlan`](crate::faults::FaultPlan) is empty).
+    pub faults: FaultStats,
 }
 
 impl RunResult {
@@ -99,6 +103,7 @@ mod tests {
             aps_encountered: 5,
             tcp_timeouts: 0,
             tcp_retransmits: 0,
+            faults: FaultStats::default(),
         }
     }
 

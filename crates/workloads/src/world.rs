@@ -12,6 +12,7 @@
 //! Every run is a pure function of the seed in [`WorldConfig`].
 
 use crate::capture::{CaptureWriter, Direction};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::metrics::RunResult;
 use spider_mac80211::{ApConfig, ApEvent, ApMac, ClientSystem, DriverAction, RxFrame};
 use spider_mobility::{Deployment, MobilityModel, Position};
@@ -21,7 +22,9 @@ use spider_simcore::{EventQueue, RateMeter, SimDuration, SimRng, SimTime};
 use spider_simcore::IntervalTracker;
 use spider_tcpsim::{TcpConfig, TcpSender, TcpSenderState};
 use spider_wire::ip::L4;
-use spider_wire::{Channel, DhcpOp, Frame, FrameKind, Ipv4Addr, Ipv4Packet, MacAddr};
+use spider_wire::{
+    Channel, DhcpMessage, DhcpOp, Frame, FrameBody, FrameKind, Ipv4Addr, Ipv4Packet, MacAddr,
+};
 use std::collections::{HashMap, HashSet};
 
 /// The well-known wired sink (re-exported from the Spider interface
@@ -67,6 +70,9 @@ pub struct WorldConfig {
     /// being unbufferable (§1). `ablation_psm` flips this to show how
     /// much of the penalty that one mechanism explains.
     pub psm_buffers_join_traffic: bool,
+    /// Fault-injection schedule (see [`crate::faults`]); empty by
+    /// default. Like the seed, part of the run's pure-function inputs.
+    pub faults: FaultPlan,
 }
 
 impl WorldConfig {
@@ -86,6 +92,7 @@ impl WorldConfig {
             backhaul_queue_cap: SimDuration::from_millis(200),
             capture: None,
             psm_buffers_join_traffic: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -184,6 +191,18 @@ pub struct World<C: ClientSystem> {
     encountered: HashSet<usize>,
     client_wake_scheduled: SimTime,
     capture: Option<CaptureWriter>,
+    // Fault-injection state.
+    fstats: FaultStats,
+    /// Per-AP "was blacked out at the last sweep" (reboot edge detector).
+    in_blackout: Vec<bool>,
+    /// APs with an armed time-to-detect measurement:
+    /// ap → (episode start, detection clock start).
+    pending_detect: HashMap<usize, (SimTime, SimTime)>,
+    /// Episodes whose detection has already been recorded.
+    detect_done: HashSet<(usize, SimTime)>,
+    /// Start of a fault-coincident connectivity outage, if one is open.
+    fault_outage_since: Option<SimTime>,
+    prev_connected: bool,
 }
 
 impl<C: ClientSystem> World<C> {
@@ -229,6 +248,7 @@ impl<C: ClientSystem> World<C> {
         let capture = cfg.capture.as_ref().map(|(path, limit)| {
             CaptureWriter::create(path, *limit).expect("create capture file")
         });
+        let num_aps = aps.len();
         World {
             queue: EventQueue::new(),
             client,
@@ -243,6 +263,12 @@ impl<C: ClientSystem> World<C> {
             encountered: HashSet::new(),
             client_wake_scheduled: SimTime::MAX,
             capture,
+            fstats: FaultStats::default(),
+            in_blackout: vec![false; num_aps],
+            pending_detect: HashMap::new(),
+            detect_done: HashSet::new(),
+            fault_outage_since: None,
+            prev_connected: false,
             cfg,
         }
     }
@@ -315,6 +341,7 @@ impl<C: ClientSystem> World<C> {
             aps_encountered: self.encountered.len(),
             tcp_timeouts,
             tcp_retransmits,
+            faults: self.fstats,
         };
         (result, self.client)
     }
@@ -327,7 +354,28 @@ impl<C: ClientSystem> World<C> {
             self.delivered_prev = delivered;
         }
         // Connectivity signal.
-        self.conn.set(now, self.client.is_connected());
+        let connected = self.client.is_connected();
+        self.conn.set(now, connected);
+        // Time-to-recover: a connectivity drop that coincides with an
+        // active data-plane fault opens an outage; the next restored
+        // connectivity closes it.
+        if !self.cfg.faults.is_empty() {
+            if self.prev_connected
+                && !connected
+                && self.fault_outage_since.is_none()
+                && (0..self.aps.len())
+                    .any(|i| self.cfg.faults.data_fault_onset(now, i).is_some())
+            {
+                self.fault_outage_since = Some(now);
+            } else if connected {
+                if let Some(since) = self.fault_outage_since.take() {
+                    self.fstats
+                        .recover_times_s
+                        .push(now.saturating_since(since).as_secs_f64());
+                }
+            }
+        }
+        self.prev_connected = connected;
         // Client wakeup maintenance.
         let nw = self.client.next_wakeup(now).max(now);
         if nw < self.client_wake_scheduled && nw < SimTime::MAX {
@@ -372,6 +420,11 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             Ev::AirToAp { ap, frame } => {
+                if self.cfg.faults.blackout(now, ap) {
+                    // A powered-off AP hears nothing.
+                    self.fstats.frames_dropped_blackout += 1;
+                    return;
+                }
                 if let Some(cap) = &mut self.capture {
                     cap.record(now, Direction::ToAp, &frame).ok();
                 }
@@ -417,6 +470,65 @@ impl<C: ClientSystem> World<C> {
             } else {
                 self.aps[i].active = false;
             }
+        }
+        if !self.cfg.faults.is_empty() {
+            self.fault_sweep(now);
+        }
+    }
+
+    /// Periodic fault bookkeeping: AP reboots at blackout end, and
+    /// arming of time-to-detect measurements while a data-plane fault
+    /// covers an AP with associated clients.
+    fn fault_sweep(&mut self, now: SimTime) {
+        for i in 0..self.aps.len() {
+            let black = self.cfg.faults.blackout(now, i);
+            if self.in_blackout[i] && !black {
+                // Power restored: the AP reboots with empty association
+                // state, so lingering clients must re-join from scratch.
+                self.aps[i].mac.reset_associations();
+                self.fstats.ap_reboots += 1;
+                if self.aps[i].active {
+                    self.aps[i].mac.resync_beacons(now);
+                    self.schedule_ap_wake(now, i, now);
+                }
+            }
+            self.in_blackout[i] = black;
+            match self.cfg.faults.data_fault_onset(now, i) {
+                Some(start) => {
+                    if self.aps[i].mac.client_count() > 0
+                        && !self.pending_detect.contains_key(&i)
+                        && !self.detect_done.contains(&(i, start))
+                    {
+                        // If the client was already associated when the
+                        // episode began (first sweep after `start`), the
+                        // detection clock starts at the true onset;
+                        // clients that associate mid-episode (zombies
+                        // accept joins) start it at association time.
+                        let onset = if now.saturating_since(start)
+                            <= SimDuration::from_millis(500)
+                        {
+                            start
+                        } else {
+                            now
+                        };
+                        self.pending_detect.insert(i, (start, onset));
+                    }
+                }
+                None => {
+                    self.pending_detect.remove(&i);
+                }
+            }
+        }
+    }
+
+    /// The client tore down its link to `ap` (deauth) while a
+    /// detection measurement was armed: record the latency.
+    fn note_fault_detect(&mut self, now: SimTime, ap: usize) {
+        if let Some((start, onset)) = self.pending_detect.remove(&ap) {
+            self.detect_done.insert((ap, start));
+            self.fstats
+                .detect_times_s
+                .push(now.saturating_since(onset).as_secs_f64());
         }
     }
 
@@ -523,6 +635,13 @@ impl<C: ClientSystem> World<C> {
     }
 
     fn transmit_from_client(&mut self, now: SimTime, ch: Channel, frame: Frame) {
+        // A client deauth is the driver declaring the link dead — the
+        // moment a fault-detection measurement (if armed) completes.
+        if matches!(frame.body, FrameBody::Deauth { .. }) {
+            if let Some(&i) = self.bssid_index.get(&frame.dst) {
+                self.note_fault_detect(now, i);
+            }
+        }
         let airtime = self.airtime(&frame);
         let (start, end) = self.medium.reserve(now, ch, airtime);
         let pos = self.client_pos(start);
@@ -544,14 +663,23 @@ impl<C: ClientSystem> World<C> {
         };
         let mut extra_airtime = 0.0f64;
         for i in targets {
+            if self.cfg.faults.blackout(start, i) {
+                // A powered-off AP cannot receive.
+                self.fstats.frames_dropped_blackout += 1;
+                continue;
+            }
             let d = pos.distance_to(self.aps[i].position);
             if !self.cfg.propagation.in_range(d) {
                 continue;
             }
-            let p = self
+            let mut p = self
                 .cfg
                 .loss
                 .loss_probability(d, self.cfg.propagation.range_m);
+            let burst = self.cfg.faults.extra_loss(start, i);
+            if burst > 0.0 {
+                p = 1.0 - (1.0 - p) * (1.0 - burst);
+            }
             let delivered = if broadcast {
                 !self.rng_loss.chance(p)
             } else {
@@ -578,6 +706,11 @@ impl<C: ClientSystem> World<C> {
     }
 
     fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: Frame) {
+        if self.cfg.faults.blackout(now, ap) {
+            // A powered-off AP transmits nothing (beacons included).
+            self.fstats.frames_dropped_blackout += 1;
+            return;
+        }
         let airtime = self.airtime(&frame);
         let ch = self.aps[ap].channel;
         let (start, end) = self.medium.reserve(now, ch, airtime);
@@ -585,10 +718,14 @@ impl<C: ClientSystem> World<C> {
         if !self.cfg.propagation.in_range(d) {
             return;
         }
-        let p = self
+        let mut p = self
             .cfg
             .loss
             .loss_probability(d, self.cfg.propagation.range_m);
+        let burst = self.cfg.faults.extra_loss(start, ap);
+        if burst > 0.0 {
+            p = 1.0 - (1.0 - p) * (1.0 - burst);
+        }
         let (delivered, expected_tx) = if frame.dst.is_broadcast() {
             (!self.rng_loss.chance(p), 1.0)
         } else {
@@ -632,6 +769,46 @@ impl<C: ClientSystem> World<C> {
                 if !self.aps[ap].dhcp_responsive {
                     return; // broken AP: DHCP silence
                 }
+                if self.cfg.faults.dhcp_silent(now, ap) {
+                    self.fstats.dhcp_dropped_silent += 1;
+                    return;
+                }
+                if self.cfg.faults.dhcp_exhausted(now, ap) {
+                    // An exhausted pool ignores DISCOVER (nothing to
+                    // offer) and NAKs REQUEST/INIT-REBOOT, telling the
+                    // client its cached address is no good.
+                    match msg.op {
+                        DhcpOp::Request => {
+                            self.fstats.dhcp_naks_exhausted += 1;
+                            let gateway = self.aps[ap].dhcp.config().gateway;
+                            let nak = DhcpMessage {
+                                op: DhcpOp::Nak,
+                                xid: msg.xid,
+                                chaddr: msg.chaddr,
+                                yiaddr: Ipv4Addr::UNSPECIFIED,
+                                server_id: gateway,
+                                lease: SimDuration::ZERO,
+                            };
+                            let dst_mac = msg.chaddr;
+                            let reply = Ipv4Packet {
+                                src: gateway,
+                                dst: packet.src,
+                                payload: L4::Dhcp(nak),
+                            };
+                            self.queue.schedule(
+                                now + SimDuration::from_millis(1),
+                                Ev::Downlink {
+                                    ap,
+                                    dst: dst_mac,
+                                    packet: reply,
+                                    bufferable: self.cfg.psm_buffers_join_traffic,
+                                },
+                            );
+                        }
+                        _ => self.fstats.dhcp_dropped_silent += 1,
+                    }
+                    return;
+                }
                 let responses = self.aps[ap].dhcp.on_message(now, msg);
                 for ds in responses {
                     if ds.msg.op == DhcpOp::Ack {
@@ -659,7 +836,20 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             L4::Icmp(msg) => {
+                if self.cfg.faults.zombie(now, ap) {
+                    // A zombie AP forwards nothing, and its local
+                    // gateway stops answering too: every liveness
+                    // signal must die so the ping monitor fires.
+                    self.fstats.packets_dropped_zombie += 1;
+                    return;
+                }
                 if packet.dst == SERVER_IP {
+                    if self.cfg.faults.icmp_filtered(now, ap) {
+                        // Filtered gateway: end-to-end pings black-hole,
+                        // the gateway itself (below) still answers.
+                        self.fstats.icmp_dropped_filtered += 1;
+                        return;
+                    }
                     if let Some(reply) = msg.reply_to() {
                         let rtt = self.aps[ap].backhaul_latency * 2;
                         let pkt = Ipv4Packet {
@@ -701,6 +891,10 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             L4::Tcp(_) => {
+                if self.cfg.faults.zombie(now, ap) {
+                    self.fstats.packets_dropped_zombie += 1;
+                    return;
+                }
                 if packet.dst == SERVER_IP {
                     let latency = self.aps[ap].backhaul_latency;
                     self.queue.schedule(
@@ -1035,7 +1229,7 @@ mod fault_injection_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod determinism_props {
     use super::*;
     use crate::scenarios::lab_scenario;

@@ -1,0 +1,251 @@
+//! Chaos tests: fault storms against the recovery machinery.
+//!
+//! These drive full worlds through scripted and seeded
+//! [`FaultPlan`]s and check the robustness properties end to end:
+//! dead links are detected within the ping monitor's budget, the
+//! blacklist keeps the driver from looping on a dead AP, a zombie AP
+//! does not take down the whole client while a healthy neighbour
+//! exists, and faulty runs stay deterministic per seed.
+
+use spider_repro::baselines::{FatVapConfig, FatVapDriver, StockConfig, StockDriver};
+use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_repro::simcore::{SimDuration, SimTime};
+use spider_repro::wire::Channel;
+use spider_repro::workloads::scenarios::{lab_scenario, town_scenario, ScenarioParams};
+use spider_repro::workloads::{FaultEpisode, FaultKind, FaultPlan, FaultProfile, World};
+
+fn spider(mode: OperationMode) -> SpiderDriver {
+    SpiderDriver::new(SpiderConfig::for_mode(mode, 1))
+}
+
+/// The §3.2.2 detection budget: 30 consecutive losses at 10 pings/s.
+const DETECT_BUDGET_S: f64 = 3.0;
+
+#[test]
+fn scripted_blackout_is_detected_within_budget() {
+    // One AP, static client: connect, then cut the power mid-session.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), 2);
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::Blackout,
+        start: SimTime::from_secs(10),
+        end: SimTime::from_secs(25),
+    }]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.faults.frames_dropped_blackout > 0,
+        "the blackout never bit: {result}"
+    );
+    assert!(
+        !result.faults.detect_times_s.is_empty(),
+        "blackout was never detected (no deauth observed): {result}"
+    );
+    for &d in &result.faults.detect_times_s {
+        assert!(
+            d <= DETECT_BUDGET_S + 0.05,
+            "detection took {d:.3}s, over the {DETECT_BUDGET_S}s budget"
+        );
+    }
+}
+
+#[test]
+fn zombie_ap_is_detected_by_the_ping_monitor() {
+    // A zombie keeps beaconing and answering DHCP but forwards nothing;
+    // only end-to-end probing can see it (§3.2.2).
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), 5);
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::Zombie,
+        start: SimTime::from_secs(10),
+        end: SimTime::from_secs(30),
+    }]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.faults.packets_dropped_zombie > 0,
+        "the zombie never swallowed anything: {result}"
+    );
+    assert!(
+        !result.faults.detect_times_s.is_empty(),
+        "zombie was never detected: {result}"
+    );
+    for &d in &result.faults.detect_times_s {
+        assert!(
+            d <= DETECT_BUDGET_S + 0.05,
+            "zombie detection took {d:.3}s"
+        );
+    }
+}
+
+#[test]
+fn blacklist_prevents_join_looping_on_a_dead_ap() {
+    // One AP that goes zombie at t=10s and stays dead: it keeps
+    // beaconing and associating, so without the blacklist the driver
+    // would cycle join -> verify -> 3s of ping losses -> fail roughly
+    // every 3.6 s for the remaining 50 s (~13 failures). Exponential
+    // backoff must space the retries out instead.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(60), 2);
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::Zombie,
+        start: SimTime::from_secs(10),
+        end: SimTime::from_secs(60),
+    }]);
+    let (result, driver) = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run_with();
+    assert!(
+        !driver.blacklist().is_empty(),
+        "the dead AP should be blacklisted"
+    );
+    assert!(
+        result.join_log.join_failures <= 8,
+        "{} failed joins in 50 s of zombie — the blacklist is not \
+         spacing retries: {result}",
+        result.join_log.join_failures
+    );
+    // It did keep retrying (backoff, not a permanent ban).
+    assert!(
+        result.join_log.join_failures >= 2,
+        "expected a few backed-off retries: {result}"
+    );
+}
+
+#[test]
+fn zombie_ap_degrades_gracefully_with_a_healthy_neighbour() {
+    // Two same-channel APs; one goes zombie. Multi-AP Spider must keep
+    // goodput flowing through the healthy one.
+    let mut cfg = lab_scenario(
+        &[Channel::CH1, Channel::CH1],
+        500_000.0,
+        SimDuration::from_secs(40),
+        3,
+    );
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::Zombie,
+        start: SimTime::from_secs(5),
+        end: SimTime::from_secs(40),
+    }]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.faults.packets_dropped_zombie > 0,
+        "zombie never bit: {result}"
+    );
+    assert!(
+        result.bytes > 0,
+        "goodput must survive with one healthy AP: {result}"
+    );
+}
+
+#[test]
+fn dhcp_exhaustion_falls_back_and_recovers() {
+    // Pool exhausted for a window: cached-lease REQUESTs get NAKed and
+    // fresh DISCOVERs are ignored. After the window the client must
+    // still be able to (re)join and move data.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(40), 4);
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::DhcpExhausted,
+        start: SimTime::from_secs(0),
+        end: SimTime::from_secs(15),
+    }]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.bytes > 0,
+        "client never recovered after the pool freed up: {result}"
+    );
+}
+
+#[test]
+fn drivers_survive_a_seeded_fault_storm() {
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(300),
+        seed: 21,
+        ..Default::default()
+    };
+    let stormy = |cfg: &mut spider_repro::workloads::WorldConfig| {
+        cfg.faults = FaultPlan::seeded(
+            99,
+            cfg.deployment.len(),
+            cfg.duration,
+            &FaultProfile::stormy(),
+        );
+    };
+
+    let mut cfg = town_scenario(&params);
+    stormy(&mut cfg);
+    let spider_run = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        spider_run.faults.total_drops() > 0,
+        "the storm never bit: {spider_run}"
+    );
+    assert!(
+        spider_run.bytes > 0,
+        "Spider moved no data through the storm: {spider_run}"
+    );
+
+    // The baselines must at least run to completion under the same
+    // storm (their robustness is what Spider is compared against).
+    let mut cfg = town_scenario(&params);
+    stormy(&mut cfg);
+    let stock = World::new(cfg, StockDriver::new(StockConfig::quickwifi(1))).run();
+    assert_eq!(stock.duration, SimDuration::from_secs(300));
+
+    let mut cfg = town_scenario(&params);
+    stormy(&mut cfg);
+    let fatvap = World::new(cfg, FatVapDriver::new(FatVapConfig::default())).run();
+    assert_eq!(fatvap.duration, SimDuration::from_secs(300));
+}
+
+#[test]
+fn faulty_runs_are_deterministic_per_seed() {
+    let run = || {
+        let params = ScenarioParams {
+            duration: SimDuration::from_secs(200),
+            seed: 33,
+            ..Default::default()
+        };
+        let mut cfg = town_scenario(&params);
+        cfg.faults = FaultPlan::seeded(
+            7,
+            cfg.deployment.len(),
+            cfg.duration,
+            &FaultProfile::calm(),
+        );
+        World::new(
+            cfg,
+            spider(OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            }),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.join_log.join.len(), b.join_log.join.len());
+    assert_eq!(a.faults, b.faults, "fault attribution must be bit-identical");
+}
