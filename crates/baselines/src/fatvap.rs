@@ -314,13 +314,14 @@ impl ClientSystem for FatVapDriver {
         format!("FatVAP[{} conns, {} slice]", self.cfg.num_conns, self.cfg.slice)
     }
 
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
         match &rx.frame.body {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
-                self.scanner
-                    .observe(now, rx.frame.src, ssid, *channel, rx.rssi_dbm);
+                if let Some(rssi) = rx.rssi_dbm {
+                    self.scanner
+                        .observe(now, rx.frame.src, ssid, *channel, rssi);
+                }
             }
             _ => {}
         }
@@ -342,42 +343,37 @@ impl ClientSystem for FatVapDriver {
             let active = self.iface_active(idx);
             let evs2 = self.ifaces[idx].poll(now, active, &mut log);
             self.log = log;
-            self.absorb(now, idx, evs, &mut actions);
-            self.absorb(now, idx, evs2, &mut actions);
+            self.absorb(now, idx, evs, actions);
+            self.absorb(now, idx, evs2, actions);
         }
-        actions
     }
 
-    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
         self.current = Some(ch);
         self.switching = false;
-        self.wake_active(&mut actions);
+        self.wake_active(actions);
         if let Slot::Conn(i) = self.slot {
             if self.iface_active(i) {
                 let mut log = std::mem::take(&mut self.log);
                 let evs = self.ifaces[i].poll(now, true, &mut log);
                 self.log = log;
-                self.absorb(now, i, evs, &mut actions);
+                self.absorb(now, i, evs, actions);
             }
         }
-        actions
     }
 
-    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn poll_into(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
         self.assign_ifaces(now);
         if !self.switching && now.saturating_since(self.slot_started) >= self.cfg.slice {
-            self.advance_slot(now, &mut actions);
+            self.advance_slot(now, actions);
         }
         for idx in 0..self.ifaces.len() {
             let active = self.iface_active(idx);
             let mut log = std::mem::take(&mut self.log);
             let evs = self.ifaces[idx].poll(now, active, &mut log);
             self.log = log;
-            self.absorb(now, idx, evs, &mut actions);
+            self.absorb(now, idx, evs, actions);
         }
-        actions
     }
 
     fn next_wakeup(&self, now: SimTime) -> SimTime {
@@ -425,9 +421,10 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            },
+            }
+            .into(),
             channel: ch,
-            rssi_dbm: rssi,
+            rssi_dbm: Some(rssi),
         }
     }
 

@@ -230,13 +230,14 @@ impl ClientSystem for StockDriver {
         self.cfg.name.to_string()
     }
 
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
         match &rx.frame.body {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
-                self.table
-                    .observe(now, rx.frame.src, ssid, *channel, rx.rssi_dbm);
+                if let Some(rssi) = rx.rssi_dbm {
+                    self.table
+                        .observe(now, rx.frame.src, ssid, *channel, rssi);
+                }
             }
             _ => {}
         }
@@ -253,14 +254,12 @@ impl ClientSystem for StockDriver {
             let on_ch = self.on_channel();
             let evs2 = self.iface.poll(now, on_ch, &mut log);
             self.log = log;
-            self.absorb(now, evs, &mut actions);
-            self.absorb(now, evs2, &mut actions);
+            self.absorb(now, evs, actions);
+            self.absorb(now, evs2, actions);
         }
-        actions
     }
 
-    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
         self.current = Some(ch);
         if self.iface.is_busy() {
             self.mode = Mode::Camped;
@@ -268,7 +267,7 @@ impl ClientSystem for StockDriver {
             let mut log = std::mem::take(&mut self.log);
             let evs = self.iface.poll(now, on_ch, &mut log);
             self.log = log;
-            self.absorb(now, evs, &mut actions);
+            self.absorb(now, evs, actions);
         } else {
             // Arrived on a scan channel.
             let idx = self
@@ -279,16 +278,14 @@ impl ClientSystem for StockDriver {
                 .unwrap_or(0);
             self.mode = Mode::Scanning { idx, since: now };
         }
-        actions
     }
 
-    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn poll_into(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
         match self.mode {
             Mode::Scanning { idx, since } => {
                 // After a full sweep, try to join the best AP seen.
                 if self.sweep_complete {
-                    self.try_join_best(now, &mut actions);
+                    self.try_join_best(now, actions);
                     self.sweep_complete = false;
                 }
                 if matches!(self.mode, Mode::Scanning { .. })
@@ -298,10 +295,10 @@ impl ClientSystem for StockDriver {
                     if next >= self.cfg.scan_channels.len() {
                         self.sweep_complete = true;
                         // Try joining right away with what we have.
-                        self.try_join_best(now, &mut actions);
+                        self.try_join_best(now, actions);
                         if matches!(self.mode, Mode::Scanning { .. }) {
                             // Nothing to join: sweep again.
-                            self.start_scan(now, &mut actions);
+                            self.start_scan(now, actions);
                         }
                     } else {
                         let ch = self.cfg.scan_channels[next];
@@ -321,7 +318,7 @@ impl ClientSystem for StockDriver {
             Mode::Switching => {}
             Mode::Camped => {
                 if !self.iface.is_busy() {
-                    self.start_scan(now, &mut actions);
+                    self.start_scan(now, actions);
                 }
             }
         }
@@ -329,8 +326,7 @@ impl ClientSystem for StockDriver {
         let mut log = std::mem::take(&mut self.log);
         let evs = self.iface.poll(now, on_ch, &mut log);
         self.log = log;
-        self.absorb(now, evs, &mut actions);
-        actions
+        self.absorb(now, evs, actions);
     }
 
     fn next_wakeup(&self, now: SimTime) -> SimTime {
@@ -380,9 +376,10 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            },
+            }
+            .into(),
             channel: ch,
-            rssi_dbm: rssi,
+            rssi_dbm: Some(rssi),
         }
     }
 

@@ -1,9 +1,8 @@
-#[cfg(feature = "criterion-benches")]
-mod real {
-//! Criterion bench: AP selection — Spider's utility ranking vs the exact
+//! Micro-bench: AP selection — Spider's utility ranking vs the exact
 //! knapsack solver (Appendix A's complexity argument in numbers).
+//! Hermetic harness; run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_bench::harness::micro;
 use spider_core::utility::{UtilityConfig, UtilityTable};
 use spider_model::selection::{density_score, greedy_select, optimal_select, ApOption};
 use spider_simcore::{SimRng, SimTime};
@@ -20,40 +19,26 @@ fn options(n: usize) -> Vec<ApOption> {
         .collect()
 }
 
-fn bench_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selection");
+fn main() {
     for n in [8usize, 16, 64] {
         let opts = options(n);
-        group.bench_with_input(BenchmarkId::new("greedy", n), &opts, |b, opts| {
-            b.iter(|| black_box(greedy_select(opts, 30.0, density_score)))
-        });
-        group.bench_with_input(BenchmarkId::new("exact", n), &opts, |b, opts| {
-            b.iter(|| black_box(optimal_select(opts, 30.0, 1_000)))
-        });
+        micro(&format!("selection/greedy/{n}"), || {
+            black_box(greedy_select(&opts, 30.0, density_score))
+        })
+        .print_row();
+        micro(&format!("selection/exact/{n}"), || {
+            black_box(optimal_select(&opts, 30.0, 1_000))
+        })
+        .print_row();
     }
-    group.finish();
-}
 
-fn bench_utility_table(c: &mut Criterion) {
     let mut table = UtilityTable::new(UtilityConfig::default());
     let now = SimTime::from_secs(1);
     for i in 0..200u64 {
         table.observe(now, MacAddr::from_id(i), &Ssid::new("x"), Channel::CH6, -60.0);
     }
-    c.bench_function("utility_best_candidate_200aps", |b| {
-        b.iter(|| black_box(table.best_candidate(now, &[Channel::CH6], &[])))
-    });
+    micro("utility_best_candidate_200aps", || {
+        black_box(table.best_candidate(now, &[Channel::CH6], &[]))
+    })
+    .print_row();
 }
-
-criterion_group!(benches, bench_selection, bench_utility_table);
-}
-
-#[cfg(feature = "criterion-benches")]
-fn main() {
-    real::benches();
-}
-
-// Hermetic builds have no `criterion` dependency; the bench target
-// still has to link, so provide a no-op entry point.
-#[cfg(not(feature = "criterion-benches"))]
-fn main() {}

@@ -1,44 +1,37 @@
-#[cfg(feature = "criterion-benches")]
-mod real {
-//! Criterion bench: evaluating the analytical join model (Eq. 7) and the
-//! two-channel optimiser (Eqs. 8-10) — these run inside parameter sweeps,
-//! so their cost bounds how fine a grid the figures can afford.
+//! Micro-bench: evaluating the analytical join model (Eq. 7) and the
+//! two-channel optimiser (Eqs. 8-10) — these run inside parameter
+//! sweeps, so their cost bounds how fine a grid the figures can afford.
+//! Hermetic harness; run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::harness::micro;
 use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
 use std::hint::black_box;
 
-fn bench_p_join(c: &mut Criterion) {
+fn main() {
     let model = JoinModel::paper_defaults(10.0);
-    c.bench_function("p_join_t4s", |b| {
-        b.iter(|| black_box(model.p_join(black_box(0.4), black_box(4.0))))
-    });
-    c.bench_function("p_join_t40s", |b| {
-        b.iter(|| black_box(model.p_join(black_box(0.4), black_box(40.0))))
-    });
-}
+    micro("p_join_t4s", || {
+        black_box(model.p_join(black_box(0.4), black_box(4.0)))
+    })
+    .print_row();
+    micro("p_join_t40s", || {
+        black_box(model.p_join(black_box(0.4), black_box(40.0)))
+    })
+    .print_row();
 
-fn bench_optimizer(c: &mut Criterion) {
     let mut optimizer = ThroughputOptimizer::paper(JoinModel::paper_defaults(10.0));
     optimizer.grid = 20;
     let scenarios = [
-        ChannelScenario { joined_frac: 0.5, available_frac: 0.0 },
-        ChannelScenario { joined_frac: 0.0, available_frac: 0.5 },
+        ChannelScenario {
+            joined_frac: 0.5,
+            available_frac: 0.0,
+        },
+        ChannelScenario {
+            joined_frac: 0.0,
+            available_frac: 0.5,
+        },
     ];
-    c.bench_function("two_channel_optimize_grid20", |b| {
-        b.iter(|| black_box(optimizer.optimize(black_box(&scenarios), 6.6)))
-    });
+    micro("two_channel_optimize_grid20", || {
+        black_box(optimizer.optimize(black_box(&scenarios), 6.6))
+    })
+    .print_row();
 }
-
-criterion_group!(benches, bench_p_join, bench_optimizer);
-}
-
-#[cfg(feature = "criterion-benches")]
-fn main() {
-    real::benches();
-}
-
-// Hermetic builds have no `criterion` dependency; the bench target
-// still has to link, so provide a no-op entry point.
-#[cfg(not(feature = "criterion-benches"))]
-fn main() {}

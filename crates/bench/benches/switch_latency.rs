@@ -1,45 +1,15 @@
-#[cfg(feature = "criterion-benches")]
-mod real {
-//! Criterion bench: the radio switch path (Table 1's subject) — state
+//! Micro-bench: the radio switch path (Table 1's subject) — state
 //! machine cost of initiating/settling a channel switch, and the full
-//! driver-side PSM choreography around a schedule boundary.
+//! driver-side PSM choreography around a schedule boundary. Hermetic
+//! harness; run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::harness::micro;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientSystem;
 use spider_radio::{PhyParams, Radio};
 use spider_simcore::{SimDuration, SimTime};
 use spider_wire::Channel;
 use std::hint::black_box;
-
-fn bench_radio_switch(c: &mut Criterion) {
-    let phy = PhyParams::b11();
-    c.bench_function("radio_switch_cycle", |b| {
-        b.iter(|| {
-            let mut radio = Radio::new(Channel::CH1);
-            let done = radio.start_switch(SimTime::ZERO, Channel::CH6, &phy, 4);
-            black_box(radio.listening_on(done))
-        })
-    });
-}
-
-fn bench_driver_boundary(c: &mut Criterion) {
-    c.bench_function("spider_schedule_boundary_poll", |b| {
-        let mut driver = SpiderDriver::new(SpiderConfig::for_mode(
-            OperationMode::MultiChannelMultiAp {
-                period: SimDuration::from_millis(600),
-            },
-            1,
-        ));
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 200;
-            let actions = driver.poll(SimTime::from_millis(t));
-            driver.on_switch_complete(SimTime::from_millis(t + 5), driver_channel(t));
-            black_box(actions.len())
-        })
-    });
-}
 
 fn driver_channel(t_ms: u64) -> Channel {
     match (t_ms / 200) % 3 {
@@ -49,15 +19,27 @@ fn driver_channel(t_ms: u64) -> Channel {
     }
 }
 
-criterion_group!(benches, bench_radio_switch, bench_driver_boundary);
-}
-
-#[cfg(feature = "criterion-benches")]
 fn main() {
-    real::benches();
-}
+    let phy = PhyParams::b11();
+    micro("radio_switch_cycle", || {
+        let mut radio = Radio::new(Channel::CH1);
+        let done = radio.start_switch(SimTime::ZERO, Channel::CH6, &phy, 4);
+        black_box(radio.listening_on(done))
+    })
+    .print_row();
 
-// Hermetic builds have no `criterion` dependency; the bench target
-// still has to link, so provide a no-op entry point.
-#[cfg(not(feature = "criterion-benches"))]
-fn main() {}
+    let mut driver = SpiderDriver::new(SpiderConfig::for_mode(
+        OperationMode::MultiChannelMultiAp {
+            period: SimDuration::from_millis(600),
+        },
+        1,
+    ));
+    let mut t = 0u64;
+    micro("spider_schedule_boundary_poll", || {
+        t += 200;
+        let actions = driver.poll(SimTime::from_millis(t));
+        driver.on_switch_complete(SimTime::from_millis(t + 5), driver_channel(t));
+        black_box(actions.len())
+    })
+    .print_row();
+}

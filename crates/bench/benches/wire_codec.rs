@@ -1,10 +1,10 @@
-#[cfg(feature = "criterion-benches")]
-mod real {
-//! Criterion bench: the frame capture codec (encode/decode round trips).
+//! Micro-bench: the frame capture codec (encode/decode round trips),
+//! including the reusable-buffer `encode_into` path the capture writer
+//! uses. Hermetic harness; run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::harness::micro;
 use spider_simcore::SimDuration;
-use spider_wire::codec::{decode, encode};
+use spider_wire::codec::{decode, encode, encode_into};
 use spider_wire::ip::L4;
 use spider_wire::{Frame, FrameBody, Ipv4Addr, Ipv4Packet, MacAddr, TcpFlags, TcpSegment};
 use std::hint::black_box;
@@ -46,34 +46,27 @@ fn beacon() -> Frame {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let frames = [data_frame(), beacon()];
-    c.bench_function("encode_data_and_beacon", |b| {
-        b.iter(|| {
-            for f in &frames {
-                black_box(encode(f));
-            }
-        })
-    });
-    let encoded: Vec<Vec<u8>> = frames.iter().map(encode).collect();
-    c.bench_function("decode_data_and_beacon", |b| {
-        b.iter(|| {
-            for bytes in &encoded {
-                black_box(decode(bytes).unwrap());
-            }
-        })
-    });
-}
-
-criterion_group!(benches, bench_codec);
-}
-
-#[cfg(feature = "criterion-benches")]
 fn main() {
-    real::benches();
+    let frames = [data_frame(), beacon()];
+    micro("encode_data_and_beacon", || {
+        for f in &frames {
+            black_box(encode(f));
+        }
+    })
+    .print_row();
+    let mut buf = Vec::with_capacity(64);
+    micro("encode_into_data_and_beacon", || {
+        for f in &frames {
+            encode_into(f, &mut buf);
+            black_box(buf.len());
+        }
+    })
+    .print_row();
+    let encoded: Vec<Vec<u8>> = frames.iter().map(encode).collect();
+    micro("decode_data_and_beacon", || {
+        for bytes in &encoded {
+            black_box(decode(bytes).unwrap());
+        }
+    })
+    .print_row();
 }
-
-// Hermetic builds have no `criterion` dependency; the bench target
-// still has to link, so provide a no-op entry point.
-#[cfg(not(feature = "criterion-benches"))]
-fn main() {}

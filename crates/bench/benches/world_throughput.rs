@@ -1,10 +1,10 @@
-#[cfg(feature = "criterion-benches")]
-mod real {
-//! Criterion bench: simulator performance — simulated seconds per
-//! wall-clock second for a town drive. This is the figure that bounds
-//! how many evaluation configurations a sweep can afford.
+//! Micro-bench: simulator performance — wall time for a short town
+//! drive in both Spider channel modes. The tracked macro figures live
+//! in `BENCH_world.json` (see the `bench_world` binary); this target is
+//! the quick interactive cross-check. Hermetic harness; run with
+//! `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::harness::micro;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::SimDuration;
 use spider_wire::Channel;
@@ -12,53 +12,26 @@ use spider_workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_workloads::World;
 use std::hint::black_box;
 
-fn bench_world(c: &mut Criterion) {
-    let mut group = c.benchmark_group("world");
-    group.sample_size(10);
-    group.bench_function("town_60s_single_channel", |b| {
-        b.iter(|| {
-            let params = ScenarioParams {
-                duration: SimDuration::from_secs(60),
-                seed: 1,
-                ..Default::default()
-            };
-            let world = town_scenario(&params);
-            let driver = SpiderDriver::new(SpiderConfig::for_mode(
-                OperationMode::SingleChannelMultiAp(Channel::CH1),
-                1,
-            ));
-            black_box(World::new(world, driver).run())
-        })
-    });
-    group.bench_function("town_60s_three_channel", |b| {
-        b.iter(|| {
-            let params = ScenarioParams {
-                duration: SimDuration::from_secs(60),
-                seed: 1,
-                ..Default::default()
-            };
-            let world = town_scenario(&params);
-            let driver = SpiderDriver::new(SpiderConfig::for_mode(
-                OperationMode::MultiChannelMultiAp {
-                    period: SimDuration::from_millis(600),
-                },
-                1,
-            ));
-            black_box(World::new(world, driver).run())
-        })
-    });
-    group.finish();
+fn run(mode: OperationMode) -> u64 {
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(60),
+        seed: 1,
+        ..Default::default()
+    };
+    let world = town_scenario(&params);
+    let driver = SpiderDriver::new(SpiderConfig::for_mode(mode, 1));
+    World::new(world, driver).run().events
 }
 
-criterion_group!(benches, bench_world);
-}
-
-#[cfg(feature = "criterion-benches")]
 fn main() {
-    real::benches();
+    micro("town_60s_single_channel", || {
+        black_box(run(OperationMode::SingleChannelMultiAp(Channel::CH1)))
+    })
+    .print_row();
+    micro("town_60s_three_channel", || {
+        black_box(run(OperationMode::MultiChannelMultiAp {
+            period: SimDuration::from_millis(600),
+        }))
+    })
+    .print_row();
 }
-
-// Hermetic builds have no `criterion` dependency; the bench target
-// still has to link, so provide a no-op entry point.
-#[cfg(not(feature = "criterion-benches"))]
-fn main() {}

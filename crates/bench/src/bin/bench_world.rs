@@ -1,0 +1,83 @@
+//! `bench_world` — the engine's macro benchmark.
+//!
+//! Runs the three fixed-seed world workloads (sparse commute, dense
+//! downtown, chaos storm), prints events/sec and wall-clock per
+//! scenario, and writes `BENCH_world.json` at the repository root.
+//!
+//! Flags:
+//!
+//! * `--fast`  — shorten simulated durations for CI smoke runs
+//!   (identical deployments, so events/sec stays comparable).
+//! * `--check` — before overwriting the JSON, compare fresh events/sec
+//!   against the checked-in copy and exit non-zero if any scenario
+//!   regressed by more than 2x.
+//! * `--out PATH` — write the JSON somewhere else.
+
+use spider_bench::worldbench::{check_regressions, run_scenario, scenarios, to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_out() -> PathBuf {
+    // crates/bench -> repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_world.json")
+}
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut check = false;
+    let mut out = default_out();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; valid: --fast --check --out PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mode = if fast { "fast" } else { "full" };
+    let baseline = if check { std::fs::read_to_string(&out).ok() } else { None };
+    if check && baseline.is_none() {
+        eprintln!("--check: no baseline at {}; gate skipped", out.display());
+    }
+
+    println!("world benchmark ({mode} mode)");
+    let mut results = Vec::new();
+    for spec in scenarios(fast) {
+        let r = run_scenario(&spec);
+        println!(
+            "  {:<16} {:>5} sites  {:>4}s sim  {:>8.3}s wall  {:>9} events  {:>12.0} events/sec",
+            r.name, r.sites, r.sim_secs, r.wall_secs, r.events, r.events_per_sec,
+        );
+        results.push(r);
+    }
+
+    let json = to_json(mode, &results);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(baseline) = baseline {
+        let failures = check_regressions(&baseline, &results);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("check passed: no scenario regressed more than 2x");
+    }
+    ExitCode::SUCCESS
+}

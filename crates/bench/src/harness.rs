@@ -1,0 +1,118 @@
+//! Hermetic micro-benchmark harness.
+//!
+//! The workspace builds without registry access, so `criterion` is not
+//! available. This module is the small self-timing harness the bench
+//! targets use instead: auto-calibrated iteration counts, a handful of
+//! samples, and min/median/mean nanoseconds per iteration on stdout.
+//! It is deliberately tiny — no statistics beyond what a regression
+//! eyeball needs — but it is *real*: every bench target actually
+//! executes the code it names.
+//!
+//! Set `SPIDER_BENCH_FAST=1` to cut sample counts for smoke runs (CI).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall time for one calibrated sample.
+const SAMPLE_TARGET_NS: f64 = 2_000_000.0; // 2 ms
+
+/// Upper bound on iterations per sample, so a sub-nanosecond closure
+/// cannot spin the calibrator forever.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// One micro-benchmark result: nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct MicroStats {
+    /// Bench label as printed.
+    pub label: String,
+    /// Iterations per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Fastest sample, ns/iter — the least noisy figure.
+    pub min_ns: f64,
+    /// Median sample, ns/iter.
+    pub median_ns: f64,
+    /// Mean over all samples, ns/iter.
+    pub mean_ns: f64,
+}
+
+impl MicroStats {
+    /// Print one aligned result row.
+    pub fn print_row(&self) {
+        println!(
+            "{:<40} {:>12.1} ns/iter (median; min {:.1}, mean {:.1}; {} iters x {} samples)",
+            self.label, self.median_ns, self.min_ns, self.mean_ns, self.iters_per_sample, self.samples,
+        );
+    }
+}
+
+/// Whether the harness should run in smoke mode (fewer samples).
+pub fn is_fast_mode() -> bool {
+    std::env::var_os("SPIDER_BENCH_FAST").is_some()
+}
+
+/// Time `f`, auto-calibrating the iteration count so each sample runs
+/// for roughly [`SAMPLE_TARGET_NS`], then taking several samples.
+pub fn micro<T>(label: &str, mut f: impl FnMut() -> T) -> MicroStats {
+    // Calibrate: double the iteration count until a sample is long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t.elapsed().as_nanos() as f64;
+        if dt >= SAMPLE_TARGET_NS || iters >= MAX_ITERS {
+            break;
+        }
+        // Jump close to the target in one step when we already have a
+        // usable estimate; otherwise keep doubling.
+        let factor = if dt > 1_000.0 {
+            ((SAMPLE_TARGET_NS / dt) * 1.2).ceil() as u64
+        } else {
+            2
+        };
+        iters = (iters * factor.max(2)).min(MAX_ITERS);
+    }
+
+    let samples = if is_fast_mode() { 3 } else { 11 };
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min_ns = per_iter[0];
+    let median_ns = per_iter[per_iter.len() / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    MicroStats {
+        label: label.to_string(),
+        iters_per_sample: iters,
+        samples,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_measures_a_trivial_closure() {
+        // Not a timing assertion — just that calibration terminates and
+        // the stats are internally consistent.
+        std::env::set_var("SPIDER_BENCH_FAST", "1");
+        let stats = micro("noop_add", || std::hint::black_box(1u64) + 1);
+        assert!(stats.iters_per_sample >= 1);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.min_ns > 0.0);
+        assert_eq!(stats.label, "noop_add");
+    }
+}

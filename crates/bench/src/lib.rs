@@ -5,9 +5,16 @@
 //! `target/experiments/`. Run them with `--release`; a full experiment
 //! is a 30-minute simulated drive and takes well under a second of wall
 //! time per configuration.
+//!
+//! Performance tracking lives here too: [`harness`] is the hermetic
+//! micro-bench runner behind `cargo bench`, and [`worldbench`] plus the
+//! `bench_world` binary produce the repository's tracked
+//! `BENCH_world.json` engine figures.
 
+pub mod harness;
 pub mod output;
 pub mod runs;
+pub mod worldbench;
 
 pub use output::{print_table, write_csv, OutDir};
 pub use runs::{

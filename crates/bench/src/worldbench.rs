@@ -1,0 +1,300 @@
+//! The macro benchmark: full `World` runs under fixed-seed workloads.
+//!
+//! Three scenarios exercise the engine's distinct regimes:
+//!
+//! * `sparse_commute` — a 10-minute drive at the default suburban AP
+//!   density. Dominated by TCP/beacon traffic to a handful of in-range
+//!   APs; the historical steady state.
+//! * `dense_downtown` — a 30-minute drive through a deployment of more
+//!   than 1,000 sites. This is the scenario the spatial grid index
+//!   exists for: without it every tick scans every AP.
+//! * `chaos_storm` — the dense deployment under a seeded stormy
+//!   [`FaultPlan`](spider_workloads::FaultPlan), stressing the fault
+//!   lookup path on every frame and the periodic fault sweep.
+//!
+//! Every scenario is a pure function of its seed, so the numbers in
+//! `BENCH_world.json` are reproducible modulo machine speed. The
+//! `--check` mode of the `bench_world` binary compares fresh
+//! events/sec against the checked-in JSON and fails on a >2x drop.
+
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::SimDuration;
+use spider_wire::Channel;
+use spider_workloads::scenarios::{town_scenario, ScenarioParams};
+use spider_workloads::{FaultPlan, FaultProfile, World};
+use std::time::Instant;
+
+/// Factor by which events/sec may drop versus the checked-in baseline
+/// before `--check` fails the run.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One fixed-seed benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Stable name, used as the JSON key and the `--check` join key.
+    pub name: &'static str,
+    /// Simulated run length in seconds.
+    pub sim_secs: u64,
+    /// Deployment density (open APs per km of road).
+    pub density_per_km: f64,
+    /// World seed (deployment, DHCP, loss, backhaul draws).
+    pub seed: u64,
+    /// Overlay a seeded stormy fault plan (seed [`STORM_SEED`]).
+    pub storm: bool,
+    /// Minimum deployment size the run asserts (0 = no floor).
+    pub min_sites: usize,
+}
+
+/// Seed for the `chaos_storm` fault plan.
+pub const STORM_SEED: u64 = 99;
+
+/// The benchmark suite. `fast` shortens simulated durations for CI
+/// smoke runs; the deployments (and therefore the engine's data-
+/// structure sizes) are identical in both modes, so events/sec stays
+/// comparable across modes.
+pub fn scenarios(fast: bool) -> Vec<ScenarioSpec> {
+    let scale = |secs: u64| if fast { (secs / 10).max(30) } else { secs };
+    vec![
+        ScenarioSpec {
+            name: "sparse_commute",
+            sim_secs: scale(600),
+            density_per_km: 12.0,
+            seed: 42,
+            storm: false,
+            min_sites: 0,
+        },
+        ScenarioSpec {
+            name: "dense_downtown",
+            sim_secs: scale(1_800),
+            density_per_km: 220.0,
+            seed: 42,
+            storm: false,
+            min_sites: 1_000,
+        },
+        ScenarioSpec {
+            name: "chaos_storm",
+            sim_secs: scale(300),
+            density_per_km: 220.0,
+            seed: 42,
+            storm: true,
+            min_sites: 1_000,
+        },
+    ]
+}
+
+/// Measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Deployment size actually generated.
+    pub sites: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Simulated seconds.
+    pub sim_secs: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Discrete events processed.
+    pub events: u64,
+    /// Events per wall-clock second — the headline figure.
+    pub events_per_sec: f64,
+    /// Application bytes delivered (a cheap cross-run sanity anchor).
+    pub bytes: u64,
+}
+
+/// Build and run one scenario, timing the whole `World::run`.
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(spec.sim_secs),
+        seed: spec.seed,
+        density_per_km: spec.density_per_km,
+        ..Default::default()
+    };
+    let mut cfg = town_scenario(&params);
+    let sites = cfg.deployment.len();
+    assert!(
+        sites >= spec.min_sites,
+        "{}: deployment has {sites} sites, benchmark requires >= {}",
+        spec.name,
+        spec.min_sites
+    );
+    if spec.storm {
+        cfg.faults = FaultPlan::seeded(STORM_SEED, sites, cfg.duration, &FaultProfile::stormy());
+    }
+    let driver = SpiderDriver::new(SpiderConfig::for_mode(
+        OperationMode::SingleChannelMultiAp(Channel::CH6),
+        1,
+    ));
+    let t = Instant::now();
+    let result = World::new(cfg, driver).run();
+    let wall_secs = t.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: spec.name.to_string(),
+        sites,
+        seed: spec.seed,
+        sim_secs: spec.sim_secs,
+        wall_secs,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall_secs.max(1e-9),
+        bytes: result.bytes,
+    }
+}
+
+/// Pre-rewrite engine figures, measured on the same scenarios at commit
+/// `cb89511` (linear AP scans, deep-copied frames, flat fault plan).
+/// Kept in the JSON so the speedup claim travels with the numbers.
+pub const PRE_PR_DENSE_EVENTS_PER_SEC: f64 = 2_489_000.0;
+
+/// Render the results as the `BENCH_world.json` document.
+pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"world\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str("  \"pre_pr_baseline\": {\n");
+    s.push_str(
+        "    \"note\": \"engine at commit cb89511, before the spatial grid / shared-frame rewrite\",\n",
+    );
+    s.push_str(&format!(
+        "    \"dense_downtown_events_per_sec\": {PRE_PR_DENSE_EVENTS_PER_SEC:.1},\n"
+    ));
+    s.push_str("    \"wall_seconds\": { \"sparse_commute\": 0.130, \"dense_downtown\": 1.744, \"chaos_storm\": 7.194 }\n");
+    s.push_str("  },\n");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"sites\": {},\n", r.sites));
+        s.push_str(&format!("      \"seed\": {},\n", r.seed));
+        s.push_str(&format!("      \"sim_seconds\": {},\n", r.sim_secs));
+        s.push_str(&format!("      \"wall_seconds\": {:.4},\n", r.wall_secs));
+        s.push_str(&format!("      \"events\": {},\n", r.events));
+        s.push_str(&format!("      \"events_per_sec\": {:.1},\n", r.events_per_sec));
+        s.push_str(&format!("      \"bytes\": {}\n", r.bytes));
+        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Extract `(name, events_per_sec)` pairs from a `BENCH_world.json`
+/// document. Not a general JSON parser — it reads exactly the format
+/// [`to_json`] writes, which is all `--check` needs.
+pub fn parse_events_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            if let Some(end) = rest.find('"') {
+                name = Some(rest[..end].to_string());
+            }
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            let num = rest.trim_end_matches(',');
+            if let (Some(n), Ok(v)) = (name.take(), num.parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+/// Compare fresh results against a baseline document. Returns one
+/// message per scenario whose events/sec dropped by more than
+/// [`REGRESSION_FACTOR`]; empty means the gate passes. Scenarios
+/// missing on either side are skipped (renames should not fail CI).
+pub fn check_regressions(baseline_json: &str, results: &[ScenarioResult]) -> Vec<String> {
+    let baseline = parse_events_per_sec(baseline_json);
+    let mut failures = Vec::new();
+    for r in results {
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == &r.name) {
+            if r.events_per_sec * REGRESSION_FACTOR < *base {
+                failures.push(format!(
+                    "{}: {:.0} events/sec is more than {REGRESSION_FACTOR}x below baseline {:.0}",
+                    r.name, r.events_per_sec, base
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, eps: f64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            sites: 10,
+            seed: 1,
+            sim_secs: 60,
+            wall_secs: 0.5,
+            events: (eps * 0.5) as u64,
+            events_per_sec: eps,
+            bytes: 1234,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_check_parser() {
+        let results = vec![result("sparse_commute", 1_500_000.0), result("dense_downtown", 9_000_000.5)];
+        let json = to_json("full", &results);
+        let parsed = parse_events_per_sec(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "sparse_commute");
+        assert!((parsed[0].1 - 1_500_000.0).abs() < 0.2);
+        assert_eq!(parsed[1].0, "dense_downtown");
+        assert!((parsed[1].1 - 9_000_000.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_the_factor() {
+        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)]);
+        // 2x slower exactly: passes (gate is strict >2x).
+        assert!(check_regressions(&baseline, &[result("dense_downtown", 4_000_000.0)]).is_empty());
+        // Slightly worse than 2x: fails.
+        let failures = check_regressions(&baseline, &[result("dense_downtown", 3_900_000.0)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dense_downtown"));
+        // Unknown scenario on either side: skipped, not failed.
+        assert!(check_regressions(&baseline, &[result("brand_new", 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn suite_has_the_three_scenarios_and_fast_mode_keeps_density() {
+        let full = scenarios(false);
+        let fast = scenarios(true);
+        assert_eq!(full.len(), 3);
+        assert_eq!(fast.len(), 3);
+        for (f, s) in full.iter().zip(&fast) {
+            assert_eq!(f.name, s.name);
+            assert_eq!(f.density_per_km, s.density_per_km);
+            assert_eq!(f.seed, s.seed);
+            assert!(s.sim_secs <= f.sim_secs);
+        }
+        assert!(full.iter().any(|s| s.name == "dense_downtown" && s.min_sites >= 1_000));
+        assert!(full.iter().any(|s| s.storm));
+    }
+
+    #[test]
+    fn sparse_scenario_runs_and_reports_consistent_figures() {
+        // A tiny world run end-to-end through the harness path.
+        let spec = ScenarioSpec {
+            name: "smoke",
+            sim_secs: 30,
+            density_per_km: 12.0,
+            seed: 7,
+            storm: false,
+            min_sites: 1,
+        };
+        let r = run_scenario(&spec);
+        assert_eq!(r.name, "smoke");
+        assert!(r.sites >= 1);
+        assert!(r.events > 0);
+        assert!(r.wall_secs > 0.0);
+        assert!((r.events_per_sec - r.events as f64 / r.wall_secs).abs() < 1.0);
+    }
+}

@@ -13,10 +13,11 @@
 //! cannot be buffered by the PSM request"). Callers mark such frames
 //! `bufferable = false` in [`ApMac::enqueue_downlink`].
 
-use spider_simcore::{SimDuration, SimTime};
-use spider_wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, Ssid};
+use spider_simcore::{FxHashMap, SimDuration, SimTime};
+use spider_wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, SharedFrame, Ssid};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// AP configuration.
 #[derive(Debug, Clone)]
@@ -63,8 +64,11 @@ struct ClientState {
 /// Events produced by the AP MAC.
 #[derive(Debug, Clone)]
 pub enum ApEvent {
-    /// Transmit this frame on the AP's channel.
-    Send(Frame),
+    /// Transmit this frame on the AP's channel. Shared so the beacon —
+    /// the overwhelmingly most common frame an AP emits — is minted once
+    /// per AP and re-sent as a refcount bump, and so the simulation can
+    /// fan the frame out to receivers without re-wrapping it.
+    Send(SharedFrame),
     /// A client completed association.
     ClientAssociated(MacAddr),
     /// A client was removed (deauth or eviction).
@@ -83,9 +87,13 @@ pub enum ApEvent {
 #[derive(Debug, Clone)]
 pub struct ApMac {
     cfg: ApConfig,
-    clients: HashMap<MacAddr, ClientState>,
+    clients: FxHashMap<MacAddr, ClientState>,
     next_beacon: SimTime,
     next_aid: u16,
+    /// The AP's beacon, minted once: its contents (SSID, channel,
+    /// interval) never change, so every beacon interval re-sends this
+    /// same shared frame instead of allocating a fresh SSID + frame.
+    beacon: SharedFrame,
     /// Downlink frames dropped because a client wasn't associated,
     /// buffers overflowed, or frames aged out (observability for tests).
     pub drops: u64,
@@ -94,11 +102,22 @@ pub struct ApMac {
 impl ApMac {
     /// Create an AP that starts beaconing at `first_beacon`.
     pub fn new(cfg: ApConfig, first_beacon: SimTime) -> ApMac {
+        let beacon = Arc::new(Frame {
+            src: cfg.bssid,
+            dst: MacAddr::BROADCAST,
+            bssid: cfg.bssid,
+            body: FrameBody::Beacon {
+                ssid: cfg.ssid.clone(),
+                channel: cfg.channel,
+                interval: cfg.beacon_interval,
+            },
+        });
         ApMac {
             cfg,
-            clients: HashMap::new(),
+            clients: FxHashMap::default(),
             next_beacon: first_beacon,
             next_aid: 1,
+            beacon,
             drops: 0,
         }
     }
@@ -149,25 +168,29 @@ impl ApMac {
     /// Timer processing: emits beacons that are due.
     pub fn poll(&mut self, now: SimTime) -> Vec<ApEvent> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Like [`ApMac::poll`], but appends to a caller-owned buffer. The
+    /// world polls every active AP every beacon interval; reusing one
+    /// scratch `Vec` across those calls keeps the hot loop allocation-free.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<ApEvent>) {
         while self.next_beacon <= now {
-            out.push(ApEvent::Send(Frame {
-                src: self.cfg.bssid,
-                dst: MacAddr::BROADCAST,
-                bssid: self.cfg.bssid,
-                body: FrameBody::Beacon {
-                    ssid: self.cfg.ssid.clone(),
-                    channel: self.cfg.channel,
-                    interval: self.cfg.beacon_interval,
-                },
-            }));
+            out.push(ApEvent::Send(Arc::clone(&self.beacon)));
             self.next_beacon += self.cfg.beacon_interval;
         }
-        out
     }
 
     /// Process a received frame.
     pub fn on_frame(&mut self, now: SimTime, frame: &Frame) -> Vec<ApEvent> {
         let mut out = Vec::new();
+        self.on_frame_into(now, frame, &mut out);
+        out
+    }
+
+    /// Like [`ApMac::on_frame`], but appends to a caller-owned buffer.
+    pub fn on_frame_into(&mut self, now: SimTime, frame: &Frame, out: &mut Vec<ApEvent>) {
         match &frame.body {
             FrameBody::ProbeRequest { ssid } => {
                 let matches = ssid
@@ -175,7 +198,7 @@ impl ApMac {
                     .map(|s| *s == self.cfg.ssid)
                     .unwrap_or(true);
                 if matches {
-                    out.push(ApEvent::Send(Frame {
+                    out.push(ApEvent::Send(Arc::new(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
@@ -183,32 +206,32 @@ impl ApMac {
                             ssid: self.cfg.ssid.clone(),
                             channel: self.cfg.channel,
                         },
-                    }));
+                    })));
                 }
             }
             FrameBody::AuthRequest
                 if frame.dst == self.cfg.bssid => {
-                    out.push(ApEvent::Send(Frame {
+                    out.push(ApEvent::Send(Arc::new(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
                         body: FrameBody::AuthResponse { ok: true },
-                    }));
+                    })));
                 }
             FrameBody::AssocRequest { ssid } => {
                 if frame.dst != self.cfg.bssid || *ssid != self.cfg.ssid {
-                    return out;
+                    return;
                 }
                 let full =
                     self.clients.len() >= self.cfg.max_clients && !self.clients.contains_key(&frame.src);
                 if full {
-                    out.push(ApEvent::Send(Frame {
+                    out.push(ApEvent::Send(Arc::new(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
                         body: FrameBody::AssocResponse { ok: false, aid: 0 },
-                    }));
-                    return out;
+                    })));
+                    return;
                 }
                 let aid = match self.clients.entry(frame.src) {
                     Entry::Occupied(e) => e.get().aid,
@@ -224,12 +247,12 @@ impl ApMac {
                         aid
                     }
                 };
-                out.push(ApEvent::Send(Frame {
+                out.push(ApEvent::Send(Arc::new(Frame {
                     src: self.cfg.bssid,
                     dst: frame.src,
                     bssid: self.cfg.bssid,
                     body: FrameBody::AssocResponse { ok: true, aid },
-                }));
+                })));
             }
             FrameBody::Deauth { .. }
                 if self.clients.remove(&frame.src).is_some() => {
@@ -239,7 +262,7 @@ impl ApMac {
                 if let Some(st) = self.clients.get_mut(&frame.src) {
                     st.power_save = *power_save;
                     if !*power_save {
-                        out.extend(self.flush_buffer(now, frame.src));
+                        self.flush_buffer_into(now, frame.src, out);
                     }
                 }
             }
@@ -249,7 +272,7 @@ impl ApMac {
                 // flushed frames themselves.
                 if let Some(st) = self.clients.get_mut(&frame.src) {
                     st.power_save = false;
-                    out.extend(self.flush_buffer(now, frame.src));
+                    self.flush_buffer_into(now, frame.src, out);
                 }
             }
             FrameBody::Data { packet, .. }
@@ -261,7 +284,6 @@ impl ApMac {
                 }
             _ => {}
         }
-        out
     }
 
     /// Queue a downlink packet toward `dst`.
@@ -280,9 +302,24 @@ impl ApMac {
         packet: Ipv4Packet,
         bufferable: bool,
     ) -> Vec<ApEvent> {
+        let mut out = Vec::new();
+        self.enqueue_downlink_into(now, dst, packet, bufferable, &mut out);
+        out
+    }
+
+    /// Like [`ApMac::enqueue_downlink`], but appends to a caller-owned
+    /// buffer.
+    pub fn enqueue_downlink_into(
+        &mut self,
+        now: SimTime,
+        dst: MacAddr,
+        packet: Ipv4Packet,
+        bufferable: bool,
+        out: &mut Vec<ApEvent>,
+    ) {
         let Some(st) = self.clients.get_mut(&dst) else {
             self.drops += 1;
-            return Vec::new();
+            return;
         };
         let frame = Frame {
             src: self.cfg.bssid,
@@ -296,16 +333,15 @@ impl ApMac {
         if st.power_save {
             if !bufferable {
                 self.drops += 1;
-                return Vec::new();
+                return;
             }
             if st.buffer.len() >= self.cfg.psm_buffer_cap {
                 st.buffer.pop_front();
                 self.drops += 1;
             }
             st.buffer.push_back((now, frame));
-            Vec::new()
         } else {
-            vec![ApEvent::Send(frame)]
+            out.push(ApEvent::Send(Arc::new(frame)));
         }
     }
 
@@ -321,12 +357,12 @@ impl ApMac {
     pub fn evict(&mut self, mac: MacAddr) -> Vec<ApEvent> {
         if self.clients.remove(&mac).is_some() {
             vec![
-                ApEvent::Send(Frame {
+                ApEvent::Send(Arc::new(Frame {
                     src: self.cfg.bssid,
                     dst: mac,
                     bssid: self.cfg.bssid,
                     body: FrameBody::Deauth { reason: 4 },
-                }),
+                })),
                 ApEvent::ClientGone(mac),
             ]
         } else {
@@ -334,13 +370,13 @@ impl ApMac {
         }
     }
 
-    fn flush_buffer(&mut self, now: SimTime, mac: MacAddr) -> Vec<ApEvent> {
+    fn flush_buffer_into(&mut self, now: SimTime, mac: MacAddr, out: &mut Vec<ApEvent>) {
         let Some(st) = self.clients.get_mut(&mac) else {
-            return Vec::new();
+            return;
         };
         let max_age = self.cfg.psm_max_age;
-        let mut out = Vec::new();
         let total = st.buffer.len();
+        out.reserve(total);
         let mut idx = 0;
         while let Some((queued_at, mut frame)) = st.buffer.pop_front() {
             idx += 1;
@@ -351,9 +387,8 @@ impl ApMac {
             if let FrameBody::Data { more_data, .. } = &mut frame.body {
                 *more_data = idx < total;
             }
-            out.push(ApEvent::Send(frame));
+            out.push(ApEvent::Send(Arc::new(frame)));
         }
-        out
     }
 }
 

@@ -21,17 +21,27 @@
 
 use crate::stats::JoinLog;
 use spider_simcore::SimTime;
-use spider_wire::{Channel, Frame};
+use spider_wire::{Channel, Frame, SharedFrame};
 
 /// A frame as received by the client radio.
+///
+/// The frame itself is a [`SharedFrame`]: a broadcast delivered to many
+/// stations hands each receiver the same `Arc`'d frame, so fan-out costs
+/// a refcount bump per recipient instead of a deep clone. Receivers only
+/// read the frame, which shared access enforces.
 #[derive(Debug, Clone)]
 pub struct RxFrame {
     /// The frame.
-    pub frame: Frame,
+    pub frame: SharedFrame,
     /// Channel it was received on.
     pub channel: Channel,
-    /// Received signal strength.
-    pub rssi_dbm: f64,
+    /// Received signal strength, attached only to the frames that carry
+    /// scanning value (beacons and probe responses). Data and control
+    /// frames arrive with `None`: delivery already implies the sender
+    /// was in range, no driver reads signal strength off them, and the
+    /// log-distance RSSI computation is too expensive to run for every
+    /// TCP segment in a dense cell.
+    pub rssi_dbm: Option<f64>,
 }
 
 /// An action requested by the client system.
@@ -49,22 +59,70 @@ pub enum DriverAction {
     SwitchChannel(Channel),
 }
 
+/// The client-state snapshot the world takes after every event it
+/// delivers into the client system (see [`ClientSystem::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientObservation {
+    /// [`ClientSystem::delivered_bytes`] at this instant.
+    pub delivered_bytes: u64,
+    /// [`ClientSystem::is_connected`] at this instant.
+    pub connected: bool,
+    /// [`ClientSystem::next_wakeup`] at this instant.
+    pub next_wakeup: SimTime,
+}
+
 /// A complete client-side system (driver + link management + network
 /// stack), driven by the simulation world.
 pub trait ClientSystem {
     /// Human-readable configuration name (appears in experiment output).
     fn label(&self) -> String;
 
-    /// A frame arrived while tuned to `rx.channel`.
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction>;
+    /// A frame arrived while tuned to `rx.channel`. Actions are appended
+    /// to `out`, a caller-owned buffer: frame delivery is the hottest
+    /// call in the simulation, and reusing one buffer across events
+    /// avoids a vector allocation per received frame.
+    ///
+    /// Contract: a **broadcast beacon** that provokes no actions may only
+    /// feed passive scanning state (signal tables, candidate lists) — it
+    /// must not change anything the world observes between events
+    /// ([`delivered_bytes`](Self::delivered_bytes),
+    /// [`is_connected`](Self::is_connected),
+    /// [`next_wakeup`](Self::next_wakeup)). Beacons dominate the event
+    /// stream in dense deployments, and the world uses this guarantee to
+    /// skip its per-event client inspection for them.
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, out: &mut Vec<DriverAction>);
+
+    /// Allocating convenience wrapper around
+    /// [`on_frame_into`](Self::on_frame_into) (tests and cold paths).
+    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        self.on_frame_into(now, rx, &mut out);
+        out
+    }
 
     /// A previously requested channel switch completed; the radio is now
     /// tuned to `ch`.
-    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction>;
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, out: &mut Vec<DriverAction>);
+
+    /// Allocating convenience wrapper around
+    /// [`on_switch_complete_into`](Self::on_switch_complete_into).
+    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        self.on_switch_complete_into(now, ch, &mut out);
+        out
+    }
 
     /// Timer-driven processing. Called at least whenever `now` reaches
     /// the time previously returned by [`next_wakeup`](Self::next_wakeup).
-    fn poll(&mut self, now: SimTime) -> Vec<DriverAction>;
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<DriverAction>);
+
+    /// Allocating convenience wrapper around
+    /// [`poll_into`](Self::poll_into).
+    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
 
     /// The next instant this system needs a `poll` call, or
     /// [`SimTime::MAX`] if it is fully idle.
@@ -80,6 +138,22 @@ pub trait ClientSystem {
     /// Cumulative application bytes delivered in order across all
     /// interfaces (the throughput every evaluation figure measures).
     fn delivered_bytes(&self) -> u64;
+
+    /// The post-event snapshot the world records after every event that
+    /// drove the client: delivered bytes, connectivity, and the next
+    /// wakeup, taken together. Semantically identical to calling the
+    /// three accessors separately — which is exactly what this default
+    /// does — but systems whose accessors each walk per-interface state
+    /// should override it with a single fused walk: the world calls this
+    /// once per delivered event, making it one of the hottest reads in a
+    /// dense simulation.
+    fn observe(&self, now: SimTime) -> ClientObservation {
+        ClientObservation {
+            delivered_bytes: self.delivered_bytes(),
+            connected: self.is_connected(),
+            next_wakeup: self.next_wakeup(now),
+        }
+    }
 
     /// Number of interfaces currently associated at the link layer. The
     /// radio's channel-switch latency grows with this count (PSM frames

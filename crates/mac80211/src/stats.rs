@@ -8,7 +8,7 @@
 use spider_simcore::{Cdf, SimDuration, SimTime};
 
 /// One completed timing sample.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedSample {
     /// When the attempt completed.
     pub at: SimTime,

@@ -10,14 +10,18 @@
 //! * [`deployment`] — roadside AP placement with the measured channel
 //!   mix (28 % / 33 % / 34 % on channels 1/6/11, §4.1),
 //! * [`encounter`] — when the client is within radio range of which AP,
-//!   used by scenario calibration tests and the analytical model.
+//!   used by scenario calibration tests and the analytical model,
+//! * [`grid`] — a uniform spatial index over deployments so dense
+//!   worlds query *nearby* APs instead of scanning all of them.
 
 pub mod deployment;
 pub mod encounter;
 pub mod geometry;
+pub mod grid;
 pub mod path;
 
 pub use deployment::{ApSite, ChannelMix, Deployment};
 pub use encounter::{encounters, Encounter};
 pub use geometry::Position;
-pub use path::MobilityModel;
+pub use grid::SpatialGrid;
+pub use path::{CachedPath, MobilityModel};

@@ -93,6 +93,80 @@ impl MobilityModel {
     }
 }
 
+/// A [`MobilityModel`] evaluator with the loop geometry precomputed.
+///
+/// `MobilityModel::position` re-derives every segment length (one
+/// square root each) and the full perimeter on every call; the world
+/// evaluates the client position on every frame delivery, so that
+/// arithmetic dominates. `CachedPath` computes the lengths once and
+/// replays the *same* float-operation sequence at query time, so its
+/// positions are bit-identical to the uncached model's — seeded runs
+/// do not change.
+#[derive(Debug, Clone)]
+pub struct CachedPath {
+    model: MobilityModel,
+    /// Per-segment lengths for [`MobilityModel::Loop`] (empty for the
+    /// other variants), in waypoint order, closing segment last.
+    segs: Vec<f64>,
+    /// Sum of `segs` in order — identical to what
+    /// `MobilityModel::position` recomputes per call.
+    perimeter: f64,
+}
+
+impl CachedPath {
+    /// Precompute the geometry of `model`.
+    pub fn new(model: MobilityModel) -> CachedPath {
+        let (segs, perimeter) = match &model {
+            MobilityModel::Loop { waypoints, .. } => {
+                assert!(waypoints.len() >= 2, "a loop needs at least 2 waypoints");
+                let segs: Vec<f64> = (0..waypoints.len())
+                    .map(|i| waypoints[i].distance_to(waypoints[(i + 1) % waypoints.len()]))
+                    .collect();
+                let perimeter = segs.iter().sum();
+                (segs, perimeter)
+            }
+            _ => (Vec::new(), 0.0),
+        };
+        CachedPath {
+            model,
+            segs,
+            perimeter,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &MobilityModel {
+        &self.model
+    }
+
+    /// Position at time `t` — bit-identical to
+    /// [`MobilityModel::position`] on the wrapped model.
+    pub fn position(&self, t: SimTime) -> Position {
+        match &self.model {
+            MobilityModel::Static(p) => *p,
+            MobilityModel::Linear { start, velocity } => *start + *velocity * t.as_secs_f64(),
+            MobilityModel::Loop { waypoints, speed } => {
+                if self.perimeter == 0.0 {
+                    return waypoints[0];
+                }
+                let mut dist = (speed * t.as_secs_f64()) % self.perimeter;
+                for (i, &seg) in self.segs.iter().enumerate() {
+                    let a = waypoints[i];
+                    if dist <= seg {
+                        if seg == 0.0 {
+                            return a;
+                        }
+                        let b = waypoints[(i + 1) % waypoints.len()];
+                        return a + (b - a) * (dist / seg);
+                    }
+                    dist -= seg;
+                }
+                waypoints[0]
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +204,33 @@ mod tests {
                 .distance_to(m.position(SimTime::from_secs(5)))
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_the_model() {
+        let models = [
+            MobilityModel::Static(Position::new(3.0, -4.0)),
+            MobilityModel::straight_road(11.3),
+            MobilityModel::rectangular_loop(1_700.0, 800.0, 10.0),
+            MobilityModel::Loop {
+                waypoints: vec![
+                    Position::new(0.0, 0.0),
+                    Position::new(313.7, 0.1),
+                    Position::new(290.0, 451.9),
+                ],
+                speed: 7.77,
+            },
+        ];
+        for model in models {
+            let cached = CachedPath::new(model.clone());
+            for ms in (0u64..200_000).step_by(137) {
+                let t = SimTime::from_millis(ms);
+                let a = model.position(t);
+                let b = cached.position(t);
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "{model:?} at {ms}ms");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "{model:?} at {ms}ms");
+            }
+        }
     }
 
     #[cfg(feature = "proptest-tests")]

@@ -9,14 +9,26 @@
 
 use spider_simcore::{SimDuration, SimTime};
 use spider_wire::Channel;
-use std::collections::HashMap;
 
 /// Per-channel airtime accounting.
-#[derive(Debug, Clone, Default)]
+///
+/// State is a flat array indexed by [`Channel::index`]: `reserve` sits
+/// on the per-frame transmit path, so per-channel lookups must not pay
+/// for hashing.
+#[derive(Debug, Clone)]
 pub struct ChannelMedium {
-    busy_until: HashMap<Channel, SimTime>,
+    busy_until: [SimTime; Channel::COUNT],
     /// Cumulative airtime consumed per channel (for utilisation stats).
-    airtime_used: HashMap<Channel, SimDuration>,
+    airtime_used: [SimDuration; Channel::COUNT],
+}
+
+impl Default for ChannelMedium {
+    fn default() -> Self {
+        ChannelMedium {
+            busy_until: [SimTime::ZERO; Channel::COUNT],
+            airtime_used: [SimDuration::ZERO; Channel::COUNT],
+        }
+    }
 }
 
 impl ChannelMedium {
@@ -28,17 +40,17 @@ impl ChannelMedium {
     /// Reserve the channel for a frame needing `airtime`, starting no
     /// earlier than `now`. Returns `(start, end)` of the transmission.
     pub fn reserve(&mut self, now: SimTime, ch: Channel, airtime: SimDuration) -> (SimTime, SimTime) {
-        let free_at = self.busy_until.get(&ch).copied().unwrap_or(SimTime::ZERO);
+        let free_at = self.busy_until[ch.index()];
         let start = now.max(free_at);
         let end = start + airtime;
-        self.busy_until.insert(ch, end);
-        *self.airtime_used.entry(ch).or_default() += airtime;
+        self.busy_until[ch.index()] = end;
+        self.airtime_used[ch.index()] += airtime;
         (start, end)
     }
 
     /// When the channel next becomes idle (never earlier than `now`).
     pub fn idle_at(&self, now: SimTime, ch: Channel) -> SimTime {
-        self.busy_until.get(&ch).copied().unwrap_or(SimTime::ZERO).max(now)
+        self.busy_until[ch.index()].max(now)
     }
 
     /// Whether the channel is idle at `now`.
@@ -48,7 +60,7 @@ impl ChannelMedium {
 
     /// Total airtime consumed on `ch` so far.
     pub fn airtime_used(&self, ch: Channel) -> SimDuration {
-        self.airtime_used.get(&ch).copied().unwrap_or(SimDuration::ZERO)
+        self.airtime_used[ch.index()]
     }
 
     /// Channel utilisation over `[SimTime::ZERO, now]` as a fraction.

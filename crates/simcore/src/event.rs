@@ -3,11 +3,37 @@
 //! Events scheduled for the same instant are delivered in the order they
 //! were scheduled (FIFO tie-breaking via a monotonically increasing
 //! sequence number). This makes simulation runs reproducible regardless of
-//! how the underlying binary heap happens to order equal keys.
+//! how the queue's internal layout happens to order equal keys.
+//!
+//! # Implementation: a calendar queue
+//!
+//! The queue is the hottest container in the engine — a dense run pushes
+//! and pops millions of events — so it is a *calendar queue* (a timing
+//! wheel over absolute simulated time) rather than a binary heap. Time is
+//! divided into fixed-width buckets; an event lands in the bucket its
+//! timestamp falls into, and `pop` drains the wheel bucket by bucket.
+//! Because simulation events overwhelmingly fire within milliseconds of
+//! being scheduled (beacon intervals, MAC timers, backhaul latencies),
+//! buckets hold only a handful of events each: a push is an O(1) append
+//! and a pop is a short scan of one tiny bucket, where a heap pays a
+//! multi-level sift through scattered cache lines on every operation.
+//!
+//! Events further ahead than one wheel revolution simply stay in their
+//! bucket across laps; the drain loop skips anything outside the current
+//! bucket's time window, so a long-horizon timer is rescanned once per
+//! lap until its lap arrives. Such events are rare (housekeeping and
+//! lease timers), which keeps the amortised cost flat.
+//!
+//! # Determinism
+//!
+//! `pop` always removes the entry minimising the key `(at, seq)`, and
+//! that key is **total and unique** (`seq` never repeats). The pop
+//! sequence is therefore fully determined by the schedule calls alone —
+//! bucket layout, scan order, and `swap_remove` shuffling can never leak
+//! into observable order.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event of type `E` scheduled to fire at [`ScheduledEvent::at`].
 #[derive(Debug, Clone)]
@@ -36,8 +62,8 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap but we want the
-        // earliest event (lowest time, then lowest seq) on top.
+        // Reverse ordering: convenient for max-heap containers that want
+        // the earliest event (lowest time, then lowest seq) on top.
         other
             .at
             .cmp(&self.at)
@@ -45,7 +71,20 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A deterministic event queue.
+/// log2 of the bucket width in microseconds (512 µs). Chosen so the mean
+/// inter-event gap of a dense simulation (~400 µs) advances the wheel by
+/// roughly one bucket per pop, and a bucket holds one or two events.
+const BUCKET_SHIFT: u64 = 9;
+
+/// Number of buckets in the wheel (must be a power of two). One
+/// revolution spans `1024 × 512 µs ≈ 0.5 s` of simulated time, which
+/// covers almost every scheduling horizon the simulator uses.
+const NUM_BUCKETS: usize = 1024;
+
+const BUCKET_MASK: u64 = (NUM_BUCKETS as u64) - 1;
+
+/// A deterministic event queue (see the module docs for the calendar-
+/// queue design and the determinism argument).
 ///
 /// ```
 /// use spider_simcore::{EventQueue, SimTime};
@@ -60,7 +99,15 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// The wheel. `buckets[(at_µs >> BUCKET_SHIFT) & BUCKET_MASK]` holds
+    /// every pending event whose timestamp maps there, from any lap.
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// The bucket window currently being drained, as an absolute bucket
+    /// number (`at_µs >> BUCKET_SHIFT`, *not* masked). Invariant: no
+    /// pending event fires before this window opens.
+    cursor: u64,
+    /// Pending event count.
+    len: usize,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -75,7 +122,26 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue sized for roughly `capacity` pending events.
+    /// Worlds that know their steady-state event population (beacons in
+    /// flight, pending downlinks, timers) pre-size the buckets once
+    /// instead of growing them in the hot loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_bucket = capacity / NUM_BUCKETS + usize::from(capacity > 0);
+        EventQueue {
+            buckets: (0..NUM_BUCKETS)
+                .map(|_| Vec::with_capacity(per_bucket))
+                .collect(),
+            cursor: 0,
+            len: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -96,31 +162,65 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        let idx = ((at.as_micros() >> BUCKET_SHIFT) & BUCKET_MASK) as usize;
+        self.buckets[idx].push(ScheduledEvent { at, seq, event });
+        self.len += 1;
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let ev = self.heap.pop();
-        if let Some(ev) = &ev {
-            self.last_popped = ev.at;
+        if self.len == 0 {
+            return None;
         }
-        ev
+        loop {
+            // The current bucket's half-open time window ends where the
+            // next bucket's begins; events in this bucket from a future
+            // lap fall outside it and are skipped.
+            let window_end = SimTime::from_micros((self.cursor + 1) << BUCKET_SHIFT);
+            let bucket = &mut self.buckets[(self.cursor & BUCKET_MASK) as usize];
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if e.at < window_end
+                    && best
+                        .is_none_or(|(_, at, seq)| (e.at, e.seq) < (at, seq))
+                {
+                    best = Some((i, e.at, e.seq));
+                }
+            }
+            if let Some((i, _, _)) = best {
+                // swap_remove is fine: selection is by the unique
+                // (at, seq) key, never by position.
+                let ev = bucket.swap_remove(i);
+                self.len -= 1;
+                self.last_popped = ev.at;
+                return Some(ev);
+            }
+            self.cursor += 1;
+        }
     }
 
     /// Timestamp of the earliest pending event.
+    ///
+    /// O(pending) — the calendar layout has no cheap global minimum.
+    /// The simulator's hot loop never peeks (it pops), so this is only
+    /// used by diagnostics and tests.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|e| (e.at, e.seq))
+            .min()
+            .map(|(at, _)| at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Timestamp of the most recently popped event (the queue's notion of
@@ -129,10 +229,19 @@ impl<E> EventQueue<E> {
         self.last_popped
     }
 
-    /// Drop every pending event (used when resetting a world between
-    /// experiment repetitions without reallocating).
+    /// Drop every pending event and rewind the clock to t=0 (used when
+    /// resetting a world between experiment repetitions without
+    /// reallocating). Without the rewind, a reused queue would inherit
+    /// the previous run's `now()` and reject perfectly valid schedules
+    /// at the start of the next repetition as "into the past".
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
     }
 }
 
@@ -180,6 +289,89 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_the_clock_for_reuse() {
+        // Regression: `clear()` used to leave `last_popped` at the old
+        // run's final timestamp, so re-scheduling from t=0 on a reused
+        // queue panicked with a spurious causality violation.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(100), ());
+        q.pop();
+        q.clear();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_millis(1), ()); // must not panic
+        assert_eq!(q.pop().unwrap().at, SimTime::from_millis(1));
+        // Sequence numbers restart too, keeping reruns bit-identical.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(1), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn events_beyond_one_wheel_revolution() {
+        // One revolution spans NUM_BUCKETS << BUCKET_SHIFT microseconds;
+        // events several laps out must still come back in global order.
+        let lap_us = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(3 * lap_us + 17), "far");
+        q.schedule(SimTime::from_micros(17), "near"); // same bucket, lap 0
+        q.schedule(SimTime::from_micros(lap_us + 17), "mid");
+        assert_eq!(q.pop().unwrap().event, "near");
+        assert_eq!(q.pop().unwrap().event, "mid");
+        assert_eq!(q.pop().unwrap().event, "far");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_matches_reference() {
+        // Differential test against a sorted-vec reference model, with
+        // schedules interleaved between pops the way the simulator does
+        // it (every dispatched event schedules follow-ups near `now`).
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (at_µs, seq)
+        let mut seq = 0u64;
+        let mut t = 0u64;
+        // Deterministic pseudo-random walk (no external RNG needed).
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut step = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        for _ in 0..64 {
+            let at = t + step(2_000_000); // up to 2 s ahead (several laps)
+            q.schedule(SimTime::from_micros(at), seq);
+            reference.push((at, seq));
+            seq += 1;
+        }
+        while let Some(ev) = q.pop() {
+            reference.sort_unstable();
+            let (at, s) = reference.remove(0);
+            assert_eq!((ev.at.as_micros(), ev.seq), (at, s));
+            assert_eq!(ev.event, s);
+            t = at;
+            // Sometimes schedule follow-ups relative to the popped time.
+            if step(3) == 0 {
+                for _ in 0..step(4) {
+                    let at = t + step(300_000);
+                    q.schedule(SimTime::from_micros(at), seq);
+                    reference.push((at, seq));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(reference.is_empty());
     }
 
     #[cfg(feature = "proptest-tests")]

@@ -19,12 +19,14 @@
 
 pub mod bucket;
 pub mod event;
+pub mod hashing;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use bucket::TokenBucket;
 pub use event::{EventQueue, ScheduledEvent};
+pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use stats::{Cdf, IntervalReport, IntervalTracker, OnlineStats, RateMeter};
 pub use time::{SimDuration, SimTime};

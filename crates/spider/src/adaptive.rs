@@ -134,17 +134,17 @@ impl ClientSystem for AdaptiveSpider {
         format!("Adaptive[{}]", self.inner.label())
     }
 
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
-        self.inner.on_frame(now, rx)
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, out: &mut Vec<DriverAction>) {
+        self.inner.on_frame_into(now, rx, out);
     }
 
-    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
-        self.inner.on_switch_complete(now, ch)
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, out: &mut Vec<DriverAction>) {
+        self.inner.on_switch_complete_into(now, ch, out);
     }
 
-    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<DriverAction>) {
         self.review(now);
-        self.inner.poll(now)
+        self.inner.poll_into(now, out);
     }
 
     fn next_wakeup(&self, now: SimTime) -> SimTime {

@@ -9,7 +9,7 @@ use crate::config::SpiderConfig;
 use crate::iface::{ClientIface, IfaceEvent};
 use crate::schedule::ChannelSchedule;
 use crate::utility::{JoinOutcome, UtilityTable};
-use spider_mac80211::{ApTarget, ClientSystem, DriverAction, JoinLog, RxFrame};
+use spider_mac80211::{ApTarget, ClientObservation, ClientSystem, DriverAction, JoinLog, RxFrame};
 use spider_netstack::{LeaseCache, PingConfig};
 use spider_simcore::{SimDuration, SimTime};
 use spider_wire::{Channel, Frame, FrameBody, MacAddr};
@@ -36,13 +36,35 @@ pub struct SpiderDriver {
     /// Channel switches requested (observability; the radio itself also
     /// counts).
     pub switches_requested: u64,
+    /// Interface MAC addresses packed contiguously: frame routing scans
+    /// this 42-byte strip instead of striding over the full
+    /// [`ClientIface`] structs (one cache line vs seven).
+    iface_addrs: Vec<MacAddr>,
+    /// Per-interface `next_wakeup`, refreshed by [`Self::refresh_hot`]
+    /// at the end of every mutating entry point. Lets `poll_into` skip
+    /// interfaces with nothing due and `next_wakeup` answer without
+    /// walking the interface structs.
+    iface_wakeups: Vec<SimTime>,
+    /// Per-interface delivered-bytes snapshots backing `hot_delivered`.
+    iface_delivered: Vec<u64>,
+    /// Per-interface connectivity snapshots backing `hot_connected`.
+    iface_connected: Vec<bool>,
+    /// Cached sum of per-interface delivered bytes (see `iface_wakeups`).
+    hot_delivered: u64,
+    /// Cached any-interface-connected flag (see `iface_wakeups`).
+    hot_connected: bool,
+    /// Set by paths that may touch interfaces other than the one being
+    /// driven (IP-collision teardown, AP selection); tells the entry
+    /// point to do a full [`Self::refresh_hot`] instead of the
+    /// single-interface refresh.
+    hot_dirty_all: bool,
 }
 
 impl SpiderDriver {
     /// Create a driver; the radio is assumed initially tuned to the first
     /// scheduled channel.
     pub fn new(cfg: SpiderConfig) -> SpiderDriver {
-        let ifaces = (0..cfg.num_ifaces)
+        let ifaces: Vec<ClientIface> = (0..cfg.num_ifaces)
             .map(|i| {
                 ClientIface::new(
                     i,
@@ -58,6 +80,9 @@ impl SpiderDriver {
         let current = Some(cfg.schedule.channel_at(SimTime::ZERO));
         let sessions = vec![None; cfg.num_ifaces];
         let blacklist = ApBlacklist::new(cfg.blacklist.clone());
+        let iface_addrs = ifaces.iter().map(|i: &ClientIface| i.addr).collect();
+        let iface_wakeups = ifaces.iter().map(|i: &ClientIface| i.next_wakeup()).collect();
+        let n = cfg.num_ifaces;
         SpiderDriver {
             cfg,
             ifaces,
@@ -72,6 +97,57 @@ impl SpiderDriver {
             next_probe: SimTime::ZERO,
             sessions,
             switches_requested: 0,
+            iface_addrs,
+            iface_wakeups,
+            iface_delivered: vec![0; n],
+            iface_connected: vec![false; n],
+            hot_delivered: 0,
+            hot_connected: false,
+            hot_dirty_all: false,
+        }
+    }
+
+    /// Recompute the packed hot-state caches in a single pass over the
+    /// interfaces. Must run at the end of every entry point that can
+    /// mutate interface state ([`ClientSystem::poll_into`],
+    /// [`ClientSystem::on_frame_into`] when a frame was routed,
+    /// [`ClientSystem::on_switch_complete_into`]); the caches are what
+    /// `next_wakeup`/`observe` and the due-check in `poll_into` read,
+    /// replacing three separate walks per delivered event with one.
+    fn refresh_hot(&mut self) {
+        let mut delivered = 0u64;
+        let mut connected = false;
+        for (idx, iface) in self.ifaces.iter().enumerate() {
+            self.iface_wakeups[idx] = iface.next_wakeup();
+            let d = iface.delivered_bytes();
+            let c = iface.is_connected();
+            self.iface_delivered[idx] = d;
+            self.iface_connected[idx] = c;
+            delivered += d;
+            connected |= c;
+        }
+        self.hot_delivered = delivered;
+        self.hot_connected = connected;
+        self.hot_dirty_all = false;
+    }
+
+    /// Single-interface variant of [`Self::refresh_hot`] for the common
+    /// case where only interface `idx` was driven. Falls back to the
+    /// full pass when another path flagged a wider mutation.
+    fn refresh_one(&mut self, idx: usize) {
+        if self.hot_dirty_all {
+            self.refresh_hot();
+            return;
+        }
+        let iface = &self.ifaces[idx];
+        self.iface_wakeups[idx] = iface.next_wakeup();
+        let d = iface.delivered_bytes();
+        let c = iface.is_connected();
+        self.hot_delivered = self.hot_delivered - self.iface_delivered[idx] + d;
+        self.iface_delivered[idx] = d;
+        if c != self.iface_connected[idx] {
+            self.iface_connected[idx] = c;
+            self.hot_connected = self.iface_connected.iter().any(|&b| b);
         }
     }
 
@@ -188,6 +264,10 @@ impl SpiderDriver {
                         .map(|(j, _)| j)
                         .collect();
                     for j in colliding {
+                        // Another interface mutates here: the entry
+                        // point's single-interface cache refresh is no
+                        // longer sufficient.
+                        self.hot_dirty_all = true;
                         let evs = self.ifaces[j].teardown(now);
                         // Not the AP's fault — don't let the recursive
                         // absorb blacklist it.
@@ -288,6 +368,7 @@ impl SpiderDriver {
                 channel: rec.channel,
             };
             let cached = self.lease_cache.lookup(now, bssid);
+            self.hot_dirty_all = true;
             self.ifaces[idle_idx].start_join(now, target, cached);
             // Give it an immediate poll so the first frame goes out now.
             let on_ch = self.on_channel(&self.ifaces[idle_idx]);
@@ -350,48 +431,59 @@ impl ClientSystem for SpiderDriver {
         )
     }
 
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
         // Opportunistic scanning: absorb any beacon / probe response we
         // overhear, whether or not it was addressed to us.
         match &rx.frame.body {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
-                self.utility
-                    .observe(now, rx.frame.src, ssid, *channel, rx.rssi_dbm);
+                if let Some(rssi) = rx.rssi_dbm {
+                    self.utility
+                        .observe(now, rx.frame.src, ssid, *channel, rssi);
+                }
             }
             _ => {}
         }
-        // Route to the owning interface by destination address.
-        let idx = self
-            .ifaces
-            .iter()
-            .position(|i| rx.frame.dst == i.addr)
-            .or_else(|| {
-                // Broadcast DHCP responses address the chaddr inside.
-                if let FrameBody::Data { packet, .. } = &rx.frame.body {
-                    if let spider_wire::ip::L4::Dhcp(msg) = &packet.payload {
-                        return self.ifaces.iter().position(|i| i.addr == msg.chaddr);
-                    }
+        // Route to the owning interface by destination address (the
+        // packed address strip, not the interface structs). Broadcast
+        // frames never match an interface address, so they go straight
+        // to the DHCP-chaddr fallback — beacons (the bulk of the event
+        // stream) skip the scan entirely.
+        let idx = if rx.frame.dst == MacAddr::BROADCAST {
+            // Broadcast DHCP responses address the chaddr inside.
+            if let FrameBody::Data { packet, .. } = &rx.frame.body {
+                if let spider_wire::ip::L4::Dhcp(msg) = &packet.payload {
+                    self.iface_addrs.iter().position(|a| *a == msg.chaddr)
+                } else {
+                    None
                 }
+            } else {
                 None
-            });
+            }
+        } else {
+            self.iface_addrs.iter().position(|a| rx.frame.dst == *a)
+        };
         if let Some(idx) = idx {
             let mut log = std::mem::take(&mut self.log);
             let evs = self.ifaces[idx].on_frame(now, &rx.frame, &mut log);
-            // Flush any transmissions unlocked by the state change (e.g.
-            // the assoc request right after an auth response).
-            let on_ch = self.on_channel(&self.ifaces[idx]);
-            let evs2 = self.ifaces[idx].poll(now, on_ch, &mut log);
             self.log = log;
-            self.absorb(now, idx, evs, &mut actions);
-            self.absorb(now, idx, evs2, &mut actions);
+            self.absorb(now, idx, evs, actions);
+            // Flush any transmissions unlocked by the state change (e.g.
+            // the assoc request right after an auth response). Steady
+            // connected interfaces skip this: their polls are
+            // deadline-driven and the next wakeup reproduces the work.
+            if self.ifaces[idx].needs_immediate_poll(now) {
+                let on_ch = self.on_channel(&self.ifaces[idx]);
+                let mut log = std::mem::take(&mut self.log);
+                let evs2 = self.ifaces[idx].poll(now, on_ch, &mut log);
+                self.log = log;
+                self.absorb(now, idx, evs2, actions);
+            }
+            self.refresh_one(idx);
         }
-        actions
     }
 
-    fn on_switch_complete(&mut self, now: SimTime, ch: Channel) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
         self.current = Some(ch);
         self.switching_to = None;
         // Wake every associated interface on the new channel (flushes the
@@ -418,28 +510,35 @@ impl ClientSystem for SpiderDriver {
                 let mut log = std::mem::take(&mut self.log);
                 let evs = self.ifaces[idx].poll(now, true, &mut log);
                 self.log = log;
-                self.absorb(now, idx, evs, &mut actions);
+                self.absorb(now, idx, evs, actions);
             }
         }
-        actions
+        self.refresh_hot();
     }
 
-    fn poll(&mut self, now: SimTime) -> Vec<DriverAction> {
-        let mut actions = Vec::new();
-        self.drive_schedule(now, &mut actions);
+    fn poll_into(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
+        self.drive_schedule(now, actions);
         for idx in 0..self.ifaces.len() {
+            // Interface polls are deadline-driven: one with nothing due
+            // is a no-op, so skip it straight off the cached wakeup
+            // strip. Phase transitions and joins happen in `on_frame` /
+            // `select_aps`, which refresh the cache themselves.
+            if self.iface_wakeups[idx] > now {
+                continue;
+            }
             let on_ch = self.on_channel(&self.ifaces[idx]);
             let mut log = std::mem::take(&mut self.log);
             let evs = self.ifaces[idx].poll(now, on_ch, &mut log);
             self.log = log;
-            self.absorb(now, idx, evs, &mut actions);
+            self.absorb(now, idx, evs, actions);
+            self.refresh_one(idx);
         }
         if now >= self.next_housekeeping {
             self.next_housekeeping = now + self.cfg.housekeeping;
             self.utility.expire(now, SimDuration::from_secs(3_600));
             self.blacklist.prune(now);
             self.lease_cache.evict_expired(now);
-            self.select_aps(now, &mut actions);
+            self.select_aps(now, actions);
         }
         // Active scanning (§3.2.1, optional): a broadcast probe request
         // solicits probe responses from every AP on the current channel,
@@ -459,7 +558,9 @@ impl ClientSystem for SpiderDriver {
                 });
             }
         }
-        actions
+        if self.hot_dirty_all {
+            self.refresh_hot();
+        }
     }
 
     fn next_wakeup(&self, now: SimTime) -> SimTime {
@@ -470,8 +571,11 @@ impl ClientSystem for SpiderDriver {
         if !self.cfg.schedule.is_single_channel() && self.switching_to.is_none() {
             t = t.min(self.cfg.schedule.next_boundary(now));
         }
-        for iface in &self.ifaces {
-            t = t.min(iface.next_wakeup());
+        // Per-interface deadlines come off the packed cache (kept fresh
+        // by `refresh_hot` at the end of every mutating entry point)
+        // rather than a walk over the interface structs.
+        for &w in &self.iface_wakeups {
+            t = t.min(w);
         }
         t.max(now)
     }
@@ -486,6 +590,17 @@ impl ClientSystem for SpiderDriver {
 
     fn delivered_bytes(&self) -> u64 {
         self.ifaces.iter().map(|i| i.delivered_bytes()).sum()
+    }
+
+    fn observe(&self, now: SimTime) -> ClientObservation {
+        // The world calls this once per delivered event; everything it
+        // needs is already in the hot cache, so the former three walks
+        // over the interface structs collapse to a handful of loads.
+        ClientObservation {
+            delivered_bytes: self.hot_delivered,
+            connected: self.hot_connected,
+            next_wakeup: self.next_wakeup(now),
+        }
     }
 
     fn associated_interfaces(&self) -> usize {
@@ -518,9 +633,10 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            },
+            }
+            .into(),
             channel: ch,
-            rssi_dbm: -60.0,
+            rssi_dbm: Some(-60.0),
         }
     }
 
@@ -711,9 +827,10 @@ mod tests {
                 dst: MacAddr::from_id(1_001),
                 bssid: MacAddr::from_id(100),
                 body: FrameBody::AuthResponse { ok: true },
-            },
+            }
+            .into(),
             channel: Channel::CH1,
-            rssi_dbm: -60.0,
+            rssi_dbm: Some(-60.0),
         };
         d.on_frame(SimTime::from_millis(60), &auth_ok);
         let assoc_ok = RxFrame {
@@ -722,9 +839,10 @@ mod tests {
                 dst: MacAddr::from_id(1_001),
                 bssid: MacAddr::from_id(100),
                 body: FrameBody::AssocResponse { ok: true, aid: 1 },
-            },
+            }
+            .into(),
             channel: Channel::CH1,
-            rssi_dbm: -60.0,
+            rssi_dbm: Some(-60.0),
         };
         d.on_frame(SimTime::from_millis(70), &assoc_ok);
         assert_eq!(d.associated_count(), 1);

@@ -146,11 +146,8 @@ impl ClientIface {
         let iss = self.next_iss;
         self.next_iss = self.next_iss.wrapping_add(100_000);
         let mut tcp = TcpReceiver::new(5_000 + self.index as u16, SERVER_PORT, iss);
-        let out = tcp
-            .connect(now)
-            .into_iter()
-            .map(|seg| IfaceEvent::Transmit(self.wrap_tcp(seg)))
-            .collect();
+        let syn = tcp.connect(now);
+        let out = vec![IfaceEvent::Transmit(self.wrap_tcp(syn))];
         self.tcp = Some(tcp);
         self.flow_progress_at = now;
         self.flow_progress_bytes = self.delivered_bytes();
@@ -413,10 +410,12 @@ impl ClientIface {
                         }
                     }
                 }
-                if let Some(tcp) = &mut self.tcp {
-                    for seg in tcp.poll(now, on_channel) {
-                        out.push(IfaceEvent::Transmit(self.wrap_tcp(seg)));
-                    }
+                let rexmit = self
+                    .tcp
+                    .as_mut()
+                    .and_then(|tcp| tcp.poll(now, on_channel));
+                if let Some(seg) = rexmit {
+                    out.push(IfaceEvent::Transmit(self.wrap_tcp(seg)));
                 }
                 // Off-channel the stall clock cannot tick (nothing can
                 // flow or be re-dialled); slide it so wakeups progress.
@@ -470,6 +469,26 @@ impl ClientIface {
             }
         }
         t
+    }
+
+    /// Whether `on_frame` may have unlocked a transmission that a
+    /// follow-up `poll` at the same instant must flush. Join-phase
+    /// machines (auth → assoc → DHCP → verify) advance frame by frame,
+    /// so any received frame can unlock the next handshake step. In
+    /// steady `Connected` state every transmission is deadline-driven:
+    /// unless a deadline is already due or the flow needs re-dialling,
+    /// the poll at the next scheduled wakeup reproduces the same work,
+    /// so the per-data-frame poll can be elided.
+    pub fn needs_immediate_poll(&self, now: SimTime) -> bool {
+        match self.phase {
+            IfacePhase::Idle => false,
+            IfacePhase::Connected => {
+                (self.tcp_enabled
+                    && self.tcp.as_ref().map(|t| t.has_failed()).unwrap_or(true))
+                    || self.next_wakeup() <= now
+            }
+            _ => true,
+        }
     }
 
     /// Process a frame relevant to this interface.
@@ -576,11 +595,12 @@ impl ClientIface {
                     }
                 }
                 L4::Tcp(seg) => {
-                    if let Some(tcp) = &mut self.tcp {
-                        let acks = tcp.on_segment(now, seg);
-                        for ack in acks {
-                            out.push(IfaceEvent::Transmit(self.wrap_tcp(ack)));
-                        }
+                    let ack = self
+                        .tcp
+                        .as_mut()
+                        .and_then(|tcp| tcp.on_segment(now, seg));
+                    if let Some(ack) = ack {
+                        out.push(IfaceEvent::Transmit(self.wrap_tcp(ack)));
                     }
                 }
             }

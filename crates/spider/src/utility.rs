@@ -9,7 +9,7 @@
 //! strength bootstrap at the maximum utility so each is tried at least
 //! once; ties break on RSSI.
 
-use spider_simcore::{SimDuration, SimTime};
+use spider_simcore::{FxHashMap, SimDuration, SimTime};
 use spider_wire::{Channel, MacAddr, Ssid};
 use std::collections::HashMap;
 
@@ -110,7 +110,7 @@ pub struct ApRecord {
 #[derive(Debug, Clone)]
 pub struct UtilityTable {
     cfg: UtilityConfig,
-    records: HashMap<MacAddr, ApRecord>,
+    records: FxHashMap<MacAddr, ApRecord>,
 }
 
 impl UtilityTable {
@@ -118,7 +118,7 @@ impl UtilityTable {
     pub fn new(cfg: UtilityConfig) -> UtilityTable {
         UtilityTable {
             cfg,
-            records: HashMap::new(),
+            records: FxHashMap::default(),
         }
     }
 
@@ -149,7 +149,11 @@ impl UtilityTable {
             not_before: SimTime::ZERO,
             bw_estimate: None,
         });
-        entry.ssid = ssid.clone();
+        // An AP's SSID essentially never changes; cloning the string on
+        // every overheard beacon would dominate the scanner's cost.
+        if entry.ssid != *ssid {
+            entry.ssid = ssid.clone();
+        }
         entry.channel = channel;
         // Light smoothing of RSSI.
         entry.rssi_dbm = 0.7 * entry.rssi_dbm + 0.3 * rssi_dbm;

@@ -76,11 +76,11 @@ impl TcpReceiver {
     }
 
     /// Initiate the connection; returns the SYN to transmit.
-    pub fn connect(&mut self, now: SimTime) -> Vec<TcpSegment> {
+    pub fn connect(&mut self, now: SimTime) -> TcpSegment {
         self.state = State::SynSent;
         self.syn_attempts = 1;
         self.syn_deadline = now + self.syn_timeout;
-        vec![self.seg(self.iss, TcpFlags::SYN, 0, 0)]
+        self.seg(self.iss, TcpFlags::SYN, 0, 0)
     }
 
     fn seg(&self, seq: u32, flags: TcpFlags, ack: u32, payload_len: u32) -> TcpSegment {
@@ -99,10 +99,13 @@ impl TcpReceiver {
         self.seg(self.iss.wrapping_add(1), TcpFlags::ACK, self.rcv_nxt, 0)
     }
 
-    /// Process a segment from the sender; returns ACKs to transmit.
-    pub fn on_segment(&mut self, _now: SimTime, seg: &TcpSegment) -> Vec<TcpSegment> {
+    /// Process a segment from the sender; returns the ACK to transmit,
+    /// if any. A cumulative-ACK receiver never emits more than one ACK
+    /// per arriving segment, so the return type says so: the hot data
+    /// path pays no per-segment allocation for the answer.
+    pub fn on_segment(&mut self, _now: SimTime, seg: &TcpSegment) -> Option<TcpSegment> {
         if seg.dst_port != self.src_port || seg.src_port != self.dst_port {
-            return Vec::new();
+            return None;
         }
         match self.state {
             State::SynSent => {
@@ -110,25 +113,25 @@ impl TcpReceiver {
                     self.state = State::Established;
                     self.rcv_nxt = seg.seq.wrapping_add(1);
                     self.syn_deadline = SimTime::MAX;
-                    vec![self.ack_now()]
+                    Some(self.ack_now())
                 } else {
-                    Vec::new()
+                    None
                 }
             }
             State::Established => {
                 if seg.flags.syn && seg.flags.ack {
                     // Our handshake ACK was lost; repeat it.
-                    return vec![self.ack_now()];
+                    return Some(self.ack_now());
                 }
                 if seg.payload_len == 0 {
-                    return Vec::new();
+                    return None;
                 }
                 let start = seg.seq;
                 let end = seg.seq.wrapping_add(seg.payload_len);
                 if seq_le(end, self.rcv_nxt) {
                     // Entirely old data: ack again.
                     self.dupacks_sent += 1;
-                    return vec![self.ack_now()];
+                    return Some(self.ack_now());
                 }
                 if start == self.rcv_nxt {
                     self.deliver_to(end);
@@ -141,9 +144,9 @@ impl TcpReceiver {
                     self.deliver_to(end);
                     self.drain_ooo();
                 }
-                vec![self.ack_now()]
+                Some(self.ack_now())
             }
-            State::Closed | State::Failed => Vec::new(),
+            State::Closed | State::Failed => None,
         }
     }
 
@@ -193,22 +196,22 @@ impl TcpReceiver {
 
     /// Timer processing: SYN retransmission. Transmissions only happen
     /// while `on_channel`.
-    pub fn poll(&mut self, now: SimTime, on_channel: bool) -> Vec<TcpSegment> {
+    pub fn poll(&mut self, now: SimTime, on_channel: bool) -> Option<TcpSegment> {
         if self.state != State::SynSent || now < self.syn_deadline {
-            return Vec::new();
+            return None;
         }
         if self.syn_attempts >= self.max_syn_attempts {
             self.state = State::Failed;
             self.syn_deadline = SimTime::MAX;
-            return Vec::new();
+            return None;
         }
         if !on_channel {
             self.syn_deadline = now + self.syn_timeout;
-            return Vec::new();
+            return None;
         }
         self.syn_attempts += 1;
         self.syn_deadline = now + self.syn_timeout * 2u64.pow(self.syn_attempts.min(6));
-        vec![self.seg(self.iss, TcpFlags::SYN, 0, 0)]
+        Some(self.seg(self.iss, TcpFlags::SYN, 0, 0))
     }
 
     /// Next instant `poll` must run.
@@ -248,10 +251,9 @@ mod tests {
     fn established() -> TcpReceiver {
         let mut r = TcpReceiver::new(5000, 80, 100);
         let syn = r.connect(SimTime::ZERO);
-        assert!(syn[0].flags.syn);
+        assert!(syn.flags.syn);
         let out = r.on_segment(SimTime::from_millis(10), &synack(1000, 101));
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].ack, 1001);
+        assert_eq!(out.unwrap().ack, 1001);
         assert!(r.is_established());
         r
     }
@@ -260,10 +262,10 @@ mod tests {
     fn in_order_delivery_advances_ack() {
         let mut r = established();
         let out = r.on_segment(SimTime::from_millis(20), &data(1001, 1000));
-        assert_eq!(out[0].ack, 2001);
+        assert_eq!(out.unwrap().ack, 2001);
         assert_eq!(r.delivered, 1000);
         let out = r.on_segment(SimTime::from_millis(30), &data(2001, 500));
-        assert_eq!(out[0].ack, 2501);
+        assert_eq!(out.unwrap().ack, 2501);
         assert_eq!(r.delivered, 1500);
     }
 
@@ -273,14 +275,14 @@ mod tests {
         r.on_segment(SimTime::from_millis(20), &data(1001, 1000)); // ack 2001
         // Segment after a hole.
         let out = r.on_segment(SimTime::from_millis(30), &data(3001, 1000));
-        assert_eq!(out[0].ack, 2001, "dup ack at the hole");
+        assert_eq!(out.unwrap().ack, 2001, "dup ack at the hole");
         let out = r.on_segment(SimTime::from_millis(31), &data(4001, 1000));
-        assert_eq!(out[0].ack, 2001);
+        assert_eq!(out.unwrap().ack, 2001);
         assert_eq!(r.dupacks_sent, 2);
         assert_eq!(r.delivered, 1000);
         // Filling the hole delivers everything buffered.
         let out = r.on_segment(SimTime::from_millis(40), &data(2001, 1000));
-        assert_eq!(out[0].ack, 5001);
+        assert_eq!(out.unwrap().ack, 5001);
         assert_eq!(r.delivered, 4000);
     }
 
@@ -289,7 +291,7 @@ mod tests {
         let mut r = established();
         r.on_segment(SimTime::from_millis(20), &data(1001, 1000));
         let out = r.on_segment(SimTime::from_millis(25), &data(1001, 1000));
-        assert_eq!(out[0].ack, 2001);
+        assert_eq!(out.unwrap().ack, 2001);
         assert_eq!(r.delivered, 1000);
     }
 
@@ -299,7 +301,7 @@ mod tests {
         r.on_segment(SimTime::from_millis(20), &data(1001, 1000));
         // Overlaps 500 old + 500 new.
         let out = r.on_segment(SimTime::from_millis(25), &data(1501, 1000));
-        assert_eq!(out[0].ack, 2501);
+        assert_eq!(out.unwrap().ack, 2501);
         assert_eq!(r.delivered, 1500);
     }
 
@@ -309,9 +311,8 @@ mod tests {
         r.connect(SimTime::ZERO);
         let d1 = r.next_wakeup();
         assert_eq!(d1, SimTime::from_millis(500));
-        let out = r.poll(d1, true);
-        assert_eq!(out.len(), 1);
-        assert!(out[0].flags.syn);
+        let out = r.poll(d1, true).expect("one SYN retransmission");
+        assert!(out.flags.syn);
         assert!(r.next_wakeup().saturating_since(d1) > SimDuration::from_millis(500));
     }
 
@@ -335,20 +336,18 @@ mod tests {
         r.connect(SimTime::ZERO);
         let d1 = r.next_wakeup();
         // Off-channel: the deadline slides forward instead of firing.
-        assert!(r.poll(d1, false).is_empty());
+        assert!(r.poll(d1, false).is_none());
         let d2 = r.next_wakeup();
         assert!(d2 > d1);
         // Back on channel past the slid deadline: one retransmission.
-        let out = r.poll(d2, true);
-        assert_eq!(out.len(), 1);
+        assert!(r.poll(d2, true).is_some());
     }
 
     #[test]
     fn repeated_synack_is_reacked() {
         let mut r = established();
         let out = r.on_segment(SimTime::from_millis(50), &synack(1000, 101));
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].ack, 1001);
+        assert_eq!(out.unwrap().ack, 1001);
     }
 
     #[test]
@@ -356,7 +355,7 @@ mod tests {
         let mut r = established();
         let mut seg = data(1001, 100);
         seg.src_port = 9999;
-        assert!(r.on_segment(SimTime::ZERO, &seg).is_empty());
+        assert!(r.on_segment(SimTime::ZERO, &seg).is_none());
     }
 
     #[test]

@@ -150,8 +150,18 @@ impl TcpSender {
 
     /// Process a segment from the receiver. Returns segments to transmit.
     pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        self.on_segment_into(now, seg, &mut out);
+        out
+    }
+
+    /// [`TcpSender::on_segment`], appending into a caller-owned buffer.
+    /// The sender sits on the hot path of every delivered ACK, so the
+    /// simulation reuses one scratch buffer instead of allocating a
+    /// return vector per segment.
+    pub fn on_segment_into(&mut self, now: SimTime, seg: &TcpSegment, out: &mut Vec<TcpSegment>) {
         if seg.dst_port != self.src_port || seg.src_port != self.dst_port {
-            return Vec::new();
+            return;
         }
         match self.state {
             TcpSenderState::Listen => {
@@ -161,9 +171,7 @@ impl TcpSender {
                     self.rto_deadline = now + self.rtt.rto();
                     let mut synack = self.seg(self.iss, TcpFlags::SYN_ACK, 0);
                     synack.ack = seg.seq.wrapping_add(1);
-                    vec![synack]
-                } else {
-                    Vec::new()
+                    out.push(synack);
                 }
             }
             TcpSenderState::SynReceived => {
@@ -171,7 +179,8 @@ impl TcpSender {
                     // Repeated SYN: client missed our SYN-ACK.
                     let mut synack = self.seg(self.iss, TcpFlags::SYN_ACK, 0);
                     synack.ack = seg.seq.wrapping_add(1);
-                    return vec![synack];
+                    out.push(synack);
+                    return;
                 }
                 if seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
                     self.state = TcpSenderState::Established;
@@ -179,13 +188,12 @@ impl TcpSender {
                     self.snd_nxt = seg.ack;
                     self.rwnd = seg.window;
                     self.rto_deadline = SimTime::MAX;
-                    return self.try_send(now);
+                    self.try_send(now, out);
                 }
-                Vec::new()
             }
             TcpSenderState::Established => {
                 if !seg.flags.ack {
-                    return Vec::new();
+                    return;
                 }
                 self.rwnd = seg.window;
                 let ack = seg.ack;
@@ -197,18 +205,16 @@ impl TcpSender {
                     if seq_lt(self.snd_nxt, ack) {
                         self.snd_nxt = ack;
                     }
-                    self.process_new_ack(now, ack)
+                    self.process_new_ack(now, ack, out);
                 } else if ack == self.snd_una && self.flight() > 0 {
-                    self.process_dupack(now)
-                } else {
-                    Vec::new()
+                    self.process_dupack(now, out);
                 }
             }
-            TcpSenderState::Dead => Vec::new(),
+            TcpSenderState::Dead => {}
         }
     }
 
-    fn process_new_ack(&mut self, now: SimTime, ack: u32) -> Vec<TcpSegment> {
+    fn process_new_ack(&mut self, now: SimTime, ack: u32, out: &mut Vec<TcpSegment>) {
         let newly = ack.wrapping_sub(self.snd_una);
         self.bytes_acked += newly as u64;
         // RTT sample from the newest fully acked, never-retransmitted
@@ -227,7 +233,6 @@ impl TcpSender {
         }
         self.snd_una = ack;
         self.backoffs = 0;
-        let mut out = Vec::new();
         if self.in_recovery {
             if seq_lt(ack, self.recover) {
                 // Partial ACK: retransmit the next hole, stay in recovery
@@ -255,13 +260,11 @@ impl TcpSender {
         } else {
             now + self.rtt.rto()
         };
-        out.extend(self.try_send(now));
-        out
+        self.try_send(now, out);
     }
 
-    fn process_dupack(&mut self, now: SimTime) -> Vec<TcpSegment> {
+    fn process_dupack(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
         self.dupacks += 1;
-        let mut out = Vec::new();
         if !self.in_recovery && self.dupacks == self.cfg.dupack_threshold {
             // Fast retransmit.
             let mss = self.cfg.mss as f64;
@@ -274,9 +277,8 @@ impl TcpSender {
         } else if self.in_recovery {
             // Window inflation lets new segments flow during recovery.
             self.cwnd += self.cfg.mss as f64;
-            out.extend(self.try_send(now));
+            self.try_send(now, out);
         }
-        out
     }
 
     fn retransmit_front(&mut self, now: SimTime, len: u32) -> TcpSegment {
@@ -293,10 +295,9 @@ impl TcpSender {
     }
 
     /// Emit new segments permitted by the congestion and receive windows.
-    fn try_send(&mut self, now: SimTime) -> Vec<TcpSegment> {
-        let mut out = Vec::new();
+    fn try_send(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
         if self.state != TcpSenderState::Established {
-            return out;
+            return;
         }
         let wnd = (self.cwnd as u32).min(self.rwnd);
         while self.flight() + self.cfg.mss <= wnd {
@@ -308,13 +309,20 @@ impl TcpSender {
                 self.rto_deadline = now + self.rtt.rto();
             }
         }
-        out
     }
 
     /// Timer processing: RTO expiry.
     pub fn poll(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`TcpSender::poll`], appending into a caller-owned buffer (see
+    /// [`TcpSender::on_segment_into`]).
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
         if now < self.rto_deadline {
-            return Vec::new();
+            return;
         }
         match self.state {
             TcpSenderState::SynReceived => {
@@ -323,25 +331,24 @@ impl TcpSender {
                 if self.backoffs > self.cfg.max_backoffs {
                     self.state = TcpSenderState::Dead;
                     self.rto_deadline = SimTime::MAX;
-                    return Vec::new();
+                    return;
                 }
                 self.rto_deadline = now + self.backed_off_rto();
                 // We cannot reconstruct the client ISS here; the client
                 // retransmitting its SYN is the recovery path, so just
                 // keep the timer armed.
-                Vec::new()
             }
             TcpSenderState::Established => {
                 if self.flight() == 0 {
                     self.rto_deadline = SimTime::MAX;
-                    return Vec::new();
+                    return;
                 }
                 self.timeouts += 1;
                 self.backoffs += 1;
                 if self.backoffs > self.cfg.max_backoffs {
                     self.state = TcpSenderState::Dead;
                     self.rto_deadline = SimTime::MAX;
-                    return Vec::new();
+                    return;
                 }
                 let mss = self.cfg.mss as f64;
                 self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * mss);
@@ -353,11 +360,10 @@ impl TcpSender {
                 self.tx_times.clear();
                 self.tx_times.push_back((self.snd_nxt, now, true));
                 self.rto_deadline = now + self.backed_off_rto();
-                vec![self.seg_with_rexmit()]
+                out.push(self.seg_with_rexmit());
             }
             _ => {
                 self.rto_deadline = SimTime::MAX;
-                Vec::new()
             }
         }
     }

@@ -66,10 +66,8 @@ impl Pipe {
     /// Run until `end`; returns receiver-delivered bytes. `blackout` cuts
     /// both directions during the given window.
     fn run(&mut self, end: SimTime, blackout: Option<(SimTime, SimTime)>) -> u64 {
-        let syns = self.receiver.connect(SimTime::ZERO);
-        for s in syns {
-            self.send_toward_sender(SimTime::ZERO, s);
-        }
+        let syn = self.receiver.connect(SimTime::ZERO);
+        self.send_toward_sender(SimTime::ZERO, syn);
         self.queue.schedule(SimTime::from_millis(1), Ev::SenderTimer);
         self.queue
             .schedule(SimTime::from_millis(1), Ev::ReceiverTimer);
@@ -86,9 +84,8 @@ impl Pipe {
                     if dark {
                         continue;
                     }
-                    let acks = self.receiver.on_segment(now, &seg);
-                    for a in acks {
-                        self.send_toward_sender(now, a);
+                    if let Some(ack) = self.receiver.on_segment(now, &seg) {
+                        self.send_toward_sender(now, ack);
                     }
                     let next = self.receiver.next_wakeup();
                     if next < SimTime::MAX && next <= end {
@@ -124,9 +121,8 @@ impl Pipe {
                     }
                 }
                 Ev::ReceiverTimer => {
-                    let out = self.receiver.poll(now, !dark);
-                    for s in out {
-                        self.send_toward_sender(now, s);
+                    if let Some(syn) = self.receiver.poll(now, !dark) {
+                        self.send_toward_sender(now, syn);
                     }
                     let next = self
                         .receiver

@@ -1,6 +1,7 @@
 //! Addressing primitives: MAC addresses, IPv4 addresses and SSIDs.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A 48-bit IEEE 802 MAC address.
 ///
@@ -81,8 +82,28 @@ impl fmt::Display for Ipv4Addr {
 }
 
 /// An 802.11 service set identifier (network name), at most 32 bytes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Ssid(String);
+///
+/// Backed by a shared `Arc<str>`: an SSID travels in every beacon and
+/// probe response the simulated air carries, so cloning one must be a
+/// reference-count bump, not a heap copy. The name is immutable after
+/// construction, which is exactly what `Arc<str>` models.
+#[derive(Debug, Clone, Eq, Hash)]
+pub struct Ssid(Arc<str>);
+
+impl PartialEq for Ssid {
+    fn eq(&self, other: &Ssid) -> bool {
+        // Clones of one SSID share an allocation (beacons carry the same
+        // `Arc` run after run), so the scanner's per-beacon name check
+        // usually resolves on the pointer without touching the bytes.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Default for Ssid {
+    fn default() -> Ssid {
+        Ssid(Arc::from(""))
+    }
+}
 
 impl Ssid {
     /// Construct an SSID, truncating to the 802.11 maximum of 32 bytes.
@@ -96,7 +117,7 @@ impl Ssid {
             }
             s.truncate(end);
         }
-        Ssid(s)
+        Ssid(Arc::from(s))
     }
 
     /// The SSID string.
@@ -157,6 +178,17 @@ mod tests {
         assert_eq!(ssid.wire_len(), 32);
         let short = Ssid::new("town-wifi");
         assert_eq!(short.as_str(), "town-wifi");
+    }
+
+    #[test]
+    fn ssid_clone_shares_the_allocation() {
+        let a = Ssid::new("shared-town-wifi");
+        let b = a.clone();
+        assert!(
+            std::ptr::eq(a.as_str(), b.as_str()),
+            "cloning an Ssid must bump a refcount, not copy the bytes"
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

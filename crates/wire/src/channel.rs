@@ -37,6 +37,16 @@ impl Channel {
         self.0
     }
 
+    /// Dense 0-based index (channel number − 1), for flat per-channel
+    /// arrays — hot-path state like the medium's busy horizons indexes
+    /// by channel millions of times per simulated run.
+    pub fn index(self) -> usize {
+        self.0 as usize - 1
+    }
+
+    /// Number of distinct channels ([`Channel::index`] upper bound).
+    pub const COUNT: usize = 14;
+
     /// Centre frequency in MHz.
     pub fn center_mhz(self) -> u32 {
         if self.0 == 14 {

@@ -56,13 +56,13 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-struct Writer {
-    buf: Vec<u8>,
+struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    fn new() -> Self {
-        Writer { buf: Vec::with_capacity(64) }
+impl<'a> Writer<'a> {
+    fn over(buf: &'a mut Vec<u8>) -> Self {
+        Writer { buf }
     }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -172,13 +172,23 @@ const D_NAK: u8 = 5;
 
 /// Encode a frame into the capture format.
 pub fn encode(frame: &Frame) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut buf = Vec::with_capacity(64);
+    encode_into(frame, &mut buf);
+    buf
+}
+
+/// Encode a frame into the capture format, appending to `out` (cleared
+/// first). Callers that encode many frames — the capture writer records
+/// every frame on the air — reuse one scratch buffer instead of
+/// allocating a fresh `Vec` per frame.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    out.clear();
+    let mut w = Writer::over(out);
     w.u8(VERSION);
     w.mac(frame.src);
     w.mac(frame.dst);
     w.mac(frame.bssid);
     encode_body(&mut w, &frame.body);
-    w.buf
 }
 
 fn encode_body(w: &mut Writer, body: &FrameBody) {
@@ -623,6 +633,34 @@ mod golden_tests {
             ]
         );
         assert_eq!(decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let frames = [
+            Frame {
+                src: MacAddr::from_id(1),
+                dst: MacAddr::BROADCAST,
+                bssid: MacAddr::from_id(1),
+                body: FrameBody::Beacon {
+                    ssid: "townwifi".into(),
+                    channel: crate::channel::Channel::CH6,
+                    interval: spider_simcore::SimDuration::from_millis(102),
+                },
+            },
+            Frame {
+                src: MacAddr::from_id(2),
+                dst: MacAddr::from_id(3),
+                bssid: MacAddr::from_id(3),
+                body: FrameBody::Deauth { reason: 7 },
+            },
+        ];
+        let mut scratch = Vec::new();
+        for f in &frames {
+            encode_into(f, &mut scratch);
+            assert_eq!(scratch, encode(f), "encode_into must match encode");
+            assert_eq!(decode(&scratch).unwrap(), *f);
+        }
     }
 
     #[test]

@@ -92,6 +92,15 @@ pub enum FrameBody {
     },
 }
 
+/// A frame shared between simulation events without deep copies.
+///
+/// Broadcast fan-out delivers the *same* frame to every in-range
+/// station; wrapping it in an `Arc` once and handing each recipient a
+/// reference-count bump keeps delivery O(recipients) in pointer copies
+/// instead of O(recipients) in payload clones. Receivers only ever read
+/// frames, so shared immutable access is exactly the right model.
+pub type SharedFrame = std::sync::Arc<Frame>;
+
 /// A full 802.11 frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {

@@ -8,7 +8,7 @@
 //! smoltcp `--pcap` idiom adapted to the simulated world.
 
 use spider_simcore::SimTime;
-use spider_wire::codec::{decode, encode, CodecError};
+use spider_wire::codec::{decode, encode_into, CodecError};
 use spider_wire::Frame;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -43,6 +43,9 @@ pub struct CaptureWriter {
     /// Frames written so far.
     pub written: u64,
     limit: u64,
+    /// Reused encode buffer — one capture records every frame on the
+    /// air, so per-record allocations add up.
+    scratch: Vec<u8>,
 }
 
 impl CaptureWriter {
@@ -56,6 +59,7 @@ impl CaptureWriter {
             out,
             written: 0,
             limit: if limit == 0 { u64::MAX } else { limit },
+            scratch: Vec::with_capacity(64),
         })
     }
 
@@ -64,7 +68,8 @@ impl CaptureWriter {
         if self.written >= self.limit {
             return Ok(());
         }
-        let body = encode(frame);
+        let body = &mut self.scratch;
+        encode_into(frame, body);
         self.out.write_all(&at.as_micros().to_be_bytes())?;
         self.out.write_all(&[match direction {
             Direction::ToClient => 0u8,
@@ -72,7 +77,7 @@ impl CaptureWriter {
         }])?;
         self.out
             .write_all(&u32::try_from(body.len()).unwrap().to_be_bytes())?;
-        self.out.write_all(&body)?;
+        self.out.write_all(body)?;
         self.written += 1;
         Ok(())
     }

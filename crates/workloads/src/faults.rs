@@ -304,6 +304,130 @@ impl FaultPlan {
     }
 }
 
+/// A per-AP query index over a [`FaultPlan`].
+///
+/// The plan keeps every episode in one flat list, so each
+/// `blackout(now, ap)`-style query costs O(all episodes across all
+/// APs) — a stormy dense deployment carries tens of thousands, and the
+/// world asks on every frame. The index buckets episodes by target AP
+/// once at world construction so a query touches only that AP's own
+/// handful; global (`ap: None`) episodes are replicated into every
+/// bucket, preserving the flat list's relative episode order so
+/// floating-point compositions ([`FaultIndex::extra_loss`]) stay
+/// bit-identical to the unindexed queries.
+#[derive(Debug, Clone, Default)]
+pub struct FaultIndex {
+    per_ap: Vec<Vec<FaultEpisode>>,
+    /// Ascending AP indices with at least one episode — the only APs a
+    /// periodic fault sweep needs to visit.
+    faulty: Vec<usize>,
+    empty: bool,
+}
+
+impl FaultIndex {
+    /// Bucket `plan`'s episodes for a world with `num_aps` APs.
+    pub fn build(plan: &FaultPlan, num_aps: usize) -> FaultIndex {
+        let mut per_ap: Vec<Vec<FaultEpisode>> = vec![Vec::new(); num_aps];
+        for e in &plan.episodes {
+            match e.ap {
+                Some(i) => {
+                    if i < num_aps {
+                        per_ap[i].push(*e);
+                    }
+                }
+                None => {
+                    for bucket in per_ap.iter_mut() {
+                        bucket.push(*e);
+                    }
+                }
+            }
+        }
+        let faulty = (0..num_aps).filter(|&i| !per_ap[i].is_empty()).collect();
+        FaultIndex {
+            per_ap,
+            faulty,
+            empty: plan.is_empty(),
+        }
+    }
+
+    /// True if the underlying plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Ascending indices of APs with at least one episode.
+    pub fn faulty_aps(&self) -> &[usize] {
+        &self.faulty
+    }
+
+    fn episodes_for(&self, ap: usize) -> &[FaultEpisode] {
+        self.per_ap.get(ap).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn active(&self, now: SimTime, ap: usize, pred: impl Fn(FaultKind) -> bool) -> bool {
+        self.episodes_for(ap)
+            .iter()
+            .any(|e| pred(e.kind) && e.applies(now, ap))
+    }
+
+    /// Is `ap` fully blacked out at `now`?
+    pub fn blackout(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::Blackout)
+    }
+
+    /// Is `ap` a zombie (associates but forwards nothing) at `now`?
+    pub fn zombie(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::Zombie)
+    }
+
+    /// Is `ap`'s DHCP server silent at `now`?
+    pub fn dhcp_silent(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::DhcpSilence)
+    }
+
+    /// Is `ap`'s DHCP pool exhausted at `now`?
+    pub fn dhcp_exhausted(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::DhcpExhausted)
+    }
+
+    /// Does `ap`'s gateway filter end-to-end ICMP at `now`?
+    pub fn icmp_filtered(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::IcmpBlackhole)
+    }
+
+    /// Combined extra loss probability on `ap`'s link at `now`.
+    pub fn extra_loss(&self, now: SimTime, ap: usize) -> f64 {
+        let mut pass = 1.0f64;
+        for e in self.episodes_for(ap) {
+            if let FaultKind::LossBurst { extra } = e.kind {
+                if e.applies(now, ap) {
+                    pass *= 1.0 - extra.clamp(0.0, 1.0);
+                }
+            }
+        }
+        1.0 - pass
+    }
+
+    /// Start of the earliest data-plane fault covering `(now, ap)`.
+    pub fn data_fault_onset(&self, now: SimTime, ap: usize) -> Option<SimTime> {
+        self.episodes_for(ap)
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie)
+                    && e.applies(now, ap)
+            })
+            .map(|e| e.start)
+            .min()
+    }
+
+    /// Is any data-plane fault active anywhere at `now`?
+    pub fn any_data_fault(&self, now: SimTime) -> bool {
+        self.faulty
+            .iter()
+            .any(|&i| self.data_fault_onset(now, i).is_some())
+    }
+}
+
 /// Fault-attribution counters accumulated by the world during a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultStats {
@@ -443,6 +567,56 @@ mod tests {
         };
         let plan = FaultPlan::seeded(1, 50, SimDuration::from_secs(3600), &profile);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn index_agrees_with_flat_plan_queries() {
+        // The index is a pure accelerator: every query must return
+        // exactly what the flat plan returns, bit-for-bit, including
+        // the float composition of overlapping loss bursts.
+        let num_aps = 30;
+        let dur = SimDuration::from_secs(900);
+        let mut plan = FaultPlan::seeded(13, num_aps, dur, &FaultProfile::stormy());
+        plan.episodes.push(FaultEpisode {
+            ap: None,
+            kind: FaultKind::LossBurst { extra: 0.123 },
+            start: t(100.0),
+            end: t(400.0),
+        });
+        let index = FaultIndex::build(&plan, num_aps);
+        assert_eq!(index.is_empty(), plan.is_empty());
+        for step in 0..90 {
+            let now = t(step as f64 * 10.0);
+            for ap in 0..num_aps {
+                assert_eq!(index.blackout(now, ap), plan.blackout(now, ap));
+                assert_eq!(index.zombie(now, ap), plan.zombie(now, ap));
+                assert_eq!(index.dhcp_silent(now, ap), plan.dhcp_silent(now, ap));
+                assert_eq!(index.dhcp_exhausted(now, ap), plan.dhcp_exhausted(now, ap));
+                assert_eq!(index.icmp_filtered(now, ap), plan.icmp_filtered(now, ap));
+                assert_eq!(
+                    index.extra_loss(now, ap).to_bits(),
+                    plan.extra_loss(now, ap).to_bits(),
+                    "extra_loss must compose bit-identically"
+                );
+                assert_eq!(
+                    index.data_fault_onset(now, ap),
+                    plan.data_fault_onset(now, ap)
+                );
+            }
+            assert_eq!(
+                index.any_data_fault(now),
+                (0..num_aps).any(|ap| plan.data_fault_onset(now, ap).is_some())
+            );
+        }
+        // Every AP outside `faulty_aps()` is quiet for the whole run.
+        for ap in 0..num_aps {
+            if !index.faulty_aps().contains(&ap) {
+                assert!(plan
+                    .episodes
+                    .iter()
+                    .all(|e| e.ap.map(|a| a != ap).unwrap_or(false)));
+            }
+        }
     }
 
     #[test]

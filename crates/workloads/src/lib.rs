@@ -28,7 +28,8 @@ pub mod scenarios;
 pub mod world;
 
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
-pub use faults::{FaultEpisode, FaultKind, FaultPlan, FaultProfile, FaultStats};
+pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use metrics::RunResult;
 pub use scenarios::{lab_scenario, town_scenario, ScenarioParams};
 pub use world::{World, WorldConfig};
+

@@ -43,6 +43,9 @@ pub struct RunResult {
     /// Fault-attribution counters (all zero when the run's
     /// [`FaultPlan`](crate::faults::FaultPlan) is empty).
     pub faults: FaultStats,
+    /// Discrete events processed by the engine during the run — the
+    /// numerator of the benchmark harness's events/sec figure.
+    pub events: u64,
 }
 
 impl RunResult {
@@ -104,6 +107,7 @@ mod tests {
             tcp_timeouts: 0,
             tcp_retransmits: 0,
             faults: FaultStats::default(),
+            events: 0,
         }
     }
 

@@ -12,20 +12,22 @@
 //! Every run is a pure function of the seed in [`WorldConfig`].
 
 use crate::capture::{CaptureWriter, Direction};
-use crate::faults::{FaultPlan, FaultStats};
+use crate::faults::{FaultIndex, FaultPlan, FaultStats};
 use crate::metrics::RunResult;
 use spider_mac80211::{ApConfig, ApEvent, ApMac, ClientSystem, DriverAction, RxFrame};
-use spider_mobility::{Deployment, MobilityModel, Position};
+use spider_mobility::{CachedPath, Deployment, MobilityModel, Position, SpatialGrid};
 use spider_netstack::{DhcpServer, DhcpServerConfig};
 use spider_radio::{ChannelMedium, LossModel, PhyParams, Propagation, Radio};
-use spider_simcore::{EventQueue, RateMeter, SimDuration, SimRng, SimTime};
+use spider_simcore::{EventQueue, FxHashMap, FxHashSet, RateMeter, SimDuration, SimRng, SimTime};
 use spider_simcore::IntervalTracker;
 use spider_tcpsim::{TcpConfig, TcpSender, TcpSenderState};
 use spider_wire::ip::L4;
 use spider_wire::{
     Channel, DhcpMessage, DhcpOp, Frame, FrameBody, FrameKind, Ipv4Addr, Ipv4Packet, MacAddr,
+    SharedFrame, TcpSegment,
 };
-use std::collections::{HashMap, HashSet};
+
+use std::sync::Arc;
 
 /// The well-known wired sink (re-exported from the Spider interface
 /// definitions so baselines and world agree).
@@ -108,8 +110,10 @@ enum Ev {
     SwitchDone(Channel),
     /// A frame arrives at the client antenna.
     AirToClient {
-        /// The frame.
-        frame: Frame,
+        /// The frame, shared with every other in-flight copy: a
+        /// broadcast fan-out enqueues N refcount bumps, not N clones,
+        /// and the event payload stays pointer-sized on the heap.
+        frame: SharedFrame,
         /// Channel it was sent on.
         channel: Channel,
         /// Transmitting AP (for RSSI computation).
@@ -119,15 +123,17 @@ enum Ev {
     AirToAp {
         /// Receiving AP index.
         ap: usize,
-        /// The frame.
-        frame: Frame,
+        /// The frame (shared, see [`Ev::AirToClient`]).
+        frame: SharedFrame,
     },
     /// An uplink packet reached AP `ap`'s wired server.
     ServerRx {
         /// The AP whose backhaul carried it.
         ap: usize,
-        /// The packet.
-        packet: Ipv4Packet,
+        /// The packet, boxed so the common frame events stay small:
+        /// the calendar queue copies elements on push and `swap_remove`,
+        /// and packet events are a minority of the traffic.
+        packet: Box<Ipv4Packet>,
     },
     /// A downlink packet is ready at AP `ap` for wireless delivery.
     Downlink {
@@ -135,8 +141,8 @@ enum Ev {
         ap: usize,
         /// Destination client MAC.
         dst: MacAddr,
-        /// The packet.
-        packet: Ipv4Packet,
+        /// The packet (boxed, see [`Ev::ServerRx`]).
+        packet: Box<Ipv4Packet>,
         /// Whether the AP may PSM-buffer it (join traffic may not be).
         bufferable: bool,
     },
@@ -157,9 +163,9 @@ struct ApNode {
     dhcp: DhcpServer,
     /// TCP senders keyed by the client's source port, with the client
     /// IP recorded at SYN time.
-    senders: HashMap<u16, (Ipv4Addr, TcpSender)>,
+    senders: FxHashMap<u16, (Ipv4Addr, TcpSender)>,
     /// IP → client MAC bindings learned from DHCP and uplink traffic.
-    arp: HashMap<Ipv4Addr, MacAddr>,
+    arp: FxHashMap<Ipv4Addr, MacAddr>,
     /// Backhaul serialisation horizon (downlink FIFO).
     backhaul_free_at: SimTime,
     /// Backhaul rate in bytes/second.
@@ -182,13 +188,40 @@ pub struct World<C: ClientSystem> {
     radio: Radio,
     medium: ChannelMedium,
     aps: Vec<ApNode>,
-    bssid_index: HashMap<MacAddr, usize>,
+    bssid_index: FxHashMap<MacAddr, usize>,
+    /// Spatial index over AP sites: mobility sweeps and broadcast
+    /// fan-out query *nearby* APs instead of scanning all of them.
+    grid: SpatialGrid,
+    /// Client route with precomputed geometry (bit-identical positions
+    /// to `cfg.mobility`, minus the per-call segment arithmetic).
+    path: CachedPath,
+    /// Per-AP fault-episode index (accelerates every plan query).
+    findex: FaultIndex,
+    /// AP ids inside the activation horizon as of the last mobility
+    /// sweep, ascending — lets deactivation walk the active set instead
+    /// of the whole deployment.
+    active_ids: Vec<usize>,
+    /// Scratch for grid queries in the mobility sweep.
+    nearby_scratch: Vec<usize>,
+    /// Scratch for grid queries in the broadcast fan-out.
+    targets_scratch: Vec<usize>,
+    /// Scratch for AP MAC event batches (poll / rx / downlink).
+    ap_ev_scratch: Vec<ApEvent>,
+    /// Scratch for the TCP-sender port walk in `ap_wake`.
+    ports_scratch: Vec<u16>,
+    /// Scratch for TCP sender output (`on_segment_into` / `poll_into`),
+    /// reused so the wired hot path never allocates a return vector.
+    segs_scratch: Vec<TcpSegment>,
+    /// Scratch for client driver actions (`on_frame_into` & friends).
+    actions_scratch: Vec<DriverAction>,
+    /// Events processed so far (reported in [`RunResult::events`]).
+    events: u64,
     rng_loss: SimRng,
     // Metrics.
     rate: RateMeter,
     conn: IntervalTracker,
     delivered_prev: u64,
-    encountered: HashSet<usize>,
+    encountered: FxHashSet<usize>,
     client_wake_scheduled: SimTime,
     capture: Option<CaptureWriter>,
     // Fault-injection state.
@@ -197,9 +230,9 @@ pub struct World<C: ClientSystem> {
     in_blackout: Vec<bool>,
     /// APs with an armed time-to-detect measurement:
     /// ap → (episode start, detection clock start).
-    pending_detect: HashMap<usize, (SimTime, SimTime)>,
+    pending_detect: FxHashMap<usize, (SimTime, SimTime)>,
     /// Episodes whose detection has already been recorded.
-    detect_done: HashSet<(usize, SimTime)>,
+    detect_done: FxHashSet<(usize, SimTime)>,
     /// Start of a fault-coincident connectivity outage, if one is open.
     fault_outage_since: Option<SimTime>,
     prev_connected: bool,
@@ -210,7 +243,7 @@ impl<C: ClientSystem> World<C> {
     pub fn new(cfg: WorldConfig, client: C) -> World<C> {
         let root = SimRng::new(cfg.seed);
         let mut aps = Vec::with_capacity(cfg.deployment.len());
-        let mut bssid_index = HashMap::new();
+        let mut bssid_index = FxHashMap::default();
         for site in &cfg.deployment.sites {
             let bssid = MacAddr::from_id(0x00AA_0000 + site.id as u64);
             let ssid = spider_wire::Ssid::new(format!("open-{}", site.id));
@@ -233,8 +266,8 @@ impl<C: ClientSystem> World<C> {
                 channel: site.channel,
                 mac,
                 dhcp,
-                senders: HashMap::new(),
-                arp: HashMap::new(),
+                senders: FxHashMap::default(),
+                arp: FxHashMap::default(),
                 backhaul_free_at: SimTime::ZERO,
                 backhaul_bps: site.backhaul_bps,
                 backhaul_latency: SimDuration::from_secs_f64(site.backhaul_latency_s),
@@ -249,24 +282,45 @@ impl<C: ClientSystem> World<C> {
             CaptureWriter::create(path, *limit).expect("create capture file")
         });
         let num_aps = aps.len();
+        // Cell size near the query radius keeps lookups to a 3×3 cell
+        // neighbourhood; both sweep (horizon) and fan-out (range) radii
+        // are within one cell of it.
+        let horizon = cfg.propagation.range_m + cfg.activation_margin_m;
+        let grid = cfg.deployment.grid(horizon.max(1.0));
+        let path = CachedPath::new(cfg.mobility.clone());
+        let findex = FaultIndex::build(&cfg.faults, num_aps);
         World {
-            queue: EventQueue::new(),
+            // Steady state holds beacons and data frames in flight for
+            // every nearby AP plus timers; 1024 slots covers dense
+            // deployments without ever regrowing mid-run.
+            queue: EventQueue::with_capacity(1024),
             client,
             radio,
             medium: ChannelMedium::new(),
             aps,
             bssid_index,
+            grid,
+            path,
+            findex,
+            active_ids: Vec::new(),
+            nearby_scratch: Vec::new(),
+            targets_scratch: Vec::new(),
+            ap_ev_scratch: Vec::new(),
+            ports_scratch: Vec::new(),
+            segs_scratch: Vec::with_capacity(64),
+            actions_scratch: Vec::with_capacity(16),
+            events: 0,
             rng_loss: root.stream("loss"),
             rate: RateMeter::new(SimTime::ZERO, SimDuration::from_secs(1)),
             conn: IntervalTracker::new(SimTime::ZERO, false),
             delivered_prev: 0,
-            encountered: HashSet::new(),
+            encountered: FxHashSet::default(),
             client_wake_scheduled: SimTime::MAX,
             capture,
             fstats: FaultStats::default(),
             in_blackout: vec![false; num_aps],
-            pending_detect: HashMap::new(),
-            detect_done: HashSet::new(),
+            pending_detect: FxHashMap::default(),
+            detect_done: FxHashSet::default(),
             fault_outage_since: None,
             prev_connected: false,
             cfg,
@@ -284,7 +338,7 @@ impl<C: ClientSystem> World<C> {
     }
 
     fn client_pos(&self, now: SimTime) -> Position {
-        self.cfg.mobility.position(now)
+        self.path.position(now)
     }
 
     fn distance_to_ap(&self, now: SimTime, ap: usize) -> f64 {
@@ -308,8 +362,17 @@ impl<C: ClientSystem> World<C> {
             if now > end {
                 break;
             }
-            self.dispatch(now, ev.event);
-            self.after_event(now);
+            self.events += 1;
+            // Only events actually delivered into the client system can
+            // change what after_event observes (delivered bytes,
+            // connectivity, the driver's next wakeup): every quantity it
+            // reads is client state, and the interval tracker ignores
+            // same-value sets. Skipping the call for AP-side events,
+            // housekeeping, and frames the radio never heard leaves
+            // every recorded metric and the event schedule bit-identical.
+            if self.dispatch(now, ev.event) {
+                self.after_event(now);
+            }
         }
         let duration = self.cfg.duration;
         let bytes = self.client.delivered_bytes();
@@ -342,29 +405,32 @@ impl<C: ClientSystem> World<C> {
             tcp_timeouts,
             tcp_retransmits,
             faults: self.fstats,
+            events: self.events,
         };
         (result, self.client)
     }
 
     fn after_event(&mut self, now: SimTime) {
+        // One fused snapshot instead of three separate client walks;
+        // drivers with per-interface state answer it from a cache.
+        let obs = self.client.observe(now);
         // Throughput accounting.
-        let delivered = self.client.delivered_bytes();
+        let delivered = obs.delivered_bytes;
         if delivered > self.delivered_prev {
             self.rate.record(now, delivered - self.delivered_prev);
             self.delivered_prev = delivered;
         }
         // Connectivity signal.
-        let connected = self.client.is_connected();
+        let connected = obs.connected;
         self.conn.set(now, connected);
         // Time-to-recover: a connectivity drop that coincides with an
         // active data-plane fault opens an outage; the next restored
         // connectivity closes it.
-        if !self.cfg.faults.is_empty() {
+        if !self.findex.is_empty() {
             if self.prev_connected
                 && !connected
                 && self.fault_outage_since.is_none()
-                && (0..self.aps.len())
-                    .any(|i| self.cfg.faults.data_fault_onset(now, i).is_some())
+                && self.findex.any_data_fault(now)
             {
                 self.fault_outage_since = Some(now);
             } else if connected {
@@ -377,71 +443,119 @@ impl<C: ClientSystem> World<C> {
         }
         self.prev_connected = connected;
         // Client wakeup maintenance.
-        let nw = self.client.next_wakeup(now).max(now);
+        let nw = obs.next_wakeup.max(now);
         if nw < self.client_wake_scheduled && nw < SimTime::MAX {
             self.queue.schedule(nw, Ev::ClientWake);
             self.client_wake_scheduled = nw;
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+    /// Deliver one event. Returns whether the client system was driven
+    /// (and so [`World::after_event`] must re-inspect its state).
+    fn dispatch(&mut self, now: SimTime, ev: Ev) -> bool {
         match ev {
             Ev::ClientWake => {
                 self.client_wake_scheduled = SimTime::MAX;
-                let actions = self.client.poll(now);
-                self.process_actions(now, actions);
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                actions.clear();
+                self.client.poll_into(now, &mut actions);
+                self.process_actions(now, &mut actions);
+                self.actions_scratch = actions;
+                true
             }
             Ev::SwitchDone(ch) => {
                 if self.radio.listening_on(now) == Some(ch) {
-                    let actions = self.client.on_switch_complete(now, ch);
-                    self.process_actions(now, actions);
+                    let mut actions = std::mem::take(&mut self.actions_scratch);
+                    actions.clear();
+                    self.client.on_switch_complete_into(now, ch, &mut actions);
+                    self.process_actions(now, &mut actions);
+                    self.actions_scratch = actions;
                 }
+                true
             }
             Ev::ApWake(i) => {
                 self.aps[i].wake_scheduled = SimTime::MAX;
                 self.ap_wake(now, i);
+                false
             }
             Ev::AirToClient { frame, channel, ap } => {
-                if self.radio.listening_on(now) == Some(channel) {
-                    if let Some(cap) = &mut self.capture {
-                        cap.record(now, Direction::ToClient, &frame).ok();
-                    }
-                    let rssi = self
-                        .cfg
-                        .propagation
-                        .rssi_dbm(self.distance_to_ap(now, ap));
-                    let rx = RxFrame {
-                        frame,
-                        channel,
-                        rssi_dbm: rssi,
-                    };
-                    let actions = self.client.on_frame(now, &rx);
-                    self.process_actions(now, actions);
+                // A frame on a channel the radio isn't tuned to never
+                // reaches the driver, so it cannot have changed any
+                // client state for after_event to observe.
+                if self.radio.listening_on(now) != Some(channel) {
+                    return false;
                 }
+                if let Some(cap) = &mut self.capture {
+                    cap.record(now, Direction::ToClient, &frame).ok();
+                }
+                // RSSI only rides on scanning frames (see `RxFrame`);
+                // computing the log-distance model per TCP segment would
+                // be pure waste.
+                let rssi = matches!(
+                    frame.body,
+                    FrameBody::Beacon { .. } | FrameBody::ProbeResponse { .. }
+                )
+                .then(|| {
+                    self.cfg
+                        .propagation
+                        .rssi_dbm(self.distance_to_ap(now, ap))
+                });
+                let rx = RxFrame {
+                    frame,
+                    channel,
+                    rssi_dbm: rssi,
+                };
+                let passive_beacon = rx.frame.dst == MacAddr::BROADCAST
+                    && matches!(rx.frame.body, FrameBody::Beacon { .. });
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                actions.clear();
+                self.client.on_frame_into(now, &rx, &mut actions);
+                if passive_beacon && actions.is_empty() {
+                    // An overheard broadcast beacon that provoked no
+                    // actions only fed the client's passive scan table
+                    // (see the `ClientSystem::on_frame` contract) — none
+                    // of the quantities after_event reads moved.
+                    self.actions_scratch = actions;
+                    return false;
+                }
+                self.process_actions(now, &mut actions);
+                self.actions_scratch = actions;
+                true
             }
             Ev::AirToAp { ap, frame } => {
-                if self.cfg.faults.blackout(now, ap) {
+                if self.findex.blackout(now, ap) {
                     // A powered-off AP hears nothing.
                     self.fstats.frames_dropped_blackout += 1;
-                    return;
+                    return false;
                 }
                 if let Some(cap) = &mut self.capture {
                     cap.record(now, Direction::ToAp, &frame).ok();
                 }
-                let evs = self.aps[ap].mac.on_frame(now, &frame);
-                self.process_ap_events(now, ap, evs);
+                let mut evs = std::mem::take(&mut self.ap_ev_scratch);
+                evs.clear();
+                self.aps[ap].mac.on_frame_into(now, &frame, &mut evs);
+                self.process_ap_events_drain(now, ap, &mut evs);
+                self.ap_ev_scratch = evs;
+                false
             }
-            Ev::ServerRx { ap, packet } => self.server_rx(now, ap, packet),
+            Ev::ServerRx { ap, packet } => {
+                self.server_rx(now, ap, *packet);
+                false
+            }
             Ev::Downlink {
                 ap,
                 dst,
                 packet,
                 bufferable,
             } => {
-                let evs = self.aps[ap]
+                let mut evs = std::mem::take(&mut self.ap_ev_scratch);
+                evs.clear();
+                self.aps[ap]
                     .mac
-                    .enqueue_downlink(now, dst, packet, bufferable);
-                self.process_ap_events(now, ap, evs);
+                    .enqueue_downlink_into(now, dst, *packet, bufferable, &mut evs);
+                self.process_ap_events_drain(now, ap, &mut evs);
+                self.ap_ev_scratch = evs;
+                false
             }
             Ev::MobilityCheck => {
                 self.mobility_check(now);
@@ -449,29 +563,48 @@ impl<C: ClientSystem> World<C> {
                 if next <= SimTime::ZERO + self.cfg.duration {
                     self.queue.schedule(next, Ev::MobilityCheck);
                 }
+                false
             }
         }
     }
 
     fn mobility_check(&mut self, now: SimTime) {
+        // Grid query instead of a scan over every site: cost scales with
+        // the APs near the client, not the deployment size. The query
+        // returns ascending ids — the same order the old linear scan
+        // visited them — so activation-driven scheduling (and therefore
+        // event sequence numbers) is unchanged.
         let horizon = self.cfg.propagation.range_m + self.cfg.activation_margin_m;
         let pos = self.client_pos(now);
-        for i in 0..self.aps.len() {
-            let d = pos.distance_to(self.aps[i].position);
-            if d <= horizon {
-                if !self.aps[i].active {
-                    self.aps[i].active = true;
-                    self.aps[i].mac.resync_beacons(now);
-                    self.schedule_ap_wake(now, i, now);
-                }
-                if d <= self.cfg.propagation.range_m {
-                    self.encountered.insert(i);
-                }
-            } else {
+        let mut nearby = std::mem::take(&mut self.nearby_scratch);
+        self.grid.within_into(pos, horizon, &mut nearby);
+        // Deactivate APs that left the horizon: only the previously
+        // active set needs checking, and membership in the new nearby
+        // set is a merge of two ascending lists.
+        let mut prev = std::mem::take(&mut self.active_ids);
+        let mut n = nearby.iter().peekable();
+        for &i in &prev {
+            while n.next_if(|&&x| x < i).is_some() {}
+            if n.peek() != Some(&&i) {
                 self.aps[i].active = false;
             }
         }
-        if !self.cfg.faults.is_empty() {
+        for &i in &nearby {
+            if !self.aps[i].active {
+                self.aps[i].active = true;
+                self.aps[i].mac.resync_beacons(now);
+                self.schedule_ap_wake(now, i, now);
+            }
+            if pos.distance_to(self.aps[i].position) <= self.cfg.propagation.range_m {
+                self.encountered.insert(i);
+            }
+        }
+        // The nearby list *is* the new active set; recycle the old one
+        // as next sweep's query scratch.
+        prev.clear();
+        self.nearby_scratch = prev;
+        self.active_ids = nearby;
+        if !self.findex.is_empty() {
             self.fault_sweep(now);
         }
     }
@@ -480,8 +613,13 @@ impl<C: ClientSystem> World<C> {
     /// arming of time-to-detect measurements while a data-plane fault
     /// covers an AP with associated clients.
     fn fault_sweep(&mut self, now: SimTime) {
-        for i in 0..self.aps.len() {
-            let black = self.cfg.faults.blackout(now, i);
+        // Only APs with scheduled episodes can change fault state; the
+        // index lists them in ascending order, so the sweep's scheduling
+        // side effects happen in the same order a full scan would
+        // produce (episode-free APs schedule nothing).
+        for idx in 0..self.findex.faulty_aps().len() {
+            let i = self.findex.faulty_aps()[idx];
+            let black = self.findex.blackout(now, i);
             if self.in_blackout[i] && !black {
                 // Power restored: the AP reboots with empty association
                 // state, so lingering clients must re-join from scratch.
@@ -493,7 +631,7 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             self.in_blackout[i] = black;
-            match self.cfg.faults.data_fault_onset(now, i) {
+            match self.findex.data_fault_onset(now, i) {
                 Some(start) => {
                     if self.aps[i].mac.client_count() > 0
                         && !self.pending_detect.contains_key(&i)
@@ -544,33 +682,18 @@ impl<C: ClientSystem> World<C> {
         // Beacons (only while active — an AP beyond the horizon still
         // beacons physically, but nothing can hear it).
         if self.aps[i].active {
-            let evs = self.aps[i].mac.poll(now);
-            self.process_ap_events(now, i, evs);
+            let mut evs = std::mem::take(&mut self.ap_ev_scratch);
+            evs.clear();
+            self.aps[i].mac.poll_into(now, &mut evs);
+            self.process_ap_events_drain(now, i, &mut evs);
+            self.ap_ev_scratch = evs;
         }
         // TCP sender timers (run regardless of radio range: the wired
-        // side keeps its own clock).
-        let ports: Vec<u16> = self.aps[i].senders.keys().copied().collect();
-        for port in ports {
-            let (client_ip, segs) = {
-                let (ip, sender) = self.aps[i].senders.get_mut(&port).unwrap();
-                (*ip, sender.poll(now))
-            };
-            for seg in segs {
-                self.backhaul_down_to(now, i, client_ip, seg);
-            }
+        // side keeps its own clock). Most APs never carry a flow, so the
+        // port walk is gated on having any senders at all.
+        if !self.aps[i].senders.is_empty() {
+            self.poll_ap_senders(now, i);
         }
-        let (mut dead_to, mut dead_rx) = (0, 0);
-        self.aps[i].senders.retain(|_, (_, s)| {
-            if s.state() == TcpSenderState::Dead {
-                dead_to += s.timeouts;
-                dead_rx += s.retransmits;
-                false
-            } else {
-                true
-            }
-        });
-        self.aps[i].tcp_timeouts += dead_to;
-        self.aps[i].tcp_retransmits += dead_rx;
         // Re-arm.
         let mut next = if self.aps[i].active {
             self.aps[i].mac.next_wakeup()
@@ -585,8 +708,43 @@ impl<C: ClientSystem> World<C> {
         }
     }
 
-    fn process_actions(&mut self, now: SimTime, actions: Vec<DriverAction>) {
-        for action in actions {
+    /// Run the per-flow TCP sender timers of AP `i` and sweep dead flows.
+    fn poll_ap_senders(&mut self, now: SimTime, i: usize) {
+        let mut ports = std::mem::take(&mut self.ports_scratch);
+        ports.clear();
+        ports.extend(self.aps[i].senders.keys().copied());
+        // Canonical walk order: sender polls can schedule events, so the
+        // sequence must come from the ports themselves, never from the
+        // map's iteration order.
+        ports.sort_unstable();
+        let mut segs = std::mem::take(&mut self.segs_scratch);
+        for &port in &ports {
+            segs.clear();
+            let (ip, sender) = self.aps[i].senders.get_mut(&port).unwrap();
+            let client_ip = *ip;
+            sender.poll_into(now, &mut segs);
+            for &seg in &segs {
+                self.backhaul_down_to(now, i, client_ip, seg);
+            }
+        }
+        self.segs_scratch = segs;
+        self.ports_scratch = ports;
+        let (mut dead_to, mut dead_rx) = (0, 0);
+        self.aps[i].senders.retain(|_, (_, s)| {
+            if s.state() == TcpSenderState::Dead {
+                dead_to += s.timeouts;
+                dead_rx += s.retransmits;
+                false
+            } else {
+                true
+            }
+        });
+        self.aps[i].tcp_timeouts += dead_to;
+        self.aps[i].tcp_retransmits += dead_rx;
+    }
+
+    fn process_actions(&mut self, now: SimTime, actions: &mut Vec<DriverAction>) {
+        for action in actions.drain(..) {
             match action {
                 DriverAction::Transmit { frame, .. } => {
                     if let Some(ch) = self.radio.listening_on(now) {
@@ -646,24 +804,32 @@ impl<C: ClientSystem> World<C> {
         let (start, end) = self.medium.reserve(now, ch, airtime);
         let pos = self.client_pos(start);
         let broadcast = frame.dst.is_broadcast();
-        let targets: Vec<usize> = if broadcast {
-            self.aps
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.active && a.channel == ch)
-                .map(|(i, _)| i)
-                .collect()
+        // Broadcast candidates come from the spatial grid: anything
+        // beyond radio range can neither receive nor consume a loss
+        // draw, so querying at `range_m` visits exactly the APs the old
+        // full scan would have delivered to, in the same ascending
+        // order (the RNG draw sequence is unchanged). One behavioural
+        // delta, deliberate: active-but-out-of-range blacked-out APs no
+        // longer bump `frames_dropped_blackout` — they could never have
+        // received the frame anyway.
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        if broadcast {
+            self.grid
+                .within_into(pos, self.cfg.propagation.range_m, &mut targets);
+            targets.retain(|&i| self.aps[i].active && self.aps[i].channel == ch);
         } else {
-            self.bssid_index
-                .get(&frame.dst)
-                .copied()
-                .filter(|&i| self.aps[i].channel == ch)
-                .into_iter()
-                .collect()
-        };
+            targets.clear();
+            if let Some(&i) = self.bssid_index.get(&frame.dst) {
+                if self.aps[i].channel == ch {
+                    targets.push(i);
+                }
+            }
+        }
+        // Wrap the frame once; each recipient shares it.
+        let frame: SharedFrame = Arc::new(frame);
         let mut extra_airtime = 0.0f64;
-        for i in targets {
-            if self.cfg.faults.blackout(start, i) {
+        for &i in &targets {
+            if self.findex.blackout(start, i) {
                 // A powered-off AP cannot receive.
                 self.fstats.frames_dropped_blackout += 1;
                 continue;
@@ -676,7 +842,7 @@ impl<C: ClientSystem> World<C> {
                 .cfg
                 .loss
                 .loss_probability(d, self.cfg.propagation.range_m);
-            let burst = self.cfg.faults.extra_loss(start, i);
+            let burst = self.findex.extra_loss(start, i);
             if burst > 0.0 {
                 p = 1.0 - (1.0 - p) * (1.0 - burst);
             }
@@ -694,10 +860,11 @@ impl<C: ClientSystem> World<C> {
                 end,
                 Ev::AirToAp {
                     ap: i,
-                    frame: frame.clone(),
+                    frame: Arc::clone(&frame),
                 },
             );
         }
+        self.targets_scratch = targets;
         if extra_airtime > 0.0 {
             // Retries occupy the medium after the primary transmission.
             self.medium
@@ -705,8 +872,8 @@ impl<C: ClientSystem> World<C> {
         }
     }
 
-    fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: Frame) {
-        if self.cfg.faults.blackout(now, ap) {
+    fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: SharedFrame) {
+        if self.findex.blackout(now, ap) {
             // A powered-off AP transmits nothing (beacons included).
             self.fstats.frames_dropped_blackout += 1;
             return;
@@ -722,7 +889,7 @@ impl<C: ClientSystem> World<C> {
             .cfg
             .loss
             .loss_probability(d, self.cfg.propagation.range_m);
-        let burst = self.cfg.faults.extra_loss(start, ap);
+        let burst = self.findex.extra_loss(start, ap);
         if burst > 0.0 {
             p = 1.0 - (1.0 - p) * (1.0 - burst);
         }
@@ -748,8 +915,10 @@ impl<C: ClientSystem> World<C> {
         );
     }
 
-    fn process_ap_events(&mut self, now: SimTime, ap: usize, evs: Vec<ApEvent>) {
-        for ev in evs {
+    /// Drain a batch of AP MAC events. Takes the buffer by `&mut` so
+    /// hot callers can reuse one scratch `Vec` across batches.
+    fn process_ap_events_drain(&mut self, now: SimTime, ap: usize, evs: &mut Vec<ApEvent>) {
+        for ev in evs.drain(..) {
             match ev {
                 ApEvent::Send(frame) => self.transmit_from_ap(now, ap, frame),
                 ApEvent::DeliverUp { from, packet } => self.uplink(now, ap, from, packet),
@@ -769,11 +938,11 @@ impl<C: ClientSystem> World<C> {
                 if !self.aps[ap].dhcp_responsive {
                     return; // broken AP: DHCP silence
                 }
-                if self.cfg.faults.dhcp_silent(now, ap) {
+                if self.findex.dhcp_silent(now, ap) {
                     self.fstats.dhcp_dropped_silent += 1;
                     return;
                 }
-                if self.cfg.faults.dhcp_exhausted(now, ap) {
+                if self.findex.dhcp_exhausted(now, ap) {
                     // An exhausted pool ignores DISCOVER (nothing to
                     // offer) and NAKs REQUEST/INIT-REBOOT, telling the
                     // client its cached address is no good.
@@ -800,7 +969,7 @@ impl<C: ClientSystem> World<C> {
                                 Ev::Downlink {
                                     ap,
                                     dst: dst_mac,
-                                    packet: reply,
+                                    packet: Box::new(reply),
                                     bufferable: self.cfg.psm_buffers_join_traffic,
                                 },
                             );
@@ -826,7 +995,7 @@ impl<C: ClientSystem> World<C> {
                         Ev::Downlink {
                             ap,
                             dst: dst_mac,
-                            packet: reply,
+                            packet: Box::new(reply),
                             // Join traffic is not PSM-buffered (§2,
                             // DESIGN.md) — unless the counterfactual
                             // ablation knob says otherwise.
@@ -836,7 +1005,7 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             L4::Icmp(msg) => {
-                if self.cfg.faults.zombie(now, ap) {
+                if self.findex.zombie(now, ap) {
                     // A zombie AP forwards nothing, and its local
                     // gateway stops answering too: every liveness
                     // signal must die so the ping monitor fires.
@@ -844,7 +1013,7 @@ impl<C: ClientSystem> World<C> {
                     return;
                 }
                 if packet.dst == SERVER_IP {
-                    if self.cfg.faults.icmp_filtered(now, ap) {
+                    if self.findex.icmp_filtered(now, ap) {
                         // Filtered gateway: end-to-end pings black-hole,
                         // the gateway itself (below) still answers.
                         self.fstats.icmp_dropped_filtered += 1;
@@ -863,7 +1032,7 @@ impl<C: ClientSystem> World<C> {
                             Ev::Downlink {
                                 ap,
                                 dst: dst_mac,
-                                packet: pkt,
+                                packet: Box::new(pkt),
                                 bufferable: true,
                             },
                         );
@@ -883,7 +1052,7 @@ impl<C: ClientSystem> World<C> {
                             Ev::Downlink {
                                 ap,
                                 dst: from,
-                                packet: pkt,
+                                packet: Box::new(pkt),
                                 bufferable: true,
                             },
                         );
@@ -891,7 +1060,7 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             L4::Tcp(_) => {
-                if self.cfg.faults.zombie(now, ap) {
+                if self.findex.zombie(now, ap) {
                     self.fstats.packets_dropped_zombie += 1;
                     return;
                 }
@@ -901,7 +1070,7 @@ impl<C: ClientSystem> World<C> {
                         now + latency,
                         Ev::ServerRx {
                             ap,
-                            packet,
+                            packet: Box::new(packet),
                         },
                     );
                 }
@@ -935,11 +1104,14 @@ impl<C: ClientSystem> World<C> {
             return;
         };
         let client_ip = *client_ip;
-        let out = sender.on_segment(now, seg);
+        let mut out = std::mem::take(&mut self.segs_scratch);
+        out.clear();
+        sender.on_segment_into(now, seg, &mut out);
         let wake = sender.next_wakeup();
-        for seg_out in out {
+        for &seg_out in &out {
             self.backhaul_down_to(now, ap, client_ip, seg_out);
         }
+        self.segs_scratch = out;
         if wake < SimTime::MAX {
             self.schedule_ap_wake(now, ap, wake);
         }
@@ -974,7 +1146,7 @@ impl<C: ClientSystem> World<C> {
             Ev::Downlink {
                 ap,
                 dst,
-                packet,
+                packet: Box::new(packet),
                 bufferable: true,
             },
         );

@@ -249,3 +249,96 @@ fn faulty_runs_are_deterministic_per_seed() {
     assert_eq!(a.join_log.join.len(), b.join_log.join.len());
     assert_eq!(a.faults, b.faults, "fault attribution must be bit-identical");
 }
+
+#[test]
+fn dense_deployment_rerun_is_bit_identical() {
+    // The benchmark's dense-downtown regime in miniature: >1,000
+    // roadside sites on the 5 km loop, single-channel Spider, under a
+    // stormy fault plan so the blackout gating and fault sweep are in
+    // play. The engine's fast paths — spatial grid queries, shared-frame
+    // fan-out, the calendar event queue, scratch-buffer reuse — must not
+    // leak any iteration order or buffer state into observable results:
+    // every field of the RunResult, floats compared bit-for-bit, has to
+    // come out identical on a rerun of the same seed.
+    let run = || {
+        let params = ScenarioParams {
+            duration: SimDuration::from_secs(60),
+            seed: 42,
+            density_per_km: 220.0,
+            ..Default::default()
+        };
+        let mut cfg = town_scenario(&params);
+        assert!(
+            cfg.deployment.len() >= 1_000,
+            "dense scenario must stay dense ({} sites)",
+            cfg.deployment.len()
+        );
+        cfg.faults = FaultPlan::seeded(
+            99,
+            cfg.deployment.len(),
+            cfg.duration,
+            &FaultProfile::stormy(),
+        );
+        World::new(
+            cfg,
+            SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH6),
+                1,
+            )),
+        )
+        .run()
+    };
+    let (mut a, mut b) = (run(), run());
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(
+        a.avg_throughput_bps.to_bits(),
+        b.avg_throughput_bps.to_bits()
+    );
+    assert_eq!(a.connectivity.to_bits(), b.connectivity.to_bits());
+    let (sa, sb) = (
+        a.instantaneous_bps.sorted_samples().to_vec(),
+        b.instantaneous_bps.sorted_samples().to_vec(),
+    );
+    assert_eq!(sa.len(), sb.len(), "instantaneous-bandwidth sample counts");
+    assert!(
+        sa.iter().zip(&sb).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "instantaneous-bandwidth samples must be bit-identical"
+    );
+    assert_eq!(a.intervals.on_durations, b.intervals.on_durations);
+    assert_eq!(a.intervals.off_durations, b.intervals.off_durations);
+    assert_eq!(
+        a.intervals.on_fraction.to_bits(),
+        b.intervals.on_fraction.to_bits()
+    );
+    assert_eq!(a.join_log.assoc, b.join_log.assoc);
+    assert_eq!(a.join_log.assoc_failures, b.join_log.assoc_failures);
+    assert_eq!(a.join_log.dhcp, b.join_log.dhcp);
+    assert_eq!(a.join_log.dhcp_failures, b.join_log.dhcp_failures);
+    assert_eq!(a.join_log.join, b.join_log.join);
+    assert_eq!(a.join_log.join_failures, b.join_log.join_failures);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.aps_encountered, b.aps_encountered);
+    assert_eq!(a.tcp_timeouts, b.tcp_timeouts);
+    assert_eq!(a.tcp_retransmits, b.tcp_retransmits);
+    assert_eq!(a.faults.frames_dropped_blackout, b.faults.frames_dropped_blackout);
+    assert_eq!(a.faults.packets_dropped_zombie, b.faults.packets_dropped_zombie);
+    assert_eq!(a.faults.dhcp_dropped_silent, b.faults.dhcp_dropped_silent);
+    assert_eq!(a.faults.dhcp_naks_exhausted, b.faults.dhcp_naks_exhausted);
+    assert_eq!(a.faults.icmp_dropped_filtered, b.faults.icmp_dropped_filtered);
+    assert_eq!(a.faults.ap_reboots, b.faults.ap_reboots);
+    assert_eq!(
+        a.faults.detect_times_s.len(),
+        b.faults.detect_times_s.len()
+    );
+    assert!(
+        a.faults
+            .detect_times_s
+            .iter()
+            .zip(&b.faults.detect_times_s)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "fault detection latencies must be bit-identical"
+    );
+    assert_eq!(a.events, b.events, "engine event count must be identical");
+}

@@ -11,7 +11,7 @@ use spider_repro::mac80211::{ApConfig, ApEvent, ApMac, ApTarget, ClientMacConfig
 use spider_repro::netstack::{DhcpClientConfig, DhcpServer, DhcpServerConfig, PingConfig};
 use spider_repro::simcore::{SimDuration, SimRng, SimTime};
 use spider_repro::wire::ip::L4;
-use spider_repro::wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, Ssid};
+use spider_repro::wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, SharedFrame, Ssid};
 
 struct Drill {
     iface: ClientIface,
@@ -46,7 +46,7 @@ impl Drill {
         }
     }
 
-    fn tick(&mut self, ms: u64) -> Vec<Frame> {
+    fn tick(&mut self, ms: u64) -> Vec<SharedFrame> {
         self.now += SimDuration::from_millis(ms);
         let mut client_tx = Vec::new();
         for ev in self.iface.poll(self.now, true, &mut self.log) {
@@ -112,7 +112,7 @@ impl Drill {
         ap_tx
     }
 
-    fn deliver_to_client(&mut self, frames: Vec<Frame>) -> Vec<Frame> {
+    fn deliver_to_client(&mut self, frames: Vec<SharedFrame>) -> Vec<Frame> {
         let mut out = Vec::new();
         for f in frames {
             for ev in self.iface.on_frame(self.now, &f, &mut self.log) {
@@ -190,7 +190,7 @@ fn wire_codec_roundtrips_frames_from_a_live_exchange() {
         for f in &ap_frames {
             let bytes = encode(f);
             let back = decode(&bytes).expect("decode live frame");
-            assert_eq!(*f, back);
+            assert_eq!(**f, back);
             checked += 1;
         }
         let replies = drill.deliver_to_client(ap_frames);
