@@ -314,7 +314,7 @@ impl ClientSystem for FatVapDriver {
         format!("FatVAP[{} conns, {} slice]", self.cfg.num_conns, self.cfg.slice)
     }
 
-    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, actions: &mut Vec<DriverAction>) {
         match &rx.frame.body {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
@@ -339,7 +339,7 @@ impl ClientSystem for FatVapDriver {
             });
         if let Some(idx) = idx {
             let mut log = std::mem::take(&mut self.log);
-            let evs = self.ifaces[idx].on_frame(now, &rx.frame, &mut log);
+            let evs = self.ifaces[idx].on_frame(now, rx.frame, &mut log);
             let active = self.iface_active(idx);
             let evs2 = self.ifaces[idx].poll(now, active, &mut log);
             self.log = log;
@@ -408,10 +408,11 @@ impl ClientSystem for FatVapDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spider_mac80211::RxBuf;
     use spider_wire::Ssid;
 
-    fn beacon(ap_id: u64, ch: Channel, rssi: f64) -> RxFrame {
-        RxFrame {
+    fn beacon(ap_id: u64, ch: Channel, rssi: f64) -> RxBuf {
+        RxBuf {
             frame: Frame {
                 src: MacAddr::from_id(ap_id),
                 dst: MacAddr::BROADCAST,
@@ -421,8 +422,7 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            }
-            .into(),
+            },
             channel: ch,
             rssi_dbm: Some(rssi),
         }
@@ -449,8 +449,8 @@ mod tests {
     #[test]
     fn scans_then_joins_discovered_aps() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0));
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -65.0));
+        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
+        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -65.0).rx());
         let actions = drive(&mut d, 2, 600);
         let auths: std::collections::HashSet<MacAddr> = actions
             .iter()
@@ -470,8 +470,8 @@ mod tests {
     #[test]
     fn slices_rotate_between_connections() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0));
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH11, -60.0));
+        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
+        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH11, -60.0).rx());
         let actions = drive(&mut d, 2, 1_500);
         // With APs on two different channels the per-AP slicing forces
         // real channel switches.
@@ -503,8 +503,8 @@ mod tests {
     #[test]
     fn only_slot_owner_is_active() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0));
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH1, -61.0));
+        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
+        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH1, -61.0).rx());
         drive(&mut d, 2, 300);
         // Two interfaces bound to APs on the same channel; at most one may
         // be active at any instant (FatVAP's per-AP queues).

@@ -230,7 +230,7 @@ impl ClientSystem for StockDriver {
         self.cfg.name.to_string()
     }
 
-    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, actions: &mut Vec<DriverAction>) {
         match &rx.frame.body {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
@@ -250,7 +250,7 @@ impl ClientSystem for StockDriver {
         };
         if relevant {
             let mut log = std::mem::take(&mut self.log);
-            let evs = self.iface.on_frame(now, &rx.frame, &mut log);
+            let evs = self.iface.on_frame(now, rx.frame, &mut log);
             let on_ch = self.on_channel();
             let evs2 = self.iface.poll(now, on_ch, &mut log);
             self.log = log;
@@ -362,11 +362,12 @@ impl ClientSystem for StockDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spider_mac80211::RxBuf;
     use spider_simcore::SimDuration;
     use spider_wire::{Frame, Ssid};
 
-    fn beacon(ap_id: u64, ch: Channel, rssi: f64) -> RxFrame {
-        RxFrame {
+    fn beacon(ap_id: u64, ch: Channel, rssi: f64) -> RxBuf {
+        RxBuf {
             frame: Frame {
                 src: MacAddr::from_id(ap_id),
                 dst: MacAddr::BROADCAST,
@@ -376,8 +377,7 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            }
-            .into(),
+            },
             channel: ch,
             rssi_dbm: Some(rssi),
         }
@@ -429,8 +429,8 @@ mod tests {
     fn joins_strongest_ap_after_sweep() {
         let mut d = StockDriver::new(StockConfig::quickwifi(1));
         // Hear two APs on channel 6 while sweeping; the stronger wins.
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH6, -80.0));
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -55.0));
+        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH6, -80.0).rx());
+        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -55.0).rx());
         let joined = run_until_auth(&mut d, 2_000);
         assert_eq!(joined, Some(MacAddr::from_id(101)));
     }
@@ -438,7 +438,7 @@ mod tests {
     #[test]
     fn rescans_after_connection_down() {
         let mut d = StockDriver::new(StockConfig::quickwifi(1));
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0));
+        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
         let joined = run_until_auth(&mut d, 2_000);
         assert!(joined.is_some());
         // Let the link-layer join fail (no responses): the driver must

@@ -8,44 +8,62 @@
 use spider_bench::{print_table, write_csv, town_params};
 use spider_core::adaptive::{AdaptivePolicy, AdaptiveSpider};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
 
-fn main() {
+/// Policies measured per speed, in column order.
+const POLICIES: usize = 3;
+
+fn run_policy(policy: usize, speed: f64) -> (f64, f64) {
     let period = SimDuration::from_millis(600);
+    let mut params = town_params(1);
+    params.speed_mps = speed;
+    let world = town_scenario(&params);
+    let result = match policy {
+        0 => {
+            let mode = OperationMode::SingleChannelMultiAp(Channel::CH1);
+            World::new(world, SpiderDriver::new(SpiderConfig::for_mode(mode, 1))).run()
+        }
+        1 => {
+            let mode = OperationMode::MultiChannelMultiAp { period };
+            World::new(world, SpiderDriver::new(SpiderConfig::for_mode(mode, 1))).run()
+        }
+        _ => {
+            let inner = SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH6),
+                1,
+            ));
+            let mut adaptive = AdaptiveSpider::new(inner, AdaptivePolicy::default());
+            adaptive.set_speed_hint(speed);
+            World::new(world, adaptive).run()
+        }
+    };
+    (result.throughput_kbs(), result.connectivity_pct())
+}
+
+fn main() {
+    let speeds = [2.5, 5.0, 10.0, 20.0];
+    let mut jobs = Vec::new();
+    for &speed in &speeds {
+        for policy in 0..POLICIES {
+            jobs.push((policy, speed));
+        }
+    }
+    let results = sweep(&jobs, |&(policy, speed)| run_policy(policy, speed));
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for speed in [2.5, 5.0, 10.0, 20.0] {
-        let mut params = town_params(1);
-        params.speed_mps = speed;
-        // Static modes.
+    for (s, &speed) in speeds.iter().enumerate() {
         let mut cells = vec![format!("{speed}")];
         let mut row = vec![speed];
-        for (name, mode) in [
-            ("ch1 multi-AP", OperationMode::SingleChannelMultiAp(Channel::CH1)),
-            ("3ch multi-AP", OperationMode::MultiChannelMultiAp { period }),
-        ] {
-            let world = town_scenario(&params);
-            let result = World::new(world, SpiderDriver::new(SpiderConfig::for_mode(mode, 1))).run();
-            let _ = name;
-            row.push(result.throughput_kbs());
-            row.push(result.connectivity_pct());
-            cells.push(format!("{:.0}/{:.0}%", result.throughput_kbs(), result.connectivity_pct()));
+        for policy in 0..POLICIES {
+            let (kbs, conn) = results[s * POLICIES + policy];
+            row.push(kbs);
+            row.push(conn);
+            cells.push(format!("{kbs:.0}/{conn:.0}%"));
         }
-        // Adaptive.
-        let world = town_scenario(&params);
-        let inner = SpiderDriver::new(SpiderConfig::for_mode(
-            OperationMode::SingleChannelMultiAp(Channel::CH6),
-            1,
-        ));
-        let mut adaptive = AdaptiveSpider::new(inner, AdaptivePolicy::default());
-        adaptive.set_speed_hint(speed);
-        let result = World::new(world, adaptive).run();
-        row.push(result.throughput_kbs());
-        row.push(result.connectivity_pct());
-        cells.push(format!("{:.0}/{:.0}%", result.throughput_kbs(), result.connectivity_pct()));
         rows.push(row);
         table.push(cells);
     }

@@ -6,6 +6,7 @@
 
 use spider_bench::{print_table, write_csv};
 use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+use spider_simcore::sweep;
 
 fn main() {
     let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 13.3, 20.0];
@@ -13,25 +14,32 @@ fn main() {
         ChannelScenario { joined_frac: 0.75, available_frac: 0.0 },
         ChannelScenario { joined_frac: 0.0, available_frac: 0.25 },
     ];
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
+    let mut jobs = Vec::new();
     for beta_max in [2.0, 5.0, 10.0] {
         for h in [0.0, 0.1, 0.3] {
-            let mut model = JoinModel::paper_defaults(beta_max);
-            model.h = h;
-            let optimizer = ThroughputOptimizer::paper(model);
-            let div = optimizer.dividing_speed(&scenarios, &speeds);
-            rows.push(vec![
-                format!("{beta_max}"),
-                format!("{h}"),
-                format!("{:?}", div),
-            ]);
-            table.push(vec![
-                format!("{beta_max}"),
-                format!("{h}"),
-                div.map(|v| format!("{v} m/s")).unwrap_or("> 20 m/s".into()),
-            ]);
+            jobs.push((beta_max, h));
         }
+    }
+    let dividing = sweep(&jobs, |&(beta_max, h)| {
+        let mut model = JoinModel::paper_defaults(beta_max);
+        model.h = h;
+        let optimizer = ThroughputOptimizer::paper(model);
+        optimizer.dividing_speed(&scenarios, &speeds)
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (&(beta_max, h), div) in jobs.iter().zip(&dividing) {
+        rows.push(vec![
+            format!("{beta_max}"),
+            format!("{h}"),
+            format!("{:?}", div),
+        ]);
+        table.push(vec![
+            format!("{beta_max}"),
+            format!("{h}"),
+            div.map(|v| format!("{v} m/s")).unwrap_or("> 20 m/s".into()),
+        ]);
     }
     print_table(
         "Ablation: dividing speed vs beta_max and loss h (75/25 scenario)",

@@ -6,35 +6,52 @@
 
 use spider_bench::{print_table, write_csv, town_params};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::{Cdf, OnlineStats, SimDuration};
+use spider_simcore::{sweep, Cdf, OnlineStats, SimDuration};
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for (label, magic_buffering) in [
+    let worlds = [
         ("real 802.11 (join traffic unbufferable)", false),
         ("counterfactual (APs buffer DHCP for sleepers)", true),
-    ] {
+    ];
+    let seeds: Vec<u64> = (1..=5).collect();
+
+    let mut jobs = Vec::new();
+    for &(_, magic_buffering) in &worlds {
+        for &seed in &seeds {
+            jobs.push((magic_buffering, seed));
+        }
+    }
+    let drives = sweep(&jobs, |&(magic_buffering, seed)| {
+        let mut world = town_scenario(&town_params(seed));
+        world.psm_buffers_join_traffic = magic_buffering;
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            },
+            1,
+        );
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        (
+            result.join_log.dhcp_failure_ratio(),
+            result.throughput_kbs(),
+            result.join_log.join_cdf(),
+        )
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (w, &(label, _)) in worlds.iter().enumerate() {
         let mut fail = OnlineStats::new();
         let mut thr = OnlineStats::new();
         let mut joins = Cdf::new();
-        for seed in 1..=5u64 {
-            let mut world = town_scenario(&town_params(seed));
-            world.psm_buffers_join_traffic = magic_buffering;
-            let cfg = SpiderConfig::for_mode(
-                OperationMode::MultiChannelMultiAp {
-                    period: SimDuration::from_millis(600),
-                },
-                1,
-            );
-            let result = World::new(world, SpiderDriver::new(cfg)).run();
-            if let Some(r) = result.join_log.dhcp_failure_ratio() {
+        for (fail_ratio, kbs, join_cdf) in &drives[w * seeds.len()..(w + 1) * seeds.len()] {
+            if let Some(r) = fail_ratio {
                 fail.push(r * 100.0);
             }
-            thr.push(result.throughput_kbs());
-            joins.merge(&result.join_log.join_cdf());
+            thr.push(*kbs);
+            joins.merge(join_cdf);
         }
         rows.push(vec![
             label.to_string(),

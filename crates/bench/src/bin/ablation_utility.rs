@@ -10,7 +10,7 @@ use spider_baselines::{FatVapConfig, FatVapDriver};
 use spider_bench::{print_table, write_csv, town_params};
 use spider_core::utility::UtilityConfig;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::OnlineStats;
+use spider_simcore::{sweep, OnlineStats};
 use spider_wire::Channel;
 use spider_workloads::scenarios::{town_scenario, RouteKind, ScenarioParams};
 use spider_workloads::World;
@@ -27,18 +27,17 @@ fn harsh(seed: u64) -> ScenarioParams {
     p
 }
 
-fn main() {
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    let variants: Vec<(&str, f64)> = vec![
-        ("paper (alpha=0.5)", 0.5),
-        ("no history (alpha=0)", 0.0),
-        ("harsh (alpha=0.9)", 0.9),
-    ];
-    for (label, alpha) in variants {
-        let mut thr = OnlineStats::new();
-        let mut conn = OnlineStats::new();
-        for seed in 1..=3u64 {
+/// The policies measured, in row order: three recency settings for
+/// Spider's utility, then the FatVAP driver.
+enum Policy {
+    Spider { alpha: f64 },
+    FatVap,
+}
+
+fn run_policy(policy: &Policy, seed: u64) -> (f64, f64) {
+    let world = town_scenario(&harsh(seed));
+    let result = match policy {
+        Policy::Spider { alpha } => {
             // Single-AP mode: with one connection at a time, a join
             // wasted on a broken AP is connectivity lost — this is where
             // selection policy shows. (With 7 concurrent interfaces the
@@ -49,36 +48,53 @@ fn main() {
                 1,
             );
             cfg.utility = UtilityConfig {
-                recency: alpha,
+                recency: *alpha,
                 ..UtilityConfig::default()
             };
-            let world = town_scenario(&harsh(seed));
-            let result = World::new(world, SpiderDriver::new(cfg)).run();
-            thr.push(result.throughput_kbs());
-            conn.push(result.connectivity_pct());
+            World::new(world, SpiderDriver::new(cfg)).run()
         }
-        rows.push(vec![label.to_string(), format!("{:.1}", thr.mean()), format!("{:.1}", conn.mean())]);
+        Policy::FatVap => World::new(world, FatVapDriver::new(FatVapConfig::default())).run(),
+    };
+    (result.throughput_kbs(), result.connectivity_pct())
+}
+
+fn main() {
+    let policies: Vec<(&str, Policy)> = vec![
+        ("paper (alpha=0.5)", Policy::Spider { alpha: 0.5 }),
+        ("no history (alpha=0)", Policy::Spider { alpha: 0.0 }),
+        ("harsh (alpha=0.9)", Policy::Spider { alpha: 0.9 }),
+        ("FatVAP (AP-sliced, bw-estimate)", Policy::FatVap),
+    ];
+    let seeds: Vec<u64> = (1..=3).collect();
+
+    let mut jobs = Vec::new();
+    for (p, _) in policies.iter().enumerate() {
+        for &seed in &seeds {
+            jobs.push((p, seed));
+        }
+    }
+    let results = sweep(&jobs, |&(p, seed)| run_policy(&policies[p].1, seed));
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (p, (label, _)) in policies.iter().enumerate() {
+        let mut thr = OnlineStats::new();
+        let mut conn = OnlineStats::new();
+        for &(kbs, pct) in &results[p * seeds.len()..(p + 1) * seeds.len()] {
+            thr.push(kbs);
+            conn.push(pct);
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", thr.mean()),
+            format!("{:.1}", conn.mean()),
+        ]);
         table.push(vec![
             label.to_string(),
             format!("{:.1} KB/s", thr.mean()),
             format!("{:.1}%", conn.mean()),
         ]);
     }
-    // FatVAP-style: AP-sliced, bandwidth-estimate driven.
-    let mut thr = OnlineStats::new();
-    let mut conn = OnlineStats::new();
-    for seed in 1..=3u64 {
-        let world = town_scenario(&harsh(seed));
-        let result = World::new(world, FatVapDriver::new(FatVapConfig::default())).run();
-        thr.push(result.throughput_kbs());
-        conn.push(result.connectivity_pct());
-    }
-    rows.push(vec!["FatVAP (AP-sliced, bw-estimate)".into(), format!("{:.1}", thr.mean()), format!("{:.1}", conn.mean())]);
-    table.push(vec![
-        "FatVAP (AP-sliced, bw-estimate)".to_string(),
-        format!("{:.1} KB/s", thr.mean()),
-        format!("{:.1}%", conn.mean()),
-    ]);
     print_table(
         "Ablation: AP-selection policy (town drive)",
         &["policy", "throughput", "connectivity"],

@@ -2,7 +2,9 @@
 //!
 //! Runs the three fixed-seed world workloads (sparse commute, dense
 //! downtown, chaos storm), prints events/sec and wall-clock per
-//! scenario, and writes `BENCH_world.json` at the repository root.
+//! scenario, then times the parallel sweep runner on a batch of
+//! Table 2 drives (serial vs worker pool), and writes
+//! `BENCH_world.json` at the repository root.
 //!
 //! Flags:
 //!
@@ -13,7 +15,7 @@
 //!   regressed by more than 2x.
 //! * `--out PATH` — write the JSON somewhere else.
 
-use spider_bench::worldbench::{check_regressions, run_scenario, scenarios, to_json};
+use spider_bench::worldbench::{check_regressions, run_scenario, run_suite_bench, scenarios, to_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -62,7 +64,16 @@ fn main() -> ExitCode {
         results.push(r);
     }
 
-    let json = to_json(mode, &results);
+    // The engine scenarios above are deliberately single-threaded; this
+    // second section times the sweep runner on a batch of real Table 2
+    // drives, serial vs the worker pool.
+    let suite = run_suite_bench(fast);
+    println!(
+        "  suite sweep      {:>2} jobs  {:>2} workers  {:>8.3}s serial  {:>8.3}s parallel  {:.2}x",
+        suite.jobs, suite.workers, suite.serial_wall_secs, suite.parallel_wall_secs, suite.speedup(),
+    );
+
+    let json = to_json(mode, &results, Some(&suite));
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("failed to write {}: {e}", out.display());
         return ExitCode::FAILURE;

@@ -7,15 +7,22 @@
 
 use spider_bench::{print_table, write_csv};
 use spider_model::JoinModel;
+use spider_simcore::sweep;
 
 fn main() {
     let fractions = [0.10, 0.25, 0.40, 0.50];
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for i in 1..=20 {
+    let jobs: Vec<u64> = (1..=20).collect();
+    let points = sweep(&jobs, |&i| {
         let beta_max = i as f64 / 2.0; // 0.5..10s
         let model = JoinModel::paper_defaults(beta_max);
         let ps: Vec<f64> = fractions.iter().map(|&f| model.p_join(f, 4.0)).collect();
+        ps
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (&i, ps) in jobs.iter().zip(&points) {
+        let beta_max = i as f64 / 2.0;
         rows.push(vec![beta_max, ps[0], ps[1], ps[2], ps[3]]);
         if i % 2 == 0 {
             table.push(vec![

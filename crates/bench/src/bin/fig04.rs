@@ -8,26 +8,41 @@
 
 use spider_bench::{print_table, write_csv};
 use spider_model::{ChannelScenario, JoinModel, ThroughputOptimizer};
+use spider_simcore::sweep;
+
+fn scenarios(joined1: f64, avail2: f64) -> [ChannelScenario; 2] {
+    [
+        ChannelScenario {
+            joined_frac: joined1,
+            available_frac: 0.0,
+        },
+        ChannelScenario {
+            joined_frac: 0.0,
+            available_frac: avail2,
+        },
+    ]
+}
 
 fn main() {
     let optimizer = ThroughputOptimizer::paper(JoinModel::paper_defaults(10.0));
     let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 20.0];
     let splits = [(0.25, 0.75), (0.5, 0.5), (0.75, 0.25)];
-    let mut rows = Vec::new();
-    for (joined1, avail2) in splits {
-        let scenarios = [
-            ChannelScenario {
-                joined_frac: joined1,
-                available_frac: 0.0,
-            },
-            ChannelScenario {
-                joined_frac: 0.0,
-                available_frac: avail2,
-            },
-        ];
-        let mut table = Vec::new();
+
+    let mut jobs = Vec::new();
+    for &(joined1, avail2) in &splits {
         for &v in &speeds {
-            let opt = optimizer.optimize(&scenarios, v);
+            jobs.push((joined1, avail2, v));
+        }
+    }
+    let optima = sweep(&jobs, |&(joined1, avail2, v)| {
+        optimizer.optimize(&scenarios(joined1, avail2), v)
+    });
+
+    let mut rows = Vec::new();
+    for (s, &(joined1, avail2)) in splits.iter().enumerate() {
+        let mut table = Vec::new();
+        for (i, &v) in speeds.iter().enumerate() {
+            let opt = &optima[s * speeds.len() + i];
             rows.push(vec![
                 joined1,
                 avail2,
@@ -51,7 +66,7 @@ fn main() {
             &["speed(m/s)", "ch1(kbps)", "ch2(kbps)", "total(kbps)"],
             &table,
         );
-        let div = optimizer.dividing_speed(&scenarios, &speeds);
+        let div = optimizer.dividing_speed(&scenarios(joined1, avail2), &speeds);
         println!("dividing speed: {:?} m/s", div);
     }
     let path = write_csv(

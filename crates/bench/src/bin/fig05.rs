@@ -7,46 +7,56 @@
 //! f₆ = 100 % completes everything within ~400 ms, and performance does
 //! not collapse as f₆ shrinks to 25 %.
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{print_table, write_csv, CdfRow, StdConfigs};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::Cdf;
+use spider_simcore::{sweep, Cdf};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
 
 fn main() {
     let fractions = [0.25, 0.50, 0.75, 1.00];
+    let seeds: Vec<u64> = (1..=5).collect();
     let probe_ms = [100.0, 200.0, 300.0, 400.0, 600.0, 800.0, 1_000.0];
+
+    // One drive per (fraction, seed) — the paper's "hundreds of trials
+    // over six hours on five vehicles", swept in parallel.
+    let mut jobs = Vec::new();
+    for &f6 in &fractions {
+        for &seed in &seeds {
+            jobs.push((f6, seed));
+        }
+    }
+    let cdfs = sweep(&jobs, |&(f6, seed)| {
+        let schedule = StdConfigs::f6_schedule(f6);
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp {
+                period: schedule.period(),
+            },
+            1,
+        )
+        .with_schedule(schedule)
+        .with_candidates(vec![Channel::CH6]);
+        let world = town_scenario(&spider_bench::town_params(seed));
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        result.join_log.assoc_cdf()
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for &f6 in &fractions {
-        // Aggregate several drives (the paper's "hundreds of trials over
-        // six hours on five vehicles").
+    for (i, &f6) in fractions.iter().enumerate() {
         let mut cdf = Cdf::new();
-        for seed in 1..=5 {
-            let schedule = StdConfigs::f6_schedule(f6);
-            let cfg = SpiderConfig::for_mode(
-                OperationMode::MultiChannelMultiAp {
-                    period: schedule.period(),
-                },
-                1,
-            )
-            .with_schedule(schedule)
-            .with_candidates(vec![Channel::CH6]);
-            let world = town_scenario(&spider_bench::town_params(seed));
-            let result = World::new(world, SpiderDriver::new(cfg)).run();
-            cdf.merge(&result.join_log.assoc_cdf());
+        for per_seed in &cdfs[i * seeds.len()..(i + 1) * seeds.len()] {
+            cdf.merge(per_seed);
         }
-        let mut cells = vec![format!("{:.0}%", f6 * 100.0), format!("{}", cdf.len())];
-        let mut row = vec![f6];
-        for &ms in &probe_ms {
-            let frac = cdf.fraction_le(ms / 1_000.0);
-            row.push(frac);
-            cells.push(format!("{frac:.2}"));
-        }
-        let median = cdf.median() * 1_000.0;
-        cells.push(format!("{median:.0}ms"));
-        rows.push(row);
+        let probes_s: Vec<f64> = probe_ms.iter().map(|ms| ms / 1_000.0).collect();
+        let row = CdfRow::probe(&mut cdf, &probes_s);
+        let mut cells = vec![format!("{:.0}%", f6 * 100.0), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.0}ms", row.median * 1_000.0));
+        let mut csv = vec![format!("{f6}")];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

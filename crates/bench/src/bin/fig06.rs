@@ -7,38 +7,20 @@
 //! DHCP — unlike association — is *not* robust to small channel
 //! fractions.
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{print_table, write_csv, CdfRow, StdConfigs};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
-use spider_simcore::{Cdf, SimDuration};
+use spider_simcore::{sweep, Cdf, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
 
-fn run_config(f6: f64, dhcp: DhcpClientConfig, seeds: std::ops::RangeInclusive<u64>) -> (Cdf, f64) {
-    let mut cdf = Cdf::new();
-    let mut failures = 0u64;
-    let mut successes = 0u64;
-    for seed in seeds {
-        let schedule = StdConfigs::f6_schedule(f6);
-        let cfg = SpiderConfig::for_mode(
-            OperationMode::MultiChannelMultiAp {
-                period: schedule.period(),
-            },
-            1,
-        )
-        .with_schedule(schedule)
-        .with_candidates(vec![Channel::CH6])
-        .with_timeouts(ClientMacConfig::reduced(), dhcp.clone());
-        let world = town_scenario(&spider_bench::town_params(seed));
-        let result = World::new(world, SpiderDriver::new(cfg)).run();
-        cdf.merge(&result.join_log.dhcp_cdf());
-        failures += result.join_log.dhcp_failures;
-        successes += result.join_log.dhcp.len() as u64;
-    }
-    let fail_rate = failures as f64 / (failures + successes).max(1) as f64;
-    (cdf, fail_rate)
+/// Lease CDF + failure/success counts from one drive.
+struct DriveStats {
+    cdf: Cdf,
+    failures: u64,
+    successes: u64,
 }
 
 fn main() {
@@ -60,21 +42,55 @@ fn main() {
         ),
         ("100% - default".into(), 1.00, DhcpClientConfig::stock()),
     ];
+    let seeds: Vec<u64> = (1..=5).collect();
     let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
+
+    let mut jobs = Vec::new();
+    for (c, (_, f6, dhcp)) in configs.iter().enumerate() {
+        for &seed in &seeds {
+            jobs.push((c, *f6, dhcp.clone(), seed));
+        }
+    }
+    let drives = sweep(&jobs, |(_, f6, dhcp, seed)| {
+        let schedule = StdConfigs::f6_schedule(*f6);
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp {
+                period: schedule.period(),
+            },
+            1,
+        )
+        .with_schedule(schedule)
+        .with_candidates(vec![Channel::CH6])
+        .with_timeouts(ClientMacConfig::reduced(), dhcp.clone());
+        let world = town_scenario(&spider_bench::town_params(*seed));
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        DriveStats {
+            cdf: result.join_log.dhcp_cdf(),
+            failures: result.join_log.dhcp_failures,
+            successes: result.join_log.dhcp.len() as u64,
+        }
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for (label, f6, dhcp) in configs {
-        let (mut cdf, fail_rate) = run_config(f6, dhcp, 1..=5);
-        let mut cells = vec![label.clone(), format!("{}", cdf.len())];
-        let mut row: Vec<f64> = vec![f6];
-        for &s in &probe_s {
-            let frac = cdf.fraction_le(s);
-            row.push(frac);
-            cells.push(format!("{frac:.2}"));
+    for (c, (label, f6, _)) in configs.iter().enumerate() {
+        let mut cdf = Cdf::new();
+        let mut failures = 0u64;
+        let mut successes = 0u64;
+        for drive in &drives[c * seeds.len()..(c + 1) * seeds.len()] {
+            cdf.merge(&drive.cdf);
+            failures += drive.failures;
+            successes += drive.successes;
         }
-        cells.push(format!("{:.2}s", cdf.median()));
+        let fail_rate = failures as f64 / (failures + successes).max(1) as f64;
+        let row = CdfRow::probe(&mut cdf, &probe_s);
+        let mut cells = vec![label.clone(), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.2}s", row.median));
         cells.push(format!("{:.0}%", fail_rate * 100.0));
-        rows.push(row);
+        let mut csv = vec![format!("{f6}")];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

@@ -8,7 +8,7 @@
 
 use spider_bench::{print_table, write_csv};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::indoor_scenario;
 use spider_workloads::World;
@@ -16,9 +16,8 @@ use spider_workloads::World;
 fn main() {
     let period = SimDuration::from_millis(400);
     let backhaul = 500_000.0; // 4 Mb/s: the air, not the wire, should gate
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for pct in [10u32, 25, 40, 50, 60, 75, 90, 100] {
+    let jobs: Vec<u32> = vec![10, 25, 40, 50, 60, 75, 90, 100];
+    let kbps = sweep(&jobs, |&pct| {
         let x = pct as f64 / 100.0;
         let schedule = if pct == 100 {
             ChannelSchedule::single(Channel::CH1)
@@ -46,7 +45,12 @@ fn main() {
             7,
         );
         let result = World::new(world, SpiderDriver::new(cfg)).run();
-        let kbps = result.avg_throughput_bps * 8.0 / 1_000.0;
+        result.avg_throughput_bps * 8.0 / 1_000.0
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (&pct, &kbps) in jobs.iter().zip(&kbps) {
         rows.push(vec![pct as f64, kbps]);
         table.push(vec![format!("{pct}%"), format!("{kbps:.0}")]);
     }

@@ -9,16 +9,15 @@
 
 use spider_bench::{print_table, write_csv};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::indoor_scenario;
 use spider_workloads::World;
 
 fn main() {
     let backhaul = 500_000.0;
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for dwell_ms in [25u64, 50, 75, 100, 150, 200, 300, 400] {
+    let jobs: Vec<u64> = vec![25, 50, 75, 100, 150, 200, 300, 400];
+    let results = sweep(&jobs, |&dwell_ms| {
         let period = SimDuration::from_millis(3 * dwell_ms);
         let schedule = ChannelSchedule::equal(&Channel::ORTHOGONAL, period);
         let cfg = SpiderConfig::for_mode(OperationMode::MultiChannelMultiAp { period }, 1)
@@ -31,12 +30,17 @@ fn main() {
             7,
         );
         let result = World::new(world, SpiderDriver::new(cfg)).run();
-        let kbps = result.avg_throughput_bps * 8.0 / 1_000.0;
-        rows.push(vec![dwell_ms as f64, kbps, result.tcp_timeouts as f64]);
+        (result.avg_throughput_bps * 8.0 / 1_000.0, result.tcp_timeouts)
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (&dwell_ms, &(kbps, timeouts)) in jobs.iter().zip(&results) {
+        rows.push(vec![dwell_ms as f64, kbps, timeouts as f64]);
         table.push(vec![
             format!("{dwell_ms}ms"),
             format!("{kbps:.0}"),
-            format!("{}", result.tcp_timeouts),
+            format!("{timeouts}"),
         ]);
     }
     print_table(

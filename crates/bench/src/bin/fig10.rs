@@ -17,12 +17,15 @@
 use spider_baselines::{StockConfig, StockDriver};
 use spider_bench::{print_table, write_csv};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::lab_scenario;
 use spider_workloads::World;
 
 const RUN: SimDuration = SimDuration::from_secs(60);
+
+/// The measured lab configurations, in column order.
+const KINDS: usize = 4;
 
 fn spider(schedule: ChannelSchedule, max_aps: usize) -> SpiderDriver {
     let mode = OperationMode::MultiChannelMultiAp {
@@ -33,27 +36,23 @@ fn spider(schedule: ChannelSchedule, max_aps: usize) -> SpiderDriver {
     SpiderDriver::new(cfg)
 }
 
-fn main() {
-    // Backhaul sweep: 0.5 - 5 Mb/s per AP, in bytes/second.
-    let backhauls_mbps = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for &mbps in &backhauls_mbps {
-        let bps = mbps * 1e6 / 8.0;
+/// Run lab configuration `kind` at `bps` backhaul; returns KB/s.
+fn run_kind(kind: usize, bps: f64) -> f64 {
+    let result = match kind {
         // One card, stock.
-        let one = World::new(
+        0 => World::new(
             lab_scenario(&[Channel::CH1], bps, RUN, 3),
             StockDriver::new(StockConfig::quickwifi(1)),
         )
-        .run();
+        .run(),
         // Spider, two APs on ch1, all time there.
-        let s100 = World::new(
+        1 => World::new(
             lab_scenario(&[Channel::CH1, Channel::CH1], bps, RUN, 3),
             spider(ChannelSchedule::single(Channel::CH1), 7),
         )
-        .run();
+        .run(),
         // Spider across ch1 + ch11 with 50ms / 100ms dwells.
-        let s50_50 = World::new(
+        2 => World::new(
             lab_scenario(&[Channel::CH1, Channel::CH11], bps, RUN, 3),
             spider(
                 ChannelSchedule::custom(
@@ -63,8 +62,8 @@ fn main() {
                 7,
             ),
         )
-        .run();
-        let s100_100 = World::new(
+        .run(),
+        _ => World::new(
             lab_scenario(&[Channel::CH1, Channel::CH11], bps, RUN, 3),
             spider(
                 ChannelSchedule::custom(
@@ -74,23 +73,35 @@ fn main() {
                 7,
             ),
         )
-        .run();
-        let kb = |r: &spider_workloads::RunResult| r.avg_throughput_bps / 1_000.0;
-        rows.push(vec![
-            mbps,
-            kb(&one),
-            2.0 * kb(&one),
-            kb(&s100),
-            kb(&s50_50),
-            kb(&s100_100),
-        ]);
+        .run(),
+    };
+    result.avg_throughput_bps / 1_000.0
+}
+
+fn main() {
+    // Backhaul sweep: 0.5 - 5 Mb/s per AP, in bytes/second.
+    let backhauls_mbps = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
+    let mut jobs = Vec::new();
+    for &mbps in &backhauls_mbps {
+        for kind in 0..KINDS {
+            jobs.push((mbps, kind));
+        }
+    }
+    let kbs = sweep(&jobs, |&(mbps, kind)| run_kind(kind, mbps * 1e6 / 8.0));
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (b, &mbps) in backhauls_mbps.iter().enumerate() {
+        let at = |kind: usize| kbs[b * KINDS + kind];
+        let (one, s100, s50_50, s100_100) = (at(0), at(1), at(2), at(3));
+        rows.push(vec![mbps, one, 2.0 * one, s100, s50_50, s100_100]);
         table.push(vec![
             format!("{mbps}"),
-            format!("{:.0}", kb(&one)),
-            format!("{:.0}", 2.0 * kb(&one)),
-            format!("{:.0}", kb(&s100)),
-            format!("{:.0}", kb(&s50_50)),
-            format!("{:.0}", kb(&s100_100)),
+            format!("{one:.0}"),
+            format!("{:.0}", 2.0 * one),
+            format!("{s100:.0}"),
+            format!("{s50_50:.0}"),
+            format!("{s100_100:.0}"),
         ]);
     }
     print_table(

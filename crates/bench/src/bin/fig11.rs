@@ -4,8 +4,11 @@
 //! The paper: the longest connections come from staying on one channel
 //! with multiple APs; the multi-channel multi-AP configuration has the
 //! shortest connections (joins on other channels interrupt flows).
+//!
+//! The four runs come from [`StdConfigs::table2`], which fans them out
+//! as one parallel sweep.
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{print_table, write_csv, CdfRow, StdConfigs};
 
 fn main() {
     let probe_s = [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0];
@@ -13,15 +16,13 @@ fn main() {
     let mut table = Vec::new();
     for (label, result) in StdConfigs::table2(1).into_iter().take(4) {
         let mut cdf = result.connection_cdf();
-        let mut cells = vec![label.clone(), format!("{}", cdf.len())];
-        let mut row = vec![label.clone()];
-        for &s in &probe_s {
-            let frac = cdf.fraction_le(s);
-            row.push(format!("{frac:.3}"));
-            cells.push(format!("{frac:.2}"));
-        }
-        cells.push(format!("{:.1}s", cdf.median()));
-        rows.push(row);
+        let row = CdfRow::probe(&mut cdf, &probe_s);
+        let mut cells = vec![label.clone(), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.1}s", row.median));
+        let mut csv = vec![label];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

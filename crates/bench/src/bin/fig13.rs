@@ -4,8 +4,11 @@
 //! The paper: single-channel multi-AP is best (60th pct ≈ 300 KB/s,
 //! 90th ≈ 1000 KB/s); multi-channel multi-AP is strangled by join
 //! overhead on orthogonal channels.
+//!
+//! The four runs come from [`StdConfigs::table2`], which fans them out
+//! as one parallel sweep.
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{cdf_quantiles, print_table, write_csv, StdConfigs};
 
 fn main() {
     let quantiles = [0.1, 0.25, 0.5, 0.6, 0.75, 0.9];
@@ -15,8 +18,7 @@ fn main() {
         let cdf = &mut result.instantaneous_bps;
         let mut cells = vec![label.clone(), format!("{}", cdf.len())];
         let mut row = vec![label.clone()];
-        for &q in &quantiles {
-            let v = cdf.quantile(q) / 1_000.0;
+        for v in cdf_quantiles(cdf, &quantiles, 1.0 / 1_000.0) {
             row.push(format!("{v:.1}"));
             cells.push(format!("{v:.0}"));
         }

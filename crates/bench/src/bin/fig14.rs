@@ -6,30 +6,14 @@
 //! but "the cost of switching among channels overshadows the benefit";
 //! multi-channel joins take ~2x longer.
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, write_csv, town_params, CdfRow};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
-use spider_simcore::{Cdf, SimDuration};
+use spider_simcore::{sweep, Cdf, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
-
-fn join_cdf(multi_channel: bool, mac: ClientMacConfig, dhcp: DhcpClientConfig) -> Cdf {
-    let mut cdf = Cdf::new();
-    for seed in 1..=5u64 {
-        let mode = if multi_channel {
-            OperationMode::MultiChannelMultiAp { period: SimDuration::from_millis(600) }
-        } else {
-            OperationMode::SingleChannelMultiAp(Channel::CH1)
-        };
-        let spider = SpiderConfig::for_mode(mode, 1).with_timeouts(mac.clone(), dhcp.clone());
-        let world = town_scenario(&town_params(seed));
-        let result = World::new(world, SpiderDriver::new(spider)).run();
-        cdf.merge(&result.join_log.join_cdf());
-    }
-    cdf
-}
 
 fn main() {
     let ll = ClientMacConfig::reduced;
@@ -41,20 +25,41 @@ fn main() {
         ("default, 3 channels", true, ClientMacConfig::stock(), DhcpClientConfig::stock()),
         ("200ms, 3 channels", true, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(200))),
     ];
+    let seeds: Vec<u64> = (1..=5).collect();
     let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
+
+    let mut jobs = Vec::new();
+    for (multi, mac, dhcp) in configs.iter().map(|(_, m, mac, dhcp)| (*m, mac, dhcp)) {
+        for &seed in &seeds {
+            jobs.push((multi, mac.clone(), dhcp.clone(), seed));
+        }
+    }
+    let cdfs = sweep(&jobs, |(multi, mac, dhcp, seed)| {
+        let mode = if *multi {
+            OperationMode::MultiChannelMultiAp { period: SimDuration::from_millis(600) }
+        } else {
+            OperationMode::SingleChannelMultiAp(Channel::CH1)
+        };
+        let spider = SpiderConfig::for_mode(mode, 1).with_timeouts(mac.clone(), dhcp.clone());
+        let world = town_scenario(&town_params(*seed));
+        let result = World::new(world, SpiderDriver::new(spider)).run();
+        result.join_log.join_cdf()
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for (label, multi, mac, dhcp) in configs {
-        let mut cdf = join_cdf(multi, mac, dhcp);
-        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
-        let mut row = vec![label.to_string()];
-        for &s in &probe_s {
-            let frac = cdf.fraction_le(s);
-            row.push(format!("{frac:.3}"));
-            cells.push(format!("{frac:.2}"));
+    for (c, (label, ..)) in configs.iter().enumerate() {
+        let mut cdf = Cdf::new();
+        for per_seed in &cdfs[c * seeds.len()..(c + 1) * seeds.len()] {
+            cdf.merge(per_seed);
         }
-        cells.push(format!("{:.2}s", cdf.median()));
-        rows.push(row);
+        let row = CdfRow::probe(&mut cdf, &probe_s);
+        let mut cells = vec![label.to_string(), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.2}s", row.median));
+        let mut csv = vec![label.to_string()];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

@@ -5,24 +5,14 @@
 //! The paper: a single channel with reduced timeouts joins fastest;
 //! splitting time across channels roughly doubles join delay.
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, write_csv, town_params, CdfRow};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
-use spider_simcore::{Cdf, SimDuration};
+use spider_simcore::{sweep, Cdf, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
-
-fn run(cfg: SpiderConfig) -> Cdf {
-    let mut cdf = Cdf::new();
-    for seed in 1..=5u64 {
-        let world = town_scenario(&town_params(seed));
-        let result = World::new(world, SpiderDriver::new(cfg.clone())).run();
-        cdf.merge(&result.join_log.join_cdf());
-    }
-    cdf
-}
 
 fn main() {
     let period = SimDuration::from_millis(600);
@@ -56,20 +46,35 @@ fn main() {
         ("7 ifaces, 3 chans eq, default TO", mk(multi.clone(), stock(), 7)),
         ("7 ifaces, 3 chans eq, dhcp 200ms ll 100ms", mk(multi, reduced(), 7)),
     ];
+    let seeds: Vec<u64> = (1..=5).collect();
     let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
+
+    let mut jobs = Vec::new();
+    for (_, cfg) in &configs {
+        for &seed in &seeds {
+            jobs.push((cfg.clone(), seed));
+        }
+    }
+    let cdfs = sweep(&jobs, |(cfg, seed)| {
+        let world = town_scenario(&town_params(*seed));
+        let result = World::new(world, SpiderDriver::new(cfg.clone())).run();
+        result.join_log.join_cdf()
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for (label, cfg) in configs {
-        let mut cdf = run(cfg);
-        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
-        let mut row = vec![label.to_string()];
-        for &s in &probe_s {
-            let frac = cdf.fraction_le(s);
-            row.push(format!("{frac:.3}"));
-            cells.push(format!("{frac:.2}"));
+    for (c, (label, _)) in configs.iter().enumerate() {
+        let mut cdf = Cdf::new();
+        for per_seed in &cdfs[c * seeds.len()..(c + 1) * seeds.len()] {
+            cdf.merge(per_seed);
         }
-        cells.push(format!("{:.2}s", cdf.median()));
-        rows.push(row);
+        let row = CdfRow::probe(&mut cdf, &probe_s);
+        let mut cells = vec![label.to_string(), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.2}s", row.median));
+        let mut csv = vec![label.to_string()];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

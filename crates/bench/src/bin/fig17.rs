@@ -4,7 +4,7 @@
 //! The paper: "when Spider uses multiple channels and multiple APs, it
 //! experiences disruptions comparable to what real users can sustain."
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{print_table, write_csv, CdfRow, StdConfigs};
 use spider_workloads::meshusers::{generate, MeshUserParams};
 
 fn main() {
@@ -21,15 +21,13 @@ fn main() {
         ("Spider multi-AP (ch1)", &mut ch1),
         ("Spider multi-AP (multi-channel)", &mut multi),
     ] {
-        let mut cells = vec![label.to_string(), format!("{}", cdf.len())];
-        let mut row = vec![label.to_string()];
-        for &s in &probe_s {
-            let frac = cdf.fraction_le(s);
-            row.push(format!("{frac:.3}"));
-            cells.push(format!("{frac:.2}"));
-        }
-        cells.push(format!("{:.1}s", cdf.median()));
-        rows.push(row);
+        let row = CdfRow::probe(cdf, &probe_s);
+        let mut cells = vec![label.to_string(), format!("{}", row.n)];
+        cells.extend(row.table_fractions());
+        cells.push(format!("{:.1}s", row.median));
+        let mut csv = vec![label.to_string()];
+        csv.extend(row.csv_fractions());
+        rows.push(csv);
         table.push(cells);
     }
     print_table(

@@ -11,16 +11,15 @@
 use spider_bench::{print_table, write_csv};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_radio::PhyParams;
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::indoor_scenario;
 use spider_workloads::World;
 
 fn main() {
     let phy = PhyParams::b11();
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for ifaces in 0..=4usize {
+    let jobs: Vec<usize> = (0..=4).collect();
+    let results = sweep(&jobs, |&ifaces| {
         let analytic_ms = phy.switch_latency(ifaces).as_millis_f64();
 
         // Live measurement: N APs on ch1, schedule alternating ch1/ch6;
@@ -43,12 +42,17 @@ fn main() {
             cfg = cfg.with_candidates(vec![]); // join nothing
         }
         let result = World::new(world, SpiderDriver::new(cfg)).run();
+        (analytic_ms, result.switches)
+    });
 
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (&ifaces, &(analytic_ms, switches)) in jobs.iter().zip(&results) {
         rows.push(vec![ifaces as f64, analytic_ms]);
         table.push(vec![
             format!("{ifaces}"),
             format!("{analytic_ms:.3}"),
-            format!("{}", result.switches),
+            format!("{switches}"),
         ]);
     }
     print_table(

@@ -10,27 +10,24 @@ use spider_bench::{print_table, write_csv, StdConfigs};
 use spider_simcore::OnlineStats;
 
 fn main() {
+    // All (row, seed) combinations run as one flat 18-job sweep.
     let seeds = [1u64, 2, 3];
-    let mut agg: Vec<(String, OnlineStats, OnlineStats)> = Vec::new();
-    for &seed in &seeds {
-        for (i, (label, result)) in StdConfigs::table2(seed).into_iter().enumerate() {
-            if agg.len() <= i {
-                agg.push((label, OnlineStats::new(), OnlineStats::new()));
-            }
-            agg[i].1.push(result.throughput_kbs());
-            agg[i].2.push(result.connectivity_pct());
-        }
-    }
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for (label, thr, conn) in &agg {
+    for (label, results) in StdConfigs::table2_seeds(&seeds) {
+        let mut thr = OnlineStats::new();
+        let mut conn = OnlineStats::new();
+        for result in &results {
+            thr.push(result.throughput_kbs());
+            conn.push(result.connectivity_pct());
+        }
         rows.push(vec![
-            format!("{label}"),
+            label.clone(),
             format!("{:.1}", thr.mean()),
             format!("{:.1}", conn.mean()),
         ]);
         table.push(vec![
-            label.clone(),
+            label,
             format!("{:.1} ± {:.1}", thr.mean(), thr.std_dev()),
             format!("{:.1} ± {:.1}", conn.mean(), conn.std_dev()),
         ]);

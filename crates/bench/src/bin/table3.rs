@@ -10,7 +10,7 @@ use spider_bench::{print_table, write_csv, town_params};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
-use spider_simcore::{OnlineStats, SimDuration};
+use spider_simcore::{sweep, OnlineStats, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
@@ -62,25 +62,37 @@ fn main() {
             dhcp: DhcpClientConfig::stock(),
         },
     ];
+    let seeds: Vec<u64> = (1..=5).collect();
+
+    let mut jobs = Vec::new();
+    for cfg in &configs {
+        for &seed in &seeds {
+            jobs.push((cfg.multi_channel, cfg.mac.clone(), cfg.dhcp.clone(), seed));
+        }
+    }
+    let failure_rates = sweep(&jobs, |(multi_channel, mac, dhcp, seed)| {
+        let mode = if *multi_channel {
+            OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            }
+        } else {
+            OperationMode::SingleChannelMultiAp(Channel::CH1)
+        };
+        let spider = SpiderConfig::for_mode(mode, 1).with_timeouts(mac.clone(), dhcp.clone());
+        let world = town_scenario(&town_params(*seed));
+        let result = World::new(world, SpiderDriver::new(spider)).run();
+        result.join_log.dhcp_failure_ratio()
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for cfg in &configs {
+    for (c, cfg) in configs.iter().enumerate() {
         let mut stats = OnlineStats::new();
-        for seed in 1..=5u64 {
-            let mode = if cfg.multi_channel {
-                OperationMode::MultiChannelMultiAp {
-                    period: SimDuration::from_millis(600),
-                }
-            } else {
-                OperationMode::SingleChannelMultiAp(Channel::CH1)
-            };
-            let spider = SpiderConfig::for_mode(mode, 1)
-                .with_timeouts(cfg.mac.clone(), cfg.dhcp.clone());
-            let world = town_scenario(&town_params(seed));
-            let result = World::new(world, SpiderDriver::new(spider)).run();
-            if let Some(rate) = result.join_log.dhcp_failure_ratio() {
-                stats.push(rate * 100.0);
-            }
+        for rate in failure_rates[c * seeds.len()..(c + 1) * seeds.len()]
+            .iter()
+            .flatten()
+        {
+            stats.push(rate * 100.0);
         }
         rows.push(vec![
             cfg.label.to_string(),

@@ -6,7 +6,7 @@
 
 use spider_bench::{print_table, write_csv, town_params};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::{OnlineStats, SimDuration};
+use spider_simcore::{sweep, OnlineStats, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::town_scenario;
 use spider_workloads::World;
@@ -23,23 +23,35 @@ fn main() {
         ("2-channel (equal schedule)", two),
         ("Single-channel", one),
     ];
+    let seeds: Vec<u64> = (1..=3).collect();
+
+    let mut jobs = Vec::new();
+    for (_, schedule) in &configs {
+        for &seed in &seeds {
+            jobs.push((schedule.clone(), seed));
+        }
+    }
+    let results = sweep(&jobs, |(schedule, seed)| {
+        let cfg = SpiderConfig::for_mode(
+            OperationMode::MultiChannelMultiAp {
+                period: schedule.period(),
+            },
+            1,
+        )
+        .with_schedule(schedule.clone());
+        let world = town_scenario(&town_params(*seed));
+        let result = World::new(world, SpiderDriver::new(cfg)).run();
+        (result.throughput_kbs(), result.connectivity_pct())
+    });
+
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for (label, schedule) in configs {
+    for (c, (label, _)) in configs.iter().enumerate() {
         let mut thr = OnlineStats::new();
         let mut conn = OnlineStats::new();
-        for seed in 1..=3u64 {
-            let cfg = SpiderConfig::for_mode(
-                OperationMode::MultiChannelMultiAp {
-                    period: schedule.period(),
-                },
-                1,
-            )
-            .with_schedule(schedule.clone());
-            let world = town_scenario(&town_params(seed));
-            let result = World::new(world, SpiderDriver::new(cfg)).run();
-            thr.push(result.throughput_kbs());
-            conn.push(result.connectivity_pct());
+        for &(kbs, pct) in &results[c * seeds.len()..(c + 1) * seeds.len()] {
+            thr.push(kbs);
+            conn.push(pct);
         }
         rows.push(vec![
             label.to_string(),

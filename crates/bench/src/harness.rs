@@ -10,6 +10,7 @@
 //!
 //! Set `SPIDER_BENCH_FAST=1` to cut sample counts for smoke runs (CI).
 
+use spider_simcore::Cdf;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -50,6 +51,50 @@ impl MicroStats {
 /// Whether the harness should run in smoke mode (fewer samples).
 pub fn is_fast_mode() -> bool {
     std::env::var_os("SPIDER_BENCH_FAST").is_some()
+}
+
+/// One CDF probed at fixed points — the row every CDF figure prints.
+///
+/// Before this existed, each figure binary carried its own copy of the
+/// probe loop, and the copies had drifted: some wrote raw `f64`s to the
+/// CSV and `{:.2}` to the table, others `{:.3}` strings to both. This
+/// is the single convention now: `fraction_le` at each probe, nearest-
+/// rank median, `{:.3}` in CSVs, `{:.2}` in console tables.
+#[derive(Debug, Clone)]
+pub struct CdfRow {
+    /// Sample count behind the CDF.
+    pub n: usize,
+    /// `fraction_le(probe)` for each probe point, in probe order.
+    pub fractions: Vec<f64>,
+    /// Nearest-rank median of the samples (0 when empty).
+    pub median: f64,
+}
+
+impl CdfRow {
+    /// Probe `cdf` at each point of `probes`.
+    pub fn probe(cdf: &mut Cdf, probes: &[f64]) -> CdfRow {
+        CdfRow {
+            n: cdf.len(),
+            fractions: probes.iter().map(|&p| cdf.fraction_le(p)).collect(),
+            median: cdf.median(),
+        }
+    }
+
+    /// The CSV cells for the probed fractions (`{:.3}` each).
+    pub fn csv_fractions(&self) -> Vec<String> {
+        self.fractions.iter().map(|f| format!("{f:.3}")).collect()
+    }
+
+    /// The console-table cells for the probed fractions (`{:.2}` each).
+    pub fn table_fractions(&self) -> Vec<String> {
+        self.fractions.iter().map(|f| format!("{f:.2}")).collect()
+    }
+}
+
+/// Quantiles of a CDF, scaled — the fig-13 style row. Shares the
+/// `Cdf::quantile` convention with everything else in the harness.
+pub fn cdf_quantiles(cdf: &mut Cdf, quantiles: &[f64], scale: f64) -> Vec<f64> {
+    quantiles.iter().map(|&q| cdf.quantile(q) * scale).collect()
 }
 
 /// Time `f`, auto-calibrating the iteration count so each sample runs
@@ -103,6 +148,25 @@ pub fn micro<T>(label: &str, mut f: impl FnMut() -> T) -> MicroStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cdf_row_probes_with_one_convention() {
+        let mut cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        let row = CdfRow::probe(&mut cdf, &[0.5, 2.0, 10.0]);
+        assert_eq!(row.n, 4);
+        assert_eq!(row.fractions, vec![0.0, 0.5, 1.0]);
+        assert_eq!(row.csv_fractions(), vec!["0.000", "0.500", "1.000"]);
+        assert_eq!(row.table_fractions(), vec!["0.00", "0.50", "1.00"]);
+        assert_eq!(row.median, cdf.median());
+    }
+
+    #[test]
+    fn cdf_quantiles_scale() {
+        let mut cdf = Cdf::from_samples(vec![1_000.0, 2_000.0, 3_000.0]);
+        let q = cdf_quantiles(&mut cdf, &[0.5], 1.0 / 1_000.0);
+        assert_eq!(q.len(), 1);
+        assert!((q[0] - cdf.quantile(0.5) / 1_000.0).abs() < 1e-12);
+    }
 
     #[test]
     fn micro_measures_a_trivial_closure() {

@@ -16,6 +16,7 @@ pub mod output;
 pub mod runs;
 pub mod worldbench;
 
+pub use harness::{cdf_quantiles, CdfRow};
 pub use output::{print_table, write_csv, OutDir};
 pub use runs::{
     run_driver, spider_run, town_params, StdConfigs,

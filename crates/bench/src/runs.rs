@@ -3,11 +3,27 @@
 use spider_baselines::{StockConfig, StockDriver};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientSystem;
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::metrics::RunResult;
 use spider_workloads::scenarios::{boston_scenario, town_scenario, ScenarioParams};
 use spider_workloads::{World, WorldConfig};
+
+// Send/Sync audit for the parallel sweep runner: every input a sweep
+// job needs to *build* a world (and every output it hands back) must
+// cross a thread boundary. Spelling the bounds out here turns a lost
+// `Send` — say, an `Rc` slipping into a config — into a compile error
+// at the layer that owns the jobs, not an opaque one inside a closure.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<ScenarioParams>();
+    assert_send_sync::<WorldConfig>();
+    assert_send_sync::<SpiderConfig>();
+    assert_send_sync::<StockConfig>();
+    assert_send_sync::<ChannelSchedule>();
+    assert_send::<RunResult>();
+};
 
 /// Standard town-drive parameters used by the §4 experiments (30-minute
 /// loop drive at 10 m/s through the measured channel mix).
@@ -39,47 +55,89 @@ impl StdConfigs {
         SimDuration::from_millis(600)
     }
 
-    /// Table 2's four Spider rows on the town drive (plus MadWiFi), with
-    /// the Cambridge rows from the Boston scenario.
-    pub fn table2(seed: u64) -> Vec<(String, RunResult)> {
-        let period = Self::period();
-        let mut out = Vec::new();
-        let configs = [
-            (
-                "(1) Channel 1, Multi-AP",
-                OperationMode::SingleChannelMultiAp(Channel::CH1),
-            ),
-            (
-                "(2) Channel 1, Single-AP",
-                OperationMode::SingleChannelSingleAp(Channel::CH1),
-            ),
-            (
-                "(3) Multi-channel, Multi-AP",
-                OperationMode::MultiChannelMultiAp { period },
-            ),
-            (
-                "(4) Multi-channel, Single-AP",
-                OperationMode::MultiChannelSingleAp { period },
-            ),
-        ];
-        for (label, mode) in configs {
-            let world = town_scenario(&town_params(seed));
-            let result = spider_run(world, SpiderConfig::for_mode(mode, 1));
-            out.push((label.to_string(), result));
+    /// Number of rows in [`StdConfigs::table2`].
+    pub const TABLE2_ROWS: usize = 6;
+
+    /// Label of Table 2 row `row` (see [`StdConfigs::table2`]).
+    pub fn table2_label(row: usize) -> &'static str {
+        match row {
+            0 => "(1) Channel 1, Multi-AP",
+            1 => "(2) Channel 1, Single-AP",
+            2 => "(3) Multi-channel, Multi-AP",
+            3 => "(4) Multi-channel, Single-AP",
+            4 => "(2) Channel 6, Single-AP (Cambridge)",
+            5 => "MadWiFi driver",
+            _ => panic!("table2 has {} rows", Self::TABLE2_ROWS),
         }
-        // Cambridge (Boston mix): channel 6 single-AP, the external
-        // validation row.
-        let world = boston_scenario(&town_params(seed));
-        let result = spider_run(
-            world,
-            SpiderConfig::for_mode(OperationMode::SingleChannelSingleAp(Channel::CH6), 1),
-        );
-        out.push(("(2) Channel 6, Single-AP (Cambridge)".to_string(), result));
-        // Stock MadWiFi.
+    }
+
+    /// Run Table 2 row `row` on `seed` — the unit of work the Table 2
+    /// sweeps fan out over.
+    pub fn table2_row(row: usize, seed: u64) -> RunResult {
+        let period = Self::period();
+        let spider_mode = match row {
+            0 => OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1 => OperationMode::SingleChannelSingleAp(Channel::CH1),
+            2 => OperationMode::MultiChannelMultiAp { period },
+            3 => OperationMode::MultiChannelSingleAp { period },
+            // Cambridge (Boston mix): channel 6 single-AP, the external
+            // validation row.
+            4 => {
+                let world = boston_scenario(&town_params(seed));
+                return spider_run(
+                    world,
+                    SpiderConfig::for_mode(
+                        OperationMode::SingleChannelSingleAp(Channel::CH6),
+                        1,
+                    ),
+                );
+            }
+            5 => {
+                let world = town_scenario(&town_params(seed));
+                return run_driver(world, StockDriver::new(StockConfig::stock(1)));
+            }
+            _ => panic!("table2 has {} rows", Self::TABLE2_ROWS),
+        };
         let world = town_scenario(&town_params(seed));
-        let result = run_driver(world, StockDriver::new(StockConfig::stock(1)));
-        out.push(("MadWiFi driver".to_string(), result));
-        out
+        spider_run(world, SpiderConfig::for_mode(spider_mode, 1))
+    }
+
+    /// Table 2's four Spider rows on the town drive (plus MadWiFi), with
+    /// the Cambridge rows from the Boston scenario. Rows run as one
+    /// parallel sweep; the returned order is always the row order.
+    pub fn table2(seed: u64) -> Vec<(String, RunResult)> {
+        let jobs: Vec<usize> = (0..Self::TABLE2_ROWS).collect();
+        let results = sweep(&jobs, |&row| Self::table2_row(row, seed));
+        jobs.iter()
+            .zip(results)
+            .map(|(&row, result)| (Self::table2_label(row).to_string(), result))
+            .collect()
+    }
+
+    /// [`StdConfigs::table2`] across several seeds as one flat sweep:
+    /// one entry per row, carrying that row's per-seed results in seed
+    /// order.
+    pub fn table2_seeds(seeds: &[u64]) -> Vec<(String, Vec<RunResult>)> {
+        let jobs: Vec<(usize, u64)> = seeds
+            .iter()
+            .flat_map(|&seed| (0..Self::TABLE2_ROWS).map(move |row| (row, seed)))
+            .collect();
+        let mut results: Vec<Option<RunResult>> = sweep(&jobs, |&(row, seed)| Self::table2_row(row, seed))
+            .into_iter()
+            .map(Some)
+            .collect();
+        (0..Self::TABLE2_ROWS)
+            .map(|row| {
+                let per_seed = (0..seeds.len())
+                    .map(|s| {
+                        results[s * Self::TABLE2_ROWS + row]
+                            .take()
+                            .expect("each (row, seed) job runs exactly once")
+                    })
+                    .collect();
+                (Self::table2_label(row).to_string(), per_seed)
+            })
+            .collect()
     }
 
     /// A Spider run on the town drive with an arbitrary channel schedule
@@ -119,6 +177,17 @@ impl StdConfigs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table2_labels_cover_every_row() {
+        let labels: Vec<&str> = (0..StdConfigs::TABLE2_ROWS)
+            .map(StdConfigs::table2_label)
+            .collect();
+        assert_eq!(labels.len(), 6);
+        assert!(labels[0].contains("Multi-AP"));
+        assert!(labels[4].contains("Cambridge"));
+        assert!(labels[5].contains("MadWiFi"));
+    }
 
     #[test]
     fn f6_schedule_fractions() {

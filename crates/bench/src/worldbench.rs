@@ -17,8 +17,9 @@
 //! `--check` mode of the `bench_world` binary compares fresh
 //! events/sec against the checked-in JSON and fails on a >2x drop.
 
+use crate::runs::StdConfigs;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::SimDuration;
+use spider_simcore::{sweep_with, worker_count, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_workloads::{FaultPlan, FaultProfile, World};
@@ -146,8 +147,77 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
 /// Kept in the JSON so the speedup claim travels with the numbers.
 pub const PRE_PR_DENSE_EVENTS_PER_SEC: f64 = 2_489_000.0;
 
-/// Render the results as the `BENCH_world.json` document.
-pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
+/// Measured outcome of the sweep-runner suite benchmark: the same
+/// batch of experiment jobs timed serially and with the sweep's worker
+/// pool.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Number of independent experiment jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads used for the parallel leg.
+    pub workers: usize,
+    /// Wall-clock seconds for the serial leg (`sweep_with(.., 1)`).
+    pub serial_wall_secs: f64,
+    /// Wall-clock seconds for the parallel leg.
+    pub parallel_wall_secs: f64,
+}
+
+impl SuiteResult {
+    /// Serial / parallel wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_secs / self.parallel_wall_secs.max(1e-9)
+    }
+}
+
+/// Benchmark the sweep runner on a representative slice of the
+/// experiment suite: Table 2's six configurations across three seeds
+/// (one seed in fast mode), i.e. real 30-minute `World` drives, not a
+/// synthetic load. Runs the identical batch twice — once pinned to one
+/// worker, once with [`worker_count`] workers — and asserts the
+/// results are identical, which is the sweep's determinism contract
+/// measured on the real workload.
+pub fn run_suite_bench(fast: bool) -> SuiteResult {
+    let seeds: &[u64] = if fast { &[1] } else { &[1, 2, 3] };
+    let mut jobs = Vec::new();
+    for &seed in seeds {
+        for row in 0..StdConfigs::TABLE2_ROWS {
+            jobs.push((row, seed));
+        }
+    }
+    let run = |&(row, seed): &(usize, u64)| StdConfigs::table2_row(row, seed);
+
+    let t = Instant::now();
+    let serial = sweep_with(&jobs, run, 1);
+    let serial_wall_secs = t.elapsed().as_secs_f64();
+
+    let workers = worker_count();
+    let t = Instant::now();
+    let parallel = sweep_with(&jobs, run, workers);
+    let parallel_wall_secs = t.elapsed().as_secs_f64();
+
+    let anchor = |rs: &[spider_workloads::RunResult]| -> Vec<(u64, u64)> {
+        rs.iter().map(|r| (r.events, r.bytes)).collect()
+    };
+    assert_eq!(
+        anchor(&serial),
+        anchor(&parallel),
+        "suite bench: parallel sweep diverged from the serial run"
+    );
+
+    SuiteResult {
+        jobs: jobs.len(),
+        workers,
+        serial_wall_secs,
+        parallel_wall_secs,
+    }
+}
+
+/// Render the results as the `BENCH_world.json` document. The engine
+/// scenarios are always single-threaded; `suite`, when present, adds a
+/// section for the parallel sweep runner. Its keys are deliberately
+/// distinct from the per-scenario `name`/`events_per_sec` keys so the
+/// line-oriented `--check` parser never sees them.
+pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResult>) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
     s.push_str("  \"bench\": \"world\",\n");
@@ -174,7 +244,27 @@ pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
         s.push_str(&format!("      \"bytes\": {}\n", r.bytes));
         s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
     }
-    s.push_str("  ]\n");
+    if let Some(suite) = suite {
+        s.push_str("  ],\n");
+        s.push_str("  \"suite\": {\n");
+        s.push_str(
+            "    \"note\": \"sweep runner on Table 2 drives: identical batch, 1 worker vs the pool\",\n",
+        );
+        s.push_str(&format!("    \"experiment_jobs\": {},\n", suite.jobs));
+        s.push_str(&format!("    \"workers\": {},\n", suite.workers));
+        s.push_str(&format!(
+            "    \"serial_wall_seconds\": {:.4},\n",
+            suite.serial_wall_secs
+        ));
+        s.push_str(&format!(
+            "    \"parallel_wall_seconds\": {:.4},\n",
+            suite.parallel_wall_secs
+        ));
+        s.push_str(&format!("    \"parallel_speedup\": {:.2}\n", suite.speedup()));
+        s.push_str("  }\n");
+    } else {
+        s.push_str("  ]\n");
+    }
     s.push_str("}\n");
     s
 }
@@ -241,7 +331,7 @@ mod tests {
     #[test]
     fn json_roundtrips_through_the_check_parser() {
         let results = vec![result("sparse_commute", 1_500_000.0), result("dense_downtown", 9_000_000.5)];
-        let json = to_json("full", &results);
+        let json = to_json("full", &results, None);
         let parsed = parse_events_per_sec(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "sparse_commute");
@@ -251,8 +341,26 @@ mod tests {
     }
 
     #[test]
+    fn suite_section_is_rendered_and_invisible_to_the_check_parser() {
+        let suite = SuiteResult {
+            jobs: 18,
+            workers: 4,
+            serial_wall_secs: 12.0,
+            parallel_wall_secs: 3.0,
+        };
+        assert!((suite.speedup() - 4.0).abs() < 1e-9);
+        let results = vec![result("sparse_commute", 1_500_000.0)];
+        let json = to_json("full", &results, Some(&suite));
+        assert!(json.contains("\"experiment_jobs\": 18"));
+        assert!(json.contains("\"parallel_speedup\": 4.00"));
+        // The regression-gate parser must see exactly the scenarios,
+        // with or without the suite section.
+        assert_eq!(parse_events_per_sec(&json), parse_events_per_sec(&to_json("full", &results, None)));
+    }
+
+    #[test]
     fn regression_gate_fires_only_past_the_factor() {
-        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)]);
+        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)], None);
         // 2x slower exactly: passes (gate is strict >2x).
         assert!(check_regressions(&baseline, &[result("dense_downtown", 4_000_000.0)]).is_empty());
         // Slightly worse than 2x: fails.

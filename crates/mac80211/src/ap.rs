@@ -14,7 +14,7 @@
 //! `bufferable = false` in [`ApMac::enqueue_downlink`].
 
 use spider_simcore::{FxHashMap, SimDuration, SimTime};
-use spider_wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, SharedFrame, Ssid};
+use spider_wire::{AirFrame, Channel, Frame, FrameBody, Ipv4Packet, MacAddr, SharedFrame, Ssid};
 use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -64,11 +64,12 @@ struct ClientState {
 /// Events produced by the AP MAC.
 #[derive(Debug, Clone)]
 pub enum ApEvent {
-    /// Transmit this frame on the AP's channel. Shared so the beacon —
-    /// the overwhelmingly most common frame an AP emits — is minted once
-    /// per AP and re-sent as a refcount bump, and so the simulation can
-    /// fan the frame out to receivers without re-wrapping it.
-    Send(SharedFrame),
+    /// Transmit this frame on the AP's channel. The beacon — the
+    /// overwhelmingly most common frame an AP emits — is minted once per
+    /// AP and re-sent as a refcount bump ([`AirFrame::Shared`]); unicast
+    /// responses and data frames ride inline ([`AirFrame::Owned`]),
+    /// skipping the `Arc` round trip since they have one recipient.
+    Send(AirFrame),
     /// A client completed association.
     ClientAssociated(MacAddr),
     /// A client was removed (deauth or eviction).
@@ -177,7 +178,7 @@ impl ApMac {
     /// scratch `Vec` across those calls keeps the hot loop allocation-free.
     pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<ApEvent>) {
         while self.next_beacon <= now {
-            out.push(ApEvent::Send(Arc::clone(&self.beacon)));
+            out.push(ApEvent::Send(AirFrame::Shared(Arc::clone(&self.beacon))));
             self.next_beacon += self.cfg.beacon_interval;
         }
     }
@@ -198,7 +199,7 @@ impl ApMac {
                     .map(|s| *s == self.cfg.ssid)
                     .unwrap_or(true);
                 if matches {
-                    out.push(ApEvent::Send(Arc::new(Frame {
+                    out.push(ApEvent::Send(AirFrame::owned(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
@@ -211,7 +212,7 @@ impl ApMac {
             }
             FrameBody::AuthRequest
                 if frame.dst == self.cfg.bssid => {
-                    out.push(ApEvent::Send(Arc::new(Frame {
+                    out.push(ApEvent::Send(AirFrame::owned(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
@@ -225,7 +226,7 @@ impl ApMac {
                 let full =
                     self.clients.len() >= self.cfg.max_clients && !self.clients.contains_key(&frame.src);
                 if full {
-                    out.push(ApEvent::Send(Arc::new(Frame {
+                    out.push(ApEvent::Send(AirFrame::owned(Frame {
                         src: self.cfg.bssid,
                         dst: frame.src,
                         bssid: self.cfg.bssid,
@@ -247,7 +248,7 @@ impl ApMac {
                         aid
                     }
                 };
-                out.push(ApEvent::Send(Arc::new(Frame {
+                out.push(ApEvent::Send(AirFrame::owned(Frame {
                     src: self.cfg.bssid,
                     dst: frame.src,
                     bssid: self.cfg.bssid,
@@ -341,7 +342,7 @@ impl ApMac {
             }
             st.buffer.push_back((now, frame));
         } else {
-            out.push(ApEvent::Send(Arc::new(frame)));
+            out.push(ApEvent::Send(AirFrame::owned(frame)));
         }
     }
 
@@ -357,7 +358,7 @@ impl ApMac {
     pub fn evict(&mut self, mac: MacAddr) -> Vec<ApEvent> {
         if self.clients.remove(&mac).is_some() {
             vec![
-                ApEvent::Send(Arc::new(Frame {
+                ApEvent::Send(AirFrame::owned(Frame {
                     src: self.cfg.bssid,
                     dst: mac,
                     bssid: self.cfg.bssid,
@@ -387,7 +388,7 @@ impl ApMac {
             if let FrameBody::Data { more_data, .. } = &mut frame.body {
                 *more_data = idx < total;
             }
-            out.push(ApEvent::Send(Arc::new(frame)));
+            out.push(ApEvent::Send(AirFrame::owned(frame)));
         }
     }
 }

@@ -21,18 +21,20 @@
 
 use crate::stats::JoinLog;
 use spider_simcore::SimTime;
-use spider_wire::{Channel, Frame, SharedFrame};
+use spider_wire::{Channel, Frame};
 
 /// A frame as received by the client radio.
 ///
-/// The frame itself is a [`SharedFrame`]: a broadcast delivered to many
-/// stations hands each receiver the same `Arc`'d frame, so fan-out costs
-/// a refcount bump per recipient instead of a deep clone. Receivers only
-/// read the frame, which shared access enforces.
+/// The frame is borrowed from the delivering air event: a broadcast
+/// delivered to many stations hands each receiver a view of the same
+/// `Arc`'d frame, and a unicast frame is read straight out of its boxed
+/// event payload — neither path clones the payload or touches a
+/// refcount at delivery time. Receivers only read the frame, which
+/// shared access enforces.
 #[derive(Debug, Clone)]
-pub struct RxFrame {
+pub struct RxFrame<'a> {
     /// The frame.
-    pub frame: SharedFrame,
+    pub frame: &'a Frame,
     /// Channel it was received on.
     pub channel: Channel,
     /// Received signal strength, attached only to the frames that carry
@@ -42,6 +44,32 @@ pub struct RxFrame {
     /// log-distance RSSI computation is too expensive to run for every
     /// TCP segment in a dense cell.
     pub rssi_dbm: Option<f64>,
+}
+
+/// An owned frame + reception metadata that lends out [`RxFrame`] views.
+///
+/// Production delivery borrows frames straight out of air-event payloads;
+/// tests and other callers that build frames on the spot park them here
+/// and call [`RxBuf::rx`].
+#[derive(Debug, Clone)]
+pub struct RxBuf {
+    /// The frame.
+    pub frame: Frame,
+    /// Channel it was received on.
+    pub channel: Channel,
+    /// Received signal strength (see [`RxFrame::rssi_dbm`]).
+    pub rssi_dbm: Option<f64>,
+}
+
+impl RxBuf {
+    /// Borrow this buffer as the [`RxFrame`] a client system receives.
+    pub fn rx(&self) -> RxFrame<'_> {
+        RxFrame {
+            frame: &self.frame,
+            channel: self.channel,
+            rssi_dbm: self.rssi_dbm,
+        }
+    }
 }
 
 /// An action requested by the client system.
@@ -90,11 +118,11 @@ pub trait ClientSystem {
     /// [`next_wakeup`](Self::next_wakeup)). Beacons dominate the event
     /// stream in dense deployments, and the world uses this guarantee to
     /// skip its per-event client inspection for them.
-    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, out: &mut Vec<DriverAction>);
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, out: &mut Vec<DriverAction>);
 
     /// Allocating convenience wrapper around
     /// [`on_frame_into`](Self::on_frame_into) (tests and cold paths).
-    fn on_frame(&mut self, now: SimTime, rx: &RxFrame) -> Vec<DriverAction> {
+    fn on_frame(&mut self, now: SimTime, rx: &RxFrame<'_>) -> Vec<DriverAction> {
         let mut out = Vec::new();
         self.on_frame_into(now, rx, &mut out);
         out

@@ -23,5 +23,5 @@ pub mod stats;
 
 pub use ap::{ApConfig, ApEvent, ApMac};
 pub use client::{ApTarget, AssocState, ClientMacConfig, InterfaceMac, MacEvent};
-pub use driver::{ClientObservation, ClientSystem, DriverAction, RxFrame};
+pub use driver::{ClientObservation, ClientSystem, DriverAction, RxBuf, RxFrame};
 pub use stats::JoinLog;

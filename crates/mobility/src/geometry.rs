@@ -22,7 +22,14 @@ impl Position {
 
     /// Euclidean distance to another position.
     pub fn distance_to(&self, other: Position) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+        self.distance_sq_to(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another position. Range checks and
+    /// the flat region of the loss model compare against squared bounds,
+    /// skipping the `sqrt` on the per-frame hot path.
+    pub fn distance_sq_to(&self, other: Position) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
     }
 
     /// Vector length.

@@ -26,5 +26,5 @@ pub mod radio;
 pub use loss::LossModel;
 pub use medium::ChannelMedium;
 pub use phy::PhyParams;
-pub use propagation::Propagation;
+pub use propagation::{fast_log10, Propagation};
 pub use radio::{Radio, RadioState};

@@ -58,6 +58,29 @@ impl LossModel {
         }
     }
 
+    /// Loss probability from a *squared* distance, skipping the `sqrt`
+    /// whenever the answer doesn't depend on the exact distance: the
+    /// `None` and `Bernoulli` models are distance-independent, and the
+    /// ramp model is flat (`base`) inside `edge_start × range`, so only
+    /// frames in the edge band — a minority in any dense deployment —
+    /// pay for a root. Agrees with [`LossModel::loss_probability`]
+    /// everywhere except possible 1-ulp boundary flips from comparing
+    /// `d² ≤ start²` instead of `d ≤ start`.
+    pub fn loss_probability_sq(&self, distance_sq_m2: f64, range_m: f64) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { h } => h.clamp(0.0, 1.0),
+            LossModel::DistanceRamp { base, edge_start } => {
+                let start = (edge_start.clamp(0.0, 1.0)) * range_m;
+                if distance_sq_m2 <= start * start {
+                    base.clamp(0.0, 1.0)
+                } else {
+                    self.loss_probability(distance_sq_m2.sqrt(), range_m)
+                }
+            }
+        }
+    }
+
     /// Sample whether a frame at `distance_m` is lost.
     pub fn is_lost(&self, rng: &mut SimRng, distance_m: f64, range_m: f64) -> bool {
         rng.chance(self.loss_probability(distance_m, range_m))
@@ -89,6 +112,28 @@ mod tests {
         let lost = (0..n).filter(|_| m.is_lost(&mut rng, 50.0, 100.0)).count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.10).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn squared_path_matches_linear_path() {
+        let models = [
+            LossModel::None,
+            LossModel::Bernoulli { h: 0.1 },
+            LossModel::DistanceRamp {
+                base: 0.05,
+                edge_start: 0.7,
+            },
+        ];
+        for m in &models {
+            for d in [0.0, 10.0, 69.9, 70.0, 70.1, 85.0, 99.0, 100.0, 140.0] {
+                let direct = m.loss_probability(d, 100.0);
+                let squared = m.loss_probability_sq(d * d, 100.0);
+                assert!(
+                    (direct - squared).abs() < 1e-12,
+                    "{m:?} at {d}: {direct} vs {squared}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod event;
 pub mod hashing;
 pub mod rng;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 
 pub use bucket::TokenBucket;
@@ -29,4 +30,5 @@ pub use event::{EventQueue, ScheduledEvent};
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use stats::{Cdf, IntervalReport, IntervalTracker, OnlineStats, RateMeter};
+pub use sweep::{sweep, sweep_with, worker_count};
 pub use time::{SimDuration, SimTime};

@@ -134,7 +134,7 @@ impl ClientSystem for AdaptiveSpider {
         format!("Adaptive[{}]", self.inner.label())
     }
 
-    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, out: &mut Vec<DriverAction>) {
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, out: &mut Vec<DriverAction>) {
         self.inner.on_frame_into(now, rx, out);
     }
 

@@ -431,7 +431,7 @@ impl ClientSystem for SpiderDriver {
         )
     }
 
-    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame, actions: &mut Vec<DriverAction>) {
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, actions: &mut Vec<DriverAction>) {
         // Opportunistic scanning: absorb any beacon / probe response we
         // overhear, whether or not it was addressed to us.
         match &rx.frame.body {
@@ -465,7 +465,7 @@ impl ClientSystem for SpiderDriver {
         };
         if let Some(idx) = idx {
             let mut log = std::mem::take(&mut self.log);
-            let evs = self.ifaces[idx].on_frame(now, &rx.frame, &mut log);
+            let evs = self.ifaces[idx].on_frame(now, rx.frame, &mut log);
             self.log = log;
             self.absorb(now, idx, evs, actions);
             // Flush any transmissions unlocked by the state change (e.g.
@@ -616,14 +616,15 @@ impl ClientSystem for SpiderDriver {
 mod tests {
     use super::*;
     use crate::config::OperationMode;
+    use spider_mac80211::RxBuf;
     use spider_wire::Ssid;
 
     fn driver(mode: OperationMode) -> SpiderDriver {
         SpiderDriver::new(SpiderConfig::for_mode(mode, 1))
     }
 
-    fn beacon(ap_id: u64, ch: Channel) -> RxFrame {
-        RxFrame {
+    fn beacon(ap_id: u64, ch: Channel) -> RxBuf {
+        RxBuf {
             frame: Frame {
                 src: MacAddr::from_id(ap_id),
                 dst: MacAddr::BROADCAST,
@@ -633,8 +634,7 @@ mod tests {
                     channel: ch,
                     interval: SimDuration::from_micros(102_400),
                 },
-            }
-            .into(),
+            },
             channel: ch,
             rssi_dbm: Some(-60.0),
         }
@@ -666,7 +666,7 @@ mod tests {
     fn downed_ap_is_blacklisted_until_backoff_expires() {
         let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH6));
         let bssid = MacAddr::from_id(7);
-        d.on_frame(SimTime::ZERO, &beacon(7, Channel::CH6));
+        d.on_frame(SimTime::ZERO, &beacon(7, Channel::CH6).rx());
         let mut actions = Vec::new();
         d.absorb(
             SimTime::from_millis(10),
@@ -747,7 +747,7 @@ mod tests {
     fn beacon_triggers_join_on_scheduled_channel() {
         let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
         let t = SimTime::from_millis(10);
-        let actions = d.on_frame(t, &beacon(100, Channel::CH1));
+        let actions = d.on_frame(t, &beacon(100, Channel::CH1).rx());
         // Selection happens on the housekeeping tick.
         let actions2 = d.poll(SimTime::from_millis(100));
         let all: Vec<&DriverAction> = actions.iter().chain(actions2.iter()).collect();
@@ -761,7 +761,7 @@ mod tests {
     #[test]
     fn off_schedule_channel_aps_are_ignored() {
         let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
-        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH11));
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH11).rx());
         let actions = d.poll(SimTime::from_millis(100));
         assert!(actions
             .iter()
@@ -772,8 +772,8 @@ mod tests {
     #[test]
     fn single_ap_mode_joins_at_most_one() {
         let mut d = driver(OperationMode::SingleChannelSingleAp(Channel::CH1));
-        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1));
-        d.on_frame(SimTime::from_millis(11), &beacon(101, Channel::CH1));
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1).rx());
+        d.on_frame(SimTime::from_millis(11), &beacon(101, Channel::CH1).rx());
         let actions = d.poll(SimTime::from_millis(100));
         let auth_targets: Vec<MacAddr> = actions
             .iter()
@@ -793,7 +793,7 @@ mod tests {
     fn multi_ap_mode_joins_several() {
         let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
         for ap in 0..4 {
-            d.on_frame(SimTime::from_millis(10 + ap), &beacon(100 + ap, Channel::CH1));
+            d.on_frame(SimTime::from_millis(10 + ap), &beacon(100 + ap, Channel::CH1).rx());
         }
         let actions = d.poll(SimTime::from_millis(100));
         let auth_targets: std::collections::HashSet<MacAddr> = actions
@@ -815,36 +815,34 @@ mod tests {
         let mut d = driver(OperationMode::MultiChannelMultiAp {
             period: SimDuration::from_millis(600),
         });
-        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1));
+        d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1).rx());
         let actions = d.poll(SimTime::from_millis(50));
         // The join begins (auth request).
         assert!(actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
             if matches!(frame.body, FrameBody::AuthRequest))));
         // Answer auth + assoc so the iface is associated.
-        let auth_ok = RxFrame {
+        let auth_ok = RxBuf {
             frame: Frame {
                 src: MacAddr::from_id(100),
                 dst: MacAddr::from_id(1_001),
                 bssid: MacAddr::from_id(100),
                 body: FrameBody::AuthResponse { ok: true },
-            }
-            .into(),
+            },
             channel: Channel::CH1,
             rssi_dbm: Some(-60.0),
         };
-        d.on_frame(SimTime::from_millis(60), &auth_ok);
-        let assoc_ok = RxFrame {
+        d.on_frame(SimTime::from_millis(60), &auth_ok.rx());
+        let assoc_ok = RxBuf {
             frame: Frame {
                 src: MacAddr::from_id(100),
                 dst: MacAddr::from_id(1_001),
                 bssid: MacAddr::from_id(100),
                 body: FrameBody::AssocResponse { ok: true, aid: 1 },
-            }
-            .into(),
+            },
             channel: Channel::CH1,
             rssi_dbm: Some(-60.0),
         };
-        d.on_frame(SimTime::from_millis(70), &assoc_ok);
+        d.on_frame(SimTime::from_millis(70), &assoc_ok.rx());
         assert_eq!(d.associated_count(), 1);
         // At the boundary the driver parks the AP before switching.
         let actions = d.poll(SimTime::from_millis(200));

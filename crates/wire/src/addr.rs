@@ -87,6 +87,10 @@ impl fmt::Display for Ipv4Addr {
 /// probe response the simulated air carries, so cloning one must be a
 /// reference-count bump, not a heap copy. The name is immutable after
 /// construction, which is exactly what `Arc<str>` models.
+// The manual `PartialEq` below short-circuits on pointer identity but
+// falls back to byte equality, so it agrees with the derived `Hash`
+// (which hashes the bytes): equal values always hash alike.
+#[allow(clippy::derived_hash_with_manual_eq)]
 #[derive(Debug, Clone, Eq, Hash)]
 pub struct Ssid(Arc<str>);
 

@@ -101,6 +101,52 @@ pub enum FrameBody {
 /// frames, so shared immutable access is exactly the right model.
 pub type SharedFrame = std::sync::Arc<Frame>;
 
+/// A frame travelling through the air as a simulation event payload.
+///
+/// Broadcast fan-out (beacons, broadcast probes) mints one [`SharedFrame`]
+/// and hands each recipient a reference-count bump. Unicast traffic has
+/// exactly one recipient, so the `Arc` round trip (allocate refcount
+/// block, bump, drop) is pure overhead on the data-frame hot path —
+/// those frames ride inline as a `Box` instead. The box keeps the event
+/// payload pointer-sized either way (the event queue copies its elements
+/// around, so bulky payloads stay boxed — see `workloads::world::Ev`).
+#[derive(Debug, Clone)]
+pub enum AirFrame {
+    /// One frame delivered to many stations (broadcast fan-out).
+    Shared(SharedFrame),
+    /// One frame delivered to exactly one station (unicast).
+    Owned(Box<Frame>),
+}
+
+impl AirFrame {
+    /// Wrap a frame for single-recipient delivery.
+    pub fn owned(frame: Frame) -> Self {
+        AirFrame::Owned(Box::new(frame))
+    }
+}
+
+impl std::ops::Deref for AirFrame {
+    type Target = Frame;
+    fn deref(&self) -> &Frame {
+        match self {
+            AirFrame::Shared(f) => f,
+            AirFrame::Owned(f) => f,
+        }
+    }
+}
+
+impl From<SharedFrame> for AirFrame {
+    fn from(f: SharedFrame) -> Self {
+        AirFrame::Shared(f)
+    }
+}
+
+impl From<Frame> for AirFrame {
+    fn from(f: Frame) -> Self {
+        AirFrame::owned(f)
+    }
+}
+
 /// A full 802.11 frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {

@@ -31,7 +31,7 @@ pub mod tcp;
 pub use addr::{Ipv4Addr, MacAddr, Ssid};
 pub use channel::Channel;
 pub use dhcp::{DhcpMessage, DhcpOp};
-pub use frame::{Frame, FrameBody, FrameKind, SharedFrame};
+pub use frame::{AirFrame, Frame, FrameBody, FrameKind, SharedFrame};
 pub use icmp::IcmpMessage;
 pub use ip::{Ipv4Packet, L4};
 pub use tcp::{TcpFlags, TcpSegment};

@@ -23,8 +23,8 @@ use spider_simcore::IntervalTracker;
 use spider_tcpsim::{TcpConfig, TcpSender, TcpSenderState};
 use spider_wire::ip::L4;
 use spider_wire::{
-    Channel, DhcpMessage, DhcpOp, Frame, FrameBody, FrameKind, Ipv4Addr, Ipv4Packet, MacAddr,
-    SharedFrame, TcpSegment,
+    AirFrame, Channel, DhcpMessage, DhcpOp, Frame, FrameBody, FrameKind, Ipv4Addr, Ipv4Packet,
+    MacAddr, SharedFrame, TcpSegment,
 };
 
 use std::sync::Arc;
@@ -110,10 +110,11 @@ enum Ev {
     SwitchDone(Channel),
     /// A frame arrives at the client antenna.
     AirToClient {
-        /// The frame, shared with every other in-flight copy: a
-        /// broadcast fan-out enqueues N refcount bumps, not N clones,
-        /// and the event payload stays pointer-sized on the heap.
-        frame: SharedFrame,
+        /// The frame. A broadcast fan-out enqueues N refcount bumps of
+        /// one shared copy, a unicast frame rides inline in its own box
+        /// ([`AirFrame`]); the event payload stays pointer-sized on the
+        /// heap either way.
+        frame: AirFrame,
         /// Channel it was sent on.
         channel: Channel,
         /// Transmitting AP (for RSSI computation).
@@ -123,8 +124,8 @@ enum Ev {
     AirToAp {
         /// Receiving AP index.
         ap: usize,
-        /// The frame (shared, see [`Ev::AirToClient`]).
-        frame: SharedFrame,
+        /// The frame (shared or inline, see [`Ev::AirToClient`]).
+        frame: AirFrame,
     },
     /// An uplink packet reached AP `ap`'s wired server.
     ServerRx {
@@ -345,6 +346,10 @@ impl<C: ClientSystem> World<C> {
         self.client_pos(now).distance_to(self.aps[ap].position)
     }
 
+    fn distance_sq_to_ap(&self, now: SimTime, ap: usize) -> f64 {
+        self.client_pos(now).distance_sq_to(self.aps[ap].position)
+    }
+
     /// Run the simulation to completion and produce the result.
     pub fn run(self) -> RunResult {
         self.run_with().0
@@ -501,7 +506,7 @@ impl<C: ClientSystem> World<C> {
                         .rssi_dbm(self.distance_to_ap(now, ap))
                 });
                 let rx = RxFrame {
-                    frame,
+                    frame: &frame,
                     channel,
                     rssi_dbm: rssi,
                 };
@@ -595,7 +600,11 @@ impl<C: ClientSystem> World<C> {
                 self.aps[i].mac.resync_beacons(now);
                 self.schedule_ap_wake(now, i, now);
             }
-            if pos.distance_to(self.aps[i].position) <= self.cfg.propagation.range_m {
+            if self
+                .cfg
+                .propagation
+                .in_range_sq(pos.distance_sq_to(self.aps[i].position))
+            {
                 self.encountered.insert(i);
             }
         }
@@ -825,8 +834,15 @@ impl<C: ClientSystem> World<C> {
                 }
             }
         }
-        // Wrap the frame once; each recipient shares it.
-        let frame: SharedFrame = Arc::new(frame);
+        // Broadcast wraps the frame once and each recipient shares it;
+        // unicast has exactly one recipient, so the frame rides inline
+        // (and a lost frame never touches the heap at all).
+        let mut frame = Some(frame);
+        let shared: Option<SharedFrame> = if broadcast {
+            Some(Arc::new(frame.take().expect("frame unmoved")))
+        } else {
+            None
+        };
         let mut extra_airtime = 0.0f64;
         for &i in &targets {
             if self.findex.blackout(start, i) {
@@ -834,14 +850,16 @@ impl<C: ClientSystem> World<C> {
                 self.fstats.frames_dropped_blackout += 1;
                 continue;
             }
-            let d = pos.distance_to(self.aps[i].position);
-            if !self.cfg.propagation.in_range(d) {
+            // Squared distance everywhere: the disk test and the flat
+            // region of the loss model never need the root.
+            let d2 = pos.distance_sq_to(self.aps[i].position);
+            if !self.cfg.propagation.in_range_sq(d2) {
                 continue;
             }
             let mut p = self
                 .cfg
                 .loss
-                .loss_probability(d, self.cfg.propagation.range_m);
+                .loss_probability_sq(d2, self.cfg.propagation.range_m);
             let burst = self.findex.extra_loss(start, i);
             if burst > 0.0 {
                 p = 1.0 - (1.0 - p) * (1.0 - burst);
@@ -856,13 +874,11 @@ impl<C: ClientSystem> World<C> {
             if !delivered {
                 continue;
             }
-            self.queue.schedule(
-                end,
-                Ev::AirToAp {
-                    ap: i,
-                    frame: Arc::clone(&frame),
-                },
-            );
+            let payload = match &shared {
+                Some(s) => AirFrame::Shared(Arc::clone(s)),
+                None => AirFrame::owned(frame.take().expect("unicast delivers at most once")),
+            };
+            self.queue.schedule(end, Ev::AirToAp { ap: i, frame: payload });
         }
         self.targets_scratch = targets;
         if extra_airtime > 0.0 {
@@ -872,7 +888,7 @@ impl<C: ClientSystem> World<C> {
         }
     }
 
-    fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: SharedFrame) {
+    fn transmit_from_ap(&mut self, now: SimTime, ap: usize, frame: AirFrame) {
         if self.findex.blackout(now, ap) {
             // A powered-off AP transmits nothing (beacons included).
             self.fstats.frames_dropped_blackout += 1;
@@ -881,14 +897,14 @@ impl<C: ClientSystem> World<C> {
         let airtime = self.airtime(&frame);
         let ch = self.aps[ap].channel;
         let (start, end) = self.medium.reserve(now, ch, airtime);
-        let d = self.distance_to_ap(start, ap);
-        if !self.cfg.propagation.in_range(d) {
+        let d2 = self.distance_sq_to_ap(start, ap);
+        if !self.cfg.propagation.in_range_sq(d2) {
             return;
         }
         let mut p = self
             .cfg
             .loss
-            .loss_probability(d, self.cfg.propagation.range_m);
+            .loss_probability_sq(d2, self.cfg.propagation.range_m);
         let burst = self.findex.extra_loss(start, ap);
         if burst > 0.0 {
             p = 1.0 - (1.0 - p) * (1.0 - burst);

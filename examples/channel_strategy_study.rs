@@ -7,7 +7,7 @@
 //! ```
 
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_repro::simcore::SimDuration;
+use spider_repro::simcore::{sweep, SimDuration};
 use spider_repro::wire::Channel;
 use spider_repro::workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_repro::workloads::World;
@@ -37,15 +37,18 @@ fn main() {
         "{:46} {:>12} {:>13} {:>8} {:>9}",
         "configuration", "throughput", "connectivity", "joins", "switches"
     );
-    for (label, mode) in modes {
+    // All four modes run as one parallel sweep over the same deployment.
+    let results = sweep(&modes, |(_, mode)| {
         let params = ScenarioParams {
             duration: SimDuration::from_secs(1_800),
             seed: 7,
             ..Default::default()
         };
         let world = town_scenario(&params);
-        let spider = SpiderConfig::for_mode(mode, 1);
-        let result = World::new(world, SpiderDriver::new(spider)).run();
+        let spider = SpiderConfig::for_mode(mode.clone(), 1);
+        World::new(world, SpiderDriver::new(spider)).run()
+    });
+    for ((label, _), result) in modes.iter().zip(&results) {
         println!(
             "{:46} {:>9.1} KB/s {:>11.1} % {:>8} {:>9}",
             label,

@@ -11,7 +11,7 @@ use spider_repro::mac80211::{ApConfig, ApEvent, ApMac, ApTarget, ClientMacConfig
 use spider_repro::netstack::{DhcpClientConfig, DhcpServer, DhcpServerConfig, PingConfig};
 use spider_repro::simcore::{SimDuration, SimRng, SimTime};
 use spider_repro::wire::ip::L4;
-use spider_repro::wire::{Channel, Frame, FrameBody, Ipv4Packet, MacAddr, SharedFrame, Ssid};
+use spider_repro::wire::{AirFrame, Channel, Frame, FrameBody, Ipv4Packet, MacAddr, Ssid};
 
 struct Drill {
     iface: ClientIface,
@@ -46,7 +46,7 @@ impl Drill {
         }
     }
 
-    fn tick(&mut self, ms: u64) -> Vec<SharedFrame> {
+    fn tick(&mut self, ms: u64) -> Vec<AirFrame> {
         self.now += SimDuration::from_millis(ms);
         let mut client_tx = Vec::new();
         for ev in self.iface.poll(self.now, true, &mut self.log) {
@@ -112,7 +112,7 @@ impl Drill {
         ap_tx
     }
 
-    fn deliver_to_client(&mut self, frames: Vec<SharedFrame>) -> Vec<Frame> {
+    fn deliver_to_client(&mut self, frames: Vec<AirFrame>) -> Vec<Frame> {
         let mut out = Vec::new();
         for f in frames {
             for ev in self.iface.on_frame(self.now, &f, &mut self.log) {

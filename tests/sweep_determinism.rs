@@ -1,0 +1,115 @@
+//! The sweep runner's determinism contract, measured on real worlds:
+//! a mixed batch of simulation jobs must produce byte-identical results
+//! whether it runs serially or across a worker pool.
+//!
+//! Every `World` run is a pure function of its config and seed — no
+//! wall clock, no shared mutable state, no global RNG — so the sweep
+//! can hand jobs to threads in any order and still merge results into
+//! job-index order. These tests pin that property: `sweep_with(.., 1)`
+//! (the exact serial path, also taken under `SPIDER_JOBS=1`) against
+//! `sweep_with(.., 4)` on heterogeneous scenarios.
+
+use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_repro::simcore::{sweep_with, SimDuration};
+use spider_repro::wire::Channel;
+use spider_repro::workloads::scenarios::{lab_scenario, town_scenario, ScenarioParams};
+use spider_repro::workloads::{RunResult, World, WorldConfig};
+
+/// One sweep job: a world plus the Spider mode to drive it with.
+#[derive(Clone)]
+struct Job {
+    world: WorldConfig,
+    mode: OperationMode,
+}
+
+/// A deliberately heterogeneous batch: town drives in three operation
+/// modes and seeds (different run lengths, so jobs finish out of
+/// order), plus indoor lab worlds on one and two channels.
+fn mixed_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (seed, secs, mode) in [
+        (1, 120, OperationMode::SingleChannelMultiAp(Channel::CH1)),
+        (2, 90, OperationMode::SingleChannelSingleAp(Channel::CH6)),
+        (
+            3,
+            150,
+            OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            },
+        ),
+    ] {
+        let params = ScenarioParams {
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..Default::default()
+        };
+        jobs.push(Job {
+            world: town_scenario(&params),
+            mode,
+        });
+    }
+    jobs.push(Job {
+        world: lab_scenario(&[Channel::CH1], 400_000.0, SimDuration::from_secs(60), 4),
+        mode: OperationMode::SingleChannelMultiAp(Channel::CH1),
+    });
+    jobs.push(Job {
+        world: lab_scenario(
+            &[Channel::CH1, Channel::CH6],
+            400_000.0,
+            SimDuration::from_secs(60),
+            5,
+        ),
+        mode: OperationMode::MultiChannelMultiAp {
+            period: SimDuration::from_millis(600),
+        },
+    });
+    jobs
+}
+
+fn run_job(job: &Job) -> RunResult {
+    let driver = SpiderDriver::new(SpiderConfig::for_mode(job.mode.clone(), 1));
+    World::new(job.world.clone(), driver).run()
+}
+
+/// Everything observable about a run, with floats compared bit-exactly.
+/// If the parallel leg diverges anywhere — event count, payload bytes,
+/// join timing, TCP behaviour — this fingerprint catches it.
+fn fingerprint(r: &RunResult) -> (u64, u64, u64, u64, u64, u64, usize, u64) {
+    (
+        r.events,
+        r.bytes,
+        r.avg_throughput_bps.to_bits(),
+        r.connectivity.to_bits(),
+        r.switches,
+        r.tcp_timeouts,
+        r.join_log.join.len(),
+        r.tcp_retransmits,
+    )
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_on_mixed_scenarios() {
+    let jobs = mixed_jobs();
+    let serial = sweep_with(&jobs, run_job, 1);
+    let parallel = sweep_with(&jobs, run_job, 4);
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(parallel.len(), jobs.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            fingerprint(s),
+            fingerprint(p),
+            "job {i}: parallel run diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree_with_each_other() {
+    // Scheduling order varies run to run; results must not.
+    let jobs = mixed_jobs()[..3].to_vec();
+    let first = sweep_with(&jobs, run_job, 4);
+    let second = sweep_with(&jobs, run_job, 4);
+    for (s, p) in first.iter().zip(&second) {
+        assert_eq!(fingerprint(s), fingerprint(p));
+    }
+}
