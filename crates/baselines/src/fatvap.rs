@@ -19,9 +19,8 @@ use spider_core::iface::{ClientIface, IfaceEvent};
 use spider_core::utility::{UtilityConfig, UtilityTable};
 use spider_mac80211::{ApTarget, ClientMacConfig, ClientSystem, DriverAction, JoinLog, RxFrame};
 use spider_netstack::{DhcpClientConfig, PingConfig};
-use spider_simcore::{SimDuration, SimTime};
+use spider_simcore::{FxHashMap, SimDuration, SimTime};
 use spider_wire::{Channel, Frame, FrameBody, MacAddr};
-use std::collections::HashMap;
 
 /// FatVAP-style configuration.
 #[derive(Debug, Clone)]
@@ -78,7 +77,7 @@ pub struct FatVapDriver {
     ifaces: Vec<ClientIface>,
     scanner: UtilityTable,
     /// EWMA end-to-end bandwidth per AP (bytes/s).
-    estimates: HashMap<MacAddr, f64>,
+    estimates: FxHashMap<MacAddr, f64>,
     log: JoinLog,
     slot: Slot,
     slot_started: SimTime,
@@ -112,7 +111,7 @@ impl FatVapDriver {
             cfg,
             ifaces,
             scanner,
-            estimates: HashMap::new(),
+            estimates: FxHashMap::default(),
             log: JoinLog::new(),
             slot: Slot::Scan(0),
             slot_started: SimTime::ZERO,
@@ -130,7 +129,13 @@ impl FatVapDriver {
             .unwrap_or(self.cfg.bootstrap_bw)
     }
 
-    fn absorb(&mut self, _now: SimTime, idx: usize, events: Vec<IfaceEvent>, actions: &mut Vec<DriverAction>) {
+    fn absorb(
+        &mut self,
+        _now: SimTime,
+        idx: usize,
+        events: Vec<IfaceEvent>,
+        actions: &mut Vec<DriverAction>,
+    ) {
         for ev in events {
             match ev {
                 IfaceEvent::Transmit(frame) => {
@@ -311,7 +316,10 @@ impl FatVapDriver {
 
 impl ClientSystem for FatVapDriver {
     fn label(&self) -> String {
-        format!("FatVAP[{} conns, {} slice]", self.cfg.num_conns, self.cfg.slice)
+        format!(
+            "FatVAP[{} conns, {} slice]",
+            self.cfg.num_conns, self.cfg.slice
+        )
     }
 
     fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, actions: &mut Vec<DriverAction>) {
@@ -348,7 +356,12 @@ impl ClientSystem for FatVapDriver {
         }
     }
 
-    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
+    fn on_switch_complete_into(
+        &mut self,
+        now: SimTime,
+        ch: Channel,
+        actions: &mut Vec<DriverAction>,
+    ) {
         self.current = Some(ch);
         self.switching = false;
         self.wake_active(actions);
@@ -449,8 +462,14 @@ mod tests {
     #[test]
     fn scans_then_joins_discovered_aps() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -65.0).rx());
+        d.on_frame(
+            SimTime::from_millis(1),
+            &beacon(100, Channel::CH1, -60.0).rx(),
+        );
+        d.on_frame(
+            SimTime::from_millis(2),
+            &beacon(101, Channel::CH6, -65.0).rx(),
+        );
         let actions = drive(&mut d, 2, 600);
         let auths: std::collections::HashSet<MacAddr> = actions
             .iter()
@@ -470,8 +489,14 @@ mod tests {
     #[test]
     fn slices_rotate_between_connections() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH11, -60.0).rx());
+        d.on_frame(
+            SimTime::from_millis(1),
+            &beacon(100, Channel::CH1, -60.0).rx(),
+        );
+        d.on_frame(
+            SimTime::from_millis(2),
+            &beacon(101, Channel::CH11, -60.0).rx(),
+        );
         let actions = drive(&mut d, 2, 1_500);
         // With APs on two different channels the per-AP slicing forces
         // real channel switches.
@@ -503,8 +528,14 @@ mod tests {
     #[test]
     fn only_slot_owner_is_active() {
         let mut d = FatVapDriver::new(FatVapConfig::default());
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH1, -61.0).rx());
+        d.on_frame(
+            SimTime::from_millis(1),
+            &beacon(100, Channel::CH1, -60.0).rx(),
+        );
+        d.on_frame(
+            SimTime::from_millis(2),
+            &beacon(101, Channel::CH1, -61.0).rx(),
+        );
         drive(&mut d, 2, 300);
         // Two interfaces bound to APs on the same channel; at most one may
         // be active at any instant (FatVAP's per-AP queues).

@@ -11,6 +11,8 @@
 //!   design the paper shows breaks down under real mobility (§2, §3.1
 //!   Design Choice 1).
 
+#![forbid(unsafe_code)]
+
 pub mod fatvap;
 pub mod stock;
 

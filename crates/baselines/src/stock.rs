@@ -180,10 +180,7 @@ impl StockDriver {
         self.mode = Mode::Switching;
         let first = self.cfg.scan_channels[0];
         if self.current == Some(first) {
-            self.mode = Mode::Scanning {
-                idx: 0,
-                since: now,
-            };
+            self.mode = Mode::Scanning { idx: 0, since: now };
         } else {
             self.current = None;
             actions.push(DriverAction::SwitchChannel(first));
@@ -235,19 +232,19 @@ impl ClientSystem for StockDriver {
             FrameBody::Beacon { ssid, channel, .. }
             | FrameBody::ProbeResponse { ssid, channel } => {
                 if let Some(rssi) = rx.rssi_dbm {
-                    self.table
-                        .observe(now, rx.frame.src, ssid, *channel, rssi);
+                    self.table.observe(now, rx.frame.src, ssid, *channel, rssi);
                 }
             }
             _ => {}
         }
-        let relevant = rx.frame.dst == self.iface.addr || {
-            if let FrameBody::Data { packet, .. } = &rx.frame.body {
-                matches!(&packet.payload, spider_wire::ip::L4::Dhcp(m) if m.chaddr == self.iface.addr)
-            } else {
-                false
-            }
-        };
+        let relevant = rx.frame.dst == self.iface.addr
+            || {
+                if let FrameBody::Data { packet, .. } = &rx.frame.body {
+                    matches!(&packet.payload, spider_wire::ip::L4::Dhcp(m) if m.chaddr == self.iface.addr)
+                } else {
+                    false
+                }
+            };
         if relevant {
             let mut log = std::mem::take(&mut self.log);
             let evs = self.iface.on_frame(now, rx.frame, &mut log);
@@ -259,7 +256,12 @@ impl ClientSystem for StockDriver {
         }
     }
 
-    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
+    fn on_switch_complete_into(
+        &mut self,
+        now: SimTime,
+        ch: Channel,
+        actions: &mut Vec<DriverAction>,
+    ) {
         self.current = Some(ch);
         if self.iface.is_busy() {
             self.mode = Mode::Camped;
@@ -429,8 +431,14 @@ mod tests {
     fn joins_strongest_ap_after_sweep() {
         let mut d = StockDriver::new(StockConfig::quickwifi(1));
         // Hear two APs on channel 6 while sweeping; the stronger wins.
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH6, -80.0).rx());
-        d.on_frame(SimTime::from_millis(2), &beacon(101, Channel::CH6, -55.0).rx());
+        d.on_frame(
+            SimTime::from_millis(1),
+            &beacon(100, Channel::CH6, -80.0).rx(),
+        );
+        d.on_frame(
+            SimTime::from_millis(2),
+            &beacon(101, Channel::CH6, -55.0).rx(),
+        );
         let joined = run_until_auth(&mut d, 2_000);
         assert_eq!(joined, Some(MacAddr::from_id(101)));
     }
@@ -438,7 +446,10 @@ mod tests {
     #[test]
     fn rescans_after_connection_down() {
         let mut d = StockDriver::new(StockConfig::quickwifi(1));
-        d.on_frame(SimTime::from_millis(1), &beacon(100, Channel::CH1, -60.0).rx());
+        d.on_frame(
+            SimTime::from_millis(1),
+            &beacon(100, Channel::CH1, -60.0).rx(),
+        );
         let joined = run_until_auth(&mut d, 2_000);
         assert!(joined.is_some());
         // Let the link-layer join fail (no responses): the driver must

@@ -35,7 +35,13 @@ fn main() {
     let mut table = UtilityTable::new(UtilityConfig::default());
     let now = SimTime::from_secs(1);
     for i in 0..200u64 {
-        table.observe(now, MacAddr::from_id(i), &Ssid::new("x"), Channel::CH6, -60.0);
+        table.observe(
+            now,
+            MacAddr::from_id(i),
+            &Ssid::new("x"),
+            Channel::CH6,
+            -60.0,
+        );
     }
     micro("utility_best_candidate_200aps", || {
         black_box(table.best_candidate(now, &[Channel::CH6], &[]))

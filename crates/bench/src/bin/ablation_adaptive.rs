@@ -5,7 +5,7 @@
 //! multi-channel at walking pace (connectivity-rich), single-channel at
 //! vehicular speed (the dividing-speed result).
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, town_params, write_csv};
 use spider_core::adaptive::{AdaptivePolicy, AdaptiveSpider};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{sweep, SimDuration};
@@ -69,12 +69,25 @@ fn main() {
     }
     print_table(
         "Ablation: adaptive scheduling vs static modes (KB/s / connectivity)",
-        &["speed(m/s)", "static ch1 multi-AP", "static 3ch multi-AP", "adaptive"],
+        &[
+            "speed(m/s)",
+            "static ch1 multi-AP",
+            "static 3ch multi-AP",
+            "adaptive",
+        ],
         &table,
     );
     let path = write_csv(
         "ablation_adaptive.csv",
-        &["speed", "ch1_kbs", "ch1_conn", "m3_kbs", "m3_conn", "adaptive_kbs", "adaptive_conn"],
+        &[
+            "speed",
+            "ch1_kbs",
+            "ch1_conn",
+            "m3_kbs",
+            "m3_conn",
+            "adaptive_kbs",
+            "adaptive_conn",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

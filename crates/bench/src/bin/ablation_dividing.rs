@@ -11,8 +11,14 @@ use spider_simcore::sweep;
 fn main() {
     let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 13.3, 20.0];
     let scenarios = [
-        ChannelScenario { joined_frac: 0.75, available_frac: 0.0 },
-        ChannelScenario { joined_frac: 0.0, available_frac: 0.25 },
+        ChannelScenario {
+            joined_frac: 0.75,
+            available_frac: 0.0,
+        },
+        ChannelScenario {
+            joined_frac: 0.0,
+            available_frac: 0.25,
+        },
     ];
     let mut jobs = Vec::new();
     for beta_max in [2.0, 5.0, 10.0] {
@@ -46,6 +52,10 @@ fn main() {
         &["beta_max(s)", "h", "dividing speed"],
         &table,
     );
-    let path = write_csv("ablation_dividing.csv", &["beta_max", "h", "dividing_speed"], rows);
+    let path = write_csv(
+        "ablation_dividing.csv",
+        &["beta_max", "h", "dividing_speed"],
+        rows,
+    );
     println!("\nwrote {}", path.display());
 }

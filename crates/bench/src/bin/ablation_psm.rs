@@ -4,7 +4,7 @@
 //! real 802.11 lacks — buffering DHCP responses for sleeping clients —
 //! and measures how much of the multi-channel join penalty disappears.
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, town_params, write_csv};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{sweep, Cdf, OnlineStats, SimDuration};
 use spider_workloads::scenarios::town_scenario;

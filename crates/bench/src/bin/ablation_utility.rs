@@ -7,7 +7,7 @@
 //! * FatVAP-style bandwidth-estimate selection (the full FatVAP driver).
 
 use spider_baselines::{FatVapConfig, FatVapDriver};
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, town_params, write_csv};
 use spider_core::utility::UtilityConfig;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{sweep, OnlineStats};
@@ -43,10 +43,8 @@ fn run_policy(policy: &Policy, seed: u64) -> (f64, f64) {
             // selection policy shows. (With 7 concurrent interfaces the
             // driver simply tries everything and selection errors are
             // masked; see EXPERIMENTS.md.)
-            let mut cfg = SpiderConfig::for_mode(
-                OperationMode::SingleChannelSingleAp(Channel::CH1),
-                1,
-            );
+            let mut cfg =
+                SpiderConfig::for_mode(OperationMode::SingleChannelSingleAp(Channel::CH1), 1);
             cfg.utility = UtilityConfig {
                 recency: *alpha,
                 ..UtilityConfig::default()
@@ -100,6 +98,10 @@ fn main() {
         &["policy", "throughput", "connectivity"],
         &table,
     );
-    let path = write_csv("ablation_utility.csv", &["policy", "throughput_kbs", "connectivity_pct"], rows);
+    let path = write_csv(
+        "ablation_utility.csv",
+        &["policy", "throughput_kbs", "connectivity_pct"],
+        rows,
+    );
     println!("\nwrote {}", path.display());
 }

@@ -26,8 +26,7 @@ fn main() {
         }
     }
     let trials = sweep(&jobs, |&(n_aps, trial)| {
-        let mut rng =
-            SimRng::new(11).stream_indexed("appendix-a", (n_aps as u64) * 1_000 + trial);
+        let mut rng = SimRng::new(11).stream_indexed("appendix-a", (n_aps as u64) * 1_000 + trial);
         let options: Vec<ApOption> = (0..n_aps)
             .map(|_| {
                 let t_i = rng.uniform_in(2.0, 25.0); // time in range

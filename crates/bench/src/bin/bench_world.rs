@@ -14,8 +14,14 @@
 //!   against the checked-in copy and exit non-zero if any scenario
 //!   regressed by more than 2x.
 //! * `--out PATH` — write the JSON somewhere else.
+//! * `--engine-only` — skip the (slow) suite-sweep section; useful for
+//!   checking the engine scenarios at full simulated durations without
+//!   paying for a whole Table 2 batch. Implies no JSON write, so a
+//!   checked-in baseline is never clobbered by a partial run.
 
-use spider_bench::worldbench::{check_regressions, run_scenario, run_suite_bench, scenarios, to_json};
+use spider_bench::worldbench::{
+    check_regressions, run_scenario, run_suite_bench, scenarios, to_json,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,12 +33,14 @@ fn default_out() -> PathBuf {
 fn main() -> ExitCode {
     let mut fast = false;
     let mut check = false;
+    let mut engine_only = false;
     let mut out = default_out();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--check" => check = true,
+            "--engine-only" => engine_only = true,
             "--out" => match args.next() {
                 Some(p) => out = PathBuf::from(p),
                 None => {
@@ -41,14 +49,18 @@ fn main() -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown flag {other}; valid: --fast --check --out PATH");
+                eprintln!("unknown flag {other}; valid: --fast --check --engine-only --out PATH");
                 return ExitCode::FAILURE;
             }
         }
     }
 
     let mode = if fast { "fast" } else { "full" };
-    let baseline = if check { std::fs::read_to_string(&out).ok() } else { None };
+    let baseline = if check {
+        std::fs::read_to_string(&out).ok()
+    } else {
+        None
+    };
     if check && baseline.is_none() {
         eprintln!("--check: no baseline at {}; gate skipped", out.display());
     }
@@ -64,21 +76,27 @@ fn main() -> ExitCode {
         results.push(r);
     }
 
-    // The engine scenarios above are deliberately single-threaded; this
-    // second section times the sweep runner on a batch of real Table 2
-    // drives, serial vs the worker pool.
-    let suite = run_suite_bench(fast);
-    println!(
-        "  suite sweep      {:>2} jobs  {:>2} workers  {:>8.3}s serial  {:>8.3}s parallel  {:.2}x",
-        suite.jobs, suite.workers, suite.serial_wall_secs, suite.parallel_wall_secs, suite.speedup(),
-    );
+    if !engine_only {
+        // The engine scenarios above are deliberately single-threaded;
+        // this second section times the sweep runner on a batch of real
+        // Table 2 drives, serial vs the worker pool.
+        let suite = run_suite_bench(fast);
+        println!(
+            "  suite sweep      {:>2} jobs  {:>2} workers  {:>8.3}s serial  {:>8.3}s parallel  {:.2}x",
+            suite.jobs,
+            suite.workers,
+            suite.serial_wall_secs,
+            suite.parallel_wall_secs,
+            suite.speedup(),
+        );
 
-    let json = to_json(mode, &results, Some(&suite));
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("failed to write {}: {e}", out.display());
-        return ExitCode::FAILURE;
+        let json = to_json(mode, &results, Some(&suite));
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("failed to write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", out.display());
     }
-    println!("wrote {}", out.display());
 
     if let Some(baseline) = baseline {
         let failures = check_regressions(&baseline, &results);

@@ -68,7 +68,9 @@ fn main() {
     );
     let path = write_csv(
         "fig05.csv",
-        &["f6", "le_100ms", "le_200ms", "le_300ms", "le_400ms", "le_600ms", "le_800ms", "le_1s"],
+        &[
+            "f6", "le_100ms", "le_200ms", "le_300ms", "le_400ms", "le_600ms", "le_800ms", "le_1s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

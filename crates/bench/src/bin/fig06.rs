@@ -102,7 +102,9 @@ fn main() {
     );
     let path = write_csv(
         "fig06.csv",
-        &["f6", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s"],
+        &[
+            "f6", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

@@ -32,11 +32,8 @@ fn main() {
                 ],
             )
         };
-        let cfg = SpiderConfig::for_mode(
-            OperationMode::MultiChannelMultiAp { period },
-            1,
-        )
-        .with_schedule(schedule);
+        let cfg = SpiderConfig::for_mode(OperationMode::MultiChannelMultiAp { period }, 1)
+            .with_schedule(schedule);
         let world = indoor_scenario(
             &[Channel::CH1],
             10.0,

@@ -30,7 +30,10 @@ fn main() {
             7,
         );
         let result = World::new(world, SpiderDriver::new(cfg)).run();
-        (result.avg_throughput_bps * 8.0 / 1_000.0, result.tcp_timeouts)
+        (
+            result.avg_throughput_bps * 8.0 / 1_000.0,
+            result.tcp_timeouts,
+        )
     });
 
     let mut rows = Vec::new();

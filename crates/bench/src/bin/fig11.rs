@@ -27,12 +27,16 @@ fn main() {
     }
     print_table(
         "Fig 11: CDF of connection duration (fraction of connections <= t)",
-        &["config", "n", "2s", "5s", "10s", "20s", "50s", "100s", "250s", "median"],
+        &[
+            "config", "n", "2s", "5s", "10s", "20s", "50s", "100s", "250s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig11.csv",
-        &["config", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s", "le_250s"],
+        &[
+            "config", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s", "le_250s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

@@ -27,12 +27,16 @@ fn main() {
     }
     print_table(
         "Fig 12: CDF of disruption length (fraction of disruptions <= t)",
-        &["config", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median"],
+        &[
+            "config", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig12.csv",
-        &["config", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s"],
+        &[
+            "config", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

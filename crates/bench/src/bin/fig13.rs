@@ -32,7 +32,9 @@ fn main() {
     );
     let path = write_csv(
         "fig13.csv",
-        &["config", "p10_kbs", "p25_kbs", "p50_kbs", "p60_kbs", "p75_kbs", "p90_kbs"],
+        &[
+            "config", "p10_kbs", "p25_kbs", "p50_kbs", "p60_kbs", "p75_kbs", "p90_kbs",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

@@ -6,7 +6,7 @@
 //! but "the cost of switching among channels overshadows the benefit";
 //! multi-channel joins take ~2x longer.
 
-use spider_bench::{print_table, write_csv, town_params, CdfRow};
+use spider_bench::{print_table, town_params, write_csv, CdfRow};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
@@ -18,12 +18,42 @@ use spider_workloads::World;
 fn main() {
     let ll = ClientMacConfig::reduced;
     let configs: Vec<(&str, bool, ClientMacConfig, DhcpClientConfig)> = vec![
-        ("200ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(200))),
-        ("400ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(400))),
-        ("600ms, channel 1", false, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(600))),
-        ("default, channel 1", false, ClientMacConfig::stock(), DhcpClientConfig::stock()),
-        ("default, 3 channels", true, ClientMacConfig::stock(), DhcpClientConfig::stock()),
-        ("200ms, 3 channels", true, ll(), DhcpClientConfig::reduced(SimDuration::from_millis(200))),
+        (
+            "200ms, channel 1",
+            false,
+            ll(),
+            DhcpClientConfig::reduced(SimDuration::from_millis(200)),
+        ),
+        (
+            "400ms, channel 1",
+            false,
+            ll(),
+            DhcpClientConfig::reduced(SimDuration::from_millis(400)),
+        ),
+        (
+            "600ms, channel 1",
+            false,
+            ll(),
+            DhcpClientConfig::reduced(SimDuration::from_millis(600)),
+        ),
+        (
+            "default, channel 1",
+            false,
+            ClientMacConfig::stock(),
+            DhcpClientConfig::stock(),
+        ),
+        (
+            "default, 3 channels",
+            true,
+            ClientMacConfig::stock(),
+            DhcpClientConfig::stock(),
+        ),
+        (
+            "200ms, 3 channels",
+            true,
+            ll(),
+            DhcpClientConfig::reduced(SimDuration::from_millis(200)),
+        ),
     ];
     let seeds: Vec<u64> = (1..=5).collect();
     let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
@@ -36,7 +66,9 @@ fn main() {
     }
     let cdfs = sweep(&jobs, |(multi, mac, dhcp, seed)| {
         let mode = if *multi {
-            OperationMode::MultiChannelMultiAp { period: SimDuration::from_millis(600) }
+            OperationMode::MultiChannelMultiAp {
+                period: SimDuration::from_millis(600),
+            }
         } else {
             OperationMode::SingleChannelMultiAp(Channel::CH1)
         };
@@ -64,12 +96,16 @@ fn main() {
     }
     print_table(
         "Fig 14: fraction of successful joins within t, by DHCP timeout",
-        &["config", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median"],
+        &[
+            "config", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig14.csv",
-        &["config", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s"],
+        &[
+            "config", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

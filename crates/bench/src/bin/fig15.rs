@@ -5,7 +5,7 @@
 //! The paper: a single channel with reduced timeouts joins fastest;
 //! splitting time across channels roughly doubles join delay.
 
-use spider_bench::{print_table, write_csv, town_params, CdfRow};
+use spider_bench::{print_table, town_params, write_csv, CdfRow};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
@@ -37,14 +37,26 @@ fn main() {
     };
     let configs: Vec<(&str, SpiderConfig)> = vec![
         ("1 iface, ch1 100%, default TO", mk(ch1.clone(), stock(), 1)),
-        ("7 ifaces, ch1 100%, default TO", mk(ch1.clone(), stock(), 7)),
-        ("7 ifaces, ch1 100%, dhcp 200ms ll 100ms", mk(ch1.clone(), reduced(), 7)),
+        (
+            "7 ifaces, ch1 100%, default TO",
+            mk(ch1.clone(), stock(), 7),
+        ),
+        (
+            "7 ifaces, ch1 100%, dhcp 200ms ll 100ms",
+            mk(ch1.clone(), reduced(), 7),
+        ),
         (
             "7 ifaces, ch1 50% ch6 50%, default TO",
             mk(multi.clone(), stock(), 7).with_schedule(half),
         ),
-        ("7 ifaces, 3 chans eq, default TO", mk(multi.clone(), stock(), 7)),
-        ("7 ifaces, 3 chans eq, dhcp 200ms ll 100ms", mk(multi, reduced(), 7)),
+        (
+            "7 ifaces, 3 chans eq, default TO",
+            mk(multi.clone(), stock(), 7),
+        ),
+        (
+            "7 ifaces, 3 chans eq, dhcp 200ms ll 100ms",
+            mk(multi, reduced(), 7),
+        ),
     ];
     let seeds: Vec<u64> = (1..=5).collect();
     let probe_s = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 15.0];
@@ -79,12 +91,16 @@ fn main() {
     }
     print_table(
         "Fig 15: join delay CDF by scheduling policy",
-        &["policy", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median"],
+        &[
+            "policy", "n", "0.5s", "1s", "2s", "3s", "5s", "10s", "15s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig15.csv",
-        &["policy", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s"],
+        &[
+            "policy", "le_05s", "le_1s", "le_2s", "le_3s", "le_5s", "le_10s", "le_15s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

@@ -34,12 +34,16 @@ fn main() {
     }
     print_table(
         "Fig 16: connection-length CDFs — user demand vs Spider supply",
-        &["series", "n", "1s", "2s", "5s", "10s", "20s", "50s", "100s", "median"],
+        &[
+            "series", "n", "1s", "2s", "5s", "10s", "20s", "50s", "100s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig16.csv",
-        &["series", "le_1s", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s"],
+        &[
+            "series", "le_1s", "le_2s", "le_5s", "le_10s", "le_20s", "le_50s", "le_100s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

@@ -32,12 +32,16 @@ fn main() {
     }
     print_table(
         "Fig 17: disruption-length CDFs — user tolerance vs Spider",
-        &["series", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median"],
+        &[
+            "series", "n", "2s", "5s", "10s", "30s", "60s", "150s", "300s", "median",
+        ],
         &table,
     );
     let path = write_csv(
         "fig17.csv",
-        &["series", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s"],
+        &[
+            "series", "le_2s", "le_5s", "le_10s", "le_30s", "le_60s", "le_150s", "le_300s",
+        ],
         rows,
     );
     println!("\nwrote {}", path.display());

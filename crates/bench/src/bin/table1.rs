@@ -26,17 +26,12 @@ fn main() {
         // count switches over a fixed horizon and infer the per-switch
         // cost from the radio's own accounting.
         let period = SimDuration::from_millis(400);
-        let schedule = ChannelSchedule::custom(
-            period,
-            vec![(Channel::CH1, 0.5), (Channel::CH6, 0.5)],
-        );
+        let schedule =
+            ChannelSchedule::custom(period, vec![(Channel::CH1, 0.5), (Channel::CH6, 0.5)]);
         let channels = vec![Channel::CH1; ifaces.max(1)];
         let world = indoor_scenario(&channels, 10.0, 250_000.0, SimDuration::from_secs(30), 5);
-        let mut cfg = SpiderConfig::for_mode(
-            OperationMode::MultiChannelMultiAp { period },
-            1,
-        )
-        .with_schedule(schedule);
+        let mut cfg = SpiderConfig::for_mode(OperationMode::MultiChannelMultiAp { period }, 1)
+            .with_schedule(schedule);
         if ifaces == 0 {
             cfg.tcp_enabled = false;
             cfg = cfg.with_candidates(vec![]); // join nothing

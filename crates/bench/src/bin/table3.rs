@@ -6,7 +6,7 @@
 //! fail more than single-channel at the same timers; default timers
 //! fail least but are slow (see Fig. 14 for the flip side).
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, town_params, write_csv};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientMacConfig;
 use spider_netstack::DhcpClientConfig;
@@ -111,7 +111,5 @@ fn main() {
     );
     let path = write_csv("table3.csv", &["config", "fail_pct", "sd"], rows);
     println!("\nwrote {}", path.display());
-    println!(
-        "\nPaper: 23.0±6.4, 27.1±5.4, 28.2±4.0, 23.6±10.7, 13.5±6.3, 21.8±6.9 %"
-    );
+    println!("\nPaper: 23.0±6.4, 27.1±5.4, 28.2±4.0, 23.6±10.7, 13.5±6.3, 21.8±6.9 %");
 }

@@ -4,7 +4,7 @@
 //! The paper: a single channel maximises throughput (121.5 KB/s); the
 //! equal 3-channel schedule maximises connectivity (44.7 %).
 
-use spider_bench::{print_table, write_csv, town_params};
+use spider_bench::{print_table, town_params, write_csv};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{sweep, OnlineStats, SimDuration};
 use spider_wire::Channel;
@@ -13,10 +13,7 @@ use spider_workloads::World;
 
 fn main() {
     let three = ChannelSchedule::equal(&Channel::ORTHOGONAL, SimDuration::from_millis(600));
-    let two = ChannelSchedule::equal(
-        &[Channel::CH1, Channel::CH6],
-        SimDuration::from_millis(400),
-    );
+    let two = ChannelSchedule::equal(&[Channel::CH1, Channel::CH6], SimDuration::from_millis(400));
     let one = ChannelSchedule::single(Channel::CH1);
     let configs = [
         ("3-channel (equal schedule)", three),
@@ -69,7 +66,11 @@ fn main() {
         &["Parameters", "Throughput", "Connectivity"],
         &table,
     );
-    let path = write_csv("table4.csv", &["config", "throughput_kbs", "connectivity_pct"], rows);
+    let path = write_csv(
+        "table4.csv",
+        &["config", "throughput_kbs", "connectivity_pct"],
+        rows,
+    );
     println!("\nwrote {}", path.display());
     println!("\nPaper: 3-ch 28.8 KB/s 44.7% | 2-ch 25.1 35.8% | 1-ch 121.5 35.5%");
 }

@@ -43,7 +43,12 @@ impl MicroStats {
     pub fn print_row(&self) {
         println!(
             "{:<40} {:>12.1} ns/iter (median; min {:.1}, mean {:.1}; {} iters x {} samples)",
-            self.label, self.median_ns, self.min_ns, self.mean_ns, self.iters_per_sample, self.samples,
+            self.label,
+            self.median_ns,
+            self.min_ns,
+            self.mean_ns,
+            self.iters_per_sample,
+            self.samples,
         );
     }
 }

@@ -11,6 +11,8 @@
 //! `bench_world` binary produce the repository's tracked
 //! `BENCH_world.json` engine figures.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod output;
 pub mod runs;
@@ -18,6 +20,4 @@ pub mod worldbench;
 
 pub use harness::{cdf_quantiles, CdfRow};
 pub use output::{print_table, write_csv, OutDir};
-pub use runs::{
-    run_driver, spider_run, town_params, StdConfigs,
-};
+pub use runs::{run_driver, spider_run, town_params, StdConfigs};

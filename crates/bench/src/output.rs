@@ -69,7 +69,10 @@ pub fn print_table<C: Display>(title: &str, headers: &[&str], rows: &[Vec<C>]) {
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in &cells {
         println!("{}", fmt_row(row));
     }

@@ -86,10 +86,7 @@ impl StdConfigs {
                 let world = boston_scenario(&town_params(seed));
                 return spider_run(
                     world,
-                    SpiderConfig::for_mode(
-                        OperationMode::SingleChannelSingleAp(Channel::CH6),
-                        1,
-                    ),
+                    SpiderConfig::for_mode(OperationMode::SingleChannelSingleAp(Channel::CH6), 1),
                 );
             }
             5 => {
@@ -122,10 +119,11 @@ impl StdConfigs {
             .iter()
             .flat_map(|&seed| (0..Self::TABLE2_ROWS).map(move |row| (row, seed)))
             .collect();
-        let mut results: Vec<Option<RunResult>> = sweep(&jobs, |&(row, seed)| Self::table2_row(row, seed))
-            .into_iter()
-            .map(Some)
-            .collect();
+        let mut results: Vec<Option<RunResult>> =
+            sweep(&jobs, |&(row, seed)| Self::table2_row(row, seed))
+                .into_iter()
+                .map(Some)
+                .collect();
         (0..Self::TABLE2_ROWS)
             .map(|row| {
                 let per_seed = (0..seeds.len())

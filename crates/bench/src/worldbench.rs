@@ -240,9 +240,16 @@ pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResul
         s.push_str(&format!("      \"sim_seconds\": {},\n", r.sim_secs));
         s.push_str(&format!("      \"wall_seconds\": {:.4},\n", r.wall_secs));
         s.push_str(&format!("      \"events\": {},\n", r.events));
-        s.push_str(&format!("      \"events_per_sec\": {:.1},\n", r.events_per_sec));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            r.events_per_sec
+        ));
         s.push_str(&format!("      \"bytes\": {}\n", r.bytes));
-        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
     }
     if let Some(suite) = suite {
         s.push_str("  ],\n");
@@ -260,7 +267,10 @@ pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResul
             "    \"parallel_wall_seconds\": {:.4},\n",
             suite.parallel_wall_secs
         ));
-        s.push_str(&format!("    \"parallel_speedup\": {:.2}\n", suite.speedup()));
+        s.push_str(&format!(
+            "    \"parallel_speedup\": {:.2}\n",
+            suite.speedup()
+        ));
         s.push_str("  }\n");
     } else {
         s.push_str("  ]\n");
@@ -330,7 +340,10 @@ mod tests {
 
     #[test]
     fn json_roundtrips_through_the_check_parser() {
-        let results = vec![result("sparse_commute", 1_500_000.0), result("dense_downtown", 9_000_000.5)];
+        let results = vec![
+            result("sparse_commute", 1_500_000.0),
+            result("dense_downtown", 9_000_000.5),
+        ];
         let json = to_json("full", &results, None);
         let parsed = parse_events_per_sec(&json);
         assert_eq!(parsed.len(), 2);
@@ -355,7 +368,10 @@ mod tests {
         assert!(json.contains("\"parallel_speedup\": 4.00"));
         // The regression-gate parser must see exactly the scenarios,
         // with or without the suite section.
-        assert_eq!(parse_events_per_sec(&json), parse_events_per_sec(&to_json("full", &results, None)));
+        assert_eq!(
+            parse_events_per_sec(&json),
+            parse_events_per_sec(&to_json("full", &results, None))
+        );
     }
 
     #[test]
@@ -383,7 +399,9 @@ mod tests {
             assert_eq!(f.seed, s.seed);
             assert!(s.sim_secs <= f.sim_secs);
         }
-        assert!(full.iter().any(|s| s.name == "dense_downtown" && s.min_sites >= 1_000));
+        assert!(full
+            .iter()
+            .any(|s| s.name == "dense_downtown" && s.min_sites >= 1_000));
         assert!(full.iter().any(|s| s.storm));
     }
 

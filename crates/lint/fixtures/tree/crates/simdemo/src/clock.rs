@@ -1,0 +1,7 @@
+//! Fixture: wall-clock reads in simulation code.
+
+pub fn bad_timestamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

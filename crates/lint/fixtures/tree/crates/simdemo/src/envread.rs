@@ -1,0 +1,11 @@
+//! Fixture: ambient environment read outside sweep/bench.
+
+pub fn bad_jobs() -> usize {
+    std::env::var("JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// This one is deliberate and allow-listed; it must NOT fire.
+pub fn escaped_jobs() -> usize {
+    // test hook, documented: lint:allow(env-var)
+    std::env::var("ESCAPED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}

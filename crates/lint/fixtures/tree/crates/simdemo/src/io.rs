@@ -1,0 +1,5 @@
+//! Fixture: console output from library code.
+
+pub fn bad_print(x: u64) {
+    println!("x = {x}");
+}

@@ -1,0 +1,8 @@
+//! Fixture crate root *without* `#![forbid(unsafe_code)]` — the
+//! forbid-unsafe rule must fire on this file.
+
+pub mod clock;
+pub mod envread;
+pub mod io;
+pub mod maps;
+pub mod threads;

@@ -1,0 +1,18 @@
+//! Fixture: default-RandomState hash map in library code.
+
+pub fn bad_map() -> usize {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside #[cfg(test)] the rule is waived; this must NOT fire.
+    #[test]
+    fn test_map_is_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

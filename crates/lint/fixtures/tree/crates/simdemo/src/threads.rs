@@ -1,0 +1,5 @@
+//! Fixture: thread spawn outside `simcore::sweep`.
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {}).join().ok();
+}

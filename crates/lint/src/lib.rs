@@ -1,0 +1,758 @@
+//! `spider-lint` — the workspace's determinism / sans-IO static-analysis
+//! pass.
+//!
+//! Everything this repository claims rests on one property: a `World`
+//! run is a pure function of `(config, seed)`. One stray
+//! `SystemTime::now()`, one `std::collections::HashMap` iterated with
+//! its per-process `RandomState`, one `println!` buried in a library
+//! crate, and reproducibility silently dies. rustc and clippy cannot
+//! express these project rules, so this crate enforces them with a
+//! hand-rolled line/token scanner (the workspace builds offline — no
+//! `syn`, no dependencies at all).
+//!
+//! # Rule catalog
+//!
+//! | id             | rule |
+//! |----------------|------|
+//! | `wall-clock`   | no `Instant::now` / `SystemTime` / `thread_rng` / `rand::random` / `std::time` in simulation code |
+//! | `env-var`      | no `std::env` reads outside `simcore::sweep` and the bench harness |
+//! | `default-hash` | no `std::collections::HashMap`/`HashSet` with the default `RandomState`; use `FxHashMap`/`FxHashSet` or `BTreeMap` |
+//! | `hash-iter`    | no unordered hash-map iteration feeding output/aggregation in `bench`/`workloads` unless sorted within two lines |
+//! | `thread`       | no `std::thread` / channels outside `simcore::sweep` |
+//! | `sans-io`      | no `println!`/`eprintln!`/file I/O in library crates (bins, examples, benches and `#[cfg(test)]` are exempt) |
+//! | `forbid-unsafe`| every crate root must carry `#![forbid(unsafe_code)]` |
+//!
+//! # Escapes
+//!
+//! A violation that is deliberate is allow-listed in the source:
+//!
+//! * `// lint:allow(rule)` on the offending line, or on a comment line
+//!   of its own immediately above it, silences that rule there;
+//! * `// lint:allow-file(rule)` anywhere in a file silences the rule
+//!   for the whole file (used e.g. by the capture subsystem, whose
+//!   entire purpose is file I/O).
+//!
+//! Every escape should carry a justification in the surrounding
+//! comment; reviewers treat a bare allow as a bug.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule of the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Wall-clock or ambient randomness in simulation code.
+    WallClock,
+    /// Environment reads outside the sweep runner / bench harness.
+    EnvVar,
+    /// `std` hash containers with the nondeterministic default hasher.
+    DefaultHash,
+    /// Unordered hash-map iteration feeding aggregation.
+    HashIter,
+    /// Threads or channels outside `simcore::sweep`.
+    Thread,
+    /// I/O from library code.
+    SansIo,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    ForbidUnsafe,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 7] = [
+        Rule::WallClock,
+        Rule::EnvVar,
+        Rule::DefaultHash,
+        Rule::HashIter,
+        Rule::Thread,
+        Rule::SansIo,
+        Rule::ForbidUnsafe,
+    ];
+
+    /// The identifier used in `lint:allow(...)` comments and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::EnvVar => "env-var",
+            Rule::DefaultHash => "default-hash",
+            Rule::HashIter => "hash-iter",
+            Rule::Thread => "thread",
+            Rule::SansIo => "sans-io",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+        }
+    }
+}
+
+/// One finding: `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What was matched.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    /// Library source (`crates/*/src/**`, workspace `src/**`).
+    Lib,
+    /// Binary-adjacent source: `src/bin/**`, `main.rs`, examples,
+    /// benches. Allowed to print, read the environment and time itself.
+    Bin,
+    /// Integration tests (`tests/**`). Allowed to do I/O, but still
+    /// held to the determinism rules.
+    Test,
+}
+
+/// Per-file scan context derived from its workspace-relative path.
+#[derive(Debug, Clone)]
+struct FileCtx {
+    rel: PathBuf,
+    crate_name: String,
+    kind: FileKind,
+}
+
+/// Crates whose *library* code is exempt from the sans-IO and
+/// environment rules: the bench harness exists to time things, print
+/// tables and write CSVs, and this linter exists to read source trees.
+const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// The one file allowed to read `SPIDER_JOBS` and spawn threads: the
+/// parallel sweep runner (DESIGN.md §10).
+const SWEEP_FILE: &str = "crates/simcore/src/sweep.rs";
+
+/// Crates whose hash-map iteration feeds output/aggregation paths and
+/// is therefore checked by `hash-iter`.
+const HASH_ITER_CRATES: &[&str] = &["bench", "workloads"];
+
+fn classify(rel: &Path) -> FileCtx {
+    let parts: Vec<&str> = rel
+        .components()
+        .map(|c| c.as_os_str().to_str().unwrap_or(""))
+        .collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        String::from("(workspace)")
+    };
+    let file_name = parts.last().copied().unwrap_or("");
+    let kind = if parts.contains(&"tests") {
+        FileKind::Test
+    } else if parts.contains(&"bin")
+        || parts.contains(&"examples")
+        || parts.contains(&"benches")
+        || file_name == "main.rs"
+        || file_name == "build.rs"
+    {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    FileCtx {
+        rel: rel.to_path_buf(),
+        crate_name,
+        kind,
+    }
+}
+
+/// Strip comments and string/char literals from `line`, carrying block
+/// comment state across lines. Stripped spans become spaces so token
+/// positions stay stable. Comment *text* is returned separately so
+/// `lint:allow` markers can be read from it.
+fn strip_line(line: &str, in_block_comment: &mut bool) -> (String, String) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comments = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                comments.push(bytes[i]);
+                i += 1;
+            }
+            code.push(' ');
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment: everything to EOL is comment text.
+                comments.extend(&bytes[i..]);
+                code.extend(std::iter::repeat_n(' ', bytes.len() - i));
+                break;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                code.push_str("  ");
+                i += 2;
+            }
+            '"' => {
+                // String literal (escapes honoured, unterminated tolerated).
+                code.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                        code.push_str("  ");
+                        continue;
+                    }
+                    let done = bytes[i] == '"';
+                    code.push(' ');
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+            }
+            'r' if bytes.get(i + 1) == Some(&'"')
+                || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
+            {
+                // Raw string (r"..." / r#"..."#): skip to the closing
+                // quote+hashes. Nested hashes beyond one are not used in
+                // this workspace.
+                let hashes = usize::from(bytes.get(i + 1) == Some(&'#'));
+                let close: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let rest: String = bytes[i..].iter().collect();
+                let skip = rest[1 + hashes + 1..]
+                    .find(&close)
+                    .map(|p| 1 + hashes + 1 + p + close.len())
+                    .unwrap_or(bytes.len() - i);
+                code.extend(std::iter::repeat_n(' ', skip));
+                i += skip;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime has no closing
+                // quote within two characters.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    let end = bytes[i + 1..]
+                        .iter()
+                        .position(|&c| c == '\'')
+                        .map(|p| i + 1 + p + 1)
+                        .unwrap_or(bytes.len());
+                    code.extend(std::iter::repeat_n(' ', end - i));
+                    i = end;
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    code.push_str("   ");
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comments)
+}
+
+/// Parse `lint:allow(<rules>)` / `lint:allow-file(<rules>)` markers out
+/// of comment text.
+fn parse_allows(comment: &str, file_wide: &mut Vec<Rule>, here: &mut Vec<Rule>) {
+    for (marker, sink) in [
+        ("lint:allow-file(", &mut *file_wide),
+        ("lint:allow(", &mut *here),
+    ] {
+        let mut rest = comment;
+        while let Some(pos) = rest.find(marker) {
+            let tail = &rest[pos + marker.len()..];
+            if let Some(close) = tail.find(')') {
+                for name in tail[..close].split(',') {
+                    let name = name.trim();
+                    if let Some(rule) = Rule::ALL.iter().find(|r| r.id() == name) {
+                        sink.push(*rule);
+                    }
+                }
+                rest = &tail[close..];
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Identifier characters, for receiver extraction.
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The identifier immediately preceding byte offset `pos` in `line`.
+fn ident_before(line: &str, pos: usize) -> Option<&str> {
+    let head = &line[..pos];
+    let start = head
+        .rfind(|c: char| !is_ident(c))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let id = &head[start..];
+    (!id.is_empty() && !id.chars().next().unwrap().is_ascii_digit()).then_some(id)
+}
+
+/// Collect identifiers declared as hash maps/sets in this file: struct
+/// fields and typed bindings (`name: FxHashMap<...>`) plus
+/// default-constructed locals (`let [mut] name = FxHashMap::default()`).
+fn collect_map_idents(code_lines: &[String]) -> Vec<String> {
+    const TYPES: [&str; 4] = ["FxHashMap<", "FxHashSet<", "HashMap<", "HashSet<"];
+    const CTORS: [&str; 4] = [
+        "FxHashMap::default()",
+        "FxHashSet::default()",
+        "HashMap::new()",
+        "HashSet::new()",
+    ];
+    let mut idents: Vec<String> = Vec::new();
+    for line in code_lines {
+        for ty in TYPES {
+            for (pos, _) in line.match_indices(ty) {
+                // `name: Type<...>` — walk back over the colon.
+                let head = line[..pos].trim_end();
+                if let Some(head) = head.strip_suffix(':') {
+                    if let Some(id) = ident_before(head, head.len()) {
+                        idents.push(id.to_string());
+                    }
+                }
+            }
+        }
+        for ctor in CTORS {
+            if let Some(pos) = line.find(ctor) {
+                // `let [mut] name = Ctor` / `name = Ctor`.
+                let head = line[..pos].trim_end();
+                if let Some(head) = head.strip_suffix('=') {
+                    if let Some(id) = ident_before(head.trim_end(), head.trim_end().len()) {
+                        idents.push(id.to_string());
+                    }
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// Token lists per rule. A single match reports once per line per rule.
+const WALL_CLOCK_TOKENS: [&str; 5] = [
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "rand::random",
+    "std::time::",
+];
+const ENV_TOKENS: [&str; 2] = ["std::env", "env::var"];
+const DEFAULT_HASH_TOKENS: [&str; 4] = [
+    "std::collections::HashMap",
+    "std::collections::HashSet",
+    "HashMap::new()",
+    "HashSet::new()",
+];
+const THREAD_TOKENS: [&str; 3] = ["std::thread", "thread::spawn", "mpsc"];
+const SANS_IO_TOKENS: [&str; 10] = [
+    "println!",
+    "eprintln!",
+    "print!(",
+    "eprint!(",
+    "dbg!(",
+    "std::fs",
+    "File::create",
+    "File::open",
+    "OpenOptions",
+    "io::stdout",
+];
+const HASH_ITER_METHODS: [&str; 5] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+];
+
+/// Scan one file's contents. `rel` is the path relative to the scanned
+/// root (used for classification and reporting).
+pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
+    let ctx = classify(rel);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    // Pass 1: strip comments/strings, harvest allow markers.
+    let mut code_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
+    let mut line_allows: Vec<Vec<Rule>> = vec![Vec::new(); raw_lines.len()];
+    let mut file_allows: Vec<Rule> = Vec::new();
+    let mut in_block = false;
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let (code, comments) = strip_line(raw, &mut in_block);
+        let mut here = Vec::new();
+        parse_allows(&comments, &mut file_allows, &mut here);
+        if !here.is_empty() {
+            if code.trim().is_empty() {
+                // A standalone allow comment covers the next line.
+                if i + 1 < line_allows.len() {
+                    line_allows[i + 1].extend(here);
+                }
+            } else {
+                line_allows[i].extend(here);
+            }
+        }
+        code_lines.push(code);
+    }
+
+    // Pass 2: track `#[cfg(test)]` regions by brace depth.
+    let mut in_test_region = vec![false; code_lines.len()];
+    {
+        let mut depth: i64 = 0;
+        let mut pending_attr = false;
+        let mut region_entry: Option<i64> = None;
+        for (i, code) in code_lines.iter().enumerate() {
+            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+                pending_attr = true;
+            }
+            let before = depth;
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if pending_attr && depth > before {
+                region_entry = Some(before);
+                pending_attr = false;
+            }
+            if let Some(entry) = region_entry {
+                in_test_region[i] = true;
+                if depth <= entry {
+                    region_entry = None;
+                }
+            }
+        }
+    }
+
+    let map_idents = if HASH_ITER_CRATES.contains(&ctx.crate_name.as_str()) {
+        collect_map_idents(&code_lines)
+    } else {
+        Vec::new()
+    };
+
+    let allowed = |rule: Rule, i: usize| -> bool {
+        file_allows.contains(&rule) || line_allows[i].contains(&rule)
+    };
+    let mut report = |rule: Rule, i: usize, msg: String| {
+        out.push(Violation {
+            file: ctx.rel.clone(),
+            line: i + 1,
+            rule,
+            message: msg,
+        });
+    };
+
+    let io_exempt_crate = IO_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+    let is_sweep = ctx.rel.to_string_lossy().replace('\\', "/") == SWEEP_FILE;
+
+    for (i, code) in code_lines.iter().enumerate() {
+        let test_here = ctx.kind == FileKind::Test || in_test_region[i];
+
+        // wall-clock: simulation code (lib + tests) must not read time
+        // or ambient randomness. Bins/examples/benches time themselves.
+        if ctx.kind != FileKind::Bin && !io_exempt_crate && !allowed(Rule::WallClock, i) {
+            if let Some(tok) = WALL_CLOCK_TOKENS.iter().find(|t| code.contains(*t)) {
+                report(Rule::WallClock, i, format!("`{tok}` in simulation code"));
+            }
+        }
+
+        // env-var: only the sweep runner and the bench/lint harnesses
+        // may consult the environment.
+        if ctx.kind != FileKind::Bin
+            && !io_exempt_crate
+            && !is_sweep
+            && !test_here
+            && !allowed(Rule::EnvVar, i)
+        {
+            if let Some(tok) = ENV_TOKENS.iter().find(|t| code.contains(*t)) {
+                report(Rule::EnvVar, i, format!("`{tok}` outside sweep/bench"));
+            }
+        }
+
+        // default-hash: library code must not build RandomState maps.
+        // The path check also catches brace imports
+        // (`use std::collections::{HashMap, ...}`).
+        if ctx.kind == FileKind::Lib && !test_here && !allowed(Rule::DefaultHash, i) {
+            let brace_import = code.contains("std::collections::")
+                && (code.contains("HashMap") || code.contains("HashSet"));
+            if let Some(tok) = DEFAULT_HASH_TOKENS
+                .iter()
+                .find(|t| code.contains(*t))
+                .or(brace_import.then_some(&"std::collections::{Hash..}"))
+            {
+                report(
+                    Rule::DefaultHash,
+                    i,
+                    format!("`{tok}` has a per-process RandomState; use FxHashMap/FxHashSet or BTreeMap"),
+                );
+            }
+        }
+
+        // thread: only the sweep runner may spawn or channel.
+        if !is_sweep && !allowed(Rule::Thread, i) {
+            if let Some(tok) = THREAD_TOKENS.iter().find(|t| code.contains(*t)) {
+                report(Rule::Thread, i, format!("`{tok}` outside simcore::sweep"));
+            }
+        }
+
+        // sans-io: library code performs no I/O.
+        if ctx.kind == FileKind::Lib && !test_here && !io_exempt_crate && !allowed(Rule::SansIo, i)
+        {
+            if let Some(tok) = SANS_IO_TOKENS.iter().find(|t| code.contains(*t)) {
+                report(Rule::SansIo, i, format!("`{tok}` in library code"));
+            }
+        }
+
+        // hash-iter: unordered iteration over a known hash container in
+        // an aggregation crate, with no sort in sight. Applies to the
+        // experiment binaries too — they are where CSV rows are emitted.
+        if ctx.kind != FileKind::Test
+            && !test_here
+            && !map_idents.is_empty()
+            && !allowed(Rule::HashIter, i)
+        {
+            for m in HASH_ITER_METHODS {
+                for (pos, _) in code.match_indices(m) {
+                    if let Some(id) = ident_before(code, pos) {
+                        if map_idents.iter().any(|mi| mi == id) {
+                            // A sort within the next few lines makes the
+                            // walk order canonical before anything
+                            // observable happens.
+                            let sorted_nearby = (i..(i + 5).min(code_lines.len()))
+                                .any(|j| code_lines[j].contains("sort"));
+                            if !sorted_nearby {
+                                report(
+                                    Rule::HashIter,
+                                    i,
+                                    format!(
+                                        "unordered iteration `{id}{m}` feeds aggregation; sort the keys or lint:allow with a commutativity argument"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // forbid-unsafe: crate roots must carry the attribute.
+    let is_crate_root = {
+        let parts: Vec<&str> = ctx
+            .rel
+            .components()
+            .map(|c| c.as_os_str().to_str().unwrap_or(""))
+            .collect();
+        parts.last() == Some(&"lib.rs")
+            && (parts.as_slice() == ["src", "lib.rs"]
+                || (parts.first() == Some(&"crates") && parts.get(2) == Some(&"src")))
+    };
+    // Checked against stripped code so a doc comment merely *mentioning*
+    // the attribute doesn't satisfy the rule.
+    if is_crate_root
+        && !file_allows.contains(&Rule::ForbidUnsafe)
+        && !code_lines
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]"))
+    {
+        out.push(Violation {
+            file: ctx.rel.clone(),
+            line: 1,
+            rule: Rule::ForbidUnsafe,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Recursively list `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // `target` is build output; `fixtures` holds this linter's
+            // own deliberately-violating test inputs.
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            rust_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan a workspace tree rooted at `root`: every `crates/*/{src,tests,
+/// examples,benches}` file plus the workspace-level `src/` and `tests/`.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            for sub in ["src", "tests", "examples", "benches"] {
+                rust_files(&member.join(sub), &mut files)?;
+            }
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        rust_files(&root.join(sub), &mut files)?;
+    }
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)?;
+        scan_source(&rel, &source, &mut out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_one(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        scan_source(Path::new(rel), src, &mut out);
+        out
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let mut in_block = false;
+        let (code, comments) = strip_line(
+            r#"let x = "Instant::now"; // lint:allow(thread)"#,
+            &mut in_block,
+        );
+        assert!(!code.contains("Instant"));
+        assert!(comments.contains("lint:allow(thread)"));
+        let (code, _) = strip_line("/* SystemTime */ let y = 1;", &mut in_block);
+        assert!(!code.contains("SystemTime"));
+        assert!(code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn block_comment_state_carries_across_lines() {
+        let mut in_block = false;
+        strip_line("/* open", &mut in_block);
+        assert!(in_block);
+        let (code, _) = strip_line("SystemTime::now() */ let z = 2;", &mut in_block);
+        assert!(!in_block);
+        assert!(!code.contains("SystemTime"));
+        assert!(code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let mut in_block = false;
+        let (code, _) = strip_line("fn f<'a>(x: &'a str) -> &'a str { x }", &mut in_block);
+        assert!(code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn wall_clock_fires_in_lib_not_bin() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(scan_one("crates/simcore/src/x.rs", src).len(), 1);
+        assert!(scan_one("crates/bench/src/bin/fig01.rs", src).is_empty());
+        assert!(scan_one("crates/workloads/examples/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_io_rules() {
+        let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!(\"ok\"); }
+}
+";
+        assert!(scan_one("crates/radio/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_and_next_line() {
+        let same = "let _ = std::env::var(\"X\"); // lint:allow(env-var) test hook\n";
+        assert!(scan_one("crates/radio/src/x.rs", same).is_empty());
+        let next = "// deliberate: lint:allow(env-var)\nlet _ = std::env::var(\"X\");\n";
+        assert!(scan_one("crates/radio/src/x.rs", next).is_empty());
+        let bare = "let _ = std::env::var(\"X\");\n";
+        assert_eq!(scan_one("crates/radio/src/x.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let src = "// capture subsystem: lint:allow-file(sans-io)\nuse std::fs::File;\nfn f() { let _ = File::open(\"x\"); }\n";
+        assert!(scan_one("crates/workloads/src/cap.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_needs_sort_or_allow() {
+        let bad = "struct S { m: FxHashMap<u16, u32> }\nfn f(s: &S) -> Vec<u32> { s.m.values().copied().collect() }\n";
+        let v = scan_one("crates/workloads/src/x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIter);
+
+        let sorted = "struct S { m: FxHashMap<u16, u32> }\nfn f(s: &S) -> Vec<u16> {\n    let mut ks: Vec<u16> = s.m.keys().copied().collect();\n    ks.sort_unstable();\n    ks\n}\n";
+        assert!(scan_one("crates/workloads/src/x.rs", sorted).is_empty());
+
+        // Outside the aggregation crates the rule does not apply.
+        assert!(scan_one("crates/netstack/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_only_on_crate_roots() {
+        let v = scan_one("crates/radio/src/lib.rs", "pub mod x;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ForbidUnsafe);
+        assert!(scan_one("crates/radio/src/x.rs", "pub fn f() {}\n").is_empty());
+        assert!(scan_one(
+            "crates/radio/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn thread_rule_spares_only_sweep() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(scan_one("crates/workloads/src/x.rs", src).len(), 1);
+        assert!(scan_one("crates/simcore/src/sweep.rs", src).is_empty());
+    }
+}

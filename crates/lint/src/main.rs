@@ -1,0 +1,63 @@
+//! CLI for the workspace lint pass: `cargo run -p spider-lint`.
+//!
+//! Walks the workspace (default: the current directory, which is the
+//! workspace root under `cargo run`) and prints one line per violation,
+//! exiting non-zero if any fired. See the library docs / DESIGN.md §11
+//! for the rule catalog and the `lint:allow` escape convention.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = args.next().map(PathBuf::from);
+                if root.is_none() {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "spider-lint: determinism / sans-IO static analysis\n\n\
+                     USAGE: spider-lint [--root <workspace-root>]\n\n\
+                     Exits 0 if the tree is clean, 1 with one line per\n\
+                     violation otherwise. Rules and escapes: DESIGN.md §11."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "{}: not a workspace root (no crates/ directory); pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match spider_lint::scan_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("spider-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("spider-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("spider-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

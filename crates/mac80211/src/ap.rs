@@ -140,7 +140,10 @@ impl ApMac {
 
     /// Whether the given client is in power-save mode.
     pub fn is_asleep(&self, mac: MacAddr) -> bool {
-        self.clients.get(&mac).map(|c| c.power_save).unwrap_or(false)
+        self.clients
+            .get(&mac)
+            .map(|c| c.power_save)
+            .unwrap_or(false)
     }
 
     /// Number of frames currently buffered for `mac`.
@@ -194,10 +197,7 @@ impl ApMac {
     pub fn on_frame_into(&mut self, now: SimTime, frame: &Frame, out: &mut Vec<ApEvent>) {
         match &frame.body {
             FrameBody::ProbeRequest { ssid } => {
-                let matches = ssid
-                    .as_ref()
-                    .map(|s| *s == self.cfg.ssid)
-                    .unwrap_or(true);
+                let matches = ssid.as_ref().map(|s| *s == self.cfg.ssid).unwrap_or(true);
                 if matches {
                     out.push(ApEvent::Send(AirFrame::owned(Frame {
                         src: self.cfg.bssid,
@@ -210,21 +210,20 @@ impl ApMac {
                     })));
                 }
             }
-            FrameBody::AuthRequest
-                if frame.dst == self.cfg.bssid => {
-                    out.push(ApEvent::Send(AirFrame::owned(Frame {
-                        src: self.cfg.bssid,
-                        dst: frame.src,
-                        bssid: self.cfg.bssid,
-                        body: FrameBody::AuthResponse { ok: true },
-                    })));
-                }
+            FrameBody::AuthRequest if frame.dst == self.cfg.bssid => {
+                out.push(ApEvent::Send(AirFrame::owned(Frame {
+                    src: self.cfg.bssid,
+                    dst: frame.src,
+                    bssid: self.cfg.bssid,
+                    body: FrameBody::AuthResponse { ok: true },
+                })));
+            }
             FrameBody::AssocRequest { ssid } => {
                 if frame.dst != self.cfg.bssid || *ssid != self.cfg.ssid {
                     return;
                 }
-                let full =
-                    self.clients.len() >= self.cfg.max_clients && !self.clients.contains_key(&frame.src);
+                let full = self.clients.len() >= self.cfg.max_clients
+                    && !self.clients.contains_key(&frame.src);
                 if full {
                     out.push(ApEvent::Send(AirFrame::owned(Frame {
                         src: self.cfg.bssid,
@@ -255,10 +254,9 @@ impl ApMac {
                     body: FrameBody::AssocResponse { ok: true, aid },
                 })));
             }
-            FrameBody::Deauth { .. }
-                if self.clients.remove(&frame.src).is_some() => {
-                    out.push(ApEvent::ClientGone(frame.src));
-                }
+            FrameBody::Deauth { .. } if self.clients.remove(&frame.src).is_some() => {
+                out.push(ApEvent::ClientGone(frame.src));
+            }
             FrameBody::Null { power_save } => {
                 if let Some(st) = self.clients.get_mut(&frame.src) {
                     st.power_save = *power_save;
@@ -277,12 +275,13 @@ impl ApMac {
                 }
             }
             FrameBody::Data { packet, .. }
-                if self.clients.contains_key(&frame.src) && frame.dst == self.cfg.bssid => {
-                    out.push(ApEvent::DeliverUp {
-                        from: frame.src,
-                        packet: packet.clone(),
-                    });
-                }
+                if self.clients.contains_key(&frame.src) && frame.dst == self.cfg.bssid =>
+            {
+                out.push(ApEvent::DeliverUp {
+                    from: frame.src,
+                    packet: packet.clone(),
+                });
+            }
             _ => {}
         }
     }
@@ -542,7 +541,10 @@ mod tests {
         associate(&mut ap, SimTime::ZERO);
         let mac = MacAddr::from_id(1);
         // Client goes to sleep.
-        ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Null { power_save: true }));
+        ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Null { power_save: true }),
+        );
         assert!(ap.is_asleep(mac));
         for _ in 0..3 {
             let ev = ap.enqueue_downlink(SimTime::from_millis(1), mac, pkt(), true);
@@ -573,7 +575,10 @@ mod tests {
     fn ps_poll_also_flushes() {
         let mut ap = ap();
         associate(&mut ap, SimTime::ZERO);
-        ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Null { power_save: true }));
+        ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Null { power_save: true }),
+        );
         ap.enqueue_downlink(SimTime::ZERO, MacAddr::from_id(1), pkt(), true);
         let ev = ap.on_frame(SimTime::from_millis(10), &client_frame(FrameBody::PsPoll));
         assert_eq!(ev.len(), 1);
@@ -584,7 +589,10 @@ mod tests {
     fn join_traffic_is_not_buffered_for_sleepers() {
         let mut ap = ap();
         associate(&mut ap, SimTime::ZERO);
-        ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Null { power_save: true }));
+        ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Null { power_save: true }),
+        );
         let ev = ap.enqueue_downlink(SimTime::ZERO, MacAddr::from_id(1), pkt(), false);
         assert!(ev.is_empty());
         assert_eq!(ap.buffered_for(MacAddr::from_id(1)), 0);
@@ -597,7 +605,10 @@ mod tests {
         cfg.psm_buffer_cap = 2;
         let mut ap = ApMac::new(cfg, SimTime::ZERO);
         associate(&mut ap, SimTime::ZERO);
-        ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Null { power_save: true }));
+        ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Null { power_save: true }),
+        );
         for _ in 0..5 {
             ap.enqueue_downlink(SimTime::ZERO, MacAddr::from_id(1), pkt(), true);
         }
@@ -610,7 +621,10 @@ mod tests {
         let mut ap = ap();
         associate(&mut ap, SimTime::ZERO);
         let mac = MacAddr::from_id(1);
-        ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Null { power_save: true }));
+        ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Null { power_save: true }),
+        );
         ap.enqueue_downlink(SimTime::ZERO, mac, pkt(), true);
         ap.enqueue_downlink(SimTime::from_secs(4), mac, pkt(), true);
         // Flush at t=5s: first frame is 5s old (> 3s max age), second 1s.
@@ -655,7 +669,10 @@ mod tests {
     fn deauth_and_evict() {
         let mut ap = ap();
         associate(&mut ap, SimTime::ZERO);
-        let ev = ap.on_frame(SimTime::ZERO, &client_frame(FrameBody::Deauth { reason: 3 }));
+        let ev = ap.on_frame(
+            SimTime::ZERO,
+            &client_frame(FrameBody::Deauth { reason: 3 }),
+        );
         assert!(matches!(&ev[..], [ApEvent::ClientGone(_)]));
         assert_eq!(ap.client_count(), 0);
         // Evicting an unknown client is a no-op.

@@ -314,13 +314,12 @@ impl InterfaceMac {
                     });
                 }
             }
-            (_, FrameBody::Deauth { .. })
-                if !matches!(self.state, AssocState::Idle) => {
-                    self.state = AssocState::Idle;
-                    out.push(MacEvent::Deauthenticated {
-                        bssid: target.bssid,
-                    });
-                }
+            (_, FrameBody::Deauth { .. }) if !matches!(self.state, AssocState::Idle) => {
+                self.state = AssocState::Idle;
+                out.push(MacEvent::Deauthenticated {
+                    bssid: target.bssid,
+                });
+            }
             _ => {}
         }
         out
@@ -437,7 +436,9 @@ mod tests {
         mac.poll(SimTime::ZERO, true);
         let mut wrong = auth_ok();
         wrong.src = MacAddr::from_id(999);
-        assert!(mac.on_frame(SimTime::from_millis(1), &wrong, &mut log).is_empty());
+        assert!(mac
+            .on_frame(SimTime::from_millis(1), &wrong, &mut log)
+            .is_empty());
         assert!(matches!(mac.state(), AssocState::Authenticating { .. }));
     }
 
@@ -487,6 +488,8 @@ mod tests {
         let (mut mac, mut log) = new_iface();
         mac.start_join(SimTime::ZERO, target());
         mac.reset();
-        assert!(mac.on_frame(SimTime::from_millis(5), &auth_ok(), &mut log).is_empty());
+        assert!(mac
+            .on_frame(SimTime::from_millis(5), &auth_ok(), &mut log)
+            .is_empty());
     }
 }

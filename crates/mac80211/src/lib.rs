@@ -16,6 +16,8 @@
 //! [`stats::JoinLog`] records association/DHCP/join timings in the form
 //! the paper's Figures 5, 6, 14 and 15 report.
 
+#![forbid(unsafe_code)]
+
 pub mod ap;
 pub mod client;
 pub mod driver;

@@ -16,7 +16,7 @@
 
 use crate::deployment::Deployment;
 use crate::geometry::Position;
-use std::collections::HashMap;
+use spider_simcore::FxHashMap;
 
 /// A uniform grid index over AP sites.
 ///
@@ -29,7 +29,7 @@ pub struct SpatialGrid {
     cell_m: f64,
     /// Sites bucketed by integer cell coordinate; each bucket is sorted
     /// by site id.
-    cells: HashMap<(i64, i64), Vec<(usize, Position)>>,
+    cells: FxHashMap<(i64, i64), Vec<(usize, Position)>>,
     len: usize,
 }
 
@@ -41,7 +41,7 @@ impl SpatialGrid {
             cell_m.is_finite() && cell_m > 0.0,
             "grid cell size must be positive, got {cell_m}"
         );
-        let mut cells: HashMap<(i64, i64), Vec<(usize, Position)>> = HashMap::new();
+        let mut cells: FxHashMap<(i64, i64), Vec<(usize, Position)>> = FxHashMap::default();
         let mut len = 0;
         for (id, pos) in sites {
             cells
@@ -89,8 +89,14 @@ impl SpatialGrid {
         if self.len == 0 || radius_m < 0.0 || radius_m.is_nan() {
             return;
         }
-        let lo = Self::cell_of(Position::new(pos.x - radius_m, pos.y - radius_m), self.cell_m);
-        let hi = Self::cell_of(Position::new(pos.x + radius_m, pos.y + radius_m), self.cell_m);
+        let lo = Self::cell_of(
+            Position::new(pos.x - radius_m, pos.y - radius_m),
+            self.cell_m,
+        );
+        let hi = Self::cell_of(
+            Position::new(pos.x + radius_m, pos.y + radius_m),
+            self.cell_m,
+        );
         for cx in lo.0..=hi.0 {
             for cy in lo.1..=hi.1 {
                 if let Some(bucket) = self.cells.get(&(cx, cy)) {

@@ -14,6 +14,8 @@
 //! * [`grid`] — a uniform spatial index over deployments so dense
 //!   worlds query *nearby* APs instead of scanning all of them.
 
+#![forbid(unsafe_code)]
+
 pub mod deployment;
 pub mod encounter;
 pub mod geometry;

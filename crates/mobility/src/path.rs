@@ -192,9 +192,15 @@ mod tests {
         let m = MobilityModel::rectangular_loop(100.0, 50.0, 10.0);
         assert_eq!(m.position(SimTime::ZERO), Position::new(0.0, 0.0));
         assert_eq!(m.position(SimTime::from_secs(5)), Position::new(50.0, 0.0));
-        assert_eq!(m.position(SimTime::from_secs(10)), Position::new(100.0, 0.0));
+        assert_eq!(
+            m.position(SimTime::from_secs(10)),
+            Position::new(100.0, 0.0)
+        );
         // 12s: 20m up the right side.
-        assert_eq!(m.position(SimTime::from_secs(12)), Position::new(100.0, 20.0));
+        assert_eq!(
+            m.position(SimTime::from_secs(12)),
+            Position::new(100.0, 20.0)
+        );
         // Full lap returns to start.
         let lap = m.position(SimTime::from_secs(30));
         assert!(lap.distance_to(Position::ORIGIN) < 1e-9);

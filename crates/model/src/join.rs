@@ -176,10 +176,7 @@ mod tests {
         for fi in [0.1, 0.25, 0.4, 0.5] {
             let fast = JoinModel::paper_defaults(2.0).p_join(fi, 4.0);
             let slow = JoinModel::paper_defaults(10.0).p_join(fi, 4.0);
-            assert!(
-                fast >= slow - 1e-9,
-                "fi={fi}: fast {fast} < slow {slow}"
-            );
+            assert!(fast >= slow - 1e-9, "fi={fi}: fast {fast} < slow {slow}");
         }
     }
 

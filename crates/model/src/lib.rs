@@ -15,6 +15,8 @@
 //!   solver for small instances, and the greedy utility heuristic Spider
 //!   uses instead.
 
+#![forbid(unsafe_code)]
+
 pub mod join;
 pub mod montecarlo;
 pub mod optimizer;

@@ -44,11 +44,7 @@ pub fn simulate_join_probability(
         run_means.push(successes as f64 / trials.max(1) as f64);
     }
     let mean = run_means.iter().sum::<f64>() / runs.max(1) as f64;
-    let var = run_means
-        .iter()
-        .map(|x| (x - mean).powi(2))
-        .sum::<f64>()
-        / runs.max(1) as f64;
+    let var = run_means.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / runs.max(1) as f64;
     MonteCarloEstimate {
         mean,
         std_dev: var.sqrt(),

@@ -117,10 +117,7 @@ impl ThroughputOptimizer {
         };
         let mut idx = vec![0usize; k];
         loop {
-            let eq9_ok = idx
-                .iter()
-                .enumerate()
-                .all(|(ch, &i)| feasible[ch][i]);
+            let eq9_ok = idx.iter().enumerate().all(|(ch, &i)| feasible[ch][i]);
             // Eq. 10: Σ f_i + (#active channels)·w/D ≤ 1.
             let active = idx.iter().filter(|&&i| i > 0).count();
             let sum: f64 = idx.iter().map(|&i| i as f64 / g as f64).sum();
@@ -158,18 +155,10 @@ impl ThroughputOptimizer {
     /// which the optimal schedule abandons the second channel entirely.
     /// Scans `speeds` (ascending); returns the first speed whose optimum
     /// puts less than one grid step on the losing channel.
-    pub fn dividing_speed(
-        &self,
-        scenarios: &[ChannelScenario; 2],
-        speeds: &[f64],
-    ) -> Option<f64> {
+    pub fn dividing_speed(&self, scenarios: &[ChannelScenario; 2], speeds: &[f64]) -> Option<f64> {
         for &v in speeds {
             let opt = self.optimize(scenarios, v);
-            let min_side = opt
-                .fractions
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let min_side = opt.fractions.iter().cloned().fold(f64::INFINITY, f64::min);
             if min_side < 1.0 / self.grid as f64 + 1e-9 {
                 return Some(v);
             }

@@ -193,35 +193,33 @@ impl DhcpClient {
         let mut out = Vec::new();
         match self.state {
             DhcpClientState::Selecting | DhcpClientState::Requesting
-                if (self.needs_tx || now >= self.deadline) => {
-                    if self.attempt >= self.cfg.max_attempts {
-                        self.fail(now, &mut out);
-                        return out;
-                    }
-                    if !on_channel {
-                        // Cannot transmit; push the timer forward so the
-                        // caller's wakeup loop makes progress. Attempts
-                        // are only consumed by real transmissions.
-                        self.deadline = now + self.cfg.msg_timeout;
-                    }
-                    if on_channel {
-                        self.attempt += 1;
-                        self.needs_tx = false;
-                        self.deadline = now + self.cfg.msg_timeout;
-                        let msg = match self.state {
-                            DhcpClientState::Selecting => {
-                                DhcpMessage::discover(self.xid, self.chaddr)
-                            }
-                            DhcpClientState::Requesting => {
-                                let (ip, server) =
-                                    self.offer.expect("requesting without an offer");
-                                DhcpMessage::request(self.xid, self.chaddr, ip, server)
-                            }
-                            _ => unreachable!(),
-                        };
-                        out.push(DhcpClientEvent::Send(msg));
-                    }
+                if (self.needs_tx || now >= self.deadline) =>
+            {
+                if self.attempt >= self.cfg.max_attempts {
+                    self.fail(now, &mut out);
+                    return out;
                 }
+                if !on_channel {
+                    // Cannot transmit; push the timer forward so the
+                    // caller's wakeup loop makes progress. Attempts
+                    // are only consumed by real transmissions.
+                    self.deadline = now + self.cfg.msg_timeout;
+                }
+                if on_channel {
+                    self.attempt += 1;
+                    self.needs_tx = false;
+                    self.deadline = now + self.cfg.msg_timeout;
+                    let msg = match self.state {
+                        DhcpClientState::Selecting => DhcpMessage::discover(self.xid, self.chaddr),
+                        DhcpClientState::Requesting => {
+                            let (ip, server) = self.offer.expect("requesting without an offer");
+                            DhcpMessage::request(self.xid, self.chaddr, ip, server)
+                        }
+                        _ => unreachable!(),
+                    };
+                    out.push(DhcpClientEvent::Send(msg));
+                }
+            }
             _ => {}
         }
         out
@@ -341,11 +339,18 @@ mod tests {
         assert!(matches!(&ev[..], [DhcpClientEvent::Send(m)] if m.op == DhcpOp::Request));
         let ev = c.on_message(SimTime::from_millis(120), &ack(xid));
         match &ev[..] {
-            [DhcpClientEvent::Bound { lease, took, via_cache }] => {
+            [DhcpClientEvent::Bound {
+                lease,
+                took,
+                via_cache,
+            }] => {
                 assert_eq!(lease.ip, Ipv4Addr::new(10, 0, 0, 9));
                 assert_eq!(*took, SimDuration::from_millis(120));
                 assert!(!via_cache);
-                assert_eq!(lease.expires, SimTime::from_secs(3600) + SimDuration::from_millis(120));
+                assert_eq!(
+                    lease.expires,
+                    SimTime::from_secs(3600) + SimDuration::from_millis(120)
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -372,7 +377,13 @@ mod tests {
             other => panic!("{other:?}"),
         };
         let ev = c.on_message(SimTime::from_millis(30), &ack(xid));
-        assert!(matches!(&ev[..], [DhcpClientEvent::Bound { via_cache: true, .. }]));
+        assert!(matches!(
+            &ev[..],
+            [DhcpClientEvent::Bound {
+                via_cache: true,
+                ..
+            }]
+        ));
     }
 
     #[test]

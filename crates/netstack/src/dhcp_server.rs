@@ -11,9 +11,8 @@
 //! same AP yields the same address, which is what makes client-side
 //! lease caching (INIT-REBOOT) work.
 
-use spider_simcore::{SimDuration, SimRng, SimTime};
+use spider_simcore::{FxHashMap, SimDuration, SimRng, SimTime};
 use spider_wire::{DhcpMessage, DhcpOp, Ipv4Addr, MacAddr};
-use std::collections::HashMap;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -64,7 +63,7 @@ pub struct DelayedSend {
 pub struct DhcpServer {
     cfg: DhcpServerConfig,
     rng: SimRng,
-    assignments: HashMap<MacAddr, Ipv4Addr>,
+    assignments: FxHashMap<MacAddr, Ipv4Addr>,
     next_index: u32,
 }
 
@@ -74,7 +73,7 @@ impl DhcpServer {
         DhcpServer {
             cfg,
             rng,
-            assignments: HashMap::new(),
+            assignments: FxHashMap::default(),
             next_index: 0,
         }
     }
@@ -208,9 +207,12 @@ mod tests {
             .msg
             .yiaddr;
         assert_eq!(ip1, ip2);
-        let other = s.on_message(SimTime::ZERO, &DhcpMessage::discover(1, MacAddr::from_id(2)))[0]
-            .msg
-            .yiaddr;
+        let other = s.on_message(
+            SimTime::ZERO,
+            &DhcpMessage::discover(1, MacAddr::from_id(2)),
+        )[0]
+        .msg
+        .yiaddr;
         assert_ne!(ip1, other);
     }
 
@@ -226,7 +228,13 @@ mod tests {
         assert_eq!(out[0].msg.op, DhcpOp::Ack);
         assert_eq!(out[0].msg.lease, SimDuration::from_secs(3600));
         // ACK delay is an order of magnitude smaller than the offer delay.
-        assert!(out[0].at.saturating_since(SimTime::from_secs(1)).as_secs_f64() <= 0.02 + 1e-9);
+        assert!(
+            out[0]
+                .at
+                .saturating_since(SimTime::from_secs(1))
+                .as_secs_f64()
+                <= 0.02 + 1e-9
+        );
     }
 
     #[test]
@@ -284,13 +292,22 @@ mod tests {
         cfg.pool_size = 2;
         let mut s = DhcpServer::new(cfg, SimRng::new(1));
         assert!(!s
-            .on_message(SimTime::ZERO, &DhcpMessage::discover(1, MacAddr::from_id(1)))
+            .on_message(
+                SimTime::ZERO,
+                &DhcpMessage::discover(1, MacAddr::from_id(1))
+            )
             .is_empty());
         assert!(!s
-            .on_message(SimTime::ZERO, &DhcpMessage::discover(1, MacAddr::from_id(2)))
+            .on_message(
+                SimTime::ZERO,
+                &DhcpMessage::discover(1, MacAddr::from_id(2))
+            )
             .is_empty());
         assert!(s
-            .on_message(SimTime::ZERO, &DhcpMessage::discover(1, MacAddr::from_id(3)))
+            .on_message(
+                SimTime::ZERO,
+                &DhcpMessage::discover(1, MacAddr::from_id(3))
+            )
             .is_empty());
     }
 

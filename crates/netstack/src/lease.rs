@@ -1,8 +1,7 @@
 //! DHCP leases and the per-BSSID lease cache.
 
-use spider_simcore::SimTime;
+use spider_simcore::{FxHashMap, SimTime};
 use spider_wire::{Ipv4Addr, MacAddr};
-use std::collections::HashMap;
 
 /// A granted DHCP lease.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +27,7 @@ impl Lease {
 /// paper identifies as essential for multi-AP systems (§2.1.2).
 #[derive(Debug, Clone, Default)]
 pub struct LeaseCache {
-    entries: HashMap<MacAddr, Lease>,
+    entries: FxHashMap<MacAddr, Lease>,
     /// Cache hits observed (for experiment reporting).
     pub hits: u64,
     /// Cache misses observed.

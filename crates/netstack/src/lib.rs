@@ -15,6 +15,8 @@
 //! * [`ping`] — Spider's end-to-end liveness monitor: 10 pings/second,
 //!   30 consecutive losses declare the connection dead (§3.2.2).
 
+#![forbid(unsafe_code)]
+
 pub mod dhcp_client;
 pub mod dhcp_server;
 pub mod lease;

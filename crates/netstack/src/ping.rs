@@ -242,9 +242,7 @@ impl PingEngine {
     /// upstream of this AP (§3.2.2).
     pub fn should_fall_back(&self) -> bool {
         match self.cfg.gateway_fallback_after {
-            Some(n) => {
-                self.running && self.session_received == 0 && self.session_expired >= n
-            }
+            Some(n) => self.running && self.session_received == 0 && self.session_expired >= n,
             None => false,
         }
     }
@@ -289,7 +287,10 @@ mod tests {
     fn first_reply_reports_up() {
         let mut e = engine();
         let ev = e.poll(SimTime::ZERO, true);
-        assert!(matches!(&ev[..], [PingEvent::Send(IcmpMessage::EchoRequest { seq: 0, .. })]));
+        assert!(matches!(
+            &ev[..],
+            [PingEvent::Send(IcmpMessage::EchoRequest { seq: 0, .. })]
+        ));
         let ev = e.on_reply(SimTime::from_millis(20), &reply(0));
         assert_eq!(ev, vec![PingEvent::Up]);
         assert!(e.is_alive());
@@ -330,7 +331,7 @@ mod tests {
         e.poll(SimTime::from_millis(100), true); // seq 1
         e.poll(SimTime::from_millis(200), true); // seq 2
         e.poll(SimTime::from_millis(300), true); // seq 3
-        // seq1 expires at 400 (1 failure) ... then seq 3 answered at 450.
+                                                 // seq1 expires at 400 (1 failure) ... then seq 3 answered at 450.
         let ev = e.poll(SimTime::from_millis(400), true); // seq 4 sent, seq1 expired
         assert!(!ev.contains(&PingEvent::Down));
         e.on_reply(SimTime::from_millis(450), &reply(3));
@@ -468,7 +469,7 @@ mod tests {
         e.poll(SimTime::ZERO, true); // seq 0 of session 1
         e.stop();
         e.start(SimTime::from_secs(1)); // session 2 starts at seq 1
-        // Session-1 reply must not count for session 2.
+                                        // Session-1 reply must not count for session 2.
         assert!(e.on_reply(SimTime::from_secs(1), &reply(0)).is_empty());
         assert!(!e.is_alive());
         assert_eq!(e.received, 0);

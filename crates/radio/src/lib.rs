@@ -17,6 +17,8 @@
 //!    transmitters on a channel ([`medium::ChannelMedium`]), which is why
 //!    aggregate throughput on one channel is capped by the channel rate.
 
+#![forbid(unsafe_code)]
+
 pub mod loss;
 pub mod medium;
 pub mod phy;

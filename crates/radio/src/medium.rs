@@ -39,7 +39,12 @@ impl ChannelMedium {
 
     /// Reserve the channel for a frame needing `airtime`, starting no
     /// earlier than `now`. Returns `(start, end)` of the transmission.
-    pub fn reserve(&mut self, now: SimTime, ch: Channel, airtime: SimDuration) -> (SimTime, SimTime) {
+    pub fn reserve(
+        &mut self,
+        now: SimTime,
+        ch: Channel,
+        airtime: SimDuration,
+    ) -> (SimTime, SimTime) {
         let free_at = self.busy_until[ch.index()];
         let start = now.max(free_at);
         let end = start + airtime;

@@ -110,6 +110,11 @@ pub struct EventQueue<E> {
     len: usize,
     next_seq: u64,
     last_popped: SimTime,
+    /// Key of the most recently popped event. The pop sequence must be
+    /// strictly increasing in `(at, seq)`; anything else means bucket
+    /// bookkeeping has corrupted the total order (DESIGN.md §11).
+    #[cfg(feature = "validate")]
+    last_popped_key: Option<(SimTime, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -127,6 +132,8 @@ impl<E> EventQueue<E> {
             len: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            #[cfg(feature = "validate")]
+            last_popped_key: None,
         }
     }
 
@@ -144,6 +151,8 @@ impl<E> EventQueue<E> {
             len: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            #[cfg(feature = "validate")]
+            last_popped_key: None,
         }
     }
 
@@ -180,10 +189,7 @@ impl<E> EventQueue<E> {
             let bucket = &mut self.buckets[(self.cursor & BUCKET_MASK) as usize];
             let mut best: Option<(usize, SimTime, u64)> = None;
             for (i, e) in bucket.iter().enumerate() {
-                if e.at < window_end
-                    && best
-                        .is_none_or(|(_, at, seq)| (e.at, e.seq) < (at, seq))
-                {
+                if e.at < window_end && best.is_none_or(|(_, at, seq)| (e.at, e.seq) < (at, seq)) {
                     best = Some((i, e.at, e.seq));
                 }
             }
@@ -193,6 +199,18 @@ impl<E> EventQueue<E> {
                 let ev = bucket.swap_remove(i);
                 self.len -= 1;
                 self.last_popped = ev.at;
+                #[cfg(feature = "validate")]
+                {
+                    let key = (ev.at, ev.seq);
+                    assert!(
+                        self.last_popped_key.is_none_or(|prev| key > prev),
+                        "event queue popped out of order: ({}, seq {}) after {:?}",
+                        ev.at,
+                        ev.seq,
+                        self.last_popped_key,
+                    );
+                    self.last_popped_key = Some(key);
+                }
                 return Some(ev);
             }
             self.cursor += 1;
@@ -242,6 +260,10 @@ impl<E> EventQueue<E> {
         self.len = 0;
         self.next_seq = 0;
         self.last_popped = SimTime::ZERO;
+        #[cfg(feature = "validate")]
+        {
+            self.last_popped_key = None;
+        }
     }
 }
 
@@ -372,6 +394,20 @@ mod tests {
             }
         }
         assert!(reference.is_empty());
+    }
+
+    /// The validate-build pop-order guard must demonstrably fire. The
+    /// only way to violate the total order from safe code is to corrupt
+    /// internal state, which only this module can do.
+    #[cfg(feature = "validate")]
+    #[test]
+    #[should_panic(expected = "popped out of order")]
+    fn validate_guard_catches_out_of_order_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        // Pretend a later event was already popped.
+        q.last_popped_key = Some((SimTime::from_secs(1), u64::MAX));
+        q.pop();
     }
 
     #[cfg(feature = "proptest-tests")]

@@ -16,6 +16,9 @@
 //! here are trusted simulation state, not attacker input, so HashDoS
 //! resistance is not required.
 
+// This is the definition site of the deterministic aliases themselves:
+// the std types are re-parameterised with a fixed-seed hasher, never
+// used with RandomState. lint:allow-file(default-hash)
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -104,7 +107,10 @@ mod tests {
     fn deterministic_across_hasher_instances() {
         assert_eq!(hash_of(&42u64), hash_of(&42u64));
         assert_eq!(hash_of(&"spider"), hash_of(&"spider"));
-        assert_eq!(hash_of(&[1u8, 2, 3, 4, 5, 6]), hash_of(&[1u8, 2, 3, 4, 5, 6]));
+        assert_eq!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6]),
+            hash_of(&[1u8, 2, 3, 4, 5, 6])
+        );
     }
 
     #[test]

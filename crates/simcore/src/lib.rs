@@ -17,6 +17,8 @@
 //! or reads wall-clock time, which keeps every simulation fully
 //! deterministic and unit-testable.
 
+#![forbid(unsafe_code)]
+
 pub mod bucket;
 pub mod event;
 pub mod hashing;

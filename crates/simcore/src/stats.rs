@@ -106,9 +106,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -394,8 +392,7 @@ impl RateMeter {
     /// Fraction of windows in `[start, end]` during which any data
     /// arrived — the paper's "average connectivity".
     pub fn connectivity_fraction(&self, end: SimTime) -> f64 {
-        let total_windows =
-            end.saturating_since(self.start).as_micros() / self.window.as_micros();
+        let total_windows = end.saturating_since(self.start).as_micros() / self.window.as_micros();
         if total_windows == 0 {
             return 0.0;
         }
@@ -492,8 +489,14 @@ mod tests {
         t.set(SimTime::from_secs(5), false); // idempotent
         t.set(SimTime::from_secs(6), true); // 1s off
         let report = t.finish(SimTime::from_secs(10)); // 4s on
-        assert_eq!(report.on_durations, vec![SimDuration::from_secs(3), SimDuration::from_secs(4)]);
-        assert_eq!(report.off_durations, vec![SimDuration::from_secs(2), SimDuration::from_secs(1)]);
+        assert_eq!(
+            report.on_durations,
+            vec![SimDuration::from_secs(3), SimDuration::from_secs(4)]
+        );
+        assert_eq!(
+            report.off_durations,
+            vec![SimDuration::from_secs(2), SimDuration::from_secs(1)]
+        );
         assert!((report.on_fraction - 0.7).abs() < 1e-12);
     }
 

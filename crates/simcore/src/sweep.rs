@@ -43,7 +43,9 @@ pub fn worker_count() -> usize {
             }
         }
     }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Run `run` over every job, in parallel, returning results in job order.

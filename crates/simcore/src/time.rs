@@ -29,14 +29,17 @@ impl SimTime {
         SimTime(us)
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds, saturating at [`SimTime::MAX`].
+    /// Saturation (rather than wrap) keeps an absurd config value pinned
+    /// at the far-future sentinel instead of silently landing in the
+    /// middle of a run.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds, saturating at [`SimTime::MAX`].
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000)
+        SimTime(s.saturating_mul(1_000_000))
     }
 
     /// Construct from fractional seconds. Panics on negative input.
@@ -88,14 +91,15 @@ impl SimDuration {
         SimDuration(us)
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds, saturating at [`SimDuration::MAX`]
+    /// (see [`SimTime::from_millis`] for why saturation).
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        SimDuration(ms.saturating_mul(1_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds, saturating at [`SimDuration::MAX`].
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
+        SimDuration(s.saturating_mul(1_000_000))
     }
 
     /// Construct from fractional seconds. Panics on negative input.
@@ -253,7 +257,9 @@ mod tests {
         assert_eq!((t + d) - t, d);
         assert_eq!(d * 3, SimDuration::from_millis(150));
         assert_eq!(d / 2, SimDuration::from_millis(25));
-        assert!((SimDuration::from_millis(100) / SimDuration::from_millis(400) - 0.25).abs() < 1e-12);
+        assert!(
+            (SimDuration::from_millis(100) / SimDuration::from_millis(400) - 0.25).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -263,7 +269,10 @@ mod tests {
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
         assert_eq!(b.saturating_since(a), SimDuration::from_millis(10));
         assert_eq!(a.checked_since(b), None);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -286,5 +295,73 @@ mod tests {
     #[should_panic]
     fn negative_seconds_panic() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        // A u64::MAX-seconds config is nonsense, but it must pin to the
+        // far-future sentinel, not wrap into the middle of a run.
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        // The largest exactly-representable inputs still convert exactly.
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000).as_micros(),
+            (u64::MAX / 1_000_000) * 1_000_000
+        );
+    }
+
+    #[test]
+    fn float_constructors_saturate() {
+        // Rust float→int casts saturate; huge configs pin to MAX.
+        assert_eq!(SimTime::from_secs_f64(1e30), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(1).mul_f64(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_scale_panics() {
+        let _ = SimDuration::from_secs(1).mul_f64(f64::NAN);
+    }
+
+    // Overflow in the raw Add/Sub/Mul operators is a simulator bug, not
+    // saturation territory: `overflow-checks = true` in the dev and test
+    // profiles (workspace Cargo.toml) turns it into a panic. These
+    // regressions pin that behaviour wherever checks are armed.
+    #[cfg(debug_assertions)]
+    mod overflow_panics {
+        use super::*;
+
+        #[test]
+        #[should_panic]
+        fn time_plus_duration_overflow() {
+            let _ = SimTime::MAX + SimDuration::from_micros(1);
+        }
+
+        #[test]
+        #[should_panic]
+        fn time_minus_duration_underflow() {
+            let _ = SimTime::ZERO - SimDuration::from_micros(1);
+        }
+
+        #[test]
+        #[should_panic]
+        fn instant_difference_underflow() {
+            let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+        }
+
+        #[test]
+        #[should_panic]
+        fn duration_sum_overflow() {
+            let _ = SimDuration::MAX + SimDuration::from_micros(1);
+        }
+
+        #[test]
+        #[should_panic]
+        fn duration_scale_overflow() {
+            let _ = SimDuration::MAX * 2;
+        }
     }
 }

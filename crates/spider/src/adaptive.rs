@@ -49,7 +49,7 @@ impl AdaptivePolicy {
     pub fn choose(
         &self,
         speed_mps: f64,
-        census: &std::collections::HashMap<Channel, usize>,
+        census: &spider_simcore::FxHashMap<Channel, usize>,
     ) -> ChannelSchedule {
         let mut channels: Vec<(Channel, usize)> = Channel::ORTHOGONAL
             .iter()
@@ -176,12 +176,12 @@ impl ClientSystem for AdaptiveSpider {
 mod tests {
     use super::*;
     use crate::config::{OperationMode, SpiderConfig};
-    use std::collections::HashMap;
+    use spider_simcore::FxHashMap;
 
     #[test]
     fn fast_speed_picks_single_busiest_channel() {
         let p = AdaptivePolicy::default();
-        let mut census = HashMap::new();
+        let mut census = FxHashMap::default();
         census.insert(Channel::CH6, 5);
         census.insert(Channel::CH1, 2);
         let s = p.choose(15.0, &census);
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn slow_speed_rotates_populated_channels() {
         let p = AdaptivePolicy::default();
-        let mut census = HashMap::new();
+        let mut census = FxHashMap::default();
         census.insert(Channel::CH6, 3);
         census.insert(Channel::CH11, 1);
         let s = p.choose(3.0, &census);
@@ -206,7 +206,7 @@ mod tests {
         // A single radio cannot hear channels it never visits; a slow
         // node with a one-channel census must explore.
         let p = AdaptivePolicy::default();
-        let mut census = HashMap::new();
+        let mut census = FxHashMap::default();
         census.insert(Channel::CH1, 4);
         let s = p.choose(3.0, &census);
         assert_eq!(s.channels().len(), 3);
@@ -215,9 +215,9 @@ mod tests {
     #[test]
     fn empty_census_explores_when_slow_but_not_fast() {
         let p = AdaptivePolicy::default();
-        let slow = p.choose(3.0, &HashMap::new());
+        let slow = p.choose(3.0, &FxHashMap::default());
         assert_eq!(slow.channels().len(), 3);
-        let fast = p.choose(15.0, &HashMap::new());
+        let fast = p.choose(15.0, &FxHashMap::default());
         assert!(fast.is_single_channel());
     }
 

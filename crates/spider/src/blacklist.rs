@@ -9,9 +9,8 @@
 //! the slate on the first verified success. Jitter is deterministic per
 //! `(bssid, strikes)` so runs stay reproducible.
 
-use spider_simcore::{SimDuration, SimTime};
+use spider_simcore::{FxHashMap, SimDuration, SimTime};
 use spider_wire::MacAddr;
-use std::collections::HashMap;
 
 /// Backoff tuning.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct ApBlacklist {
     cfg: BlacklistConfig,
-    entries: HashMap<MacAddr, Entry>,
+    entries: FxHashMap<MacAddr, Entry>,
 }
 
 /// FNV-1a over the BSSID and strike count: a tiny, fully deterministic
@@ -64,7 +63,7 @@ impl ApBlacklist {
     pub fn new(cfg: BlacklistConfig) -> ApBlacklist {
         ApBlacklist {
             cfg,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 
@@ -183,7 +182,15 @@ mod tests {
         let secs = |s| SimDuration::from_secs(s);
         assert_eq!(
             widths,
-            vec![secs(2), secs(4), secs(8), secs(16), secs(32), secs(60), secs(60)]
+            vec![
+                secs(2),
+                secs(4),
+                secs(8),
+                secs(16),
+                secs(32),
+                secs(60),
+                secs(60)
+            ]
         );
     }
 

@@ -93,14 +93,12 @@ impl SpiderConfig {
         let (schedule, max_concurrent) = match &mode {
             OperationMode::SingleChannelSingleAp(ch) => (ChannelSchedule::single(*ch), 1),
             OperationMode::SingleChannelMultiAp(ch) => (ChannelSchedule::single(*ch), 7),
-            OperationMode::MultiChannelMultiAp { period } => (
-                ChannelSchedule::equal(&Channel::ORTHOGONAL, *period),
-                7,
-            ),
-            OperationMode::MultiChannelSingleAp { period } => (
-                ChannelSchedule::equal(&Channel::ORTHOGONAL, *period),
-                1,
-            ),
+            OperationMode::MultiChannelMultiAp { period } => {
+                (ChannelSchedule::equal(&Channel::ORTHOGONAL, *period), 7)
+            }
+            OperationMode::MultiChannelSingleAp { period } => {
+                (ChannelSchedule::equal(&Channel::ORTHOGONAL, *period), 1)
+            }
         };
         SpiderConfig {
             num_ifaces: 7,
@@ -160,10 +158,7 @@ mod tests {
 
     #[test]
     fn modes_map_to_schedules() {
-        let c1 = SpiderConfig::for_mode(
-            OperationMode::SingleChannelSingleAp(Channel::CH1),
-            0,
-        );
+        let c1 = SpiderConfig::for_mode(OperationMode::SingleChannelSingleAp(Channel::CH1), 0);
         assert!(c1.schedule.is_single_channel());
         assert_eq!(c1.max_concurrent, 1);
 

@@ -81,7 +81,10 @@ impl SpiderDriver {
         let sessions = vec![None; cfg.num_ifaces];
         let blacklist = ApBlacklist::new(cfg.blacklist.clone());
         let iface_addrs = ifaces.iter().map(|i: &ClientIface| i.addr).collect();
-        let iface_wakeups = ifaces.iter().map(|i: &ClientIface| i.next_wakeup()).collect();
+        let iface_wakeups = ifaces
+            .iter()
+            .map(|i: &ClientIface| i.next_wakeup())
+            .collect();
         let n = cfg.num_ifaces;
         SpiderDriver {
             cfg,
@@ -258,8 +261,7 @@ impl SpiderDriver {
                         .iter()
                         .enumerate()
                         .filter(|(j, other)| {
-                            *j != iface_idx
-                                && other.current_lease().map(|l| l.ip) == Some(lease.ip)
+                            *j != iface_idx && other.current_lease().map(|l| l.ip) == Some(lease.ip)
                         })
                         .map(|(j, _)| j)
                         .collect();
@@ -297,10 +299,8 @@ impl SpiderDriver {
                         if session_bssid == bssid {
                             let span = now.saturating_since(up_at).as_secs_f64();
                             if span > 0.5 {
-                                let bytes =
-                                    self.ifaces[iface_idx].delivered_bytes() - bytes_at_up;
-                                self.utility
-                                    .record_throughput(bssid, bytes as f64 / span);
+                                let bytes = self.ifaces[iface_idx].delivered_bytes() - bytes_at_up;
+                                self.utility.record_throughput(bssid, bytes as f64 / span);
                             }
                         }
                     }
@@ -344,13 +344,11 @@ impl SpiderDriver {
             if busy >= self.cfg.max_concurrent {
                 return;
             }
-            let now_ready =
-                |i: &ClientIface| !i.is_busy() && i.dhcp_ready(now);
+            let now_ready = |i: &ClientIface| !i.is_busy() && i.dhcp_ready(now);
             let Some(idle_idx) = self.ifaces.iter().position(now_ready) else {
                 return;
             };
-            let mut in_use: Vec<MacAddr> =
-                self.ifaces.iter().filter_map(|i| i.bssid()).collect();
+            let mut in_use: Vec<MacAddr> = self.ifaces.iter().filter_map(|i| i.bssid()).collect();
             // Blacklisted APs are excluded from selection exactly like
             // ones we are already bound to.
             in_use.extend(self.blacklist.blocked(now));
@@ -391,9 +389,7 @@ impl SpiderDriver {
         // Park every associated interface on the old channel.
         if let Some(cur) = self.current {
             for (idx, iface) in self.ifaces.iter().enumerate() {
-                if iface.is_associated()
-                    && iface.target().map(|t| t.channel) == Some(cur)
-                {
+                if iface.is_associated() && iface.target().map(|t| t.channel) == Some(cur) {
                     if let Some(bssid) = iface.bssid() {
                         actions.push(DriverAction::Transmit {
                             iface: idx,
@@ -483,7 +479,12 @@ impl ClientSystem for SpiderDriver {
         }
     }
 
-    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, actions: &mut Vec<DriverAction>) {
+    fn on_switch_complete_into(
+        &mut self,
+        now: SimTime,
+        ch: Channel,
+        actions: &mut Vec<DriverAction>,
+    ) {
         self.current = Some(ch);
         self.switching_to = None;
         // Wake every associated interface on the new channel (flushes the
@@ -708,7 +709,9 @@ mod tests {
             &mut actions,
         );
         assert!(
-            actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+            actions
+                .iter()
+                .any(|a| matches!(a, DriverAction::Transmit { frame, .. }
                 if matches!(frame.body, FrameBody::ProbeRequest { .. }))),
             "a dead link should trigger an immediate broadcast probe"
         );
@@ -752,7 +755,8 @@ mod tests {
         let actions2 = d.poll(SimTime::from_millis(100));
         let all: Vec<&DriverAction> = actions.iter().chain(actions2.iter()).collect();
         assert!(
-            all.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+            all.iter()
+                .any(|a| matches!(a, DriverAction::Transmit { frame, .. }
                 if matches!(frame.body, FrameBody::AuthRequest))),
             "driver should start joining the advertised AP: {all:?}"
         );
@@ -793,7 +797,10 @@ mod tests {
     fn multi_ap_mode_joins_several() {
         let mut d = driver(OperationMode::SingleChannelMultiAp(Channel::CH1));
         for ap in 0..4 {
-            d.on_frame(SimTime::from_millis(10 + ap), &beacon(100 + ap, Channel::CH1).rx());
+            d.on_frame(
+                SimTime::from_millis(10 + ap),
+                &beacon(100 + ap, Channel::CH1).rx(),
+            );
         }
         let actions = d.poll(SimTime::from_millis(100));
         let auth_targets: std::collections::HashSet<MacAddr> = actions
@@ -818,7 +825,9 @@ mod tests {
         d.on_frame(SimTime::from_millis(10), &beacon(100, Channel::CH1).rx());
         let actions = d.poll(SimTime::from_millis(50));
         // The join begins (auth request).
-        assert!(actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DriverAction::Transmit { frame, .. }
             if matches!(frame.body, FrameBody::AuthRequest))));
         // Answer auth + assoc so the iface is associated.
         let auth_ok = RxBuf {
@@ -860,7 +869,9 @@ mod tests {
         d.poll(SimTime::from_millis(600)); // -> switch to ch1
         let actions = d.on_switch_complete(SimTime::from_millis(605), Channel::CH1);
         assert!(
-            actions.iter().any(|a| matches!(a, DriverAction::Transmit { frame, .. }
+            actions
+                .iter()
+                .any(|a| matches!(a, DriverAction::Transmit { frame, .. }
                 if matches!(frame.body, FrameBody::Null { power_save: false }))),
             "{actions:?}"
         );

@@ -410,10 +410,7 @@ impl ClientIface {
                         }
                     }
                 }
-                let rexmit = self
-                    .tcp
-                    .as_mut()
-                    .and_then(|tcp| tcp.poll(now, on_channel));
+                let rexmit = self.tcp.as_mut().and_then(|tcp| tcp.poll(now, on_channel));
                 if let Some(seg) = rexmit {
                     out.push(IfaceEvent::Transmit(self.wrap_tcp(seg)));
                 }
@@ -436,8 +433,7 @@ impl ClientIface {
                         self.flow_progress_at = now;
                     }
                     let dead = self.tcp.as_ref().map(|t| t.has_failed()).unwrap_or(true);
-                    let stalled =
-                        now.saturating_since(self.flow_progress_at) >= Self::FLOW_STALL;
+                    let stalled = now.saturating_since(self.flow_progress_at) >= Self::FLOW_STALL;
                     if dead || stalled {
                         if let Some(old_flow) = self.tcp.take() {
                             self.delivered_base += old_flow.delivered;
@@ -483,8 +479,7 @@ impl ClientIface {
         match self.phase {
             IfacePhase::Idle => false,
             IfacePhase::Connected => {
-                (self.tcp_enabled
-                    && self.tcp.as_ref().map(|t| t.has_failed()).unwrap_or(true))
+                (self.tcp_enabled && self.tcp.as_ref().map(|t| t.has_failed()).unwrap_or(true))
                     || self.next_wakeup() <= now
             }
             _ => true,
@@ -595,10 +590,7 @@ impl ClientIface {
                     }
                 }
                 L4::Tcp(seg) => {
-                    let ack = self
-                        .tcp
-                        .as_mut()
-                        .and_then(|tcp| tcp.on_segment(now, seg));
+                    let ack = self.tcp.as_mut().and_then(|tcp| tcp.on_segment(now, seg));
                     if let Some(ack) = ack {
                         out.push(IfaceEvent::Transmit(self.wrap_tcp(ack)));
                     }
@@ -725,7 +717,11 @@ mod tests {
             })
             .expect("ping sent");
         let t2 = SimTime::from_millis(550);
-        let ev = iface.on_frame(t2, &ap_data(L4::Icmp(IcmpMessage::EchoReply { id, seq })), log);
+        let ev = iface.on_frame(
+            t2,
+            &ap_data(L4::Icmp(IcmpMessage::EchoReply { id, seq })),
+            log,
+        );
         assert!(ev
             .iter()
             .any(|e| matches!(e, IfaceEvent::ConnectivityUp { .. })));
@@ -753,7 +749,11 @@ mod tests {
         let t0 = SimTime::ZERO;
         iface.start_join(t0, target(), None);
         iface.poll(t0, true, &mut log);
-        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AuthResponse { ok: true }),
+            &mut log,
+        );
         iface.poll(t0, true, &mut log);
         iface.on_frame(
             t0,
@@ -830,7 +830,11 @@ mod tests {
         };
         iface.start_join(t0, target(), Some(cached));
         iface.poll(t0, true, &mut log);
-        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AuthResponse { ok: true }),
+            &mut log,
+        );
         iface.poll(t0, true, &mut log);
         iface.on_frame(
             t0,
@@ -952,7 +956,11 @@ mod tests {
         let t0 = SimTime::ZERO;
         iface.start_join(t0, target(), None);
         iface.poll(t0, true, &mut log);
-        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AuthResponse { ok: true }),
+            &mut log,
+        );
         iface.poll(t0, true, &mut log);
         iface.on_frame(
             t0,
@@ -987,7 +995,11 @@ mod tests {
         };
         iface.start_join(t0, target(), Some(cached));
         iface.poll(t0, true, &mut log);
-        iface.on_frame(t0, &ap_frame(FrameBody::AuthResponse { ok: true }), &mut log);
+        iface.on_frame(
+            t0,
+            &ap_frame(FrameBody::AuthResponse { ok: true }),
+            &mut log,
+        );
         iface.poll(t0, true, &mut log);
         iface.on_frame(
             t0,

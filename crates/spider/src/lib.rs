@@ -27,6 +27,8 @@
 //! between single-channel and multi-channel operation based on observed
 //! conditions.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod blacklist;
 pub mod config;

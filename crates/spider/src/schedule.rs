@@ -61,11 +61,7 @@ impl ChannelSchedule {
         let total = (p1 + p6 + p11) as f64;
         assert!(total > 0.0);
         let mut slots = Vec::new();
-        for (ch, p) in [
-            (Channel::CH1, p1),
-            (Channel::CH6, p6),
-            (Channel::CH11, p11),
-        ] {
+        for (ch, p) in [(Channel::CH1, p1), (Channel::CH6, p6), (Channel::CH11, p11)] {
             if p > 0 {
                 slots.push((ch, p as f64 / total));
             }
@@ -236,7 +232,7 @@ mod tests {
         let ok = ChannelSchedule::equal(&Channel::ORTHOGONAL, SimDuration::from_millis(600));
         assert!(ok.is_feasible(&phy));
         assert!(ok.slack(&phy) < 0.0); // switches eat into slots
-        // 3ms slots are shorter than the switch itself.
+                                       // 3ms slots are shorter than the switch itself.
         let bad = ChannelSchedule::equal(&Channel::ORTHOGONAL, SimDuration::from_millis(9));
         assert!(!bad.is_feasible(&phy));
     }

@@ -11,7 +11,6 @@
 
 use spider_simcore::{FxHashMap, SimDuration, SimTime};
 use spider_wire::{Channel, MacAddr, Ssid};
-use std::collections::HashMap;
 
 /// How far a join attempt progressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,8 +249,8 @@ impl UtilityTable {
 
     /// Number of fresh, usable APs per channel — the "AP density" input
     /// to the adaptive scheduler (§4.8).
-    pub fn channel_census(&self, now: SimTime) -> HashMap<Channel, usize> {
-        let mut census = HashMap::new();
+    pub fn channel_census(&self, now: SimTime) -> FxHashMap<Channel, usize> {
+        let mut census = FxHashMap::default();
         for rec in self.records.values() {
             if now.saturating_since(rec.last_seen) <= self.cfg.freshness
                 && rec.rssi_dbm >= self.cfg.min_rssi_dbm
@@ -338,7 +337,13 @@ mod tests {
         let mut t = table();
         let now = SimTime::from_secs(100);
         // Stale.
-        observe(&mut t, 1, Channel::CH6, -60.0, now - SimDuration::from_secs(10));
+        observe(
+            &mut t,
+            1,
+            Channel::CH6,
+            -60.0,
+            now - SimDuration::from_secs(10),
+        );
         // Too weak.
         observe(&mut t, 2, Channel::CH6, -95.0, now);
         // Cooling down after failure.

@@ -18,6 +18,8 @@
 //!
 //! Segments carry byte *counts*, not bytes (see `spider-wire`).
 
+#![forbid(unsafe_code)]
+
 pub mod receiver;
 pub mod rtt;
 pub mod sender;

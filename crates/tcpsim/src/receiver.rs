@@ -182,11 +182,7 @@ impl TcpReceiver {
     }
 
     fn drain_ooo(&mut self) {
-        while let Some(pos) = self
-            .ooo
-            .iter()
-            .position(|&(s, _)| seq_le(s, self.rcv_nxt))
-        {
+        while let Some(pos) = self.ooo.iter().position(|&(s, _)| seq_le(s, self.rcv_nxt)) {
             let (_, e) = self.ooo.remove(pos);
             if seq_lt(self.rcv_nxt, e) {
                 self.deliver_to(e);
@@ -273,7 +269,7 @@ mod tests {
     fn gap_generates_dupacks_until_filled() {
         let mut r = established();
         r.on_segment(SimTime::from_millis(20), &data(1001, 1000)); // ack 2001
-        // Segment after a hole.
+                                                                   // Segment after a hole.
         let out = r.on_segment(SimTime::from_millis(30), &data(3001, 1000));
         assert_eq!(out.unwrap().ack, 2001, "dup ack at the hole");
         let out = r.on_segment(SimTime::from_millis(31), &data(4001, 1000));
@@ -363,7 +359,10 @@ mod tests {
         let mut r = established();
         // Deliver every other segment first.
         for i in 0..10u32 {
-            r.on_segment(SimTime::from_millis(20), &data(1001 + (2 * i + 1) * 100, 100));
+            r.on_segment(
+                SimTime::from_millis(20),
+                &data(1001 + (2 * i + 1) * 100, 100),
+            );
         }
         assert_eq!(r.delivered, 0);
         // Now fill the even slots.

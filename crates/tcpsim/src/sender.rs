@@ -239,8 +239,8 @@ impl TcpSender {
                 // (NewReno), deflate by the acked amount.
                 let len = self.cfg.mss.min(self.recover.wrapping_sub(self.snd_una));
                 out.push(self.retransmit_front(now, len));
-                self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
-                    .max(self.cfg.mss as f64);
+                self.cwnd =
+                    (self.cwnd - newly as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
             } else {
                 self.in_recovery = false;
                 self.cwnd = self.ssthresh;
@@ -471,7 +471,10 @@ mod tests {
         }
         // Each full-window ACK round roughly doubles emissions: 2,2,4,8,16
         // (first ACK round releases 1 per ack + growth).
-        assert!(per_rtt.windows(2).skip(1).all(|w| w[1] >= w[0]), "{per_rtt:?}");
+        assert!(
+            per_rtt.windows(2).skip(1).all(|w| w[1] >= w[0]),
+            "{per_rtt:?}"
+        );
         assert!(*per_rtt.last().unwrap() >= 8, "{per_rtt:?}");
     }
 
@@ -489,7 +492,10 @@ mod tests {
         let mut saw_retransmit = false;
         for i in 0..3 {
             let out = s.on_segment(t + SimDuration::from_millis(i + 1), &ack_seg(una));
-            if out.iter().any(|seg| seg.seq == una && seg.payload_len == MSS) {
+            if out
+                .iter()
+                .any(|seg| seg.seq == una && seg.payload_len == MSS)
+            {
                 saw_retransmit = true;
             }
         }

@@ -68,7 +68,8 @@ impl Pipe {
     fn run(&mut self, end: SimTime, blackout: Option<(SimTime, SimTime)>) -> u64 {
         let syn = self.receiver.connect(SimTime::ZERO);
         self.send_toward_sender(SimTime::ZERO, syn);
-        self.queue.schedule(SimTime::from_millis(1), Ev::SenderTimer);
+        self.queue
+            .schedule(SimTime::from_millis(1), Ev::SenderTimer);
         self.queue
             .schedule(SimTime::from_millis(1), Ev::ReceiverTimer);
         while let Some(ev) = self.queue.pop() {
@@ -76,9 +77,7 @@ impl Pipe {
             if now > end {
                 break;
             }
-            let dark = blackout
-                .map(|(a, b)| now >= a && now < b)
-                .unwrap_or(false);
+            let dark = blackout.map(|(a, b)| now >= a && now < b).unwrap_or(false);
             match ev.event {
                 Ev::ToReceiver(seg) => {
                     if dark {

@@ -357,7 +357,12 @@ fn decode_body(r: &mut Reader<'_>) -> Result<FrameBody, CodecError> {
                 more_data,
             }
         }
-        t => return Err(CodecError::BadTag { what: "frame body", tag: t }),
+        t => {
+            return Err(CodecError::BadTag {
+                what: "frame body",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -396,7 +401,12 @@ fn decode_packet(r: &mut Reader<'_>) -> Result<Ipv4Packet, CodecError> {
             L4::Icmp(match sub {
                 0 => IcmpMessage::EchoRequest { id, seq },
                 1 => IcmpMessage::EchoReply { id, seq },
-                t => return Err(CodecError::BadTag { what: "icmp", tag: t }),
+                t => {
+                    return Err(CodecError::BadTag {
+                        what: "icmp",
+                        tag: t,
+                    })
+                }
             })
         }
         L_DHCP => {
@@ -406,7 +416,12 @@ fn decode_packet(r: &mut Reader<'_>) -> Result<Ipv4Packet, CodecError> {
                 D_REQUEST => DhcpOp::Request,
                 D_ACK => DhcpOp::Ack,
                 D_NAK => DhcpOp::Nak,
-                t => return Err(CodecError::BadTag { what: "dhcp op", tag: t }),
+                t => {
+                    return Err(CodecError::BadTag {
+                        what: "dhcp op",
+                        tag: t,
+                    })
+                }
             };
             L4::Dhcp(DhcpMessage {
                 op,
@@ -458,7 +473,12 @@ mod tests {
                         seq,
                         ack,
                         window: win,
-                        flags: TcpFlags { syn, ack: ackf, fin, rst },
+                        flags: TcpFlags {
+                            syn,
+                            ack: ackf,
+                            fin,
+                            rst,
+                        },
                         payload_len: len,
                     })
                 }),
@@ -511,16 +531,19 @@ mod tests {
             Just(FrameBody::AuthRequest),
             any::<bool>().prop_map(|ok| FrameBody::AuthResponse { ok }),
             arb_ssid().prop_map(|ssid| FrameBody::AssocRequest { ssid }),
-            (any::<bool>(), any::<u16>()).prop_map(|(ok, aid)| FrameBody::AssocResponse { ok, aid }),
+            (any::<bool>(), any::<u16>())
+                .prop_map(|(ok, aid)| FrameBody::AssocResponse { ok, aid }),
             any::<u16>().prop_map(|reason| FrameBody::Deauth { reason }),
             any::<bool>().prop_map(|power_save| FrameBody::Null { power_save }),
             Just(FrameBody::PsPoll),
-            (any::<bool>(), arb_ip(), arb_ip(), arb_l4()).prop_map(|(more_data, src, dst, payload)| {
-                FrameBody::Data {
-                    packet: Ipv4Packet { src, dst, payload },
-                    more_data,
+            (any::<bool>(), arb_ip(), arb_ip(), arb_l4()).prop_map(
+                |(more_data, src, dst, payload)| {
+                    FrameBody::Data {
+                        packet: Ipv4Packet { src, dst, payload },
+                        more_data,
+                    }
                 }
-            }),
+            ),
         ]
     }
 
@@ -629,7 +652,7 @@ mod golden_tests {
                 1, 2, 3, 4, 5, 6, // src
                 7, 8, 9, 10, 11, 12, // dst
                 7, 8, 9, 10, 11, 12, // bssid
-                4, // T_AUTH_REQ
+                4,  // T_AUTH_REQ
             ]
         );
         assert_eq!(decode(&bytes).unwrap(), frame);

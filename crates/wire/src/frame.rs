@@ -244,7 +244,10 @@ mod tests {
             FrameKind::Management
         );
         assert_eq!(mk(FrameBody::PsPoll).kind(), FrameKind::Control);
-        assert_eq!(mk(FrameBody::Null { power_save: true }).kind(), FrameKind::Data);
+        assert_eq!(
+            mk(FrameBody::Null { power_save: true }).kind(),
+            FrameKind::Data
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod tests {
     #[test]
     fn reply_mirrors_request() {
         let req = IcmpMessage::EchoRequest { id: 3, seq: 17 };
-        assert_eq!(req.reply_to(), Some(IcmpMessage::EchoReply { id: 3, seq: 17 }));
+        assert_eq!(
+            req.reply_to(),
+            Some(IcmpMessage::EchoReply { id: 3, seq: 17 })
+        );
         assert_eq!(req.reply_to().unwrap().reply_to(), None);
     }
 }

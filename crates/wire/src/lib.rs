@@ -19,6 +19,8 @@
 //! the hot path), but every type has a faithful wire size so airtime and
 //! backhaul occupancy are computed from realistic byte counts.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod channel;
 pub mod codec;

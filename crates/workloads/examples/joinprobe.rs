@@ -5,11 +5,22 @@ use spider_workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_workloads::World;
 
 fn main() {
-    let params = ScenarioParams { duration: SimDuration::from_secs(1800), seed: 1, ..Default::default() };
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(1800),
+        seed: 1,
+        ..Default::default()
+    };
     let cfg = town_scenario(&params);
     let ch1_aps = cfg.deployment.on_channel(Channel::CH1).count();
-    println!("deployment: {} APs total, {} on ch1", cfg.deployment.len(), ch1_aps);
-    let driver = SpiderDriver::new(SpiderConfig::for_mode(OperationMode::SingleChannelMultiAp(Channel::CH1), 1));
+    println!(
+        "deployment: {} APs total, {} on ch1",
+        cfg.deployment.len(),
+        ch1_aps
+    );
+    let driver = SpiderDriver::new(SpiderConfig::for_mode(
+        OperationMode::SingleChannelMultiAp(Channel::CH1),
+        1,
+    ));
     let (result, driver) = World::new(cfg, driver).run_with();
     println!("{result}");
     // per-AP attempts from the utility table
@@ -18,10 +29,16 @@ fn main() {
     let mut attempts: Vec<(u32, f64)> = Vec::new();
     for id in 0..200u64 {
         if let Some(rec) = table.get(spider_wire::MacAddr::from_id(0x00AA_0000 + id)) {
-            if rec.channel == Channel::CH1 { attempts.push((rec.attempts, rec.utility)); }
+            if rec.channel == Channel::CH1 {
+                attempts.push((rec.attempts, rec.utility));
+            }
         }
     }
     println!("ch1 AP attempt counts: {:?}", attempts);
-    println!("lease cache: {} entries, {} hits, {} misses",
-        driver.lease_cache().len(), driver.lease_cache().hits, driver.lease_cache().misses);
+    println!(
+        "lease cache: {} entries, {} hits, {} misses",
+        driver.lease_cache().len(),
+        driver.lease_cache().hits,
+        driver.lease_cache().misses
+    );
 }

@@ -24,14 +24,27 @@ fn main() {
         let driver = SpiderDriver::new(SpiderConfig::for_mode(mode, 1));
         let t0 = Instant::now();
         let result = World::new(cfg, driver).run();
-        println!("{result}  [wall {:.1}s] to={} rx={}", t0.elapsed().as_secs_f64(), result.tcp_timeouts, result.tcp_retransmits);
-        println!("   encountered={} assoc={}ok/{}fail dhcp={}ok/{}fail joins={}ok/{}fail",
+        println!(
+            "{result}  [wall {:.1}s] to={} rx={}",
+            t0.elapsed().as_secs_f64(),
+            result.tcp_timeouts,
+            result.tcp_retransmits
+        );
+        println!(
+            "   encountered={} assoc={}ok/{}fail dhcp={}ok/{}fail joins={}ok/{}fail",
             result.aps_encountered,
-            result.join_log.assoc.len(), result.join_log.assoc_failures,
-            result.join_log.dhcp.len(), result.join_log.dhcp_failures,
-            result.join_log.join.len(), result.join_log.join_failures);
+            result.join_log.assoc.len(),
+            result.join_log.assoc_failures,
+            result.join_log.dhcp.len(),
+            result.join_log.dhcp_failures,
+            result.join_log.join.len(),
+            result.join_log.join_failures
+        );
     }
-    for mk in [StockConfig::stock as fn(u64)->StockConfig, StockConfig::quickwifi] {
+    for mk in [
+        StockConfig::stock as fn(u64) -> StockConfig,
+        StockConfig::quickwifi,
+    ] {
         let cfg = town_scenario(&params);
         let t0 = Instant::now();
         let result = World::new(cfg, StockDriver::new(mk(1))).run();

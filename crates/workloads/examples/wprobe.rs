@@ -13,12 +13,35 @@ fn main() {
     let world = World::new(cfg, driver);
     let mut result = world.run();
     println!("{result}");
-    println!("bytes={} avg={:.0}B/s conn={:.2}", result.bytes, result.avg_throughput_bps, result.connectivity);
+    println!(
+        "bytes={} avg={:.0}B/s conn={:.2}",
+        result.bytes, result.avg_throughput_bps, result.connectivity
+    );
     let rates = &mut result.instantaneous_bps;
-    println!("inst rates: n={} p10={:.0} p50={:.0} p90={:.0}",
-        rates.len(), rates.quantile(0.1), rates.quantile(0.5), rates.quantile(0.9));
-    println!("join took: {:?}", result.join_log.join.iter().map(|s| s.took.as_secs_f64()).collect::<Vec<_>>());
-    println!("assoc: {:?} dhcp: {:?}", result.join_log.assoc.len(), result.join_log.dhcp.len());
-    println!("tcp timeouts={} retransmits={}", result.tcp_timeouts, result.tcp_retransmits);
+    println!(
+        "inst rates: n={} p10={:.0} p50={:.0} p90={:.0}",
+        rates.len(),
+        rates.quantile(0.1),
+        rates.quantile(0.5),
+        rates.quantile(0.9)
+    );
+    println!(
+        "join took: {:?}",
+        result
+            .join_log
+            .join
+            .iter()
+            .map(|s| s.took.as_secs_f64())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "assoc: {:?} dhcp: {:?}",
+        result.join_log.assoc.len(),
+        result.join_log.dhcp.len()
+    );
+    println!(
+        "tcp timeouts={} retransmits={}",
+        result.tcp_timeouts, result.tcp_retransmits
+    );
 }
 // (run prints timeouts via Debug in main above)

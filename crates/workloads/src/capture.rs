@@ -7,6 +7,9 @@
 //! codec. [`read_capture`] loads one back for offline analysis — the
 //! smoltcp `--pcap` idiom adapted to the simulated world.
 
+// Capture *is* the file-I/O subsystem: writing frames to disk is its
+// purpose, it only runs when explicitly enabled on a config, and it
+// never feeds back into simulation state. lint:allow-file(sans-io)
 use spider_simcore::SimTime;
 use spider_wire::codec::{decode, encode_into, CodecError};
 use spider_wire::Frame;
@@ -210,10 +213,7 @@ mod tests {
     fn bad_magic_is_rejected() {
         let path = std::env::temp_dir().join("spider-capture-bad.spdr");
         std::fs::write(&path, b"NOPE\x01rest").unwrap();
-        assert!(matches!(
-            read_capture(&path),
-            Err(CaptureError::BadMagic)
-        ));
+        assert!(matches!(read_capture(&path), Err(CaptureError::BadMagic)));
         std::fs::remove_file(&path).ok();
     }
 

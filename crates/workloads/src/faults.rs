@@ -197,8 +197,9 @@ impl FaultPlan {
                 if per_hour <= 0.0 {
                     continue;
                 }
-                let mut rng =
-                    root.stream(&format!("fault-{label}")).stream_indexed("ap", ap as u64);
+                let mut rng = root
+                    .stream(&format!("fault-{label}"))
+                    .stream_indexed("ap", ap as u64);
                 let mean_gap = 3600.0 / per_hour;
                 let mut t = rng.exponential(mean_gap);
                 while t < horizon {
@@ -209,10 +210,8 @@ impl FaultPlan {
                         "dhcp-silence" => FaultKind::DhcpSilence,
                         "dhcp-exhausted" => FaultKind::DhcpExhausted,
                         _ => FaultKind::LossBurst {
-                            extra: rng.uniform_in(
-                                profile.loss_burst_extra.0,
-                                profile.loss_burst_extra.1,
-                            ),
+                            extra: rng
+                                .uniform_in(profile.loss_burst_extra.0, profile.loss_burst_extra.1),
                         },
                     };
                     episodes.push(FaultEpisode {
@@ -296,8 +295,7 @@ impl FaultPlan {
         self.episodes
             .iter()
             .filter(|e| {
-                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie)
-                    && e.applies(now, ap)
+                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap)
             })
             .map(|e| e.start)
             .min()
@@ -413,8 +411,7 @@ impl FaultIndex {
         self.episodes_for(ap)
             .iter()
             .filter(|e| {
-                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie)
-                    && e.applies(now, ap)
+                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap)
             })
             .map(|e| e.start)
             .min()

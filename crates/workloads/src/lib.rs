@@ -20,6 +20,8 @@
 //!   trace of user TCP flow durations and inter-connection gaps
 //!   matching the downtown-mesh measurements.
 
+#![forbid(unsafe_code)]
+
 pub mod capture;
 pub mod faults;
 pub mod meshusers;
@@ -32,4 +34,3 @@ pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, F
 pub use metrics::RunResult;
 pub use scenarios::{lab_scenario, town_scenario, ScenarioParams};
 pub use world::{World, WorldConfig};
-

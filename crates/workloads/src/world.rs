@@ -18,8 +18,8 @@ use spider_mac80211::{ApConfig, ApEvent, ApMac, ClientSystem, DriverAction, RxFr
 use spider_mobility::{CachedPath, Deployment, MobilityModel, Position, SpatialGrid};
 use spider_netstack::{DhcpServer, DhcpServerConfig};
 use spider_radio::{ChannelMedium, LossModel, PhyParams, Propagation, Radio};
-use spider_simcore::{EventQueue, FxHashMap, FxHashSet, RateMeter, SimDuration, SimRng, SimTime};
 use spider_simcore::IntervalTracker;
+use spider_simcore::{EventQueue, FxHashMap, FxHashSet, RateMeter, SimDuration, SimRng, SimTime};
 use spider_tcpsim::{TcpConfig, TcpSender, TcpSenderState};
 use spider_wire::ip::L4;
 use spider_wire::{
@@ -79,7 +79,12 @@ pub struct WorldConfig {
 
 impl WorldConfig {
     /// Sensible defaults around a deployment + mobility pair.
-    pub fn new(mobility: MobilityModel, deployment: Deployment, duration: SimDuration, seed: u64) -> WorldConfig {
+    pub fn new(
+        mobility: MobilityModel,
+        deployment: Deployment,
+        duration: SimDuration,
+        seed: u64,
+    ) -> WorldConfig {
         WorldConfig {
             phy: PhyParams::b11(),
             propagation: Propagation::outdoor(),
@@ -181,6 +186,23 @@ struct ApNode {
     iss_rng: SimRng,
 }
 
+/// Air-frame conservation ledger (validate builds only, DESIGN.md §11).
+///
+/// Every frame that wins its loss draw is *created* when its `Air*`
+/// delivery event is scheduled. Each such event, once popped, is either
+/// *delivered* into a MAC/driver or *dropped* (mistuned radio, blackout);
+/// events still pending when the run ends are *in flight*. The run-end
+/// audit asserts `created = delivered + dropped + in_flight` — any gap
+/// means a dispatch arm gained an exit path that loses frames silently.
+#[cfg(feature = "validate")]
+#[derive(Debug, Default)]
+struct AirLedger {
+    created: u64,
+    delivered: u64,
+    dropped: u64,
+    in_flight: u64,
+}
+
 /// The world.
 pub struct World<C: ClientSystem> {
     cfg: WorldConfig,
@@ -227,6 +249,8 @@ pub struct World<C: ClientSystem> {
     capture: Option<CaptureWriter>,
     // Fault-injection state.
     fstats: FaultStats,
+    #[cfg(feature = "validate")]
+    air: AirLedger,
     /// Per-AP "was blacked out at the last sweep" (reboot edge detector).
     in_blackout: Vec<bool>,
     /// APs with an armed time-to-detect measurement:
@@ -251,8 +275,7 @@ impl<C: ClientSystem> World<C> {
             // Offset each AP's beacon phase so beacons do not collide in
             // lockstep.
             let mut phase_rng = root.stream_indexed("beacon-phase", site.id as u64);
-            let first_beacon =
-                SimTime::from_micros(phase_rng.uniform_u64(0, 102_400));
+            let first_beacon = SimTime::from_micros(phase_rng.uniform_u64(0, 102_400));
             let mac = ApMac::new(ApConfig::open(bssid, ssid, site.channel), first_beacon);
             let dhcp = DhcpServer::new(
                 DhcpServerConfig::for_ap(site.id, site.dhcp_beta),
@@ -279,9 +302,10 @@ impl<C: ClientSystem> World<C> {
         }
         // The radio starts wherever the driver believes it is.
         let radio = Radio::new(client.initial_channel());
-        let capture = cfg.capture.as_ref().map(|(path, limit)| {
-            CaptureWriter::create(path, *limit).expect("create capture file")
-        });
+        let capture = cfg
+            .capture
+            .as_ref()
+            .map(|(path, limit)| CaptureWriter::create(path, *limit).expect("create capture file"));
         let num_aps = aps.len();
         // Cell size near the query radius keeps lookups to a 3×3 cell
         // neighbourhood; both sweep (horizon) and fan-out (range) radii
@@ -319,6 +343,8 @@ impl<C: ClientSystem> World<C> {
             client_wake_scheduled: SimTime::MAX,
             capture,
             fstats: FaultStats::default(),
+            #[cfg(feature = "validate")]
+            air: AirLedger::default(),
             in_blackout: vec![false; num_aps],
             pending_detect: FxHashMap::default(),
             detect_done: FxHashSet::default(),
@@ -365,6 +391,10 @@ impl<C: ClientSystem> World<C> {
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             if now > end {
+                // Popped but never dispatched: for the ledger this frame
+                // is still in flight, like everything left in the queue.
+                #[cfg(feature = "validate")]
+                self.air_note_in_flight(&ev.event);
                 break;
             }
             self.events += 1;
@@ -386,6 +416,8 @@ impl<C: ClientSystem> World<C> {
         for ap in &self.aps {
             tcp_timeouts += ap.tcp_timeouts;
             tcp_retransmits += ap.tcp_retransmits;
+            // Commutative sums: order of visitation cannot change them.
+            // lint:allow(hash-iter)
             for (_, s) in ap.senders.values() {
                 tcp_timeouts += s.timeouts;
                 tcp_retransmits += s.retransmits;
@@ -394,15 +426,15 @@ impl<C: ClientSystem> World<C> {
         if let Some(cap) = self.capture.take() {
             cap.finish().expect("flush capture file");
         }
+        #[cfg(feature = "validate")]
+        self.audit_invariants();
         let result = RunResult {
             label: self.client.label(),
             duration,
             bytes,
             avg_throughput_bps: self.rate.average_throughput(end),
             connectivity: self.rate.connectivity_fraction(end),
-            instantaneous_bps: spider_simcore::Cdf::from_samples(
-                self.rate.instantaneous_rates(),
-            ),
+            instantaneous_bps: spider_simcore::Cdf::from_samples(self.rate.instantaneous_rates()),
             intervals: self.conn.finish(end),
             join_log: self.client.join_log().clone(),
             switches: self.radio.switch_count(),
@@ -413,6 +445,65 @@ impl<C: ClientSystem> World<C> {
             events: self.events,
         };
         (result, self.client)
+    }
+
+    /// Count an undispatched event against the air ledger's in-flight
+    /// column (validate builds only).
+    #[cfg(feature = "validate")]
+    fn air_note_in_flight(&mut self, ev: &Ev) {
+        if matches!(ev, Ev::AirToClient { .. } | Ev::AirToAp { .. }) {
+            self.air.in_flight += 1;
+        }
+    }
+
+    /// Run-end invariant audit (validate builds only, DESIGN.md §11):
+    /// frame conservation and fault-counter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails — a validate-build failure here is
+    /// a simulator bug, never a workload property.
+    #[cfg(feature = "validate")]
+    fn audit_invariants(&mut self) {
+        // Frame conservation. Everything still queued is in flight.
+        while let Some(ev) = self.queue.pop() {
+            self.air_note_in_flight(&ev.event);
+        }
+        assert_eq!(
+            self.air.created,
+            self.air.delivered + self.air.dropped + self.air.in_flight,
+            "air-frame conservation violated: {:?}",
+            self.air
+        );
+        // Fault counters can only move when a fault plan is armed.
+        if self.findex.is_empty() {
+            assert_eq!(
+                self.fstats.total_drops(),
+                0,
+                "fault drop counters moved without a fault plan: {:?}",
+                self.fstats
+            );
+            assert_eq!(
+                self.fstats.ap_reboots, 0,
+                "AP reboots recorded without a fault plan"
+            );
+            assert!(
+                self.fstats.detect_times_s.is_empty() && self.fstats.recover_times_s.is_empty(),
+                "fault timing samples recorded without a fault plan"
+            );
+        }
+        // Timing samples are durations: finite and non-negative always.
+        for &t in self
+            .fstats
+            .detect_times_s
+            .iter()
+            .chain(&self.fstats.recover_times_s)
+        {
+            assert!(
+                t.is_finite() && t >= 0.0,
+                "fault timing sample out of range: {t}"
+            );
+        }
     }
 
     fn after_event(&mut self, now: SimTime) {
@@ -488,7 +579,15 @@ impl<C: ClientSystem> World<C> {
                 // reaches the driver, so it cannot have changed any
                 // client state for after_event to observe.
                 if self.radio.listening_on(now) != Some(channel) {
+                    #[cfg(feature = "validate")]
+                    {
+                        self.air.dropped += 1;
+                    }
                     return false;
+                }
+                #[cfg(feature = "validate")]
+                {
+                    self.air.delivered += 1;
                 }
                 if let Some(cap) = &mut self.capture {
                     cap.record(now, Direction::ToClient, &frame).ok();
@@ -500,11 +599,7 @@ impl<C: ClientSystem> World<C> {
                     frame.body,
                     FrameBody::Beacon { .. } | FrameBody::ProbeResponse { .. }
                 )
-                .then(|| {
-                    self.cfg
-                        .propagation
-                        .rssi_dbm(self.distance_to_ap(now, ap))
-                });
+                .then(|| self.cfg.propagation.rssi_dbm(self.distance_to_ap(now, ap)));
                 let rx = RxFrame {
                     frame: &frame,
                     channel,
@@ -531,7 +626,15 @@ impl<C: ClientSystem> World<C> {
                 if self.findex.blackout(now, ap) {
                     // A powered-off AP hears nothing.
                     self.fstats.frames_dropped_blackout += 1;
+                    #[cfg(feature = "validate")]
+                    {
+                        self.air.dropped += 1;
+                    }
                     return false;
+                }
+                #[cfg(feature = "validate")]
+                {
+                    self.air.delivered += 1;
                 }
                 if let Some(cap) = &mut self.capture {
                     cap.record(now, Direction::ToAp, &frame).ok();
@@ -651,8 +754,7 @@ impl<C: ClientSystem> World<C> {
                         // detection clock starts at the true onset;
                         // clients that associate mid-episode (zombies
                         // accept joins) start it at association time.
-                        let onset = if now.saturating_since(start)
-                            <= SimDuration::from_millis(500)
+                        let onset = if now.saturating_since(start) <= SimDuration::from_millis(500)
                         {
                             start
                         } else {
@@ -709,6 +811,8 @@ impl<C: ClientSystem> World<C> {
         } else {
             SimTime::MAX
         };
+        // Commutative min: order of visitation cannot change it.
+        // lint:allow(hash-iter)
         for (_, s) in self.aps[i].senders.values() {
             next = next.min(s.next_wakeup());
         }
@@ -878,13 +982,22 @@ impl<C: ClientSystem> World<C> {
                 Some(s) => AirFrame::Shared(Arc::clone(s)),
                 None => AirFrame::owned(frame.take().expect("unicast delivers at most once")),
             };
-            self.queue.schedule(end, Ev::AirToAp { ap: i, frame: payload });
+            #[cfg(feature = "validate")]
+            {
+                self.air.created += 1;
+            }
+            self.queue.schedule(
+                end,
+                Ev::AirToAp {
+                    ap: i,
+                    frame: payload,
+                },
+            );
         }
         self.targets_scratch = targets;
         if extra_airtime > 0.0 {
             // Retries occupy the medium after the primary transmission.
-            self.medium
-                .reserve(end, ch, airtime.mul_f64(extra_airtime));
+            self.medium.reserve(end, ch, airtime.mul_f64(extra_airtime));
         }
     }
 
@@ -920,6 +1033,10 @@ impl<C: ClientSystem> World<C> {
         }
         if !delivered {
             return;
+        }
+        #[cfg(feature = "validate")]
+        {
+            self.air.created += 1;
         }
         self.queue.schedule(
             end,
@@ -1096,7 +1213,9 @@ impl<C: ClientSystem> World<C> {
 
     /// An uplink TCP segment arrives at the wired server.
     fn server_rx(&mut self, now: SimTime, ap: usize, packet: Ipv4Packet) {
-        let L4::Tcp(seg) = &packet.payload else { return };
+        let L4::Tcp(seg) = &packet.payload else {
+            return;
+        };
         let client_port = seg.src_port;
         // A fresh SYN replaces any stale sender for this port (a new
         // connection after the client reconnected).
@@ -1105,15 +1224,15 @@ impl<C: ClientSystem> World<C> {
                 .senders
                 .get(&client_port)
                 .map(|(_, s)| {
-                    s.state() != TcpSenderState::Listen
-                        && s.state() != TcpSenderState::SynReceived
+                    s.state() != TcpSenderState::Listen && s.state() != TcpSenderState::SynReceived
                 })
                 .unwrap_or(true);
             if needs_new {
                 let iss = self.aps[ap].iss_rng.next_u64() as u32;
-                let sender =
-                    TcpSender::new(self.cfg.tcp.clone(), SERVER_PORT, client_port, iss);
-                self.aps[ap].senders.insert(client_port, (packet.src, sender));
+                let sender = TcpSender::new(self.cfg.tcp.clone(), SERVER_PORT, client_port, iss);
+                self.aps[ap]
+                    .senders
+                    .insert(client_port, (packet.src, sender));
             }
         }
         let Some((client_ip, sender)) = self.aps[ap].senders.get_mut(&client_port) else {
@@ -1182,13 +1301,11 @@ mod tests {
 
     #[test]
     fn static_spider_connects_and_downloads() {
-        let cfg = lab_scenario(
-            &[Channel::CH1],
-            250_000.0,
-            SimDuration::from_secs(30),
-            42,
+        let cfg = lab_scenario(&[Channel::CH1], 250_000.0, SimDuration::from_secs(30), 42);
+        let world = World::new(
+            cfg,
+            spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
         );
-        let world = World::new(cfg, spider(OperationMode::SingleChannelMultiAp(Channel::CH1)));
         let result = world.run();
         assert!(!result.join_log.join.is_empty(), "{result}");
         assert!(
@@ -1282,7 +1399,11 @@ mod tests {
             ..Default::default()
         };
         let cfg = town_scenario(&params);
-        let result = World::new(cfg, spider(OperationMode::SingleChannelMultiAp(Channel::CH6))).run();
+        let result = World::new(
+            cfg,
+            spider(OperationMode::SingleChannelMultiAp(Channel::CH6)),
+        )
+        .run();
         assert!(result.aps_encountered > 5, "{result}");
         assert!(!result.join_log.join.is_empty(), "{result}");
         assert!(result.bytes > 0, "{result}");
@@ -1314,12 +1435,10 @@ mod capture_tests {
         // Timestamps are non-decreasing.
         assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
         // The join handshake appears, in protocol order, before data.
-        let pos = |pred: &dyn Fn(&FrameBody) -> bool| {
-            records.iter().position(|r| pred(&r.frame.body))
-        };
+        let pos =
+            |pred: &dyn Fn(&FrameBody) -> bool| records.iter().position(|r| pred(&r.frame.body));
         let auth_req = pos(&|b| matches!(b, FrameBody::AuthRequest)).expect("auth req");
-        let auth_resp =
-            pos(&|b| matches!(b, FrameBody::AuthResponse { .. })).expect("auth resp");
+        let auth_resp = pos(&|b| matches!(b, FrameBody::AuthResponse { .. })).expect("auth resp");
         let assoc_resp =
             pos(&|b| matches!(b, FrameBody::AssocResponse { .. })).expect("assoc resp");
         let data = pos(&|b| matches!(b, FrameBody::Data { .. })).expect("data");
@@ -1369,8 +1488,7 @@ mod fault_injection_tests {
     #[test]
     fn single_arq_attempt_restores_raw_loss_pain() {
         let mk = |retries: u32| {
-            let mut cfg =
-                lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), 4);
+            let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), 4);
             cfg.loss = LossModel::Bernoulli { h: 0.10 };
             cfg.mac_retries = retries;
             World::new(cfg, spider_ch1()).run()

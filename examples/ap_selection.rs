@@ -16,9 +16,24 @@ fn main() {
     let mut table = UtilityTable::new(UtilityConfig::default());
     let now = SimTime::from_secs(100);
     let aps = [
-        ("cafe-wifi", 1u64, -55.0, vec![JoinOutcome::FullyJoined, JoinOutcome::FullyJoined]),
-        ("captive-portal", 2, -50.0, vec![JoinOutcome::LeaseOnly, JoinOutcome::LeaseOnly]),
-        ("flaky-dhcp", 3, -52.0, vec![JoinOutcome::AssociatedOnly, JoinOutcome::Failed]),
+        (
+            "cafe-wifi",
+            1u64,
+            -55.0,
+            vec![JoinOutcome::FullyJoined, JoinOutcome::FullyJoined],
+        ),
+        (
+            "captive-portal",
+            2,
+            -50.0,
+            vec![JoinOutcome::LeaseOnly, JoinOutcome::LeaseOnly],
+        ),
+        (
+            "flaky-dhcp",
+            3,
+            -52.0,
+            vec![JoinOutcome::AssociatedOnly, JoinOutcome::Failed],
+        ),
         ("brand-new", 4, -70.0, vec![]),
     ];
     for (name, id, rssi, history) in &aps {
@@ -37,14 +52,23 @@ fn main() {
     let later = now + spider_repro::simcore::SimDuration::from_secs(3);
     let mut t2 = table.clone();
     for (name, id, rssi, _) in &aps {
-        t2.observe(later, MacAddr::from_id(*id), &Ssid::new(*name), Channel::CH6, *rssi);
+        t2.observe(
+            later,
+            MacAddr::from_id(*id),
+            &Ssid::new(*name),
+            Channel::CH6,
+            *rssi,
+        );
     }
     let (chosen, rec) = t2.best_candidate(later, &[Channel::CH6], &[]).unwrap();
     println!(
         "\nselected: {} (utility {:.3}) — a proven performer or an\n\
          optimistically bootstrapped newcomer wins; the captive portal and\n\
          the flaky AP are ranked down by history, not by signal.\n",
-        aps.iter().find(|a| MacAddr::from_id(a.1) == chosen).unwrap().0,
+        aps.iter()
+            .find(|a| MacAddr::from_id(a.1) == chosen)
+            .unwrap()
+            .0,
         rec.utility
     );
 

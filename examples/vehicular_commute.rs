@@ -40,7 +40,10 @@ fn leg(name: &str, speed_mps: f64, seed: u64) {
 
     // The two static policies it arbitrates between, for reference.
     for (label, mode) in [
-        ("static 1-channel:", OperationMode::SingleChannelMultiAp(Channel::CH1)),
+        (
+            "static 1-channel:",
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+        ),
         (
             "static 3-channel:",
             OperationMode::MultiChannelMultiAp {

@@ -15,6 +15,8 @@
 //!
 //! Start with `examples/quickstart.rs`.
 
+#![forbid(unsafe_code)]
+
 pub use spider_baselines as baselines;
 pub use spider_core as core;
 pub use spider_mac80211 as mac80211;

@@ -77,10 +77,7 @@ fn zombie_ap_is_detected_by_the_ping_monitor() {
         "zombie was never detected: {result}"
     );
     for &d in &result.faults.detect_times_s {
-        assert!(
-            d <= DETECT_BUDGET_S + 0.05,
-            "zombie detection took {d:.3}s"
-        );
+        assert!(d <= DETECT_BUDGET_S + 0.05, "zombie detection took {d:.3}s");
     }
 }
 
@@ -228,12 +225,8 @@ fn faulty_runs_are_deterministic_per_seed() {
             ..Default::default()
         };
         let mut cfg = town_scenario(&params);
-        cfg.faults = FaultPlan::seeded(
-            7,
-            cfg.deployment.len(),
-            cfg.duration,
-            &FaultProfile::calm(),
-        );
+        cfg.faults =
+            FaultPlan::seeded(7, cfg.deployment.len(), cfg.duration, &FaultProfile::calm());
         World::new(
             cfg,
             spider(OperationMode::MultiChannelMultiAp {
@@ -247,7 +240,10 @@ fn faulty_runs_are_deterministic_per_seed() {
     assert_eq!(a.bytes, b.bytes);
     assert_eq!(a.switches, b.switches);
     assert_eq!(a.join_log.join.len(), b.join_log.join.len());
-    assert_eq!(a.faults, b.faults, "fault attribution must be bit-identical");
+    assert_eq!(
+        a.faults, b.faults,
+        "fault attribution must be bit-identical"
+    );
 }
 
 #[test]
@@ -322,16 +318,22 @@ fn dense_deployment_rerun_is_bit_identical() {
     assert_eq!(a.aps_encountered, b.aps_encountered);
     assert_eq!(a.tcp_timeouts, b.tcp_timeouts);
     assert_eq!(a.tcp_retransmits, b.tcp_retransmits);
-    assert_eq!(a.faults.frames_dropped_blackout, b.faults.frames_dropped_blackout);
-    assert_eq!(a.faults.packets_dropped_zombie, b.faults.packets_dropped_zombie);
+    assert_eq!(
+        a.faults.frames_dropped_blackout,
+        b.faults.frames_dropped_blackout
+    );
+    assert_eq!(
+        a.faults.packets_dropped_zombie,
+        b.faults.packets_dropped_zombie
+    );
     assert_eq!(a.faults.dhcp_dropped_silent, b.faults.dhcp_dropped_silent);
     assert_eq!(a.faults.dhcp_naks_exhausted, b.faults.dhcp_naks_exhausted);
-    assert_eq!(a.faults.icmp_dropped_filtered, b.faults.icmp_dropped_filtered);
-    assert_eq!(a.faults.ap_reboots, b.faults.ap_reboots);
     assert_eq!(
-        a.faults.detect_times_s.len(),
-        b.faults.detect_times_s.len()
+        a.faults.icmp_dropped_filtered,
+        b.faults.icmp_dropped_filtered
     );
+    assert_eq!(a.faults.ap_reboots, b.faults.ap_reboots);
+    assert_eq!(a.faults.detect_times_s.len(), b.faults.detect_times_s.len());
     assert!(
         a.faults
             .detect_times_s

@@ -5,9 +5,7 @@ use spider_repro::core::adaptive::{AdaptivePolicy, AdaptiveSpider};
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_repro::simcore::SimDuration;
 use spider_repro::wire::Channel;
-use spider_repro::workloads::scenarios::{
-    lab_scenario, town_scenario, RouteKind, ScenarioParams,
-};
+use spider_repro::workloads::scenarios::{lab_scenario, town_scenario, RouteKind, ScenarioParams};
 use spider_repro::workloads::World;
 
 fn short_town(seed: u64) -> ScenarioParams {
@@ -29,7 +27,11 @@ fn all_four_spider_modes_complete_joins_on_a_town_drive() {
     ];
     for mode in modes {
         let world = town_scenario(&short_town(5));
-        let result = World::new(world, SpiderDriver::new(SpiderConfig::for_mode(mode.clone(), 1))).run();
+        let result = World::new(
+            world,
+            SpiderDriver::new(SpiderConfig::for_mode(mode.clone(), 1)),
+        )
+        .run();
         assert!(
             !result.join_log.join.is_empty(),
             "{:?} completed no joins: {result}",

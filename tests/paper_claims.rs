@@ -190,7 +190,10 @@ fn switch_latency_matches_table1_band() {
     for n in 0..=4 {
         let lat = phy.switch_latency(n);
         assert!(lat > prev);
-        assert!(lat.as_millis_f64() >= 4.8 && lat.as_millis_f64() <= 6.2, "{lat}");
+        assert!(
+            lat.as_millis_f64() >= 4.8 && lat.as_millis_f64() <= 6.2,
+            "{lat}"
+        );
         prev = lat;
     }
 }
