@@ -416,6 +416,10 @@ impl ClientSystem for FatVapDriver {
     fn initial_channel(&self) -> Channel {
         self.cfg.scan_channels[0]
     }
+
+    fn can_use_channel(&self, ch: Channel) -> bool {
+        self.cfg.scan_channels.contains(&ch)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! Chaos campaign: randomized compound-fault schedules against Spider
+//! on the town drive, judged by the recovery-SLO table.
+//!
+//! Each trial generates a seeded chaos schedule (overlapping and
+//! compound fault episodes — the combinations the scripted chaos tests
+//! never cover), runs a full world under it, and checks the §3.2.2
+//! detection budget, recovery budget, DHCP timing budget, and payload
+//! floor. A trial that breaks an SLO is delta-debugged down to a
+//! minimal reproducer and written to `target/experiments/` as a
+//! replayable JSON artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos_campaign [--trials N] [--seed S] [--duration-secs D]
+//!                [--shrink-budget N] [--workers N] [--tight]
+//!                [--replay PATH]
+//! ```
+//!
+//! * default mode exits non-zero when any trial violates an SLO or
+//!   panics the simulator (CI runs this),
+//! * `--tight` swaps in a deliberately unmeetable SLO table to
+//!   exercise the shrinking pipeline end to end,
+//! * `--replay PATH` re-runs a minimized artifact and exits zero only
+//!   if the violation reproduces.
+
+use spider_bench::{write_json, OutDir};
+use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_simcore::{Json, SimDuration};
+use spider_wire::Channel;
+use spider_workloads::campaign::{
+    run_campaign, CampaignConfig, ChaosProfile, MinimizedRepro, SloMetric, SloRule, SloTable,
+};
+use spider_workloads::scenarios::{town_scenario, ScenarioParams};
+use spider_workloads::{FaultPlan, RunResult, World};
+use std::process::ExitCode;
+
+/// World seed for the campaign's drive (fixed: the campaign explores
+/// fault-schedule space, not world space).
+const WORLD_SEED: u64 = 7;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match parse_flag(args, name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} wants a number, got {v:?}")),
+        None => default,
+    }
+}
+
+/// Build the per-trial runner: a pure function of the fault plan.
+fn make_runner(duration: SimDuration) -> (usize, impl Fn(&FaultPlan) -> RunResult + Sync) {
+    let params = ScenarioParams {
+        duration,
+        seed: WORLD_SEED,
+        ..Default::default()
+    };
+    let num_aps = town_scenario(&params).deployment.len();
+    let run = move |plan: &FaultPlan| {
+        let mut cfg = town_scenario(&params);
+        cfg.faults = plan.clone();
+        World::new(
+            cfg,
+            SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH6),
+                1,
+            )),
+        )
+        .run()
+    };
+    (num_aps, run)
+}
+
+/// An intentionally unmeetable table: any detection at all violates.
+/// Exercises the shrinking pipeline deterministically.
+fn tight_table() -> SloTable {
+    SloTable {
+        rules: vec![
+            SloRule {
+                metric: SloMetric::MaxDetectS("blackout"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("zombie"),
+                budget: 0.0,
+            },
+        ],
+    }
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let repro = MinimizedRepro::from_json(&doc)
+        .unwrap_or_else(|| panic!("{path} is not a spider-chaos-repro artifact"));
+    let duration = SimDuration::from_secs(
+        std::env::args()
+            .nth(3)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+    );
+    let (_, run) = make_runner(duration);
+    let result = run(&repro.plan);
+    let table = SloTable::paper_default();
+    let violations = table.evaluate(&result);
+    println!(
+        "replayed trial {} ({} episodes): {result}",
+        repro.trial,
+        repro.plan.episodes.len()
+    );
+    for v in &violations {
+        println!("  violation: {v}");
+    }
+    // Triage aid: the same drive with no faults at all. A "recovery"
+    // time close to a natural disruption means the client was simply
+    // out of coverage — a mobility bound, not a recovery defect.
+    let baseline = run(&FaultPlan::none());
+    let natural_max = baseline
+        .intervals
+        .off_durations
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    println!(
+        "  baseline (no faults): worst natural disruption {natural_max:.1}s, \
+         {} bytes, {:.1}% connectivity",
+        baseline.bytes,
+        baseline.connectivity * 100.0
+    );
+    if violations.is_empty() {
+        println!("violation did NOT reproduce against the default SLO table");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = parse_flag(&args, "--replay") {
+        return replay(&path);
+    }
+
+    let trials = parse_num(&args, "--trials", 8usize);
+    let seed = parse_num(&args, "--seed", 1u64);
+    let duration = SimDuration::from_secs(parse_num(&args, "--duration-secs", 300u64));
+    let shrink_budget = parse_num(&args, "--shrink-budget", 120usize);
+    let workers = parse_num(&args, "--workers", 0usize);
+    let tight = args.iter().any(|a| a == "--tight");
+
+    let (num_aps, run) = make_runner(duration);
+    let mut cfg = CampaignConfig {
+        trials,
+        seed,
+        num_aps,
+        duration,
+        profile: ChaosProfile::standard(),
+        slo: if tight {
+            tight_table()
+        } else {
+            SloTable::paper_default()
+        },
+        shrink_budget,
+        max_shrinks: 4,
+        workers,
+        watchdog_ms: Some(120_000),
+    };
+    if tight {
+        cfg.max_shrinks = 1;
+    }
+
+    println!(
+        "chaos campaign: {trials} trials, seed {seed}, {num_aps} APs, {}s drives{}",
+        duration.as_secs_f64(),
+        if tight { " (tight SLO)" } else { "" }
+    );
+    let report = run_campaign(&cfg, run);
+
+    for o in &report.outcomes {
+        if o.violations.is_empty() {
+            println!(
+                "trial {:>3}: ok    ({} episodes, {} bytes, {:.1}% connectivity)",
+                o.trial,
+                o.episodes,
+                o.bytes,
+                o.connectivity * 100.0
+            );
+        } else {
+            println!(
+                "trial {:>3}: SLO VIOLATION ({} episodes)",
+                o.trial, o.episodes
+            );
+            for v in &o.violations {
+                println!("           {v}");
+            }
+        }
+    }
+    for f in &report.job_failures {
+        println!(
+            "trial {:>3}: PANIC {} [{}]",
+            f.index, f.message, f.fingerprint
+        );
+    }
+    for &h in &report.hung {
+        println!("trial {h:>3}: flagged by the watchdog (still running past deadline)");
+    }
+
+    let out = OutDir::open();
+    let report_path = write_json("chaos_campaign_report.json", &report.to_json());
+    println!("\nwrote {}", report_path.display());
+    for m in &report.minimized {
+        let name = format!("chaos_repro_trial{}.json", m.trial);
+        let path = write_json(&name, &m.to_json());
+        println!(
+            "wrote {} ({} -> {} episodes, {} shrink evals)",
+            path.display(),
+            m.original_episodes,
+            m.plan.episodes.len(),
+            m.evals
+        );
+    }
+    let _ = out;
+
+    if report.is_clean() {
+        println!("\ncampaign clean: {} trials, 0 violations", report.trials);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\ncampaign FAILED: {} violating trials, {} panicked trials (minimized artifacts above)",
+            report.violating_trials(),
+            report.job_failures.len()
+        );
+        ExitCode::from(1)
+    }
+}

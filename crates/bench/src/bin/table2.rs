@@ -6,7 +6,7 @@
 //! factor; multi-channel multi-AP wins connectivity; Spider beats
 //! MadWiFi on both (the paper: 2.5× throughput, 2× connectivity).
 
-use spider_bench::{print_table, write_csv, StdConfigs};
+use spider_bench::{emit_runs_json, print_table, write_csv, StdConfigs};
 use spider_simcore::OnlineStats;
 
 fn main() {
@@ -14,7 +14,11 @@ fn main() {
     let seeds = [1u64, 2, 3];
     let mut rows = Vec::new();
     let mut table = Vec::new();
+    let mut artifacts = Vec::new();
     for (label, results) in StdConfigs::table2_seeds(&seeds) {
+        for (result, &seed) in results.iter().zip(&seeds) {
+            artifacts.push((format!("{label} seed={seed}"), result.clone()));
+        }
         let mut thr = OnlineStats::new();
         let mut conn = OnlineStats::new();
         for result in &results {
@@ -43,6 +47,8 @@ fn main() {
         rows,
     );
     println!("\nwrote {}", path.display());
+    let json_path = emit_runs_json("table2_runs.json", &artifacts);
+    println!("wrote {}", json_path.display());
     println!(
         "\nPaper: (1) 121.5 KB/s 35.5%  (2) 28.0 22.3%  (3) 28.8 44.6%\n\
          (4) 77.9 40.2%  Cambridge ch6 single 90.7 36.4%  MadWiFi 35.9 18.0%"

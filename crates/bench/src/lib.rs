@@ -19,5 +19,5 @@ pub mod runs;
 pub mod worldbench;
 
 pub use harness::{cdf_quantiles, CdfRow};
-pub use output::{print_table, write_csv, OutDir};
-pub use runs::{run_driver, spider_run, town_params, StdConfigs};
+pub use output::{print_table, write_csv, write_json, write_text, OutDir};
+pub use runs::{emit_runs_json, run_driver, spider_run, town_params, StdConfigs};

@@ -1,5 +1,7 @@
-//! Result output: aligned console tables + CSV files.
+//! Result output: aligned console tables, CSV files, and JSON
+//! artifacts.
 
+use spider_simcore::Json;
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;
@@ -43,6 +45,23 @@ where
         writeln!(f, "{}", cells.join(",")).unwrap();
     }
     path
+}
+
+/// Write a text artifact under the experiment directory. Returns the
+/// path written.
+pub fn write_text(name: &str, text: &str) -> PathBuf {
+    let out = OutDir::open();
+    let path = out.path(name);
+    fs::write(&path, text).expect("write artifact");
+    path
+}
+
+/// Write a JSON artifact under the experiment directory using the
+/// in-tree emitter — byte-deterministic for a deterministic value, so
+/// `diff` on two artifacts doubles as a determinism check. Returns the
+/// path written.
+pub fn write_json(name: &str, value: &Json) -> PathBuf {
+    write_text(name, &value.pretty())
 }
 
 /// Print an aligned table to stdout.
@@ -97,6 +116,23 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("a,b\n"));
         assert!(text.contains("3.5,4.25"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_artifact_roundtrip() {
+        let doc = Json::obj([
+            ("label", Json::str("unit")),
+            ("bytes", Json::UInt(12345)),
+            ("connectivity", Json::Num(0.75)),
+        ]);
+        let path = write_json("unit_test.json", &doc);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("bytes").and_then(Json::as_u64), Some(12345));
+        assert_eq!(back.get("connectivity").and_then(Json::as_f64), Some(0.75));
+        // Re-emission is byte-identical: artifacts are diffable.
+        assert_eq!(back.pretty(), text);
         std::fs::remove_file(path).ok();
     }
 

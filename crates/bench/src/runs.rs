@@ -3,7 +3,7 @@
 use spider_baselines::{StockConfig, StockDriver};
 use spider_core::{ChannelSchedule, OperationMode, SpiderConfig, SpiderDriver};
 use spider_mac80211::ClientSystem;
-use spider_simcore::{sweep, SimDuration};
+use spider_simcore::{sweep, Json, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::metrics::RunResult;
 use spider_workloads::scenarios::{boston_scenario, town_scenario, ScenarioParams};
@@ -24,6 +24,21 @@ const _: () = {
     assert_send_sync::<ChannelSchedule>();
     assert_send::<RunResult>();
 };
+
+/// Emit one labelled batch of runs as a JSON artifact under
+/// `target/experiments/`. Each entry is [`RunResult::to_json`], so two
+/// deterministic batches produce byte-identical files — diffing
+/// artifacts across machines or worker counts doubles as a determinism
+/// check. Returns the path written.
+pub fn emit_runs_json(name: &str, runs: &[(String, RunResult)]) -> std::path::PathBuf {
+    let doc = Json::obj([(
+        "runs",
+        Json::arr(runs.iter().map(|(label, r)| {
+            Json::obj([("config", Json::str(label.clone())), ("run", r.to_json())])
+        })),
+    )]);
+    crate::output::write_json(name, &doc)
+}
 
 /// Standard town-drive parameters used by the §4 experiments (30-minute
 /// loop drive at 10 m/s through the measured channel mix).

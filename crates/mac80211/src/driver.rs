@@ -193,4 +193,14 @@ pub trait ClientSystem {
     /// The channel this system assumes the radio is tuned to at t = 0.
     /// The world initialises the physical radio accordingly.
     fn initial_channel(&self) -> Channel;
+
+    /// Whether this system could ever join an AP on `ch` under its
+    /// current configuration. The world's fault-recovery clock uses
+    /// this to decide which in-range APs count as recovery candidates:
+    /// an AP on a channel the client never visits cannot end an
+    /// outage, so time covered only by such APs is a mobility bound,
+    /// not recovery latency. Defaults to every channel being usable.
+    fn can_use_channel(&self, _ch: Channel) -> bool {
+        true
+    }
 }

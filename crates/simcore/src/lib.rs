@@ -22,6 +22,7 @@
 pub mod bucket;
 pub mod event;
 pub mod hashing;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
@@ -30,7 +31,11 @@ pub mod time;
 pub use bucket::TokenBucket;
 pub use event::{EventQueue, ScheduledEvent};
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use json::{Json, JsonError};
 pub use rng::SimRng;
 pub use stats::{Cdf, IntervalReport, IntervalTracker, OnlineStats, RateMeter};
-pub use sweep::{sweep, sweep_with, worker_count};
+pub use sweep::{
+    sweep, sweep_with, try_sweep, try_sweep_with, worker_count, JobFailure, SweepOptions,
+    SweepReport,
+};
 pub use time::{SimDuration, SimTime};

@@ -611,6 +611,13 @@ impl ClientSystem for SpiderDriver {
     fn initial_channel(&self) -> Channel {
         self.cfg.schedule.channel_at(SimTime::ZERO)
     }
+
+    fn can_use_channel(&self, ch: Channel) -> bool {
+        match &self.cfg.candidate_channels {
+            Some(channels) => channels.contains(&ch),
+            None => self.cfg.schedule.channels().contains(&ch),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1029 @@
+//! Chaos-campaign engine: generated fault schedules, recovery SLOs,
+//! and failing-schedule shrinking.
+//!
+//! The scripted chaos tests only verify recovery against failures
+//! someone thought to write down, and [`FaultPlan::seeded`] draws each
+//! fault class independently per AP — it structurally cannot produce
+//! the *compound* failures ("Why It Takes So Long to Connect to a WiFi
+//! Access Point" finds the long tail of join failures there): an ICMP
+//! blackhole opening mid-loss-burst, a blackout landing during a DHCP
+//! REQUEST, a zombie window inside an exhaustion episode. This module
+//! imagines those scenarios on purpose and at scale:
+//!
+//! 1. [`chaos_plan`] generates a randomized [`FaultPlan`] from a
+//!    [`ChaosProfile`]: episodes of every [`FaultKind`] (including
+//!    *windowed* ICMP blackholes, which the seeded generator never
+//!    emits), deliberately overlapping, with explicit compound pairs
+//!    layered on the same AP and window.
+//! 2. An [`SloTable`] judges each run: declarative per-fault-class
+//!    detect/recover budgets (the §3.2.2 3.0 s ping budget), DHCP
+//!    timing budgets (§2.2.1/Table 3), and floor metrics (minimum
+//!    connectivity, minimum payload).
+//! 3. On a violation, [`shrink_schedule`] delta-debugs the failing
+//!    schedule to a minimal reproducer — drop episode chunks
+//!    (ddmin-style), then narrow the surviving windows — re-checking
+//!    the violation after every candidate edit. The result serializes
+//!    via [`MinimizedRepro::to_json`] into an artifact that replays
+//!    bit-identically.
+//!
+//! [`run_campaign`] drives the whole loop over the fault-tolerant
+//! sweep runner ([`spider_simcore::try_sweep_with`]): a trial that
+//! panics the simulator is quarantined as a [`JobFailure`] in the
+//! report instead of sinking the batch, which matters precisely
+//! because campaigns run inputs nobody has run before.
+//!
+//! Everything is a pure function of the campaign seed: trial schedules
+//! derive from per-trial RNG streams, the sweep merges results in
+//! trial order, and shrinking walks candidates deterministically — the
+//! same campaign config yields byte-identical reports and artifacts at
+//! any worker count.
+
+use crate::faults::{FaultEpisode, FaultKind, FaultPlan};
+use crate::metrics::RunResult;
+use spider_simcore::{
+    try_sweep_with, JobFailure, Json, SimDuration, SimRng, SimTime, SweepOptions,
+};
+
+/// Knobs for randomized chaos-schedule generation.
+///
+/// Unlike [`crate::faults::FaultProfile`] (a *realism* model: per-class
+/// Poisson incidence calibrated to "a day in a deployment"), this is an
+/// *adversity* model: how many episodes, how long, how often they
+/// compound. The generator makes no attempt at plausibility — its job
+/// is coverage of the failure-combination space.
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Inclusive bounds on the number of base episodes per trial.
+    pub episodes: (usize, usize),
+    /// Episode window length bounds in seconds (uniform).
+    pub window_secs: (f64, f64),
+    /// Probability that a base episode gains a *compound partner*: a
+    /// second episode of a different class on the same target with an
+    /// overlapping window.
+    pub compound_prob: f64,
+    /// Probability that an episode is area-wide (`ap: None`) rather
+    /// than pinned to one AP.
+    pub global_prob: f64,
+    /// Extra-loss bounds for generated [`FaultKind::LossBurst`]s.
+    pub loss_extra: (f64, f64),
+    /// Relative draw weights per class, in [`CHAOS_KINDS`] order:
+    /// blackout, zombie, dhcp-silence, dhcp-exhausted, icmp-blackhole,
+    /// loss-burst.
+    pub kind_weights: [f64; 6],
+}
+
+/// Class order behind [`ChaosProfile::kind_weights`].
+pub const CHAOS_KINDS: [&str; 6] = [
+    "blackout",
+    "zombie",
+    "dhcp-silence",
+    "dhcp-exhausted",
+    "icmp-blackhole",
+    "loss-burst",
+];
+
+impl ChaosProfile {
+    /// The standard campaign profile: a handful of episodes per trial,
+    /// windows long enough to straddle joins, one in three episodes
+    /// compounded.
+    pub fn standard() -> ChaosProfile {
+        ChaosProfile {
+            episodes: (3, 10),
+            window_secs: (5.0, 60.0),
+            compound_prob: 0.35,
+            global_prob: 0.1,
+            loss_extra: (0.1, 0.6),
+            kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        }
+    }
+
+    /// A denser, nastier profile: more episodes, longer windows, most
+    /// of them compounded. For hunting, not for CI smoke.
+    pub fn aggressive() -> ChaosProfile {
+        ChaosProfile {
+            episodes: (8, 24),
+            window_secs: (10.0, 120.0),
+            compound_prob: 0.6,
+            global_prob: 0.2,
+            loss_extra: (0.2, 0.8),
+            kind_weights: [1.0, 1.5, 1.0, 1.0, 1.5, 1.5],
+        }
+    }
+}
+
+/// Draw one fault kind according to the profile's weights.
+fn draw_kind(rng: &mut SimRng, profile: &ChaosProfile) -> FaultKind {
+    match rng.pick_weighted(&profile.kind_weights) {
+        0 => FaultKind::Blackout,
+        1 => FaultKind::Zombie,
+        2 => FaultKind::DhcpSilence,
+        3 => FaultKind::DhcpExhausted,
+        4 => FaultKind::IcmpBlackhole,
+        _ => FaultKind::LossBurst {
+            extra: rng.uniform_in(profile.loss_extra.0, profile.loss_extra.1),
+        },
+    }
+}
+
+/// Generate a randomized chaos schedule: a pure function of
+/// `(seed, num_aps, duration, profile)`.
+///
+/// Two deliberate differences from [`FaultPlan::seeded`]: episodes of
+/// *different* classes freely overlap on the same AP (compound
+/// failures), and [`FaultKind::IcmpBlackhole`] appears as a windowed
+/// episode (a gateway that *starts* filtering mid-session) instead of
+/// a whole-run property.
+pub fn chaos_plan(
+    seed: u64,
+    num_aps: usize,
+    duration: SimDuration,
+    profile: &ChaosProfile,
+) -> FaultPlan {
+    assert!(num_aps > 0, "chaos plans need at least one AP to target");
+    let mut rng = SimRng::new(seed).stream("chaos-plan");
+    let horizon = duration.as_secs_f64();
+    let (lo, hi) = profile.episodes;
+    let n = rng.uniform_u64(lo as u64, hi as u64 + 1) as usize;
+    let mut episodes = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        let ap = if rng.chance(profile.global_prob) {
+            None
+        } else {
+            Some(rng.index(num_aps))
+        };
+        let kind = draw_kind(&mut rng, profile);
+        let dur = rng.uniform_in(profile.window_secs.0, profile.window_secs.1);
+        let start = rng.uniform_in(0.0, (horizon - dur).max(0.0));
+        let end = (start + dur).min(horizon);
+        let base = FaultEpisode {
+            ap,
+            kind,
+            start: SimTime::ZERO + SimDuration::from_secs_f64(start),
+            end: SimTime::ZERO + SimDuration::from_secs_f64(end),
+        };
+        episodes.push(base);
+        if rng.chance(profile.compound_prob) {
+            // A partner of a different class, overlapping the base
+            // window on the same target: this is where the interesting
+            // combinations come from (ICMP blackhole + loss burst,
+            // blackout inside a DHCP-silence window, ...).
+            let partner_kind = loop {
+                let k = draw_kind(&mut rng, profile);
+                if k.label() != kind.label() {
+                    break k;
+                }
+            };
+            let p_start = rng.uniform_in(start, end.max(start + 1e-6));
+            let p_dur = rng.uniform_in(profile.window_secs.0, profile.window_secs.1);
+            let p_end = (p_start + p_dur).min(horizon);
+            episodes.push(FaultEpisode {
+                ap,
+                kind: partner_kind,
+                start: SimTime::ZERO + SimDuration::from_secs_f64(p_start),
+                end: SimTime::ZERO + SimDuration::from_secs_f64(p_end),
+            });
+        }
+    }
+    FaultPlan { episodes }
+}
+
+/// One judged quantity of a run. Budgets are `f64`s in the metric's
+/// natural unit (seconds, fraction, bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloMetric {
+    /// Worst ping-monitor detection latency for one data-fault class
+    /// (`"blackout"` / `"zombie"`), seconds. No detections of that
+    /// class → nothing to judge.
+    MaxDetectS(&'static str),
+    /// Worst fault-coincident outage-to-recovery latency, seconds.
+    MaxRecoverS,
+    /// Floor on the run's connectivity fraction.
+    MinConnectivity,
+    /// Floor on total delivered payload bytes.
+    MinBytes,
+    /// Ceiling on the 90th-percentile DHCP acquisition time, seconds
+    /// (nearest-rank; no successful acquisitions → nothing to judge).
+    MaxDhcpP90S,
+}
+
+impl SloMetric {
+    /// Stable row key for reports and artifacts.
+    pub fn label(&self) -> String {
+        match self {
+            SloMetric::MaxDetectS(class) => format!("detect.{class}.max_s"),
+            SloMetric::MaxRecoverS => "recover.max_s".into(),
+            SloMetric::MinConnectivity => "connectivity.min".into(),
+            SloMetric::MinBytes => "bytes.min".into(),
+            SloMetric::MaxDhcpP90S => "dhcp.p90.max_s".into(),
+        }
+    }
+
+    /// Measure this metric on a run. `None` when the run produced no
+    /// samples to judge (e.g. no detections of the class).
+    pub fn measure(&self, r: &RunResult) -> Option<f64> {
+        match self {
+            SloMetric::MaxDetectS(class) => r.faults.detect_times_for(class).reduce(f64::max),
+            SloMetric::MaxRecoverS => r.faults.max_recover_s(),
+            SloMetric::MinConnectivity => Some(r.connectivity),
+            SloMetric::MinBytes => Some(r.bytes as f64),
+            SloMetric::MaxDhcpP90S => {
+                if r.join_log.dhcp.is_empty() {
+                    return None;
+                }
+                let mut times: Vec<f64> = r
+                    .join_log
+                    .dhcp
+                    .iter()
+                    .map(|s| s.took.as_secs_f64())
+                    .collect();
+                times.sort_by(|a, b| a.total_cmp(b));
+                // Nearest-rank p90, consistent with `Cdf::quantile`.
+                let rank = ((0.9 * times.len() as f64).ceil() as usize).max(1) - 1;
+                Some(times[rank.min(times.len() - 1)])
+            }
+        }
+    }
+
+    /// Does `measured` break `budget` for this metric? (`Max*` rules
+    /// violate above the budget, `Min*` rules below.)
+    pub fn violates(&self, measured: f64, budget: f64) -> bool {
+        match self {
+            SloMetric::MinConnectivity | SloMetric::MinBytes => measured < budget,
+            _ => measured > budget,
+        }
+    }
+}
+
+/// One row of the SLO table: a metric and its budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRule {
+    /// What is judged.
+    pub metric: SloMetric,
+    /// The budget in the metric's unit.
+    pub budget: f64,
+}
+
+/// A broken rule, with what was measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    /// The rule that fired.
+    pub rule: SloRule,
+    /// The measured value that broke it.
+    pub measured: f64,
+}
+
+impl std::fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: measured {:.3} vs budget {:.3}",
+            self.rule.metric.label(),
+            self.measured,
+            self.rule.budget
+        )
+    }
+}
+
+impl SloViolation {
+    /// Artifact form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::str(self.rule.metric.label())),
+            ("budget", Json::Num(self.rule.budget)),
+            ("measured", Json::Num(self.measured)),
+        ])
+    }
+}
+
+/// The declarative recovery-SLO table a campaign judges every run
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTable {
+    /// All rules; order is report order.
+    pub rules: Vec<SloRule>,
+}
+
+impl SloTable {
+    /// The paper-derived budgets (DESIGN.md §12):
+    ///
+    /// * detect ≤ 3.05 s per data-fault class — §3.2.2's 30 consecutive
+    ///   losses at 10 pings/s is a 3.0 s budget; +50 ms absorbs the
+    ///   ping-tick phase,
+    /// * recover ≤ 45 s — re-scan + backoff + re-join against a
+    ///   *different* AP while driving,
+    /// * DHCP p90 ≤ 10 s — the §2.2.1 client's retry ladder
+    ///   (1/2/4 s timers) exhausts near 10 s; Table 3's failure tail
+    ///   sits beyond it,
+    /// * at least one delivered byte — a run that moves nothing through
+    ///   a *survivable* storm is a recovery failure by definition.
+    pub fn paper_default() -> SloTable {
+        SloTable {
+            rules: vec![
+                SloRule {
+                    metric: SloMetric::MaxDetectS("blackout"),
+                    budget: 3.05,
+                },
+                SloRule {
+                    metric: SloMetric::MaxDetectS("zombie"),
+                    budget: 3.05,
+                },
+                SloRule {
+                    metric: SloMetric::MaxRecoverS,
+                    budget: 45.0,
+                },
+                SloRule {
+                    metric: SloMetric::MaxDhcpP90S,
+                    budget: 10.0,
+                },
+                SloRule {
+                    metric: SloMetric::MinBytes,
+                    budget: 1.0,
+                },
+            ],
+        }
+    }
+
+    /// Judge one run: every broken rule, in table order.
+    pub fn evaluate(&self, r: &RunResult) -> Vec<SloViolation> {
+        self.rules
+            .iter()
+            .filter_map(|rule| {
+                let measured = rule.metric.measure(r)?;
+                rule.metric
+                    .violates(measured, rule.budget)
+                    .then_some(SloViolation {
+                        rule: *rule,
+                        measured,
+                    })
+            })
+            .collect()
+    }
+
+    /// Artifact form of the whole table.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.rules.iter().map(|r| {
+            Json::obj([
+                ("rule", Json::str(r.metric.label())),
+                ("budget", Json::Num(r.budget)),
+            ])
+        }))
+    }
+}
+
+/// Minimum episode window the shrinker will narrow down to (µs). Below
+/// half a second a window stops interacting with any protocol timer in
+/// the stack, so further narrowing only burns evaluations.
+const MIN_WINDOW_US: u64 = 500_000;
+
+/// The result of shrinking one failing schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (still violating, by construction).
+    pub plan: FaultPlan,
+    /// Candidate evaluations spent (each one is a full world run).
+    pub evals: usize,
+}
+
+/// Delta-debug a failing schedule down to a minimal reproducer.
+///
+/// `still_fails` must return `true` when a candidate plan still
+/// violates the SLO under the *same* world config — the input plan is
+/// required to fail (debug-asserted via the first phase's baseline).
+/// Two phases, both greedy and deterministic:
+///
+/// 1. **Episode ddmin**: try dropping chunks at doubling granularity
+///    (halves, quarters, ... single episodes); adopt any candidate
+///    that still fails.
+/// 2. **Window narrowing**: for each surviving episode, repeatedly
+///    halve the window from the end, then from the start, adopting
+///    while the violation survives (down to [`MIN_WINDOW_US`]).
+///
+/// `budget` caps total `still_fails` evaluations; the shrinker returns
+/// its best-so-far when spent. The candidate walk is a pure function
+/// of the input plan and the check outcomes, so a deterministic
+/// `still_fails` yields a deterministic reproducer.
+pub fn shrink_schedule(
+    plan: &FaultPlan,
+    budget: usize,
+    mut still_fails: impl FnMut(&FaultPlan) -> bool,
+) -> ShrinkOutcome {
+    let mut current = plan.clone();
+    let mut evals = 0usize;
+    let mut check = |p: &FaultPlan, evals: &mut usize| {
+        *evals += 1;
+        still_fails(p)
+    };
+
+    // Phase 1: ddmin over episodes.
+    let mut granularity = 2usize;
+    while current.episodes.len() >= 2 && evals < budget {
+        let len = current.episodes.len();
+        let granularity_now = granularity.min(len);
+        let chunk = len.div_ceil(granularity_now);
+        let mut progressed = false;
+        let mut start = 0usize;
+        while start < current.episodes.len() && evals < budget {
+            let end = (start + chunk).min(current.episodes.len());
+            let mut candidate = current.clone();
+            candidate.episodes.drain(start..end);
+            if !candidate.episodes.is_empty() && check(&candidate, &mut evals) {
+                current = candidate;
+                progressed = true;
+                // Keep position: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if progressed {
+            granularity = 2;
+        } else if granularity_now >= len {
+            break;
+        } else {
+            granularity = (granularity * 2).min(len);
+        }
+    }
+
+    // Phase 2: narrow each surviving episode's window.
+    for i in 0..current.episodes.len() {
+        // Halve from the end, then from the start.
+        for from_end in [true, false] {
+            loop {
+                if evals >= budget {
+                    return ShrinkOutcome {
+                        plan: current,
+                        evals,
+                    };
+                }
+                let e = current.episodes[i];
+                let width = e.end.as_micros().saturating_sub(e.start.as_micros());
+                if width <= MIN_WINDOW_US {
+                    break;
+                }
+                let mid = e.start.as_micros() + width / 2;
+                let mut candidate = current.clone();
+                if from_end {
+                    candidate.episodes[i].end = SimTime::from_micros(mid);
+                } else {
+                    candidate.episodes[i].start = SimTime::from_micros(mid);
+                }
+                if check(&candidate, &mut evals) {
+                    current = candidate;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    ShrinkOutcome {
+        plan: current,
+        evals,
+    }
+}
+
+/// Configuration for one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of randomized trials.
+    pub trials: usize,
+    /// Campaign root seed; trial schedules derive from per-trial
+    /// streams of it.
+    pub seed: u64,
+    /// AP count of the world the trials run in (schedule targets).
+    pub num_aps: usize,
+    /// Simulated duration of the world the trials run in.
+    pub duration: SimDuration,
+    /// Schedule-generation knobs.
+    pub profile: ChaosProfile,
+    /// The recovery SLOs every trial is judged against.
+    pub slo: SloTable,
+    /// Max world runs the shrinker may spend per failing trial.
+    pub shrink_budget: usize,
+    /// Max failing trials to shrink (the rest are still reported).
+    pub max_shrinks: usize,
+    /// Sweep workers; `0` = [`spider_simcore::worker_count`].
+    pub workers: usize,
+    /// Optional per-trial wall-clock watchdog in milliseconds (hung
+    /// trials get flagged in the report; see
+    /// [`spider_simcore::SweepReport::hung`]).
+    pub watchdog_ms: Option<u64>,
+}
+
+impl CampaignConfig {
+    /// A small smoke campaign over a world with `num_aps` APs.
+    pub fn smoke(seed: u64, num_aps: usize, duration: SimDuration) -> CampaignConfig {
+        CampaignConfig {
+            trials: 8,
+            seed,
+            num_aps,
+            duration,
+            profile: ChaosProfile::standard(),
+            slo: SloTable::paper_default(),
+            shrink_budget: 120,
+            max_shrinks: 4,
+            workers: 0,
+            watchdog_ms: None,
+        }
+    }
+}
+
+/// One trial's schedule, as handed to the sweep runner.
+#[derive(Debug, Clone)]
+struct TrialJob {
+    trial: usize,
+    plan_seed: u64,
+    plan: FaultPlan,
+}
+
+/// The judged outcome of one completed trial.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Trial index within the campaign.
+    pub trial: usize,
+    /// The derived seed its schedule was generated from.
+    pub plan_seed: u64,
+    /// Episodes in the generated schedule.
+    pub episodes: usize,
+    /// Broken SLO rules (empty = the trial passed).
+    pub violations: Vec<SloViolation>,
+    /// Payload bytes the run still delivered.
+    pub bytes: u64,
+    /// Connectivity fraction of the run.
+    pub connectivity: f64,
+}
+
+impl TrialRecord {
+    /// Report form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trial", Json::UInt(self.trial as u64)),
+            ("plan_seed", Json::UInt(self.plan_seed)),
+            ("episodes", Json::UInt(self.episodes as u64)),
+            (
+                "violations",
+                Json::arr(self.violations.iter().map(SloViolation::to_json)),
+            ),
+            ("bytes", Json::UInt(self.bytes)),
+            ("connectivity", Json::Num(self.connectivity)),
+        ])
+    }
+}
+
+/// A minimized failing schedule, ready to serialize as a replayable
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct MinimizedRepro {
+    /// Which trial produced it.
+    pub trial: usize,
+    /// The trial's schedule seed (provenance; the artifact's plan is
+    /// what replays, not the seed).
+    pub plan_seed: u64,
+    /// Episode count of the original failing schedule.
+    pub original_episodes: usize,
+    /// The minimized schedule.
+    pub plan: FaultPlan,
+    /// Violations measured on the minimized schedule's replay.
+    pub violations: Vec<SloViolation>,
+    /// World runs the shrinker spent.
+    pub evals: usize,
+}
+
+impl MinimizedRepro {
+    /// Serialize the artifact. Contains everything a replay needs: the
+    /// minimized plan (exact microsecond windows, exact float
+    /// parameters) plus provenance and the violations it reproduces.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("artifact", Json::str("spider-chaos-repro")),
+            ("trial", Json::UInt(self.trial as u64)),
+            ("plan_seed", Json::UInt(self.plan_seed)),
+            (
+                "original_episodes",
+                Json::UInt(self.original_episodes as u64),
+            ),
+            ("shrink_evals", Json::UInt(self.evals as u64)),
+            (
+                "violations",
+                Json::arr(self.violations.iter().map(SloViolation::to_json)),
+            ),
+            ("plan", self.plan.to_json()),
+        ])
+    }
+
+    /// Parse an artifact back (the plan and provenance; violations are
+    /// re-measured on replay rather than trusted).
+    pub fn from_json(v: &Json) -> Option<MinimizedRepro> {
+        if v.get("artifact")?.as_str()? != "spider-chaos-repro" {
+            return None;
+        }
+        Some(MinimizedRepro {
+            trial: v.get("trial")?.as_u64()? as usize,
+            plan_seed: v.get("plan_seed")?.as_u64()?,
+            original_episodes: v.get("original_episodes")?.as_u64()? as usize,
+            plan: FaultPlan::from_json(v.get("plan")?)?,
+            violations: Vec::new(),
+            evals: v.get("shrink_evals")?.as_u64()? as usize,
+        })
+    }
+}
+
+/// The complete outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign seed (provenance).
+    pub seed: u64,
+    /// Trials attempted.
+    pub trials: usize,
+    /// Judged outcomes of completed trials, in trial order.
+    pub outcomes: Vec<TrialRecord>,
+    /// Trials whose simulator run panicked, quarantined by the sweep.
+    pub job_failures: Vec<JobFailure>,
+    /// Trial indices the watchdog flagged as hung (diagnostic).
+    pub hung: Vec<usize>,
+    /// Minimized reproducers for (up to `max_shrinks`) failing trials.
+    pub minimized: Vec<MinimizedRepro>,
+}
+
+impl CampaignReport {
+    /// Trials that completed and broke at least one SLO.
+    pub fn violating_trials(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.violations.is_empty())
+            .count()
+    }
+
+    /// A campaign is clean when every trial completed and passed.
+    pub fn is_clean(&self) -> bool {
+        self.violating_trials() == 0 && self.job_failures.is_empty()
+    }
+
+    /// Report form (sans the full minimized plans — those serialize as
+    /// their own artifacts). Deterministic for a deterministic runner
+    /// at any worker count; the watchdog's `hung` list is the one
+    /// timing-dependent field and is reported separately by callers
+    /// that care.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::UInt(self.seed)),
+            ("trials", Json::UInt(self.trials as u64)),
+            (
+                "violating_trials",
+                Json::UInt(self.violating_trials() as u64),
+            ),
+            (
+                "outcomes",
+                Json::arr(self.outcomes.iter().map(TrialRecord::to_json)),
+            ),
+            (
+                "job_failures",
+                Json::arr(self.job_failures.iter().map(|f| {
+                    Json::obj([
+                        ("trial", Json::UInt(f.index as u64)),
+                        ("fingerprint", Json::str(f.fingerprint.clone())),
+                        ("message", Json::str(f.message.clone())),
+                    ])
+                })),
+            ),
+            (
+                "minimized",
+                Json::arr(self.minimized.iter().map(|m| {
+                    Json::obj([
+                        ("trial", Json::UInt(m.trial as u64)),
+                        ("original_episodes", Json::UInt(m.original_episodes as u64)),
+                        (
+                            "minimized_episodes",
+                            Json::UInt(m.plan.episodes.len() as u64),
+                        ),
+                        ("shrink_evals", Json::UInt(m.evals as u64)),
+                        (
+                            "violations",
+                            Json::arr(m.violations.iter().map(SloViolation::to_json)),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Run a chaos campaign: generate one randomized schedule per trial,
+/// run them through the fault-tolerant sweep, judge each against the
+/// SLO table, and shrink the first `max_shrinks` failing schedules to
+/// minimal reproducers.
+///
+/// `run` executes one world under a candidate fault plan and must be a
+/// pure function of the plan (the world config and driver are baked
+/// into the closure). It is called from worker threads during the
+/// sweep and serially during shrinking.
+pub fn run_campaign<F>(cfg: &CampaignConfig, run: F) -> CampaignReport
+where
+    F: Fn(&FaultPlan) -> RunResult + Sync,
+{
+    let root = SimRng::new(cfg.seed);
+    let jobs: Vec<TrialJob> = (0..cfg.trials)
+        .map(|t| {
+            let plan_seed = root.stream_indexed("campaign-trial", t as u64).seed();
+            TrialJob {
+                trial: t,
+                plan_seed,
+                plan: chaos_plan(plan_seed, cfg.num_aps, cfg.duration, &cfg.profile),
+            }
+        })
+        .collect();
+
+    // lint:allow(wall-clock) — the watchdog deadline is a real-time
+    // hang budget for the host, never simulated time.
+    let watchdog = cfg.watchdog_ms.map(core::time::Duration::from_millis);
+    let sweep = try_sweep_with(
+        &jobs,
+        |j| run(&j.plan),
+        |j| {
+            format!(
+                "trial={} plan_seed={:#018x} episodes={}",
+                j.trial,
+                j.plan_seed,
+                j.plan.episodes.len()
+            )
+        },
+        SweepOptions {
+            workers: cfg.workers,
+            watchdog,
+        },
+    );
+
+    let mut outcomes = Vec::new();
+    let mut minimized = Vec::new();
+    for (job, result) in jobs.iter().zip(&sweep.results) {
+        let Some(result) = result else { continue };
+        let violations = cfg.slo.evaluate(result);
+        if !violations.is_empty() && minimized.len() < cfg.max_shrinks {
+            let outcome = shrink_schedule(&job.plan, cfg.shrink_budget, |p| {
+                !cfg.slo.evaluate(&run(p)).is_empty()
+            });
+            let final_violations = cfg.slo.evaluate(&run(&outcome.plan));
+            debug_assert!(
+                !final_violations.is_empty(),
+                "shrinker must preserve the violation"
+            );
+            minimized.push(MinimizedRepro {
+                trial: job.trial,
+                plan_seed: job.plan_seed,
+                original_episodes: job.plan.episodes.len(),
+                plan: outcome.plan,
+                violations: final_violations,
+                evals: outcome.evals,
+            });
+        }
+        outcomes.push(TrialRecord {
+            trial: job.trial,
+            plan_seed: job.plan_seed,
+            episodes: job.plan.episodes.len(),
+            violations,
+            bytes: result.bytes,
+            connectivity: result.connectivity,
+        });
+    }
+
+    CampaignReport {
+        seed: cfg.seed,
+        trials: cfg.trials,
+        outcomes,
+        job_failures: sweep.failures,
+        hung: sweep.hung,
+        minimized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    fn dur(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_in_bounds() {
+        let profile = ChaosProfile::standard();
+        let a = chaos_plan(42, 10, dur(300), &profile);
+        let b = chaos_plan(42, 10, dur(300), &profile);
+        assert_eq!(a, b);
+        assert!(a.episodes.len() >= profile.episodes.0);
+        for e in &a.episodes {
+            assert!(e.start < e.end, "{e:?}");
+            assert!(e.end <= t(300.0), "{e:?}");
+            if let Some(ap) = e.ap {
+                assert!(ap < 10);
+            }
+        }
+        assert_ne!(a, chaos_plan(43, 10, dur(300), &profile));
+    }
+
+    #[test]
+    fn chaos_plans_produce_compound_overlaps() {
+        // Across a handful of seeds, the generator must emit at least
+        // one pair of distinct-class episodes overlapping on the same
+        // target, and at least one *windowed* ICMP blackhole — the two
+        // things FaultPlan::seeded never produces.
+        let profile = ChaosProfile::aggressive();
+        let mut compound = false;
+        let mut windowed_icmp = false;
+        for seed in 0..20 {
+            let plan = chaos_plan(seed, 8, dur(600), &profile);
+            for (i, a) in plan.episodes.iter().enumerate() {
+                if a.kind == FaultKind::IcmpBlackhole && (a.start > t(0.0) || a.end < t(600.0)) {
+                    windowed_icmp = true;
+                }
+                for b in &plan.episodes[i + 1..] {
+                    if a.ap == b.ap
+                        && a.kind.label() != b.kind.label()
+                        && a.start < b.end
+                        && b.start < a.end
+                    {
+                        compound = true;
+                    }
+                }
+            }
+        }
+        assert!(compound, "no compound overlap in 20 seeds");
+        assert!(windowed_icmp, "no windowed ICMP blackhole in 20 seeds");
+    }
+
+    fn run_with(detect: &[(FaultKind, f64)], recover: &[f64], bytes: u64) -> RunResult {
+        use spider_simcore::{Cdf, IntervalTracker};
+        let tracker = IntervalTracker::new(SimTime::ZERO, false);
+        let mut faults = crate::faults::FaultStats::default();
+        for &(kind, t) in detect {
+            faults.record_detect(t, kind);
+        }
+        faults.recover_times_s = recover.to_vec();
+        RunResult {
+            label: "slo-test".into(),
+            duration: dur(100),
+            bytes,
+            avg_throughput_bps: bytes as f64 / 100.0,
+            connectivity: 0.5,
+            instantaneous_bps: Cdf::from_samples(Vec::new()),
+            intervals: tracker.finish(SimTime::from_secs(100)),
+            join_log: spider_mac80211::JoinLog::new(),
+            switches: 0,
+            aps_encountered: 1,
+            tcp_timeouts: 0,
+            tcp_retransmits: 0,
+            faults,
+            events: 1,
+        }
+    }
+
+    #[test]
+    fn slo_table_judges_per_class_budgets() {
+        let table = SloTable::paper_default();
+        // Clean run: inside every budget.
+        let ok = run_with(
+            &[(FaultKind::Blackout, 2.0), (FaultKind::Zombie, 3.0)],
+            &[10.0],
+            1000,
+        );
+        assert!(table.evaluate(&ok).is_empty());
+        // Zombie detection blows its class budget; blackout stays clean.
+        let slow_zombie = run_with(
+            &[(FaultKind::Blackout, 2.0), (FaultKind::Zombie, 4.0)],
+            &[],
+            1000,
+        );
+        let v = table.evaluate(&slow_zombie);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule.metric, SloMetric::MaxDetectS("zombie"));
+        assert_eq!(v[0].measured, 4.0);
+        // Starved run: floor metric fires.
+        let starved = run_with(&[], &[], 0);
+        let v = table.evaluate(&starved);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule.metric, SloMetric::MinBytes);
+    }
+
+    #[test]
+    fn slo_rules_with_no_samples_do_not_fire() {
+        let table = SloTable {
+            rules: vec![
+                SloRule {
+                    metric: SloMetric::MaxDetectS("blackout"),
+                    budget: 0.0,
+                },
+                SloRule {
+                    metric: SloMetric::MaxRecoverS,
+                    budget: 0.0,
+                },
+                SloRule {
+                    metric: SloMetric::MaxDhcpP90S,
+                    budget: 0.0,
+                },
+            ],
+        };
+        let quiet = run_with(&[], &[], 100);
+        assert!(table.evaluate(&quiet).is_empty());
+    }
+
+    /// A synthetic failure oracle for the shrinker: the plan "fails"
+    /// iff it still contains a blackout episode covering t=50 on AP 0.
+    fn synthetic_fails(plan: &FaultPlan) -> bool {
+        plan.blackout(t(50.0), 0)
+    }
+
+    fn noisy_plan() -> FaultPlan {
+        let mut episodes = vec![FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::Blackout,
+            start: t(10.0),
+            end: t(90.0),
+        }];
+        // Noise: other APs, other classes, non-covering windows.
+        for i in 0..12 {
+            episodes.push(FaultEpisode {
+                ap: Some(1 + (i % 4)),
+                kind: if i % 2 == 0 {
+                    FaultKind::Zombie
+                } else {
+                    FaultKind::LossBurst { extra: 0.3 }
+                },
+                start: t(i as f64 * 7.0),
+                end: t(i as f64 * 7.0 + 5.0),
+            });
+        }
+        FaultPlan { episodes }
+    }
+
+    #[test]
+    fn shrinker_drops_noise_and_narrows_windows() {
+        let plan = noisy_plan();
+        assert!(synthetic_fails(&plan));
+        let out = shrink_schedule(&plan, 500, synthetic_fails);
+        // All 12 noise episodes gone, the culprit left.
+        assert_eq!(out.plan.episodes.len(), 1, "{:?}", out.plan);
+        let e = out.plan.episodes[0];
+        assert_eq!(e.kind, FaultKind::Blackout);
+        assert_eq!(e.ap, Some(0));
+        // Window narrowed around the t=50 oracle point: strictly inside
+        // the original 80 s, still covering 50.
+        assert!(synthetic_fails(&out.plan));
+        let width = e.end.saturating_since(e.start);
+        assert!(
+            width < SimDuration::from_secs(80),
+            "window not narrowed: {width}"
+        );
+        assert!(e.start <= t(50.0) && t(50.0) < e.end);
+        assert!(out.evals > 0);
+    }
+
+    #[test]
+    fn shrinker_respects_budget() {
+        let plan = noisy_plan();
+        let out = shrink_schedule(&plan, 3, synthetic_fails);
+        assert!(out.evals <= 3);
+        // Whatever it returns must still fail.
+        assert!(synthetic_fails(&out.plan));
+    }
+
+    #[test]
+    fn shrinker_is_deterministic() {
+        let plan = noisy_plan();
+        let a = shrink_schedule(&plan, 500, synthetic_fails);
+        let b = shrink_schedule(&plan, 500, synthetic_fails);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn repro_artifact_round_trips() {
+        let repro = MinimizedRepro {
+            trial: 3,
+            plan_seed: 0xdead_beef,
+            original_episodes: 9,
+            plan: noisy_plan(),
+            violations: vec![SloViolation {
+                rule: SloRule {
+                    metric: SloMetric::MaxDetectS("blackout"),
+                    budget: 3.05,
+                },
+                measured: 7.5,
+            }],
+            evals: 41,
+        };
+        let text = repro.to_json().pretty();
+        let back = MinimizedRepro::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.trial, 3);
+        assert_eq!(back.plan_seed, 0xdead_beef);
+        assert_eq!(back.original_episodes, 9);
+        assert_eq!(back.plan, repro.plan, "plans must replay identically");
+        // Wrong magic is rejected.
+        assert!(
+            MinimizedRepro::from_json(&Json::obj([("artifact", Json::str("something-else"))]))
+                .is_none()
+        );
+    }
+}

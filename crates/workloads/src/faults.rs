@@ -16,7 +16,7 @@
 //! DHCP, and medium interaction and attributes the damage in
 //! [`FaultStats`].
 
-use spider_simcore::{SimDuration, SimRng, SimTime};
+use spider_simcore::{Json, SimDuration, SimRng, SimTime};
 
 /// One class of injected failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,10 +61,84 @@ pub struct FaultEpisode {
     pub end: SimTime,
 }
 
+impl FaultKind {
+    /// Stable artifact label for this class (the JSON `kind` field and
+    /// the SLO table's row key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Blackout => "blackout",
+            FaultKind::Zombie => "zombie",
+            FaultKind::DhcpSilence => "dhcp-silence",
+            FaultKind::DhcpExhausted => "dhcp-exhausted",
+            FaultKind::IcmpBlackhole => "icmp-blackhole",
+            FaultKind::LossBurst { .. } => "loss-burst",
+        }
+    }
+
+    /// Serialize to the artifact JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FaultKind::LossBurst { extra } => Json::obj([
+                ("kind", Json::str(self.label())),
+                ("extra", Json::Num(*extra)),
+            ]),
+            _ => Json::obj([("kind", Json::str(self.label()))]),
+        }
+    }
+
+    /// Parse the artifact JSON form back. `None` on unknown labels or
+    /// missing fields — replay must fail loudly, not guess.
+    pub fn from_json(v: &Json) -> Option<FaultKind> {
+        match v.get("kind")?.as_str()? {
+            "blackout" => Some(FaultKind::Blackout),
+            "zombie" => Some(FaultKind::Zombie),
+            "dhcp-silence" => Some(FaultKind::DhcpSilence),
+            "dhcp-exhausted" => Some(FaultKind::DhcpExhausted),
+            "icmp-blackhole" => Some(FaultKind::IcmpBlackhole),
+            "loss-burst" => Some(FaultKind::LossBurst {
+                extra: v.get("extra")?.as_f64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 impl FaultEpisode {
     /// Does this episode cover `(now, ap)`?
     fn applies(&self, now: SimTime, ap: usize) -> bool {
         self.ap.map(|a| a == ap).unwrap_or(true) && self.start <= now && now < self.end
+    }
+
+    /// Serialize to the artifact JSON form. Times are integer
+    /// microseconds, so replay is exact by construction.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![(
+            "ap".to_string(),
+            match self.ap {
+                Some(i) => Json::UInt(i as u64),
+                None => Json::Null,
+            },
+        )];
+        if let Json::Obj(kind_pairs) = self.kind.to_json() {
+            pairs.extend(kind_pairs);
+        }
+        pairs.push(("start_us".to_string(), Json::UInt(self.start.as_micros())));
+        pairs.push(("end_us".to_string(), Json::UInt(self.end.as_micros())));
+        Json::Obj(pairs)
+    }
+
+    /// Parse the artifact JSON form back.
+    pub fn from_json(v: &Json) -> Option<FaultEpisode> {
+        let ap = match v.get("ap")? {
+            Json::Null => None,
+            j => Some(j.as_u64()? as usize),
+        };
+        Some(FaultEpisode {
+            ap,
+            kind: FaultKind::from_json(v)?,
+            start: SimTime::from_micros(v.get("start_us")?.as_u64()?),
+            end: SimTime::from_micros(v.get("end_us")?.as_u64()?),
+        })
     }
 }
 
@@ -292,14 +366,51 @@ impl FaultPlan {
     /// at `now`, the start time of the earliest covering episode —
     /// the reference point for time-to-detect measurement.
     pub fn data_fault_onset(&self, now: SimTime, ap: usize) -> Option<SimTime> {
-        self.episodes
-            .iter()
-            .filter(|e| {
-                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap)
-            })
-            .map(|e| e.start)
-            .min()
+        self.data_fault_at(now, ap).map(|(start, _)| start)
     }
+
+    /// Like [`FaultPlan::data_fault_onset`], but also naming the fault
+    /// class of the earliest covering episode — the attribution key for
+    /// per-class SLO budgets. Ties on `start` break toward the earlier
+    /// episode in plan order, which is stable for a given plan.
+    pub fn data_fault_at(&self, now: SimTime, ap: usize) -> Option<(SimTime, FaultKind)> {
+        data_fault_at(&self.episodes, now, ap)
+    }
+
+    /// Serialize to the artifact JSON form (replays exactly:
+    /// microsecond times, shortest-round-trip floats).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "episodes",
+            Json::arr(self.episodes.iter().map(FaultEpisode::to_json)),
+        )])
+    }
+
+    /// Parse the artifact JSON form back. `None` if any episode is
+    /// malformed.
+    pub fn from_json(v: &Json) -> Option<FaultPlan> {
+        let episodes = v
+            .get("episodes")?
+            .as_arr()?
+            .iter()
+            .map(FaultEpisode::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(FaultPlan { episodes })
+    }
+}
+
+/// Shared onset query: earliest-starting data-plane (blackout/zombie)
+/// episode covering `(now, ap)` in `episodes`.
+fn data_fault_at(
+    episodes: &[FaultEpisode],
+    now: SimTime,
+    ap: usize,
+) -> Option<(SimTime, FaultKind)> {
+    episodes
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap))
+        .map(|e| (e.start, e.kind))
+        .min_by_key(|(start, _)| *start)
 }
 
 /// A per-AP query index over a [`FaultPlan`].
@@ -408,13 +519,14 @@ impl FaultIndex {
 
     /// Start of the earliest data-plane fault covering `(now, ap)`.
     pub fn data_fault_onset(&self, now: SimTime, ap: usize) -> Option<SimTime> {
-        self.episodes_for(ap)
-            .iter()
-            .filter(|e| {
-                matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap)
-            })
-            .map(|e| e.start)
-            .min()
+        self.data_fault_at(now, ap).map(|(start, _)| start)
+    }
+
+    /// Earliest covering data-plane fault with its class (see
+    /// [`FaultPlan::data_fault_at`]). The per-AP buckets preserve plan
+    /// order, so tie-breaking matches the flat plan exactly.
+    pub fn data_fault_at(&self, now: SimTime, ap: usize) -> Option<(SimTime, FaultKind)> {
+        data_fault_at(self.episodes_for(ap), now, ap)
     }
 
     /// Is any data-plane fault active anywhere at `now`?
@@ -443,12 +555,82 @@ pub struct FaultStats {
     /// Time from data-plane fault onset to the client tearing the link
     /// down (deauth), seconds — the ping monitor's detection latency.
     pub detect_times_s: Vec<f64>,
+    /// Fault class behind each detection, parallel to
+    /// `detect_times_s` (always `Blackout` or `Zombie` — only
+    /// data-plane faults arm detection measurements). The attribution
+    /// key for per-class SLO budgets.
+    pub detect_kinds: Vec<FaultKind>,
     /// Time from a fault-coincident connectivity loss to the next
-    /// restored connectivity, seconds.
+    /// restored connectivity, seconds, counting only spans with a
+    /// *usable* candidate AP in radio range — in range **and** on a
+    /// channel the client's configuration visits: a mobile client
+    /// driving through a coverage gap is not "failing to recover", it
+    /// has nothing to recover *to*, and an AP on a channel the client
+    /// never tunes to is no more reachable than one beyond the radio
+    /// horizon. The outage only opens when the faulted AP was both in
+    /// range and on a usable channel to begin with.
     pub recover_times_s: Vec<f64>,
 }
 
 impl FaultStats {
+    /// Record one detection latency attributed to `kind`.
+    pub fn record_detect(&mut self, seconds: f64, kind: FaultKind) {
+        self.detect_times_s.push(seconds);
+        self.detect_kinds.push(kind);
+    }
+
+    /// Detection latencies attributed to fault class `label`
+    /// (see [`FaultKind::label`]), in recording order.
+    pub fn detect_times_for<'a>(&'a self, label: &'a str) -> impl Iterator<Item = f64> + 'a {
+        self.detect_times_s
+            .iter()
+            .zip(&self.detect_kinds)
+            .filter(move |(_, k)| k.label() == label)
+            .map(|(&t, _)| t)
+    }
+
+    /// Worst detection latency in seconds, if any.
+    pub fn max_detect_s(&self) -> Option<f64> {
+        self.detect_times_s.iter().copied().reduce(f64::max)
+    }
+
+    /// Worst recovery latency in seconds, if any.
+    pub fn max_recover_s(&self) -> Option<f64> {
+        self.recover_times_s.iter().copied().reduce(f64::max)
+    }
+
+    /// Serialize the counters and timing samples for artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "frames_dropped_blackout",
+                Json::UInt(self.frames_dropped_blackout),
+            ),
+            (
+                "packets_dropped_zombie",
+                Json::UInt(self.packets_dropped_zombie),
+            ),
+            ("dhcp_dropped_silent", Json::UInt(self.dhcp_dropped_silent)),
+            ("dhcp_naks_exhausted", Json::UInt(self.dhcp_naks_exhausted)),
+            (
+                "icmp_dropped_filtered",
+                Json::UInt(self.icmp_dropped_filtered),
+            ),
+            ("ap_reboots", Json::UInt(self.ap_reboots)),
+            (
+                "detect_times_s",
+                Json::arr(self.detect_times_s.iter().map(|&t| Json::Num(t))),
+            ),
+            (
+                "detect_kinds",
+                Json::arr(self.detect_kinds.iter().map(|k| Json::str(k.label()))),
+            ),
+            (
+                "recover_times_s",
+                Json::arr(self.recover_times_s.iter().map(|&t| Json::Num(t))),
+            ),
+        ])
+    }
     /// Total interactions suppressed across all fault classes.
     pub fn total_drops(&self) -> u64 {
         self.frames_dropped_blackout
@@ -614,6 +796,89 @@ mod tests {
                     .all(|e| e.ap.map(|a| a != ap).unwrap_or(false)));
             }
         }
+    }
+
+    #[test]
+    fn plan_json_round_trips_exactly() {
+        let mut plan =
+            FaultPlan::seeded(11, 12, SimDuration::from_secs(600), &FaultProfile::stormy());
+        plan.episodes.push(FaultEpisode {
+            ap: None,
+            kind: FaultKind::LossBurst {
+                extra: 0.123456789012345,
+            },
+            start: t(1.5),
+            end: t(2.25),
+        });
+        plan.episodes.push(FaultEpisode {
+            ap: Some(3),
+            kind: FaultKind::IcmpBlackhole,
+            start: t(10.0),
+            end: t(20.0),
+        });
+        let text = plan.to_json().pretty();
+        let back = FaultPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, plan, "replayed plan must be identical");
+        // Byte-stable: serializing the round-tripped plan again gives
+        // the same document.
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn kind_json_rejects_unknown_labels() {
+        let v = Json::obj([("kind", Json::str("gremlins"))]);
+        assert_eq!(FaultKind::from_json(&v), None);
+        let missing_extra = Json::obj([("kind", Json::str("loss-burst"))]);
+        assert_eq!(FaultKind::from_json(&missing_extra), None);
+    }
+
+    #[test]
+    fn detect_attribution_filters_by_class() {
+        let mut stats = FaultStats::default();
+        stats.record_detect(1.0, FaultKind::Blackout);
+        stats.record_detect(2.0, FaultKind::Zombie);
+        stats.record_detect(3.0, FaultKind::Blackout);
+        assert_eq!(
+            stats.detect_times_for("blackout").collect::<Vec<_>>(),
+            vec![1.0, 3.0]
+        );
+        assert_eq!(
+            stats.detect_times_for("zombie").collect::<Vec<_>>(),
+            vec![2.0]
+        );
+        assert_eq!(stats.max_detect_s(), Some(3.0));
+        assert_eq!(stats.max_recover_s(), None);
+        // Serializes with the parallel kind array intact.
+        let j = stats.to_json();
+        assert_eq!(j.get("detect_kinds").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn data_fault_at_names_the_class() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::Zombie,
+                start: t(5.0),
+                end: t(50.0),
+            },
+            FaultEpisode {
+                ap: Some(0),
+                kind: FaultKind::Blackout,
+                start: t(10.0),
+                end: t(20.0),
+            },
+        ]);
+        let index = FaultIndex::build(&plan, 1);
+        assert_eq!(
+            plan.data_fault_at(t(15.0), 0),
+            Some((t(5.0), FaultKind::Zombie))
+        );
+        assert_eq!(
+            index.data_fault_at(t(15.0), 0),
+            plan.data_fault_at(t(15.0), 0)
+        );
+        assert_eq!(plan.data_fault_at(t(1.0), 0), None);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   pool exhaustion, ICMP-filtered gateways, loss bursts) that the
 //!   world consults on every interaction, plus the attribution
 //!   counters reported in [`RunResult`].
+//! * [`campaign`] — the chaos-campaign engine: randomized compound
+//!   fault schedules, a declarative recovery-SLO table judging every
+//!   run, and delta-debugging shrinking of failing schedules into
+//!   minimal replayable reproducers.
 //! * [`scenarios`] — builders for the paper's experimental setups: town
 //!   and Boston drives, the indoor static testbed of §2.2.2, and the
 //!   controlled two-AP lab of Fig. 10.
@@ -22,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod capture;
 pub mod faults;
 pub mod meshusers;
@@ -29,6 +34,10 @@ pub mod metrics;
 pub mod scenarios;
 pub mod world;
 
+pub use campaign::{
+    chaos_plan, run_campaign, shrink_schedule, CampaignConfig, CampaignReport, ChaosProfile,
+    MinimizedRepro, ShrinkOutcome, SloMetric, SloRule, SloTable, SloViolation, TrialRecord,
+};
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
 pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use metrics::RunResult;

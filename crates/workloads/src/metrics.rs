@@ -8,7 +8,7 @@
 
 use crate::faults::FaultStats;
 use spider_mac80211::JoinLog;
-use spider_simcore::{Cdf, IntervalReport, SimDuration};
+use spider_simcore::{Cdf, IntervalReport, Json, SimDuration};
 use std::fmt;
 
 /// The outcome of one simulated run.
@@ -67,6 +67,33 @@ impl RunResult {
     /// Disruption-length CDF in seconds (Fig. 12).
     pub fn disruption_cdf(&self) -> Cdf {
         self.intervals.off_cdf()
+    }
+
+    /// Serialize the run for campaign artifacts: every scalar the SLO
+    /// table can judge, the fault attribution block, and join/interval
+    /// summary counts. Floats use shortest-round-trip emission, so two
+    /// bit-identical runs serialize to byte-identical JSON — artifact
+    /// diffing doubles as a determinism check.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("duration_us", Json::UInt(self.duration.as_micros())),
+            ("bytes", Json::UInt(self.bytes)),
+            ("avg_throughput_bps", Json::Num(self.avg_throughput_bps)),
+            ("connectivity", Json::Num(self.connectivity)),
+            ("switches", Json::UInt(self.switches)),
+            ("aps_encountered", Json::UInt(self.aps_encountered as u64)),
+            ("tcp_timeouts", Json::UInt(self.tcp_timeouts)),
+            ("tcp_retransmits", Json::UInt(self.tcp_retransmits)),
+            ("events", Json::UInt(self.events)),
+            ("joins", Json::UInt(self.join_log.join.len() as u64)),
+            ("join_failures", Json::UInt(self.join_log.join_failures)),
+            (
+                "disruptions",
+                Json::UInt(self.intervals.off_durations.len() as u64),
+            ),
+            ("faults", self.faults.to_json()),
+        ])
     }
 }
 

@@ -254,12 +254,20 @@ pub struct World<C: ClientSystem> {
     /// Per-AP "was blacked out at the last sweep" (reboot edge detector).
     in_blackout: Vec<bool>,
     /// APs with an armed time-to-detect measurement:
-    /// ap → (episode start, detection clock start).
-    pending_detect: FxHashMap<usize, (SimTime, SimTime)>,
+    /// ap → (episode start, detection clock start, fault class). A
+    /// `None` clock is lazy: it starts at the first packet the fault
+    /// actually swallows (see [`World::note_fault_bite`]).
+    pending_detect: FxHashMap<usize, (SimTime, Option<SimTime>, crate::faults::FaultKind)>,
     /// Episodes whose detection has already been recorded.
     detect_done: FxHashSet<(usize, SimTime)>,
-    /// Start of a fault-coincident connectivity outage, if one is open.
-    fault_outage_since: Option<SimTime>,
+    /// Open fault-coincident connectivity outage, if any: recovery time
+    /// accrued so far while a candidate AP was in range, plus the start
+    /// of the currently-running covered span (`None` while the client
+    /// is out of coverage — driving through open country is mobility,
+    /// not recovery latency).
+    fault_outage: Option<(SimDuration, Option<SimTime>)>,
+    /// Was any AP within actual radio range at the last mobility sweep?
+    client_covered: bool,
     prev_connected: bool,
 }
 
@@ -348,7 +356,8 @@ impl<C: ClientSystem> World<C> {
             in_blackout: vec![false; num_aps],
             pending_detect: FxHashMap::default(),
             detect_done: FxHashSet::default(),
-            fault_outage_since: None,
+            fault_outage: None,
+            client_covered: false,
             prev_connected: false,
             cfg,
         }
@@ -492,6 +501,12 @@ impl<C: ClientSystem> World<C> {
                 "fault timing samples recorded without a fault plan"
             );
         }
+        // Per-class attribution stays parallel to the timing samples.
+        assert_eq!(
+            self.fstats.detect_times_s.len(),
+            self.fstats.detect_kinds.len(),
+            "detect-kind attribution out of sync with detect timings"
+        );
         // Timing samples are durations: finite and non-negative always.
         for &t in self
             .fstats
@@ -520,20 +535,26 @@ impl<C: ClientSystem> World<C> {
         let connected = obs.connected;
         self.conn.set(now, connected);
         // Time-to-recover: a connectivity drop that coincides with an
-        // active data-plane fault opens an outage; the next restored
-        // connectivity closes it.
+        // active data-plane fault *within radio range* opens an outage;
+        // the next restored connectivity closes it. Two rules keep the
+        // sample honest on a drive: a blackout on an AP the client
+        // cannot even hear does not turn a natural coverage gap into a
+        // "recovery" measurement, and the clock only accrues while a
+        // candidate AP is in range — time spent driving through open
+        // country is mobility, not recovery latency.
         if !self.findex.is_empty() {
             if self.prev_connected
                 && !connected
-                && self.fault_outage_since.is_none()
-                && self.findex.any_data_fault(now)
+                && self.fault_outage.is_none()
+                && self.data_fault_in_range(now)
             {
-                self.fault_outage_since = Some(now);
+                self.fault_outage = Some((SimDuration::ZERO, self.client_covered.then_some(now)));
             } else if connected {
-                if let Some(since) = self.fault_outage_since.take() {
-                    self.fstats
-                        .recover_times_s
-                        .push(now.saturating_since(since).as_secs_f64());
+                if let Some((mut accrued, span)) = self.fault_outage.take() {
+                    if let Some(since) = span {
+                        accrued += now.saturating_since(since);
+                    }
+                    self.fstats.recover_times_s.push(accrued.as_secs_f64());
                 }
             }
         }
@@ -626,6 +647,7 @@ impl<C: ClientSystem> World<C> {
                 if self.findex.blackout(now, ap) {
                     // A powered-off AP hears nothing.
                     self.fstats.frames_dropped_blackout += 1;
+                    self.note_fault_bite(now, ap);
                     #[cfg(feature = "validate")]
                     {
                         self.air.dropped += 1;
@@ -697,6 +719,7 @@ impl<C: ClientSystem> World<C> {
                 self.aps[i].active = false;
             }
         }
+        let mut covered = false;
         for &i in &nearby {
             if !self.aps[i].active {
                 self.aps[i].active = true;
@@ -709,6 +732,12 @@ impl<C: ClientSystem> World<C> {
                 .in_range_sq(pos.distance_sq_to(self.aps[i].position))
             {
                 self.encountered.insert(i);
+                // Coverage for the recovery clock means a *usable*
+                // candidate: an in-range AP on a channel this client
+                // never visits cannot end an outage.
+                if self.client.can_use_channel(self.aps[i].channel) {
+                    covered = true;
+                }
             }
         }
         // The nearby list *is* the new active set; recycle the old one
@@ -716,9 +745,37 @@ impl<C: ClientSystem> World<C> {
         prev.clear();
         self.nearby_scratch = prev;
         self.active_ids = nearby;
+        self.set_coverage(now, covered);
         if !self.findex.is_empty() {
             self.fault_sweep(now);
         }
+    }
+
+    /// Track radio-coverage transitions for the recovery clock: an open
+    /// fault outage accrues recovery time only across covered spans.
+    fn set_coverage(&mut self, now: SimTime, covered: bool) {
+        if covered == self.client_covered {
+            return;
+        }
+        self.client_covered = covered;
+        if let Some((accrued, span)) = &mut self.fault_outage {
+            if covered {
+                *span = Some(now);
+            } else if let Some(since) = span.take() {
+                *accrued += now.saturating_since(since);
+            }
+        }
+    }
+
+    /// Is a data-plane fault active on any AP currently within radio
+    /// range of the client — on a channel the client actually uses?
+    /// Only such a fault can plausibly cause (or prolong) a
+    /// connectivity outage the client is experiencing.
+    fn data_fault_in_range(&self, now: SimTime) -> bool {
+        self.active_ids.iter().any(|&i| {
+            self.findex.data_fault_at(now, i).is_some()
+                && self.client.can_use_channel(self.aps[i].channel)
+        })
     }
 
     /// Periodic fault bookkeeping: AP reboots at blackout end, and
@@ -743,24 +800,29 @@ impl<C: ClientSystem> World<C> {
                 }
             }
             self.in_blackout[i] = black;
-            match self.findex.data_fault_onset(now, i) {
-                Some(start) => {
+            match self.findex.data_fault_at(now, i) {
+                Some((start, kind)) => {
                     if self.aps[i].mac.client_count() > 0
                         && !self.pending_detect.contains_key(&i)
                         && !self.detect_done.contains(&(i, start))
                     {
                         // If the client was already associated when the
-                        // episode began (first sweep after `start`), the
-                        // detection clock starts at the true onset;
-                        // clients that associate mid-episode (zombies
-                        // accept joins) start it at association time.
+                        // episode began (first sweep after `start`), its
+                        // probes were flowing and the detection clock
+                        // starts at the true onset. A client that joins
+                        // mid-episode (zombies accept joins) cannot
+                        // observe the fault until its data plane is up
+                        // and a probe actually dies, so the clock starts
+                        // lazily at the first swallowed packet —
+                        // otherwise association and DHCP time would be
+                        // charged against the ping monitor's budget.
                         let onset = if now.saturating_since(start) <= SimDuration::from_millis(500)
                         {
-                            start
+                            Some(start)
                         } else {
-                            now
+                            None
                         };
-                        self.pending_detect.insert(i, (start, onset));
+                        self.pending_detect.insert(i, (start, onset, kind));
                     }
                 }
                 None => {
@@ -770,14 +832,26 @@ impl<C: ClientSystem> World<C> {
         }
     }
 
+    /// The fault on `ap` just swallowed a client packet: if an armed
+    /// detection measurement is still waiting for its clock to start,
+    /// this is the moment the fault became observable.
+    fn note_fault_bite(&mut self, now: SimTime, ap: usize) {
+        if let Some((_, onset @ None, _)) = self.pending_detect.get_mut(&ap) {
+            *onset = Some(now);
+        }
+    }
+
     /// The client tore down its link to `ap` (deauth) while a
     /// detection measurement was armed: record the latency.
     fn note_fault_detect(&mut self, now: SimTime, ap: usize) {
-        if let Some((start, onset)) = self.pending_detect.remove(&ap) {
+        if let Some((start, onset, kind)) = self.pending_detect.remove(&ap) {
             self.detect_done.insert((ap, start));
+            // An armed clock that never started means nothing was
+            // swallowed before the deauth — the fault was torn down
+            // the instant it became observable.
+            let onset = onset.unwrap_or(now);
             self.fstats
-                .detect_times_s
-                .push(now.saturating_since(onset).as_secs_f64());
+                .record_detect(now.saturating_since(onset).as_secs_f64(), kind);
         }
     }
 
@@ -952,6 +1026,7 @@ impl<C: ClientSystem> World<C> {
             if self.findex.blackout(start, i) {
                 // A powered-off AP cannot receive.
                 self.fstats.frames_dropped_blackout += 1;
+                self.note_fault_bite(start, i);
                 continue;
             }
             // Squared distance everywhere: the disk test and the flat
@@ -1143,6 +1218,7 @@ impl<C: ClientSystem> World<C> {
                     // gateway stops answering too: every liveness
                     // signal must die so the ping monitor fires.
                     self.fstats.packets_dropped_zombie += 1;
+                    self.note_fault_bite(now, ap);
                     return;
                 }
                 if packet.dst == SERVER_IP {
@@ -1195,6 +1271,7 @@ impl<C: ClientSystem> World<C> {
             L4::Tcp(_) => {
                 if self.findex.zombie(now, ap) {
                     self.fstats.packets_dropped_zombie += 1;
+                    self.note_fault_bite(now, ap);
                     return;
                 }
                 if packet.dst == SERVER_IP {

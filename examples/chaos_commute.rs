@@ -121,10 +121,11 @@ fn main() {
     report("FatVAP-style AP slicing", &fatvap);
 
     println!(
-        "\nDetection clocks start at episode onset, so drivers that are\n\
-         off-channel (the 3-channel schedule) or mid-join see longer\n\
-         times than the 3.0 s lab-condition ping budget enforced by\n\
-         tests/chaos.rs. Spider's recovery stack — 10/s end-to-end pings\n\
+        "\nDetection clocks start at episode onset for clients present\n\
+         when the fault lands (and at the first swallowed packet for\n\
+         mid-episode joins), so drivers that are off-channel (the\n\
+         3-channel schedule) or mid-join see longer times than the\n\
+         3.0 s lab-condition ping budget enforced by tests/chaos.rs. Spider's recovery stack — 10/s end-to-end pings\n\
          (30 losses = dead), gateway-ping fallback, NAK-driven lease\n\
          eviction, and an exponential-backoff AP blacklist — keeps the\n\
          storm from trapping it on a dead AP: the 1-channel mode holds\n\

@@ -1,0 +1,131 @@
+//! The chaos-campaign engine's end-to-end contract, on real worlds:
+//! a deliberately tightened SLO table must turn seeded chaos schedules
+//! into minimized reproducers that (a) are strictly smaller than the
+//! schedule they came from, (b) still violate when replayed, and
+//! (c) come out byte-identical whether the campaign's sweep runs on
+//! one worker or four.
+
+use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_repro::simcore::SimDuration;
+use spider_repro::wire::Channel;
+use spider_repro::workloads::campaign::{
+    run_campaign, CampaignConfig, ChaosProfile, MinimizedRepro, SloMetric, SloRule, SloTable,
+};
+use spider_repro::workloads::scenarios::lab_scenario;
+use spider_repro::workloads::{FaultPlan, RunResult, World};
+
+/// A cheap, fault-sensitive world: two same-channel APs, 40 s session.
+fn run_lab(plan: &FaultPlan) -> RunResult {
+    let mut cfg = lab_scenario(
+        &[Channel::CH1, Channel::CH1],
+        400_000.0,
+        SimDuration::from_secs(40),
+        4,
+    );
+    cfg.faults = plan.clone();
+    World::new(
+        cfg,
+        SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH1),
+            1,
+        )),
+    )
+    .run()
+}
+
+/// Unmeetable on purpose: any detected fault at all is a violation, so
+/// seeded chaos schedules reliably fail and exercise the shrinker.
+fn tight_table() -> SloTable {
+    SloTable {
+        rules: vec![
+            SloRule {
+                metric: SloMetric::MaxDetectS("blackout"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("zombie"),
+                budget: 0.0,
+            },
+        ],
+    }
+}
+
+fn campaign_config(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        trials: 4,
+        seed: 11,
+        num_aps: 2,
+        duration: SimDuration::from_secs(40),
+        profile: ChaosProfile::standard(),
+        slo: tight_table(),
+        shrink_budget: 80,
+        max_shrinks: 2,
+        workers,
+        watchdog_ms: None,
+    }
+}
+
+#[test]
+fn tightened_slo_yields_minimized_reproducers_that_replay() {
+    let report = run_campaign(&campaign_config(1), run_lab);
+
+    assert!(
+        report.violating_trials() > 0,
+        "a zero-second detect budget must be violated by chaos schedules"
+    );
+    assert!(
+        !report.minimized.is_empty(),
+        "violating trials should have been shrunk"
+    );
+    for m in &report.minimized {
+        // (a) Strictly smaller: the generator never emits single-episode
+        // schedules (ChaosProfile::standard() floors at 3), so a working
+        // shrinker always removes something.
+        assert!(
+            m.plan.episodes.len() < m.original_episodes,
+            "trial {}: shrinker removed nothing ({} episodes before and after)",
+            m.trial,
+            m.original_episodes
+        );
+        assert!(m.evals > 0, "shrinker claims to have run no evaluations");
+
+        // (b) The minimized schedule still violates on replay.
+        let replayed = run_lab(&m.plan);
+        let violations = tight_table().evaluate(&replayed);
+        assert!(
+            !violations.is_empty(),
+            "trial {}: minimized schedule no longer violates on replay",
+            m.trial
+        );
+
+        // (c) The serialized artifact round-trips and replays the same.
+        let doc = m.to_json();
+        let parsed = MinimizedRepro::from_json(&doc).expect("artifact round-trip");
+        assert_eq!(parsed.plan.episodes.len(), m.plan.episodes.len());
+        let replayed_again = run_lab(&parsed.plan);
+        assert_eq!(replayed.bytes, replayed_again.bytes);
+        assert_eq!(
+            replayed.connectivity.to_bits(),
+            replayed_again.connectivity.to_bits()
+        );
+        assert_eq!(replayed.faults, replayed_again.faults);
+    }
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_worker_counts() {
+    // The whole report — trial outcomes, measured SLO values, minimized
+    // plans, shrink eval counts — rendered to canonical JSON, must not
+    // depend on how the sweep was scheduled.
+    let serial = run_campaign(&campaign_config(1), run_lab);
+    let parallel = run_campaign(&campaign_config(4), run_lab);
+    assert_eq!(
+        serial.to_json().pretty(),
+        parallel.to_json().pretty(),
+        "campaign output depends on worker count"
+    );
+    assert_eq!(serial.minimized.len(), parallel.minimized.len());
+    for (s, p) in serial.minimized.iter().zip(&parallel.minimized) {
+        assert_eq!(s.to_json().pretty(), p.to_json().pretty());
+    }
+}

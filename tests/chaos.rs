@@ -172,6 +172,105 @@ fn dhcp_exhaustion_falls_back_and_recovers() {
 }
 
 #[test]
+fn icmp_blackhole_with_loss_burst_rides_the_gateway_fallback() {
+    // Compound episode the seeded profiles never produce: the gateway
+    // filters end-to-end ICMP while an interference burst layers extra
+    // channel loss over the same window. The ping monitor's
+    // gateway-ping fallback (§3.2.2) must keep the link classified as
+    // alive through both — the probes redirect to the gateway, and the
+    // burst's losses stay far short of 30 consecutive misses — so the
+    // driver never deauths and data keeps flowing.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(40), 6);
+    cfg.faults = FaultPlan::scripted(vec![
+        FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::IcmpBlackhole,
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(35),
+        },
+        FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::LossBurst { extra: 0.2 },
+            start: SimTime::from_secs(8),
+            end: SimTime::from_secs(25),
+        },
+    ]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.faults.icmp_dropped_filtered > 0,
+        "the blackhole never filtered a probe: {result}"
+    );
+    assert!(
+        result.faults.detect_times_s.is_empty(),
+        "gateway fallback should keep the link alive — a healthy link \
+         was torn down: {result}"
+    );
+    assert!(
+        result.faults.recover_times_s.is_empty(),
+        "no outage should open on a link the fallback kept up: {result}"
+    );
+    assert!(
+        result.bytes > 1_000_000,
+        "goodput collapsed under the compound episode: {result}"
+    );
+}
+
+#[test]
+fn dhcp_exhaustion_naks_the_cached_lease_rejoin() {
+    // Compound episode: a short blackout tears the link down, and the
+    // re-join lands inside a DHCP-exhaustion window. The client's
+    // cached-lease fast path sends a REQUEST for its old address and
+    // must absorb the NAK (§3.2.3 lease caching), fall back to
+    // DISCOVER — which the exhausted pool ignores — and still complete
+    // the join once the pool frees up.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(60), 8);
+    cfg.faults = FaultPlan::scripted(vec![
+        FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::Blackout,
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(15),
+        },
+        FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::DhcpExhausted,
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(35),
+        },
+    ]);
+    let result = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run();
+    assert!(
+        result.faults.frames_dropped_blackout > 0,
+        "the blackout never bit: {result}"
+    );
+    assert!(
+        !result.faults.detect_times_s.is_empty(),
+        "the blackout was never detected: {result}"
+    );
+    assert!(
+        result.faults.dhcp_naks_exhausted > 0,
+        "the cached-lease REQUEST was never NAKed — the compound \
+         window missed the re-join: {result}"
+    );
+    assert!(
+        result.join_log.join.len() >= 2,
+        "the client never completed the post-exhaustion re-join: {result}"
+    );
+    assert!(
+        result.bytes > 0,
+        "no data after the pool freed up: {result}"
+    );
+}
+
+#[test]
 fn drivers_survive_a_seeded_fault_storm() {
     let params = ScenarioParams {
         duration: SimDuration::from_secs(300),

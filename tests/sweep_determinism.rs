@@ -10,7 +10,7 @@
 //! `sweep_with(.., 4)` on heterogeneous scenarios.
 
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_repro::simcore::{sweep_with, SimDuration};
+use spider_repro::simcore::{sweep_with, try_sweep_with, SimDuration, SweepOptions};
 use spider_repro::wire::Channel;
 use spider_repro::workloads::scenarios::{lab_scenario, town_scenario, ScenarioParams};
 use spider_repro::workloads::{RunResult, World, WorldConfig};
@@ -100,6 +100,60 @@ fn parallel_sweep_is_bit_identical_to_serial_on_mixed_scenarios() {
             fingerprint(p),
             "job {i}: parallel run diverged from serial"
         );
+    }
+}
+
+#[test]
+fn panicking_job_degrades_identically_at_one_and_four_workers() {
+    // One poisoned job in a batch of real simulations: the sweep must
+    // quarantine it as a structured failure, return every other result
+    // intact, and produce the same degraded report whether it runs on
+    // the serial reference leg or a 4-worker pool.
+    let jobs = mixed_jobs();
+    let poison = 2usize;
+    let run = |i_job: &(usize, Job)| {
+        let (i, job) = i_job;
+        if *i == poison {
+            panic!("injected failure for job {i}");
+        }
+        run_job(job)
+    };
+    let fp = |i_job: &(usize, Job)| format!("job={}", i_job.0);
+    let indexed: Vec<(usize, Job)> = jobs.into_iter().enumerate().collect();
+
+    let opts = |workers| SweepOptions {
+        workers,
+        watchdog: None,
+    };
+    let serial = try_sweep_with(&indexed, run, fp, opts(1));
+    let parallel = try_sweep_with(&indexed, run, fp, opts(4));
+
+    for report in [&serial, &parallel] {
+        assert!(!report.is_complete());
+        assert_eq!(report.results.len(), indexed.len());
+        assert_eq!(report.successes().count(), indexed.len() - 1);
+        assert!(report.results[poison].is_none());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, poison);
+        assert!(
+            report.failures[0].message.contains("injected failure"),
+            "panic payload lost: {:?}",
+            report.failures[0].message
+        );
+        assert_eq!(report.failures[0].fingerprint, format!("job={poison}"));
+        assert!(report.hung.is_empty());
+    }
+    // The surviving results are bit-identical across the two legs.
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        match (s, p) {
+            (Some(s), Some(p)) => assert_eq!(
+                fingerprint(s),
+                fingerprint(p),
+                "job {i}: degraded parallel run diverged from serial"
+            ),
+            (None, None) => assert_eq!(i, poison),
+            _ => panic!("job {i}: legs disagree about which job failed"),
+        }
     }
 }
 
