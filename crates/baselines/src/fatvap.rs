@@ -72,6 +72,8 @@ enum Slot {
 }
 
 /// The FatVAP-style driver.
+// Clone backs `ClientSystem::clone_boxed` (DESIGN.md §13).
+#[derive(Clone)]
 pub struct FatVapDriver {
     cfg: FatVapConfig,
     ifaces: Vec<ClientIface>,
@@ -419,6 +421,10 @@ impl ClientSystem for FatVapDriver {
 
     fn can_use_channel(&self, ch: Channel) -> bool {
         self.cfg.scan_channels.contains(&ch)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -99,6 +99,8 @@ enum Mode {
 }
 
 /// The stock driver.
+// Clone backs `ClientSystem::clone_boxed` (DESIGN.md §13).
+#[derive(Clone)]
 pub struct StockDriver {
     cfg: StockConfig,
     iface: ClientIface,
@@ -362,6 +364,10 @@ impl ClientSystem for StockDriver {
 
     fn can_use_channel(&self, ch: Channel) -> bool {
         self.cfg.scan_channels.contains(&ch)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send> {
+        Box::new(self.clone())
     }
 }
 

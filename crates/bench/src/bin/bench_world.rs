@@ -20,7 +20,7 @@
 //!   checked-in baseline is never clobbered by a partial run.
 
 use spider_bench::worldbench::{
-    check_regressions, run_scenario, run_suite_bench, scenarios, to_json,
+    check_regressions, run_checkpoint_bench, run_scenario, run_suite_bench, scenarios, to_json,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -90,7 +90,35 @@ fn main() -> ExitCode {
             suite.speedup(),
         );
 
-        let json = to_json(mode, &results, Some(&suite));
+        // Third section: the checkpoint/fork engine — a fork-resumed
+        // run vs its cold twin, and a shrink campaign evaluated cold
+        // vs through the checkpoint cache (DESIGN.md §13).
+        let cp = run_checkpoint_bench(fast);
+        println!(
+            "  checkpoint       resume {:>7.3}s vs cold {:>7.3}s ({})  shrink {:>7.3}s vs {:>7.3}s, {:.2}x fewer events ({})",
+            cp.fork_wall_secs,
+            cp.cold_wall_secs,
+            if cp.identical { "bit-identical" } else { "DIVERGED" },
+            cp.shrink_forked_wall_secs,
+            cp.shrink_cold_wall_secs,
+            cp.events_ratio(),
+            if cp.minimized_identical { "same artifact" } else { "ARTIFACT DIVERGED" },
+        );
+        if !cp.identical || !cp.minimized_identical {
+            eprintln!("checkpoint bench: forked results diverged from cold runs");
+            return ExitCode::FAILURE;
+        }
+        // Event counts are deterministic, so the sharing ratio is a
+        // machine-independent figure — gate it, not just report it.
+        if cp.events_ratio() < 3.0 {
+            eprintln!(
+                "checkpoint bench: shrink phase simulated only {:.2}x fewer events (target >=3x)",
+                cp.events_ratio()
+            );
+            return ExitCode::FAILURE;
+        }
+
+        let json = to_json(mode, &results, Some(&suite), Some(&cp));
         if let Err(e) = std::fs::write(&out, &json) {
             eprintln!("failed to write {}: {e}", out.display());
             return ExitCode::FAILURE;

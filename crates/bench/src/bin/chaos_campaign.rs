@@ -14,11 +14,15 @@
 //! ```text
 //! chaos_campaign [--trials N] [--seed S] [--duration-secs D]
 //!                [--shrink-budget N] [--workers N] [--tight]
-//!                [--replay PATH]
+//!                [--no-fork] [--replay PATH]
 //! ```
 //!
 //! * default mode exits non-zero when any trial violates an SLO or
-//!   panics the simulator (CI runs this),
+//!   panics the simulator (CI runs this); trials and shrink candidates
+//!   run through the checkpoint/fork engine (DESIGN.md §13) and the
+//!   work saved is reported,
+//! * `--no-fork` runs every world cold from `t = 0` — the report must
+//!   come out byte-identical either way, and CI diffs the two,
 //! * `--tight` swaps in a deliberately unmeetable SLO table to
 //!   exercise the shrinking pipeline end to end,
 //! * `--replay PATH` re-runs a minimized artifact and exits zero only
@@ -29,10 +33,11 @@ use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{Json, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::campaign::{
-    run_campaign, CampaignConfig, ChaosProfile, MinimizedRepro, SloMetric, SloRule, SloTable,
+    run_campaign, run_campaign_forked, CampaignConfig, ChaosProfile, CheckpointCache,
+    MinimizedRepro, SloMetric, SloRule, SloTable,
 };
 use spider_workloads::scenarios::{town_scenario, ScenarioParams};
-use spider_workloads::{FaultPlan, RunResult, World};
+use spider_workloads::{FaultPlan, World};
 use std::process::ExitCode;
 
 /// World seed for the campaign's drive (fixed: the campaign explores
@@ -54,15 +59,18 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
     }
 }
 
-/// Build the per-trial runner: a pure function of the fault plan.
-fn make_runner(duration: SimDuration) -> (usize, impl Fn(&FaultPlan) -> RunResult + Sync) {
+/// Build the per-trial world factory: a pure function of the fault
+/// plan, as both [`run_campaign_forked`] and [`CheckpointCache`] want.
+fn make_factory(
+    duration: SimDuration,
+) -> (usize, impl Fn(&FaultPlan) -> World<SpiderDriver> + Sync) {
     let params = ScenarioParams {
         duration,
         seed: WORLD_SEED,
         ..Default::default()
     };
     let num_aps = town_scenario(&params).deployment.len();
-    let run = move |plan: &FaultPlan| {
+    let make = move |plan: &FaultPlan| {
         let mut cfg = town_scenario(&params);
         cfg.faults = plan.clone();
         World::new(
@@ -72,9 +80,8 @@ fn make_runner(duration: SimDuration) -> (usize, impl Fn(&FaultPlan) -> RunResul
                 1,
             )),
         )
-        .run()
     };
-    (num_aps, run)
+    (num_aps, make)
 }
 
 /// An intentionally unmeetable table: any detection at all violates.
@@ -105,8 +112,12 @@ fn replay(path: &str) -> ExitCode {
             .and_then(|v| v.parse().ok())
             .unwrap_or(300),
     );
-    let (_, run) = make_runner(duration);
-    let result = run(&repro.plan);
+    let (_, make) = make_factory(duration);
+    // Both the replay and its no-fault baseline resume from the
+    // fault-free prefix's nearest checkpoint rather than running cold
+    // — same results, one shared prefix.
+    let mut cache = CheckpointCache::new(&make, FaultPlan::none());
+    let result = cache.run_plan(&repro.plan);
     let table = SloTable::paper_default();
     let violations = table.evaluate(&result);
     println!(
@@ -117,10 +128,16 @@ fn replay(path: &str) -> ExitCode {
     for v in &violations {
         println!("  violation: {v}");
     }
+    if !repro.violations.is_empty() && violations != repro.violations {
+        println!(
+            "  note: measured violations differ from the artifact's \
+             (recorded under a different duration or SLO table?)"
+        );
+    }
     // Triage aid: the same drive with no faults at all. A "recovery"
     // time close to a natural disruption means the client was simply
     // out of coverage — a mobility bound, not a recovery defect.
-    let baseline = run(&FaultPlan::none());
+    let baseline = cache.run_plan(&FaultPlan::none());
     let natural_max = baseline
         .intervals
         .off_durations
@@ -153,8 +170,9 @@ fn main() -> ExitCode {
     let shrink_budget = parse_num(&args, "--shrink-budget", 120usize);
     let workers = parse_num(&args, "--workers", 0usize);
     let tight = args.iter().any(|a| a == "--tight");
+    let no_fork = args.iter().any(|a| a == "--no-fork");
 
-    let (num_aps, run) = make_runner(duration);
+    let (num_aps, make) = make_factory(duration);
     let mut cfg = CampaignConfig {
         trials,
         seed,
@@ -176,11 +194,17 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "chaos campaign: {trials} trials, seed {seed}, {num_aps} APs, {}s drives{}",
+        "chaos campaign: {trials} trials, seed {seed}, {num_aps} APs, {}s drives{}{}",
         duration.as_secs_f64(),
-        if tight { " (tight SLO)" } else { "" }
+        if tight { " (tight SLO)" } else { "" },
+        if no_fork { " (cold, no forking)" } else { "" }
     );
-    let report = run_campaign(&cfg, run);
+    let (report, fork_stats) = if no_fork {
+        (run_campaign(&cfg, |plan| make(plan).run()), None)
+    } else {
+        let (report, stats) = run_campaign_forked(&cfg, &make);
+        (report, Some(stats))
+    };
 
     for o in &report.outcomes {
         if o.violations.is_empty() {
@@ -214,6 +238,21 @@ fn main() -> ExitCode {
     let out = OutDir::open();
     let report_path = write_json("chaos_campaign_report.json", &report.to_json());
     println!("\nwrote {}", report_path.display());
+    if let Some(stats) = fork_stats {
+        // Kept out of the report file on purpose: CI diffs the forked
+        // and cold reports byte for byte, and the fork engine's own
+        // accounting must not show up in that comparison.
+        let stats_path = write_json("chaos_campaign_forkstats.json", &stats.to_json());
+        println!(
+            "wrote {} (checkpoint/fork engine: {:.2}x overall, {:.2}x in the shrink phase, \
+             {} checkpoints, {} forks)",
+            stats_path.display(),
+            stats.speedup(),
+            stats.shrink_speedup(),
+            stats.checkpoints,
+            stats.forks
+        );
+    }
     for m in &report.minimized {
         let name = format!("chaos_repro_trial{}.json", m.trial);
         let path = write_json(&name, &m.to_json());

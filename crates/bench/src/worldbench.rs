@@ -19,10 +19,11 @@
 
 use crate::runs::StdConfigs;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::{sweep_with, worker_count, SimDuration};
+use spider_simcore::{sweep_with, worker_count, Json, SimDuration, SimTime};
 use spider_wire::Channel;
+use spider_workloads::campaign::{shrink_schedule, CheckpointCache, SloMetric, SloRule, SloTable};
 use spider_workloads::scenarios::{town_scenario, ScenarioParams};
-use spider_workloads::{FaultPlan, FaultProfile, World};
+use spider_workloads::{FaultEpisode, FaultKind, FaultPlan, FaultProfile, World};
 use std::time::Instant;
 
 /// Factor by which events/sec may drop versus the checked-in baseline
@@ -212,12 +213,246 @@ pub fn run_suite_bench(fast: bool) -> SuiteResult {
     }
 }
 
+/// Measured outcome of the checkpoint/fork engine benchmark
+/// (DESIGN.md §13): one cold run vs the same run resumed from a
+/// mid-run checkpoint, and a full shrink campaign evaluated cold vs
+/// through a [`CheckpointCache`].
+#[derive(Debug, Clone)]
+pub struct CheckpointResult {
+    /// Deployment size of the benchmark world.
+    pub sites: usize,
+    /// Simulated seconds per world run.
+    pub sim_secs: u64,
+    /// Wall-clock seconds for the cold run of the failing schedule.
+    pub cold_wall_secs: f64,
+    /// Wall-clock seconds to finish the same run from a checkpoint
+    /// taken just before the first episode (prefix already paid).
+    pub fork_wall_secs: f64,
+    /// The forked run's `RunResult` equalled the cold run's, bit for
+    /// bit — the identity anchor the wall-clock comparison rests on.
+    pub identical: bool,
+    /// `still_fails` evaluations the shrinker spent (same in both legs
+    /// by construction).
+    pub shrink_evals: usize,
+    /// Wall-clock seconds for the shrink campaign with every
+    /// evaluation simulated from `t = 0`.
+    pub shrink_cold_wall_secs: f64,
+    /// Wall-clock seconds for the same campaign through the
+    /// checkpoint cache.
+    pub shrink_forked_wall_secs: f64,
+    /// Events a cold evaluation of every candidate would have cost.
+    pub shrink_events_cold: u64,
+    /// Events the forked campaign actually simulated (advances plus
+    /// post-divergence suffixes).
+    pub shrink_events_simulated: u64,
+    /// Both legs minimized to the identical schedule in the same
+    /// number of evaluations.
+    pub minimized_identical: bool,
+}
+
+impl CheckpointResult {
+    /// Simulated-event reduction of the forked shrink campaign — the
+    /// machine-independent headline (event counts are deterministic).
+    pub fn events_ratio(&self) -> f64 {
+        self.shrink_events_cold as f64 / self.shrink_events_simulated.max(1) as f64
+    }
+
+    /// Render as the `checkpoint` section of `BENCH_world.json`. Keys
+    /// are distinct from the scenario `name`/`events_per_sec` keys so
+    /// the line-oriented `--check` parser never sees them.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "note",
+                Json::str(
+                    "checkpoint/fork engine on a late-fault schedule: resume vs cold, \
+                     and the shrink campaign through the checkpoint cache",
+                ),
+            ),
+            ("sites", Json::UInt(self.sites as u64)),
+            ("sim_seconds", Json::UInt(self.sim_secs)),
+            (
+                "resume",
+                Json::obj([
+                    ("cold_wall_seconds", Json::Num(self.cold_wall_secs)),
+                    ("forked_wall_seconds", Json::Num(self.fork_wall_secs)),
+                    ("bit_identical", Json::Bool(self.identical)),
+                ]),
+            ),
+            (
+                "shrink_campaign",
+                Json::obj([
+                    ("evals", Json::UInt(self.shrink_evals as u64)),
+                    ("cold_wall_seconds", Json::Num(self.shrink_cold_wall_secs)),
+                    (
+                        "forked_wall_seconds",
+                        Json::Num(self.shrink_forked_wall_secs),
+                    ),
+                    ("events_cold", Json::UInt(self.shrink_events_cold)),
+                    ("events_simulated", Json::UInt(self.shrink_events_simulated)),
+                    ("events_ratio", Json::Num(self.events_ratio())),
+                    ("minimized_identical", Json::Bool(self.minimized_identical)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Seed for the checkpoint benchmark's world (campaign-style town).
+const CHECKPOINT_WORLD_SEED: u64 = 7;
+
+/// The failing schedule the checkpoint benchmark shrinks: compound
+/// faults concentrated in the final tenth of the drive. This is the
+/// regime the fork engine targets — shrink candidates differ from the
+/// reference only late in simulated time, so evaluations resume a long
+/// shared prefix instead of re-simulating it. The window is kept this
+/// late deliberately: fault episodes are event-dense (retries,
+/// rescans), so the events saved by sharing the prefix track the
+/// *quiet* fraction of the drive, not just the time fraction.
+fn checkpoint_bench_plan(duration: SimDuration) -> FaultPlan {
+    let at = |f: f64| SimTime::ZERO + SimDuration::from_secs_f64(duration.as_secs_f64() * f);
+    FaultPlan::scripted(vec![
+        FaultEpisode {
+            ap: None,
+            kind: FaultKind::LossBurst { extra: 0.4 },
+            start: at(0.90),
+            end: at(0.98),
+        },
+        FaultEpisode {
+            ap: None,
+            kind: FaultKind::Blackout,
+            start: at(0.905),
+            end: at(0.925),
+        },
+        FaultEpisode {
+            ap: None,
+            kind: FaultKind::Zombie,
+            start: at(0.93),
+            end: at(0.95),
+        },
+        FaultEpisode {
+            ap: None,
+            kind: FaultKind::DhcpSilence,
+            start: at(0.955),
+            end: at(0.975),
+        },
+    ])
+}
+
+/// Benchmark the checkpoint/fork engine (DESIGN.md §13) on a
+/// campaign-style town drive with [`checkpoint_bench_plan`] faults.
+///
+/// Two legs, both asserting bit-identity against cold runs:
+///
+/// * **resume** — the failing schedule run cold, then finished from a
+///   checkpoint taken just before its first episode;
+/// * **shrink campaign** — [`shrink_schedule`] under an unmeetable SLO
+///   table, once evaluating every candidate from `t = 0` and once
+///   through a [`CheckpointCache`], comparing wall-clock, simulated
+///   events, and the minimized artifact.
+pub fn run_checkpoint_bench(fast: bool) -> CheckpointResult {
+    let sim_secs: u64 = if fast { 120 } else { 300 };
+    let duration = SimDuration::from_secs(sim_secs);
+    let params = ScenarioParams {
+        duration,
+        seed: CHECKPOINT_WORLD_SEED,
+        density_per_km: 40.0,
+        ..Default::default()
+    };
+    let sites = town_scenario(&params).deployment.len();
+    let make = |plan: &FaultPlan| {
+        let mut cfg = town_scenario(&params);
+        cfg.faults = plan.clone();
+        World::new(
+            cfg,
+            SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH6),
+                1,
+            )),
+        )
+    };
+    let plan = checkpoint_bench_plan(duration);
+    // Any detection at all violates: forces the shrinker to work.
+    let slo = SloTable {
+        rules: vec![
+            SloRule {
+                metric: SloMetric::MaxDetectS("blackout"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("zombie"),
+                budget: 0.0,
+            },
+        ],
+    };
+
+    // Leg 1: cold run vs fork-resumed run of the same schedule.
+    let t = Instant::now();
+    let cold = make(&plan).run();
+    let cold_wall_secs = t.elapsed().as_secs_f64();
+    let first_start = plan
+        .episodes
+        .iter()
+        .map(|e| e.start)
+        .min()
+        .expect("bench plan has episodes");
+    let boundary = SimTime::from_micros(first_start.as_micros() - 1);
+    let (base, _, _) = make(&FaultPlan::none()).advance_shared(boundary, first_start);
+    let t = Instant::now();
+    let forked = base.fork_with_plan(plan.clone()).finish().0;
+    let fork_wall_secs = t.elapsed().as_secs_f64();
+    let identical = forked == cold;
+
+    // Leg 2: the shrink campaign, cold vs through the checkpoint cache.
+    let budget = 60;
+    let mut events_cold_total = 0u64;
+    let t = Instant::now();
+    let cold_outcome = shrink_schedule(&plan, budget, |p| {
+        let r = make(p).run();
+        events_cold_total += r.events;
+        !slo.evaluate(&r).is_empty()
+    });
+    let shrink_cold_wall_secs = t.elapsed().as_secs_f64();
+
+    let mut cache = CheckpointCache::new(&make, plan.clone());
+    let t = Instant::now();
+    let forked_outcome = shrink_schedule(&plan, budget, |p| {
+        let fails = !slo.evaluate(&cache.run_plan(p)).is_empty();
+        if fails {
+            cache.adopt(p.clone());
+        }
+        fails
+    });
+    let shrink_forked_wall_secs = t.elapsed().as_secs_f64();
+
+    CheckpointResult {
+        sites,
+        sim_secs,
+        cold_wall_secs,
+        fork_wall_secs,
+        identical,
+        shrink_evals: cold_outcome.evals,
+        shrink_cold_wall_secs,
+        shrink_forked_wall_secs,
+        shrink_events_cold: events_cold_total,
+        shrink_events_simulated: cache.stats.events_simulated,
+        minimized_identical: cold_outcome.plan == forked_outcome.plan
+            && cold_outcome.evals == forked_outcome.evals,
+    }
+}
+
 /// Render the results as the `BENCH_world.json` document. The engine
 /// scenarios are always single-threaded; `suite`, when present, adds a
-/// section for the parallel sweep runner. Its keys are deliberately
-/// distinct from the per-scenario `name`/`events_per_sec` keys so the
-/// line-oriented `--check` parser never sees them.
-pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResult>) -> String {
+/// section for the parallel sweep runner, and `checkpoint` one for the
+/// checkpoint/fork engine. Their keys are deliberately distinct from
+/// the per-scenario `name`/`events_per_sec` keys so the line-oriented
+/// `--check` parser never sees them.
+pub fn to_json(
+    mode: &str,
+    results: &[ScenarioResult],
+    suite: Option<&SuiteResult>,
+    checkpoint: Option<&CheckpointResult>,
+) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
     s.push_str("  \"bench\": \"world\",\n");
@@ -251,8 +486,9 @@ pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResul
             "    },\n"
         });
     }
+    s.push_str("  ]");
     if let Some(suite) = suite {
-        s.push_str("  ],\n");
+        s.push_str(",\n");
         s.push_str("  \"suite\": {\n");
         s.push_str(
             "    \"note\": \"sweep runner on Table 2 drives: identical batch, 1 worker vs the pool\",\n",
@@ -271,11 +507,19 @@ pub fn to_json(mode: &str, results: &[ScenarioResult], suite: Option<&SuiteResul
             "    \"parallel_speedup\": {:.2}\n",
             suite.speedup()
         ));
-        s.push_str("  }\n");
-    } else {
-        s.push_str("  ]\n");
+        s.push_str("  }");
     }
-    s.push_str("}\n");
+    if let Some(cp) = checkpoint {
+        s.push_str(",\n  \"checkpoint\": ");
+        // Re-indent the simcore-rendered object to sit two levels deep.
+        for (i, line) in cp.to_json().pretty().lines().enumerate() {
+            if i > 0 {
+                s.push_str("\n  ");
+            }
+            s.push_str(line);
+        }
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -344,7 +588,7 @@ mod tests {
             result("sparse_commute", 1_500_000.0),
             result("dense_downtown", 9_000_000.5),
         ];
-        let json = to_json("full", &results, None);
+        let json = to_json("full", &results, None, None);
         let parsed = parse_events_per_sec(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "sparse_commute");
@@ -363,20 +607,50 @@ mod tests {
         };
         assert!((suite.speedup() - 4.0).abs() < 1e-9);
         let results = vec![result("sparse_commute", 1_500_000.0)];
-        let json = to_json("full", &results, Some(&suite));
+        let json = to_json("full", &results, Some(&suite), None);
         assert!(json.contains("\"experiment_jobs\": 18"));
         assert!(json.contains("\"parallel_speedup\": 4.00"));
         // The regression-gate parser must see exactly the scenarios,
         // with or without the suite section.
         assert_eq!(
             parse_events_per_sec(&json),
-            parse_events_per_sec(&to_json("full", &results, None))
+            parse_events_per_sec(&to_json("full", &results, None, None))
         );
     }
 
     #[test]
+    fn checkpoint_section_is_rendered_and_invisible_to_the_check_parser() {
+        let cp = CheckpointResult {
+            sites: 69,
+            sim_secs: 300,
+            cold_wall_secs: 0.2,
+            fork_wall_secs: 0.05,
+            identical: true,
+            shrink_evals: 12,
+            shrink_cold_wall_secs: 2.4,
+            shrink_forked_wall_secs: 0.7,
+            shrink_events_cold: 3_000_000,
+            shrink_events_simulated: 900_000,
+            minimized_identical: true,
+        };
+        assert!((cp.events_ratio() - 10.0 / 3.0).abs() < 1e-9);
+        let results = vec![result("sparse_commute", 1_500_000.0)];
+        let json = to_json("full", &results, None, Some(&cp));
+        assert!(json.contains("\"checkpoint\":"));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"events_ratio\":"));
+        // The regression-gate parser must see exactly the scenarios.
+        assert_eq!(
+            parse_events_per_sec(&json),
+            parse_events_per_sec(&to_json("full", &results, None, None))
+        );
+        // And the document itself must stay parseable JSON.
+        Json::parse(&json).expect("BENCH_world.json with checkpoint section parses");
+    }
+
+    #[test]
     fn regression_gate_fires_only_past_the_factor() {
-        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)], None);
+        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)], None, None);
         // 2x slower exactly: passes (gate is strict >2x).
         assert!(check_regressions(&baseline, &[result("dense_downtown", 4_000_000.0)]).is_empty());
         // Slightly worse than 2x: fails.

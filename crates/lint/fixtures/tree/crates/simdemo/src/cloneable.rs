@@ -1,0 +1,18 @@
+//! Fixture: a cloneable type hiding `lint:allow`-escaped state.
+//!
+//! The escape itself is legitimate (and silences `wall-clock`), but the
+//! `Clone` derive means the checkpoint engine would fork the escaped
+//! state — `clone-nondet` must fire on the derive line.
+
+#[derive(Debug, Clone)]
+pub struct ProfiledQueue {
+    pub depth: usize,
+    // profiling hook, not simulation state: lint:allow(wall-clock)
+    pub started: std::time::Instant,
+}
+
+/// The same escape on a type that is *not* cloneable is fine.
+pub struct Probe {
+    // profiling hook, not simulation state: lint:allow(wall-clock)
+    pub started: std::time::Instant,
+}

@@ -21,6 +21,7 @@
 //! | `thread`       | no `std::thread` / channels outside `simcore::sweep` |
 //! | `sans-io`      | no `println!`/`eprintln!`/file I/O in library crates (bins, examples, benches and `#[cfg(test)]` are exempt) |
 //! | `forbid-unsafe`| every crate root must carry `#![forbid(unsafe_code)]` |
+//! | `clone-nondet` | no `Clone` (derived or hand-written) on a type whose body carries a `lint:allow`-escaped determinism violation — the checkpoint engine (DESIGN.md §13) deep-clones worlds, and forking escaped nondeterministic state silently breaks fork/resume bit-identity |
 //!
 //! # Escapes
 //!
@@ -57,11 +58,14 @@ pub enum Rule {
     SansIo,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     ForbidUnsafe,
+    /// `Clone` on a type holding `lint:allow`-escaped nondeterministic
+    /// state (checkpoint-engine hazard).
+    CloneNondet,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::EnvVar,
         Rule::DefaultHash,
@@ -69,6 +73,7 @@ impl Rule {
         Rule::Thread,
         Rule::SansIo,
         Rule::ForbidUnsafe,
+        Rule::CloneNondet,
     ];
 
     /// The identifier used in `lint:allow(...)` comments and reports.
@@ -81,6 +86,7 @@ impl Rule {
             Rule::Thread => "thread",
             Rule::SansIo => "sans-io",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::CloneNondet => "clone-nondet",
         }
     }
 }
@@ -561,6 +567,124 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
         }
     }
 
+    // clone-nondet: a type whose definition body carries a `lint:allow`
+    // escape for one of the determinism rules must not be cloneable.
+    // The checkpoint engine (DESIGN.md §13) deep-clones live worlds to
+    // fork them; state that had to be escaped from the determinism
+    // rules would be silently duplicated into every fork, and
+    // fork/resume bit-identity dies in a place no other rule watches.
+    // Line-level escapes only: `lint:allow-file` marks a whole file
+    // whose *purpose* is the exception (e.g. the hashing shim), not a
+    // pocket of nondeterministic state smuggled into simulation types.
+    if ctx.kind == FileKind::Lib {
+        const NONDET_RULES: [Rule; 4] = [
+            Rule::WallClock,
+            Rule::EnvVar,
+            Rule::DefaultHash,
+            Rule::Thread,
+        ];
+        // Type definitions with brace bodies: (name, first line, last line).
+        let mut types: Vec<(String, usize, usize)> = Vec::new();
+        {
+            let mut depth: i64 = 0;
+            let mut open: Vec<(String, usize, i64)> = Vec::new();
+            let mut pending: Option<(String, usize)> = None;
+            for (i, code) in code_lines.iter().enumerate() {
+                for kw in ["struct", "enum"] {
+                    for (pos, _) in code.match_indices(kw) {
+                        let bounded = code[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
+                        let after = &code[pos + kw.len()..];
+                        if !bounded || !after.starts_with(char::is_whitespace) {
+                            continue;
+                        }
+                        let name: String = after
+                            .trim_start()
+                            .chars()
+                            .take_while(|&c| is_ident(c))
+                            .collect();
+                        if !name.is_empty() {
+                            pending = Some((name, i));
+                        }
+                    }
+                }
+                for c in code.chars() {
+                    match c {
+                        '{' => {
+                            if let Some((name, start)) = pending.take() {
+                                open.push((name, start, depth));
+                            }
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if open.last().is_some_and(|&(_, _, entry)| depth == entry) {
+                                let (name, start, _) = open.pop().unwrap();
+                                types.push((name, start, i));
+                            }
+                        }
+                        // Tuple/unit struct: no body to inspect.
+                        ';' if pending.is_some() => pending = None,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let contains_word = |line: &str, word: &str| -> bool {
+            line.match_indices(word).any(|(pos, _)| {
+                line[..pos].chars().next_back().is_none_or(|c| !is_ident(c))
+                    && line[pos + word.len()..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| !is_ident(c))
+            })
+        };
+        for (name, start, end) in types {
+            if in_test_region[start] {
+                continue;
+            }
+            let tainted = (start..=end.min(code_lines.len() - 1))
+                .any(|i| NONDET_RULES.iter().any(|r| line_allows[i].contains(r)));
+            if !tainted {
+                continue;
+            }
+            // `#[derive(.., Clone, ..)]` in the attribute block above the
+            // definition (doc comments strip to blank code lines).
+            let derive_line = (0..start)
+                .rev()
+                .take_while(|&j| {
+                    let l = code_lines[j].trim_start();
+                    l.starts_with('#') || l.is_empty()
+                })
+                .find(|&j| {
+                    code_lines[j].contains("derive") && contains_word(&code_lines[j], "Clone")
+                });
+            // `impl [<..>] Clone for Name` anywhere in the file.
+            let impl_line = code_lines.iter().position(|l| {
+                l.contains("impl")
+                    && l.split(" Clone for ").nth(1).is_some_and(|after| {
+                        let id: String = after
+                            .trim_start()
+                            .chars()
+                            .take_while(|&c| is_ident(c))
+                            .collect();
+                        id == name
+                    })
+            });
+            if let Some(at) = derive_line.or(impl_line) {
+                if !allowed(Rule::CloneNondet, at) {
+                    report(
+                        Rule::CloneNondet,
+                        at,
+                        format!(
+                            "`{name}` is Clone but its body carries a lint:allow-escaped \
+                             determinism violation; the checkpoint engine would fork that state"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     // forbid-unsafe: crate roots must carry the attribute.
     let is_crate_root = {
         let parts: Vec<&str> = ctx
@@ -747,6 +871,37 @@ mod tests {
             "#![forbid(unsafe_code)]\npub mod x;\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn clone_nondet_fires_on_derive_and_manual_impl() {
+        let derived = "#[derive(Debug, Clone)]\npub struct Profiled {\n    depth: usize,\n    // profiling hook: lint:allow(wall-clock)\n    started: std::time::Instant,\n}\n";
+        let v = scan_one("crates/simcore/src/x.rs", derived);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CloneNondet);
+        assert_eq!(v[0].line, 1, "should point at the derive line");
+
+        let manual = "pub struct Knob {\n    // test hook: lint:allow(env-var)\n    jobs: Option<u32>,\n}\nimpl Clone for Knob {\n    fn clone(&self) -> Self {\n        Knob { jobs: self.jobs }\n    }\n}\n";
+        let v = scan_one("crates/simcore/src/y.rs", manual);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CloneNondet);
+        assert_eq!(v[0].line, 5, "should point at the impl line");
+    }
+
+    #[test]
+    fn clone_nondet_spares_clean_and_escaped_types() {
+        // A Clone type with no escapes in its body is fine, even if the
+        // file has escapes elsewhere (e.g. inside a free function).
+        let clean = "#[derive(Clone)]\npub struct Plain { x: u32 }\nfn deadline() {\n    // watchdog: lint:allow(wall-clock)\n    let _ = std::time::Instant::now();\n}\n";
+        assert!(scan_one("crates/simcore/src/x.rs", clean).is_empty());
+
+        // A tainted type that is *not* Clone is also fine.
+        let not_clone = "pub struct Probe {\n    // profiling hook: lint:allow(wall-clock)\n    started: std::time::Instant,\n}\n";
+        assert!(scan_one("crates/simcore/src/y.rs", not_clone).is_empty());
+
+        // And the rule has its own escape hatch.
+        let escaped = "// never reaches a World: lint:allow(clone-nondet)\n#[derive(Clone)]\npub struct Probe {\n    // profiling hook: lint:allow(wall-clock)\n    started: std::time::Instant,\n}\n";
+        assert!(scan_one("crates/simcore/src/z.rs", escaped).is_empty());
     }
 
     #[test]

@@ -25,6 +25,11 @@ fn every_rule_fires_exactly_once_on_the_fixture_tree() {
     got.sort();
     let expected = vec![
         ("crates/simdemo/src/clock.rs".to_string(), "wall-clock", 4),
+        (
+            "crates/simdemo/src/cloneable.rs".to_string(),
+            "clone-nondet",
+            7,
+        ),
         ("crates/simdemo/src/envread.rs".to_string(), "env-var", 4),
         ("crates/simdemo/src/io.rs".to_string(), "sans-io", 4),
         ("crates/simdemo/src/lib.rs".to_string(), "forbid-unsafe", 1),

@@ -203,4 +203,66 @@ pub trait ClientSystem {
     fn can_use_channel(&self, _ch: Channel) -> bool {
         true
     }
+
+    /// Deep-clone this system into a boxed trait object — the snapshot
+    /// hook behind `World::fork` (DESIGN.md §13). A checkpointed world
+    /// clones its client system alongside the event queue and RNG
+    /// streams; when the client is held as `dyn ClientSystem`, this is
+    /// the only way to copy it. Implementations must produce a clone
+    /// that resumes **bit-identically**: every timer, sequence number,
+    /// RNG stream, cache and log the system owns is part of the
+    /// snapshot. For `Clone` systems this is just
+    /// `Box::new(self.clone())`.
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send>;
+}
+
+// A boxed client system is itself a client system, so worlds can hold
+// `World<Box<dyn ClientSystem + Send>>` and still snapshot/fork: `Clone`
+// for the box routes through `clone_boxed`.
+impl ClientSystem for Box<dyn ClientSystem + Send> {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn on_frame_into(&mut self, now: SimTime, rx: &RxFrame<'_>, out: &mut Vec<DriverAction>) {
+        (**self).on_frame_into(now, rx, out)
+    }
+    fn on_switch_complete_into(&mut self, now: SimTime, ch: Channel, out: &mut Vec<DriverAction>) {
+        (**self).on_switch_complete_into(now, ch, out)
+    }
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<DriverAction>) {
+        (**self).poll_into(now, out)
+    }
+    fn next_wakeup(&self, now: SimTime) -> SimTime {
+        (**self).next_wakeup(now)
+    }
+    fn join_log(&self) -> &JoinLog {
+        (**self).join_log()
+    }
+    fn is_connected(&self) -> bool {
+        (**self).is_connected()
+    }
+    fn delivered_bytes(&self) -> u64 {
+        (**self).delivered_bytes()
+    }
+    fn observe(&self, now: SimTime) -> ClientObservation {
+        (**self).observe(now)
+    }
+    fn associated_interfaces(&self) -> usize {
+        (**self).associated_interfaces()
+    }
+    fn initial_channel(&self) -> Channel {
+        (**self).initial_channel()
+    }
+    fn can_use_channel(&self, ch: Channel) -> bool {
+        (**self).can_use_channel(ch)
+    }
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send> {
+        (**self).clone_boxed()
+    }
+}
+
+impl Clone for Box<dyn ClientSystem + Send> {
+    fn clone(&self) -> Self {
+        (**self).clone_boxed()
+    }
 }

@@ -17,7 +17,7 @@ pub struct TimedSample {
 }
 
 /// Join timing log filled in by a driver as it operates.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JoinLog {
     /// Successful link-layer associations.
     pub assoc: Vec<TimedSample>,

@@ -68,6 +68,18 @@ impl ChannelMedium {
         self.airtime_used[ch.index()]
     }
 
+    /// The furthest instant any reservation extends to, across all
+    /// channels. Frame fates are decided at reservation time, so this
+    /// bounds how far past "now" the simulation has already peeked —
+    /// the checkpoint engine must keep plan swaps strictly beyond it.
+    pub fn horizon(&self) -> SimTime {
+        self.busy_until
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
     /// Channel utilisation over `[SimTime::ZERO, now]` as a fraction.
     pub fn utilisation(&self, now: SimTime, ch: Channel) -> f64 {
         if now == SimTime::ZERO {
@@ -111,6 +123,23 @@ mod tests {
         m.reserve(SimTime::ZERO, Channel::CH1, SimDuration::from_millis(10));
         let (start, _) = m.reserve(SimTime::ZERO, Channel::CH11, SimDuration::from_millis(1));
         assert_eq!(start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn horizon_tracks_the_furthest_reservation() {
+        let mut m = ChannelMedium::new();
+        assert_eq!(m.horizon(), SimTime::ZERO);
+        m.reserve(
+            SimTime::from_millis(2),
+            Channel::CH1,
+            SimDuration::from_millis(3),
+        );
+        m.reserve(
+            SimTime::from_millis(1),
+            Channel::CH11,
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(m.horizon(), SimTime::from_millis(5));
     }
 
     #[test]

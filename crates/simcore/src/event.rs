@@ -97,7 +97,11 @@ const BUCKET_MASK: u64 = (NUM_BUCKETS as u64) - 1;
 /// assert_eq!(q.pop().unwrap().event, "b"); // FIFO among equal times
 /// assert_eq!(q.pop().unwrap().event, "c");
 /// ```
-#[derive(Debug)]
+// Clone is the checkpoint/fork hook (DESIGN.md §13): a cloned queue
+// carries the full wheel — cursor, pending events, `next_seq`, and the
+// causality clock — so a forked world replays the exact `(at, seq)` pop
+// sequence the original would have produced.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// The wheel. `buckets[(at_µs >> BUCKET_SHIFT) & BUCKET_MASK]` holds
     /// every pending event whose timestamp maps there, from any lap.
@@ -196,6 +200,64 @@ impl<E> EventQueue<E> {
             if let Some((i, _, _)) = best {
                 // swap_remove is fine: selection is by the unique
                 // (at, seq) key, never by position.
+                let ev = bucket.swap_remove(i);
+                self.len -= 1;
+                self.last_popped = ev.at;
+                #[cfg(feature = "validate")]
+                {
+                    let key = (ev.at, ev.seq);
+                    assert!(
+                        self.last_popped_key.is_none_or(|prev| key > prev),
+                        "event queue popped out of order: ({}, seq {}) after {:?}",
+                        ev.at,
+                        ev.seq,
+                        self.last_popped_key,
+                    );
+                    self.last_popped_key = Some(key);
+                }
+                return Some(ev);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Remove and return the earliest event if it fires at or before
+    /// `limit`; otherwise leave the queue untouched and return `None`.
+    ///
+    /// This is the bounded form of [`pop`](Self::pop) used by
+    /// checkpointing: a world drains everything up to a snapshot point
+    /// with `pop_before`, clones itself, and either copy can resume with
+    /// plain `pop` — the wheel cursor only ever advances past windows
+    /// proven empty, so the remaining pop sequence is identical to an
+    /// uninterrupted run's.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Invariant: no pending event fires before the cursor's
+            // window opens, so once the window starts after `limit` no
+            // pending event can fire at or before it.
+            let window_start = SimTime::from_micros(self.cursor << BUCKET_SHIFT);
+            if window_start > limit {
+                return None;
+            }
+            let window_end = SimTime::from_micros((self.cursor + 1) << BUCKET_SHIFT);
+            let bucket = &mut self.buckets[(self.cursor & BUCKET_MASK) as usize];
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if e.at < window_end && best.is_none_or(|(_, at, seq)| (e.at, e.seq) < (at, seq)) {
+                    best = Some((i, e.at, e.seq));
+                }
+            }
+            if let Some((i, at, _)) = best {
+                // The best event in the open window is the global
+                // minimum (later windows hold strictly later events), so
+                // if it fires after `limit` nothing eligible remains.
+                // Leave it in place for a future `pop`.
+                if at > limit {
+                    return None;
+                }
                 let ev = bucket.swap_remove(i);
                 self.len -= 1;
                 self.last_popped = ev.at;
@@ -352,6 +414,63 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, "mid");
         assert_eq!(q.pop().unwrap().event, "far");
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit_and_resumes() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(5), 5);
+        q.schedule(SimTime::from_millis(5), 6);
+        q.schedule(SimTime::from_secs(2), 9); // several laps ahead
+        let limit = SimTime::from_millis(5);
+        let drained: Vec<i32> =
+            std::iter::from_fn(|| q.pop_before(limit).map(|e| e.event)).collect();
+        assert_eq!(drained, vec![1, 5, 6]);
+        assert_eq!(q.len(), 1);
+        // A later event stays queued and comes out of a plain pop.
+        assert_eq!(q.pop().unwrap().event, 9);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_limit_inside_a_bucket_window() {
+        // Two events share a bucket; the limit falls between them. The
+        // later one must survive in place, not be skipped past.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), "early");
+        q.schedule(SimTime::from_micros(200), "late"); // same 512 µs bucket
+        assert_eq!(
+            q.pop_before(SimTime::from_micros(150)).unwrap().event,
+            "early"
+        );
+        assert_eq!(q.pop_before(SimTime::from_micros(150)), None);
+        assert_eq!(q.pop().unwrap().event, "late");
+    }
+
+    #[test]
+    fn cloned_queue_replays_the_same_pop_sequence() {
+        let mut q = EventQueue::new();
+        let lap_us = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        for (i, at) in [17u64, 17, 900, lap_us + 17, 3 * lap_us + 4]
+            .into_iter()
+            .enumerate()
+        {
+            q.schedule(SimTime::from_micros(at), i);
+        }
+        // Drain a prefix so the clone carries a mid-run cursor and clock.
+        q.pop_before(SimTime::from_micros(1_000));
+        let mut fork = q.clone();
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| (e.at, e.seq, e.event))).collect();
+        let forked: Vec<_> =
+            std::iter::from_fn(|| fork.pop().map(|e| (e.at, e.seq, e.event))).collect();
+        assert_eq!(rest, forked);
+        // Fresh schedules on the fork continue the same seq stream.
+        fork.clear();
+        q.clear();
+        q.schedule(SimTime::from_millis(1), 99);
+        fork.schedule(SimTime::from_millis(1), 99);
+        assert_eq!(q.pop().unwrap().seq, fork.pop().unwrap().seq);
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl OnlineStats {
 }
 
 /// An empirical cumulative distribution function.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Cdf {
     samples: Vec<f64>,
     sorted: bool,
@@ -308,7 +308,7 @@ impl IntervalTracker {
 }
 
 /// Result of an [`IntervalTracker`] run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalReport {
     /// Lengths of every maximal interval during which the condition held.
     pub on_durations: Vec<SimDuration>,

@@ -38,6 +38,16 @@
 //! fully-successful sweeps the result vector is bit-identical to the
 //! serial path at any worker count, exactly like [`sweep`].
 //!
+//! Not every job in a batch deserves its own cold start, though: trial
+//! batches often share a long scenario prefix (same world, same seed,
+//! divergence only at a fault or config event), and since PR 7 a world
+//! can be checkpointed and forked. [`forked_sweep`] is the job form for
+//! that shape — jobs are grouped by the checkpoint they share, each
+//! group's warmup runs **once**, and every job then runs from a clone
+//! of its group's checkpoint. Results are still slot-ordered and
+//! bit-identical at any worker count; only redundant prefix simulation
+//! disappears.
+//!
 //! Only `std` is used — scoped threads, no external dependencies.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -164,6 +174,67 @@ pub fn sweep_with<J: Sync, R: Send>(
         .into_iter()
         .map(|slot| slot.expect("sweep: every job index produced a result"))
         .collect()
+}
+
+/// Prefix-sharing sweep: run each job from a clone of a shared, warmed
+/// checkpoint instead of from a cold start.
+///
+/// `bases` describes the distinct checkpoints; `warmup` is called once
+/// per base (in parallel, like any sweep job) and returns the
+/// checkpoint state `S` — typically a `World` advanced to just before
+/// the point where the batch's variants diverge. Each job is a
+/// `(base_index, job)` pair; `run` receives a fresh clone of its base's
+/// checkpoint. With a deterministic clone (the whole point of the
+/// checkpoint engine: cloning a world preserves its event queue, RNG
+/// streams and client stack bit-for-bit), results are byte-identical to
+/// cold runs and to the serial path at any worker count.
+///
+/// # Panics
+///
+/// Panics if a job names a base index out of range, and propagates
+/// panics from `warmup`/`run` like [`sweep`] does.
+pub fn forked_sweep<B, S, J, R>(
+    bases: &[B],
+    jobs: &[(usize, J)],
+    warmup: impl Fn(&B) -> S + Sync,
+    run: impl Fn(S, &J) -> R + Sync,
+) -> Vec<R>
+where
+    B: Sync,
+    S: Clone + Send + Sync,
+    J: Sync,
+    R: Send,
+{
+    forked_sweep_with(bases, jobs, warmup, run, worker_count())
+}
+
+/// [`forked_sweep`] with an explicit worker count (used by tests so
+/// they don't have to mutate the process environment).
+pub fn forked_sweep_with<B, S, J, R>(
+    bases: &[B],
+    jobs: &[(usize, J)],
+    warmup: impl Fn(&B) -> S + Sync,
+    run: impl Fn(S, &J) -> R + Sync,
+    workers: usize,
+) -> Vec<R>
+where
+    B: Sync,
+    S: Clone + Send + Sync,
+    J: Sync,
+    R: Send,
+{
+    if let Some(&(bad, _)) = jobs.iter().find(|(b, _)| *b >= bases.len()) {
+        panic!(
+            "forked_sweep: job references base {bad} but only {} bases were provided",
+            bases.len()
+        );
+    }
+    let checkpoints: Vec<S> = sweep_with(bases, &warmup, workers);
+    sweep_with(
+        jobs,
+        |(base, job)| run(checkpoints[*base].clone(), job),
+        workers,
+    )
 }
 
 /// One quarantined job failure inside a [`try_sweep`] batch.
@@ -445,6 +516,32 @@ mod tests {
         for workers in [2, 3, 4, 7, 16] {
             assert_eq!(serial, sweep_with(&jobs, run, workers));
         }
+    }
+
+    #[test]
+    fn forked_sweep_matches_cold_runs_at_any_worker_count() {
+        // Model a "world": a counter warmed to the base value, then each
+        // job extends a clone. Cold reference = warmup + job in one go.
+        let bases: Vec<u64> = vec![100, 2_000, 30_000];
+        let jobs: Vec<(usize, u64)> = (0..40).map(|i| (i % 3, i as u64)).collect();
+        let warmup = |b: &u64| b * 3; // "advance to the checkpoint"
+        let tail = |s: u64, j: &u64| s + j * 7;
+        let cold: Vec<u64> = jobs
+            .iter()
+            .map(|(b, j)| tail(warmup(&bases[*b]), j))
+            .collect();
+        for workers in [1, 2, 4, 7] {
+            assert_eq!(
+                forked_sweep_with(&bases, &jobs, warmup, tail, workers),
+                cold
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 bases were provided")]
+    fn forked_sweep_rejects_out_of_range_base() {
+        forked_sweep_with(&[1u64], &[(1usize, 0u64)], |b| *b, |s, _| s, 1);
     }
 
     #[test]

@@ -77,6 +77,8 @@ impl AdaptivePolicy {
 }
 
 /// A Spider driver that re-schedules itself based on observed conditions.
+// Clone backs `ClientSystem::clone_boxed` (DESIGN.md §13).
+#[derive(Clone)]
 pub struct AdaptiveSpider {
     inner: SpiderDriver,
     policy: AdaptivePolicy,
@@ -169,6 +171,10 @@ impl ClientSystem for AdaptiveSpider {
 
     fn initial_channel(&self) -> Channel {
         self.inner.initial_channel()
+    }
+
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -15,6 +15,10 @@ use spider_simcore::{SimDuration, SimTime};
 use spider_wire::{Channel, Frame, FrameBody, MacAddr};
 
 /// The Spider client system.
+// Clone backs `ClientSystem::clone_boxed`: every field — interfaces,
+// utility table, lease cache, blacklist, hot caches — is part of the
+// world snapshot and must copy deeply (DESIGN.md §13).
+#[derive(Clone)]
 pub struct SpiderDriver {
     cfg: SpiderConfig,
     ifaces: Vec<ClientIface>,
@@ -617,6 +621,10 @@ impl ClientSystem for SpiderDriver {
             Some(channels) => channels.contains(&ch),
             None => self.cfg.schedule.channels().contains(&ch),
         }
+    }
+
+    fn clone_boxed(&self) -> Box<dyn ClientSystem + Send> {
+        Box::new(self.clone())
     }
 }
 

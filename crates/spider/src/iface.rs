@@ -81,6 +81,10 @@ pub enum IfaceEvent {
 
 /// A virtual interface.
 #[derive(Debug)]
+// Clone is the per-interface leg of the world snapshot (DESIGN.md §13):
+// MAC state machine, DHCP client, ping engine and TCP receiver all clone
+// deeply, so a forked interface resumes bit-identically.
+#[derive(Clone)]
 pub struct ClientIface {
     /// Index within the driver.
     pub index: usize,

@@ -40,6 +40,8 @@
 
 use crate::faults::{FaultEpisode, FaultKind, FaultPlan};
 use crate::metrics::RunResult;
+use crate::world::World;
+use spider_mac80211::ClientSystem;
 use spider_simcore::{
     try_sweep_with, JobFailure, Json, SimDuration, SimRng, SimTime, SweepOptions,
 };
@@ -218,6 +220,24 @@ impl SloMetric {
         }
     }
 
+    /// Parse a [`label`](SloMetric::label) back into the metric.
+    /// Detection classes resolve against [`CHAOS_KINDS`], so an
+    /// artifact can only name classes the generator can produce.
+    pub fn from_label(label: &str) -> Option<SloMetric> {
+        match label {
+            "recover.max_s" => return Some(SloMetric::MaxRecoverS),
+            "connectivity.min" => return Some(SloMetric::MinConnectivity),
+            "bytes.min" => return Some(SloMetric::MinBytes),
+            "dhcp.p90.max_s" => return Some(SloMetric::MaxDhcpP90S),
+            _ => {}
+        }
+        let class = label.strip_prefix("detect.")?.strip_suffix(".max_s")?;
+        CHAOS_KINDS
+            .iter()
+            .find(|k| **k == class)
+            .map(|k| SloMetric::MaxDetectS(k))
+    }
+
     /// Measure this metric on a run. `None` when the run produced no
     /// samples to judge (e.g. no detections of the class).
     pub fn measure(&self, r: &RunResult) -> Option<f64> {
@@ -292,6 +312,19 @@ impl SloViolation {
             ("budget", Json::Num(self.rule.budget)),
             ("measured", Json::Num(self.measured)),
         ])
+    }
+
+    /// Parse the artifact form back. The measured value round-trips
+    /// exactly (the JSON layer prints floats losslessly), so a replay
+    /// can assert bit-equal re-measurement.
+    pub fn from_json(v: &Json) -> Option<SloViolation> {
+        Some(SloViolation {
+            rule: SloRule {
+                metric: SloMetric::from_label(v.get("rule")?.as_str()?)?,
+                budget: v.get("budget")?.as_f64()?,
+            },
+            measured: v.get("measured")?.as_f64()?,
+        })
     }
 }
 
@@ -380,7 +413,11 @@ const MIN_WINDOW_US: u64 = 500_000;
 pub struct ShrinkOutcome {
     /// The minimized plan (still violating, by construction).
     pub plan: FaultPlan,
-    /// Candidate evaluations spent (each one is a full world run).
+    /// Candidate evaluations spent. Each evaluation *judges* a full
+    /// world run; since PR 7 the forked runner produces that run by
+    /// resuming a checkpoint shared with the reference schedule rather
+    /// than simulating from `t = 0` (see [`CheckpointCache`]), so an
+    /// evaluation no longer costs a full run's worth of events.
     pub evals: usize,
 }
 
@@ -393,15 +430,24 @@ pub struct ShrinkOutcome {
 ///
 /// 1. **Episode ddmin**: try dropping chunks at doubling granularity
 ///    (halves, quarters, ... single episodes); adopt any candidate
-///    that still fails.
-/// 2. **Window narrowing**: for each surviving episode, repeatedly
-///    halve the window from the end, then from the start, adopting
-///    while the violation survives (down to [`MIN_WINDOW_US`]).
+///    that still fails. Chunks are tried **latest-starting first**:
+///    a candidate that only drops late episodes diverges from the
+///    reference schedule late, so the checkpoint-forked runner
+///    ([`CheckpointCache`]) resumes a long shared prefix instead of
+///    re-simulating it. Candidates remain order-preserving subsets of
+///    the input plan — episodes are never reordered, so order-sensitive
+///    fault compositions (overlapping loss bursts) are untouched.
+/// 2. **Window narrowing**: for each surviving episode — again
+///    latest-starting first — repeatedly halve the window from the
+///    end, then from the start, adopting while the violation survives
+///    (down to [`MIN_WINDOW_US`]).
 ///
 /// `budget` caps total `still_fails` evaluations; the shrinker returns
 /// its best-so-far when spent. The candidate walk is a pure function
 /// of the input plan and the check outcomes, so a deterministic
-/// `still_fails` yields a deterministic reproducer.
+/// `still_fails` yields a deterministic reproducer — and the cold and
+/// forked campaign runners, which differ only in how `still_fails`
+/// produces the run, walk the identical candidate sequence.
 pub fn shrink_schedule(
     plan: &FaultPlan,
     budget: usize,
@@ -414,26 +460,57 @@ pub fn shrink_schedule(
         still_fails(p)
     };
 
-    // Phase 1: ddmin over episodes.
+    // Phase 1: ddmin over episodes. Within a round the chunk windows
+    // are fixed against the round-entry schedule and composed through
+    // an `alive` mask, so they can be *tried* in any order; trying the
+    // latest-starting chunks first means most candidates differ from
+    // the reference only late in simulated time — exactly the shape
+    // the checkpoint cache resumes cheaply.
     let mut granularity = 2usize;
     while current.episodes.len() >= 2 && evals < budget {
         let len = current.episodes.len();
         let granularity_now = granularity.min(len);
         let chunk = len.div_ceil(granularity_now);
+        let mut windows: Vec<(usize, usize)> = (0..len)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(len)))
+            .collect();
+        windows.sort_by_key(|&(s, e)| {
+            let earliest = current.episodes[s..e]
+                .iter()
+                .map(|ep| ep.start)
+                .min()
+                .expect("chunk windows are non-empty");
+            std::cmp::Reverse(earliest)
+        });
         let mut progressed = false;
-        let mut start = 0usize;
-        while start < current.episodes.len() && evals < budget {
-            let end = (start + chunk).min(current.episodes.len());
-            let mut candidate = current.clone();
-            candidate.episodes.drain(start..end);
-            if !candidate.episodes.is_empty() && check(&candidate, &mut evals) {
-                current = candidate;
+        let mut alive = vec![true; len];
+        for (s, e) in windows {
+            if evals >= budget {
+                break;
+            }
+            let mut candidate_alive = alive.clone();
+            candidate_alive[s..e].fill(false);
+            let keep: Vec<FaultEpisode> = current
+                .episodes
+                .iter()
+                .zip(&candidate_alive)
+                .filter(|(_, a)| **a)
+                .map(|(ep, _)| *ep)
+                .collect();
+            if keep.is_empty() {
+                continue;
+            }
+            let candidate = FaultPlan::scripted(keep);
+            if check(&candidate, &mut evals) {
+                alive = candidate_alive;
                 progressed = true;
-                // Keep position: the next chunk slid into `start`.
-            } else {
-                start = end;
             }
         }
+        let mut it = alive.iter();
+        current
+            .episodes
+            .retain(|_| *it.next().expect("mask covers every episode"));
         if progressed {
             granularity = 2;
         } else if granularity_now >= len {
@@ -443,8 +520,11 @@ pub fn shrink_schedule(
         }
     }
 
-    // Phase 2: narrow each surviving episode's window.
-    for i in 0..current.episodes.len() {
+    // Phase 2: narrow each surviving episode's window, latest first so
+    // successive references keep sharing their early prefix.
+    let mut order: Vec<usize> = (0..current.episodes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(current.episodes[i].start));
+    for i in order {
         // Halve from the end, then from the start.
         for from_end in [true, false] {
             loop {
@@ -497,7 +577,10 @@ pub struct CampaignConfig {
     pub profile: ChaosProfile,
     /// The recovery SLOs every trial is judged against.
     pub slo: SloTable,
-    /// Max world runs the shrinker may spend per failing trial.
+    /// Max candidate evaluations the shrinker may spend per failing
+    /// trial. Each evaluation judges a full world run; the forked
+    /// runner resumes it from a shared checkpoint instead of
+    /// simulating from `t = 0`.
     pub shrink_budget: usize,
     /// Max failing trials to shrink (the rest are still reported).
     pub max_shrinks: usize,
@@ -610,8 +693,9 @@ impl MinimizedRepro {
         ])
     }
 
-    /// Parse an artifact back (the plan and provenance; violations are
-    /// re-measured on replay rather than trusted).
+    /// Parse an artifact back, including the recorded violations —
+    /// replay re-measures them and asserts exact agreement rather than
+    /// trusting them (the corpus test in `tests/chaos_corpus.rs`).
     pub fn from_json(v: &Json) -> Option<MinimizedRepro> {
         if v.get("artifact")?.as_str()? != "spider-chaos-repro" {
             return None;
@@ -621,7 +705,12 @@ impl MinimizedRepro {
             plan_seed: v.get("plan_seed")?.as_u64()?,
             original_episodes: v.get("original_episodes")?.as_u64()? as usize,
             plan: FaultPlan::from_json(v.get("plan")?)?,
-            violations: Vec::new(),
+            violations: v
+                .get("violations")?
+                .as_arr()?
+                .iter()
+                .map(SloViolation::from_json)
+                .collect::<Option<Vec<_>>>()?,
             evals: v.get("shrink_evals")?.as_u64()? as usize,
         })
     }
@@ -793,6 +882,383 @@ where
         hung: sweep.hung,
         minimized,
     }
+}
+
+/// Work ledger of the forked campaign path: how much simulation the
+/// checkpoint engine actually executed versus what the cold path pays
+/// for the same bit-identical results.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ForkStats {
+    /// Events actually executed: checkpoint building plus every
+    /// resumed suffix.
+    pub events_simulated: u64,
+    /// Events the cold path would have executed for the same runs
+    /// (each from `t = 0`).
+    pub events_cold: u64,
+    /// World snapshots materialized.
+    pub checkpoints: usize,
+    /// Runs resumed from a checkpoint.
+    pub forks: usize,
+    /// The shrink phase's share of `events_simulated`.
+    pub shrink_events_simulated: u64,
+    /// The shrink phase's share of `events_cold`.
+    pub shrink_events_cold: u64,
+}
+
+impl ForkStats {
+    /// Cold-to-forked work ratio over the whole campaign (>1 = saved).
+    pub fn speedup(&self) -> f64 {
+        self.events_cold as f64 / self.events_simulated.max(1) as f64
+    }
+
+    /// Cold-to-forked work ratio of the shrink phase alone.
+    pub fn shrink_speedup(&self) -> f64 {
+        self.shrink_events_cold as f64 / self.shrink_events_simulated.max(1) as f64
+    }
+
+    /// Report form (kept out of [`CampaignReport::to_json`] so forked
+    /// and cold reports diff byte-identically).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("events_simulated", Json::UInt(self.events_simulated)),
+            ("events_cold", Json::UInt(self.events_cold)),
+            ("checkpoints", Json::UInt(self.checkpoints as u64)),
+            ("forks", Json::UInt(self.forks as u64)),
+            (
+                "shrink_events_simulated",
+                Json::UInt(self.shrink_events_simulated),
+            ),
+            ("shrink_events_cold", Json::UInt(self.shrink_events_cold)),
+            ("speedup", Json::Num(self.speedup())),
+            ("shrink_speedup", Json::Num(self.shrink_speedup())),
+        ])
+    }
+}
+
+/// Cap on live snapshots per [`CheckpointCache`]. Past it, eviction
+/// drops the snapshot closest in time to its predecessor, keeping the
+/// chain spread over the run.
+const MAX_CHECKPOINTS: usize = 16;
+
+/// Prefix-sharing run cache for schedule shrinking (DESIGN.md §13).
+///
+/// Holds a chain of world snapshots advanced under a *reference* plan.
+/// To evaluate a candidate, it computes
+/// [`FaultPlan::first_divergence`] against the reference, resumes the
+/// latest snapshot strictly before that point with the candidate
+/// swapped in ([`World::fork_with_plan`]) — bit-identical to a cold
+/// run of the candidate (`tests/snapshot_determinism.rs`) for the cost
+/// of the divergent suffix. When the shrinker adopts a candidate,
+/// [`adopt`](CheckpointCache::adopt) rebases the cache: snapshots
+/// taken before the old/new divergence have plan-independent histories
+/// and survive with the new plan swapped in.
+pub struct CheckpointCache<C: ClientSystem + Clone, F: Fn(&FaultPlan) -> World<C>> {
+    make: F,
+    reference: FaultPlan,
+    /// `(advanced-to, snapshot)`, ascending; each snapshot has consumed
+    /// exactly the events at or before its key, under `reference`.
+    chain: Vec<(SimTime, World<C>)>,
+    /// Work accounting, accumulated across every `run_plan` call.
+    pub stats: ForkStats,
+}
+
+impl<C, F> CheckpointCache<C, F>
+where
+    C: ClientSystem + Clone,
+    F: Fn(&FaultPlan) -> World<C>,
+{
+    /// A cache over worlds built by `make` (a pure function of the
+    /// plan), shrinking away from `reference`.
+    pub fn new(make: F, reference: FaultPlan) -> CheckpointCache<C, F> {
+        CheckpointCache {
+            make,
+            reference,
+            chain: Vec::new(),
+            stats: ForkStats::default(),
+        }
+    }
+
+    /// The schedule the chain is currently advanced under.
+    pub fn reference(&self) -> &FaultPlan {
+        &self.reference
+    }
+
+    /// Run `plan` to completion, resuming from the last safe point
+    /// before it first diverges from the reference. Bit-identical to
+    /// `make(plan).run()`.
+    pub fn run_plan(&mut self, plan: &FaultPlan) -> RunResult {
+        let fork = match self.reference.first_divergence(plan) {
+            // Diverges at t=0: nothing to share.
+            Some(d) if d == SimTime::ZERO => return self.run_cold(plan),
+            Some(d) => {
+                let Some(i) = self.base_at(d) else {
+                    return self.run_cold(plan);
+                };
+                self.chain[i].1.fork_with_plan(plan.clone())
+            }
+            // Behaviorally identical: any snapshot resumes it.
+            None => match self.chain.last() {
+                Some((_, w)) => w.fork_with_plan(plan.clone()),
+                None => return self.run_cold(plan),
+            },
+        };
+        let resumed_from = fork.events_processed();
+        let (result, _) = fork.finish();
+        self.stats.forks += 1;
+        self.stats.events_simulated += result.events - resumed_from;
+        self.stats.events_cold += result.events;
+        result
+    }
+
+    /// Rebase onto an adopted candidate (the shrinker just proved
+    /// `new_ref` still fails). Snapshots whose look-ahead stayed
+    /// strictly before the old/new divergence have plan-independent
+    /// histories and are kept, with the new plan swapped in; the rest
+    /// are dropped.
+    pub fn adopt(&mut self, new_ref: FaultPlan) {
+        let d = self.reference.first_divergence(&new_ref);
+        self.chain
+            .retain(|(_, w)| d.is_none_or(|d| w.plan_horizon() < d));
+        for (_, w) in &mut self.chain {
+            w.rebase_plan(new_ref.clone());
+        }
+        self.reference = new_ref;
+    }
+
+    fn run_cold(&mut self, plan: &FaultPlan) -> RunResult {
+        let (result, _) = (self.make)(plan).run_with();
+        self.stats.events_simulated += result.events;
+        self.stats.events_cold += result.events;
+        result
+    }
+
+    /// Index of a snapshot safe to rebase onto a plan diverging at
+    /// `divergence`, advanced as close to it as the look-ahead allows —
+    /// built from the nearest usable earlier snapshot (or from scratch)
+    /// on a miss. A fresh world is always usable, so this only returns
+    /// `None` when nothing precedes the divergence at all.
+    fn base_at(&mut self, divergence: SimTime) -> Option<usize> {
+        let target = SimTime::from_micros(divergence.as_micros() - 1);
+        // Latest snapshot at or before the target whose look-ahead
+        // stayed strictly before the divergence.
+        let base = self
+            .chain
+            .iter()
+            .rposition(|(t, w)| *t <= target && w.plan_horizon() < divergence);
+        if let Some(i) = base {
+            if self.chain[i].0 == target {
+                return Some(i);
+            }
+        }
+        let (w, achieved, executed) = match base {
+            Some(i) => self.chain[i].1.advance_shared(target, divergence),
+            None => (self.make)(&self.reference).advance_shared(target, divergence),
+        };
+        self.stats.events_simulated += executed;
+        if let Some(i) = base {
+            if achieved <= self.chain[i].0 {
+                // The advance gained nothing; fork the base itself.
+                return Some(i);
+            }
+        }
+        self.stats.checkpoints += 1;
+        let pos = base.map_or(0, |i| i + 1);
+        self.chain.insert(pos, (achieved, w));
+        Some(self.evict_over_cap(pos))
+    }
+
+    /// Enforce [`MAX_CHECKPOINTS`], never evicting `keep` (the entry
+    /// just built) or the earliest snapshot; returns `keep`'s index
+    /// after any removal.
+    fn evict_over_cap(&mut self, keep: usize) -> usize {
+        if self.chain.len() <= MAX_CHECKPOINTS {
+            return keep;
+        }
+        let victim = (1..self.chain.len())
+            .filter(|&i| i != keep)
+            .min_by_key(|&i| self.chain[i].0.saturating_since(self.chain[i - 1].0))
+            .expect("cap exceeds 2, so a victim exists");
+        self.chain.remove(victim);
+        if victim < keep {
+            keep - 1
+        } else {
+            keep
+        }
+    }
+}
+
+/// The last instant a trial's schedule is indistinguishable from the
+/// fault-free plan: one microsecond before its earliest episode.
+/// `None` when nothing can be shared (an episode at `t = 0`, or no
+/// episodes to bound the prefix with... an empty plan shares
+/// *everything*, but campaigns never generate one, so it just runs
+/// cold).
+fn trial_boundary(plan: &FaultPlan) -> Option<SimTime> {
+    let first = plan.episodes.iter().map(|e| e.start).min()?;
+    (first > SimTime::ZERO).then(|| SimTime::from_micros(first.as_micros() - 1))
+}
+
+/// Run a chaos campaign through the checkpoint/fork engine.
+///
+/// Semantically identical to [`run_campaign`] — the [`CampaignReport`]
+/// is byte-for-byte the same (CI diffs the two JSON forms) — but the
+/// work is shared:
+///
+/// * **trial phase** — every trial shares the fault-free prefix before
+///   its first episode: one base world is advanced once through the
+///   sorted trial boundaries and snapshotted at each, and the sweep
+///   forks per trial instead of simulating from `t = 0`,
+/// * **shrink phase** — each failing trial gets a [`CheckpointCache`];
+///   every ddmin / window-narrowing candidate resumes from the last
+///   event before it diverges from the current reference schedule, and
+///   adopted candidates rebase the cache in place.
+///
+/// `make` builds a cold world under a plan and must be a pure function
+/// of it. Returns the report plus the [`ForkStats`] work ledger.
+pub fn run_campaign_forked<C, F>(cfg: &CampaignConfig, make: F) -> (CampaignReport, ForkStats)
+where
+    C: ClientSystem + Clone + Send + Sync,
+    F: Fn(&FaultPlan) -> World<C> + Sync,
+{
+    let root = SimRng::new(cfg.seed);
+    let jobs: Vec<TrialJob> = (0..cfg.trials)
+        .map(|t| {
+            let plan_seed = root.stream_indexed("campaign-trial", t as u64).seed();
+            TrialJob {
+                trial: t,
+                plan_seed,
+                plan: chaos_plan(plan_seed, cfg.num_aps, cfg.duration, &cfg.profile),
+            }
+        })
+        .collect();
+
+    // Trial-phase checkpoints: advance one fault-free world through the
+    // sorted boundaries, snapshotting at each. The whole shared prefix
+    // is simulated exactly once. A checkpoint may stop short of its
+    // boundary when the medium's look-ahead would peek past the
+    // trial's first episode — the fork then consumes the remainder
+    // under the trial's own plan, which agrees up to the boundary.
+    let mut stats = ForkStats::default();
+    let mut boundaries: Vec<SimTime> = jobs
+        .iter()
+        .filter_map(|j| trial_boundary(&j.plan))
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let checkpoints: Vec<(SimTime, World<C>)> = {
+        let mut base = make(&FaultPlan::none());
+        let mut chain = Vec::with_capacity(boundaries.len());
+        for &b in &boundaries {
+            let divergence = b + SimDuration::from_micros(1);
+            let (w, _, executed) = base.advance_shared(b, divergence);
+            stats.events_simulated += executed;
+            chain.push((b, w.fork()));
+            base = w;
+        }
+        stats.checkpoints += boundaries.len();
+        chain
+    };
+
+    // lint:allow(wall-clock) — the watchdog deadline is a real-time
+    // hang budget for the host, never simulated time.
+    let watchdog = cfg.watchdog_ms.map(core::time::Duration::from_millis);
+    let sweep = try_sweep_with(
+        &jobs,
+        |j| {
+            let base =
+                trial_boundary(&j.plan).and_then(|b| checkpoints.iter().find(|(t, _)| *t == b));
+            match base {
+                Some((_, base)) => {
+                    let fork = base.fork_with_plan(j.plan.clone());
+                    let resumed_from = fork.events_processed();
+                    let (r, _) = fork.finish();
+                    (r.events - resumed_from, r)
+                }
+                None => {
+                    let (r, _) = make(&j.plan).run_with();
+                    (r.events, r)
+                }
+            }
+        },
+        |j| {
+            format!(
+                "trial={} plan_seed={:#018x} episodes={}",
+                j.trial,
+                j.plan_seed,
+                j.plan.episodes.len()
+            )
+        },
+        SweepOptions {
+            workers: cfg.workers,
+            watchdog,
+        },
+    );
+    stats.forks += jobs
+        .iter()
+        .filter(|j| trial_boundary(&j.plan).is_some())
+        .count();
+
+    let mut outcomes = Vec::new();
+    let mut minimized = Vec::new();
+    for (job, slot) in jobs.iter().zip(&sweep.results) {
+        let Some((simulated, result)) = slot else {
+            continue;
+        };
+        stats.events_simulated += simulated;
+        stats.events_cold += result.events;
+        let violations = cfg.slo.evaluate(result);
+        if !violations.is_empty() && minimized.len() < cfg.max_shrinks {
+            let mut cache = CheckpointCache::new(&make, job.plan.clone());
+            let outcome = shrink_schedule(&job.plan, cfg.shrink_budget, |p| {
+                let fails = !cfg.slo.evaluate(&cache.run_plan(p)).is_empty();
+                if fails {
+                    // Mirror the shrinker's adoption so the next
+                    // candidate diffs against the right reference.
+                    cache.adopt(p.clone());
+                }
+                fails
+            });
+            let final_violations = cfg.slo.evaluate(&cache.run_plan(&outcome.plan));
+            debug_assert!(
+                !final_violations.is_empty(),
+                "shrinker must preserve the violation"
+            );
+            stats.shrink_events_simulated += cache.stats.events_simulated;
+            stats.shrink_events_cold += cache.stats.events_cold;
+            stats.checkpoints += cache.stats.checkpoints;
+            stats.forks += cache.stats.forks;
+            minimized.push(MinimizedRepro {
+                trial: job.trial,
+                plan_seed: job.plan_seed,
+                original_episodes: job.plan.episodes.len(),
+                plan: outcome.plan,
+                violations: final_violations,
+                evals: outcome.evals,
+            });
+        }
+        outcomes.push(TrialRecord {
+            trial: job.trial,
+            plan_seed: job.plan_seed,
+            episodes: job.plan.episodes.len(),
+            violations,
+            bytes: result.bytes,
+            connectivity: result.connectivity,
+        });
+    }
+    stats.events_simulated += stats.shrink_events_simulated;
+    stats.events_cold += stats.shrink_events_cold;
+
+    (
+        CampaignReport {
+            seed: cfg.seed,
+            trials: cfg.trials,
+            outcomes,
+            job_failures: sweep.failures,
+            hung: sweep.hung,
+            minimized,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

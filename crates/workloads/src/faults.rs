@@ -377,6 +377,78 @@ impl FaultPlan {
         data_fault_at(&self.episodes, now, ap)
     }
 
+    /// Earliest instant at which this plan's observable behaviour can
+    /// differ from `other`'s, or `None` if the plans are identical.
+    ///
+    /// This is the checkpoint boundary for prefix-sharing (DESIGN.md
+    /// §13): a world advanced under one plan to any time strictly
+    /// before the divergence point is bit-identical to the same world
+    /// advanced under the other, so a shrink candidate can fork from a
+    /// reference checkpoint instead of re-simulating t=0..divergence.
+    ///
+    /// The bound is conservative (never later than the true divergence,
+    /// sometimes earlier). Episodes common to both plans are matched
+    /// greedily *in order* — detect-time attribution breaks onset ties
+    /// in plan order, so a reordered pair of equal-start episodes must
+    /// count as divergent even though the drop pattern is identical.
+    /// Of the unmatched leftovers, a pair differing only in `end`
+    /// diverges at the earlier `end` (behaviour agrees while both are
+    /// active — the window-narrowing shrink phase leans on this) unless
+    /// another episode shares the pair's `start` (a reorder among
+    /// equal-start episodes can masquerade as an end trim, so the pair
+    /// falls back to `start`); any other leftover diverges at its
+    /// `start`.
+    pub fn first_divergence(&self, other: &FaultPlan) -> Option<SimTime> {
+        // Order-preserving greedy match of exactly-equal episodes; the
+        // matched pairs form a common subsequence of both plans, so any
+        // reordering lands in the leftovers.
+        let mut consumed = vec![false; other.episodes.len()];
+        let mut ptr = 0usize;
+        let mut mine: Vec<&FaultEpisode> = Vec::new();
+        for e in &self.episodes {
+            match other.episodes[ptr..].iter().position(|o| o == e) {
+                Some(off) => {
+                    consumed[ptr + off] = true;
+                    ptr += off + 1;
+                }
+                None => mine.push(e),
+            }
+        }
+        let mut theirs: Vec<&FaultEpisode> = other
+            .episodes
+            .iter()
+            .zip(&consumed)
+            .filter(|(_, c)| !**c)
+            .map(|(o, _)| o)
+            .collect();
+        let mut div: Option<SimTime> = None;
+        let mut note = |t: SimTime| div = Some(div.map_or(t, |d: SimTime| d.min(t)));
+        let start_shared = |s: SimTime| {
+            self.episodes.iter().filter(|x| x.start == s).count() > 1
+                || other.episodes.iter().filter(|x| x.start == s).count() > 1
+        };
+        for e in mine {
+            match theirs
+                .iter()
+                .position(|o| o.ap == e.ap && o.kind == e.kind && o.start == e.start)
+            {
+                Some(i) => {
+                    if start_shared(e.start) {
+                        note(e.start);
+                    } else {
+                        note(e.end.min(theirs[i].end));
+                    }
+                    theirs.remove(i);
+                }
+                None => note(e.start),
+            }
+        }
+        for o in theirs {
+            note(o.start);
+        }
+        div
+    }
+
     /// Serialize to the artifact JSON form (replays exactly:
     /// microsecond times, shortest-round-trip floats).
     pub fn to_json(&self) -> Json {
@@ -714,6 +786,69 @@ mod tests {
         assert!((plan.extra_loss(t(1.0), 0) - 0.75).abs() < 1e-12);
         assert!((plan.extra_loss(t(1.0), 3) - 0.5).abs() < 1e-12);
         assert_eq!(plan.extra_loss(t(11.0), 0), 0.0);
+    }
+
+    fn ep(ap: Option<usize>, kind: FaultKind, start: f64, end: f64) -> FaultEpisode {
+        FaultEpisode {
+            ap,
+            kind,
+            start: t(start),
+            end: t(end),
+        }
+    }
+
+    #[test]
+    fn first_divergence_identical_plans_share_everything() {
+        let plan = FaultPlan::seeded(7, 20, SimDuration::from_secs(600), &FaultProfile::stormy());
+        assert_eq!(plan.first_divergence(&plan.clone()), None);
+        assert_eq!(FaultPlan::none().first_divergence(&FaultPlan::none()), None);
+    }
+
+    #[test]
+    fn first_divergence_dropped_episode_diverges_at_its_start() {
+        let a = ep(Some(1), FaultKind::Blackout, 10.0, 20.0);
+        let b = ep(Some(2), FaultKind::Zombie, 40.0, 50.0);
+        let full = FaultPlan::scripted(vec![a, b]);
+        let tail_only = FaultPlan::scripted(vec![b]);
+        // Symmetric: the dropped episode's start, from either side.
+        assert_eq!(full.first_divergence(&tail_only), Some(t(10.0)));
+        assert_eq!(tail_only.first_divergence(&full), Some(t(10.0)));
+        // Against the empty plan: the earliest remaining start.
+        assert_eq!(
+            tail_only.first_divergence(&FaultPlan::none()),
+            Some(t(40.0))
+        );
+    }
+
+    #[test]
+    fn first_divergence_end_trim_diverges_at_the_earlier_end() {
+        let long = ep(Some(1), FaultKind::Blackout, 10.0, 60.0);
+        let short = ep(Some(1), FaultKind::Blackout, 10.0, 35.0);
+        let before = FaultPlan::scripted(vec![long]);
+        let after = FaultPlan::scripted(vec![short]);
+        assert_eq!(before.first_divergence(&after), Some(t(35.0)));
+        assert_eq!(after.first_divergence(&before), Some(t(35.0)));
+        // A start trim falls back to the earlier start, conservatively.
+        let late_start = ep(Some(1), FaultKind::Blackout, 25.0, 60.0);
+        let moved = FaultPlan::scripted(vec![late_start]);
+        assert_eq!(before.first_divergence(&moved), Some(t(10.0)));
+    }
+
+    #[test]
+    fn first_divergence_equal_start_reorder_counts_as_divergent() {
+        // Detect attribution breaks onset ties in plan order, so a
+        // reorder of equal-start episodes must diverge at that start
+        // even though the drop pattern is identical.
+        let a = ep(Some(1), FaultKind::Blackout, 10.0, 20.0);
+        let b = ep(Some(1), FaultKind::Zombie, 10.0, 30.0);
+        let ab = FaultPlan::scripted(vec![a, b]);
+        let ba = FaultPlan::scripted(vec![b, a]);
+        assert_eq!(ab.first_divergence(&ba), Some(t(10.0)));
+        // And an end trim of one of the tied pair must not report the
+        // trimmed end: the reorder could hide behind it.
+        let a_trim = ep(Some(1), FaultKind::Blackout, 10.0, 15.0);
+        let ba_trim = FaultPlan::scripted(vec![b, a_trim]);
+        assert_eq!(ab.first_divergence(&ba_trim), Some(t(10.0)));
     }
 
     #[test]

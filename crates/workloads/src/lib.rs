@@ -35,8 +35,9 @@ pub mod scenarios;
 pub mod world;
 
 pub use campaign::{
-    chaos_plan, run_campaign, shrink_schedule, CampaignConfig, CampaignReport, ChaosProfile,
-    MinimizedRepro, ShrinkOutcome, SloMetric, SloRule, SloTable, SloViolation, TrialRecord,
+    chaos_plan, run_campaign, run_campaign_forked, shrink_schedule, CampaignConfig, CampaignReport,
+    ChaosProfile, CheckpointCache, ForkStats, MinimizedRepro, ShrinkOutcome, SloMetric, SloRule,
+    SloTable, SloViolation, TrialRecord,
 };
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
 pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, FaultStats};

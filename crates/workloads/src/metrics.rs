@@ -12,7 +12,7 @@ use spider_simcore::{Cdf, IntervalReport, Json, SimDuration};
 use std::fmt;
 
 /// The outcome of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Driver label.
     pub label: String,

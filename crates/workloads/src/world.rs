@@ -157,6 +157,10 @@ enum Ev {
 }
 
 /// One access point with everything behind it.
+// Clone: part of the world snapshot — the MAC association table, DHCP
+// pool, live TCP senders, ARP bindings, backhaul horizon and the ISS
+// RNG all travel with a fork (DESIGN.md §13).
+#[derive(Clone)]
 struct ApNode {
     /// Cumulative TCP timeout/retransmit counts from retired senders.
     tcp_timeouts: u64,
@@ -194,8 +198,11 @@ struct ApNode {
 /// events still pending when the run ends are *in flight*. The run-end
 /// audit asserts `created = delivered + dropped + in_flight` — any gap
 /// means a dispatch arm gained an exit path that loses frames silently.
+// Clone: the ledger is part of the world snapshot, so a forked run's
+// audit spans the checkpoint boundary — frames created before the fork
+// must still balance against deliveries after it (DESIGN.md §13).
 #[cfg(feature = "validate")]
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct AirLedger {
     created: u64,
     delivered: u64,
@@ -269,6 +276,196 @@ pub struct World<C: ClientSystem> {
     /// Was any AP within actual radio range at the last mobility sweep?
     client_covered: bool,
     prev_connected: bool,
+    /// Whether the t=0 bootstrap events have been scheduled (set by the
+    /// first [`World::run_until`]/[`World::finish`] call; cloned into
+    /// forks so a resumed world never re-bootstraps).
+    started: bool,
+}
+
+// `Clone` routes through [`World::snapshot`] so generic checkpoint
+// plumbing (e.g. `simcore::forked_sweep`) can clone worlds; the named
+// methods below are the intent-bearing API.
+impl<C: ClientSystem + Clone> Clone for World<C> {
+    fn clone(&self) -> Self {
+        self.snapshot()
+    }
+}
+
+impl<C: ClientSystem + Clone> World<C> {
+    /// Deep-clone the entire live simulation state — calendar queue
+    /// (with `(at, seq)` ordering and the seq counter intact), RNG
+    /// streams, every AP stack, the client system, fault engine state,
+    /// metrics accumulators, and (in validate builds) the air-frame
+    /// ledger, so the audit spans the snapshot boundary.
+    ///
+    /// The returned world resumes **bit-identically**: advancing the
+    /// original and the snapshot produces the same events, metrics and
+    /// `RunResult`. The one exception is the capture handle — an open
+    /// file cannot be cloned, so snapshots come up captureless (see
+    /// [`World::arm_capture`]).
+    pub fn snapshot(&self) -> World<C> {
+        let mut cfg = self.cfg.clone();
+        cfg.capture = None;
+        World {
+            cfg,
+            queue: self.queue.clone(),
+            client: self.client.clone(),
+            radio: self.radio.clone(),
+            medium: self.medium.clone(),
+            aps: self.aps.clone(),
+            bssid_index: self.bssid_index.clone(),
+            grid: self.grid.clone(),
+            path: self.path.clone(),
+            findex: self.findex.clone(),
+            active_ids: self.active_ids.clone(),
+            nearby_scratch: Vec::new(),
+            targets_scratch: Vec::new(),
+            ap_ev_scratch: Vec::new(),
+            ports_scratch: Vec::new(),
+            segs_scratch: Vec::with_capacity(64),
+            actions_scratch: Vec::with_capacity(16),
+            events: self.events,
+            rng_loss: self.rng_loss.clone(),
+            rate: self.rate.clone(),
+            conn: self.conn.clone(),
+            delivered_prev: self.delivered_prev,
+            encountered: self.encountered.clone(),
+            client_wake_scheduled: self.client_wake_scheduled,
+            capture: None,
+            fstats: self.fstats.clone(),
+            #[cfg(feature = "validate")]
+            air: self.air.clone(),
+            in_blackout: self.in_blackout.clone(),
+            pending_detect: self.pending_detect.clone(),
+            detect_done: self.detect_done.clone(),
+            fault_outage: self.fault_outage,
+            client_covered: self.client_covered,
+            prev_connected: self.prev_connected,
+            started: self.started,
+        }
+    }
+
+    /// Fork this world: a snapshot intended to be resumed (the name is
+    /// the intent; the mechanics are [`World::snapshot`]). Typical use:
+    /// `run_until(t)` once, then fork per variant and `finish()` each.
+    pub fn fork(&self) -> World<C> {
+        self.snapshot()
+    }
+
+    /// Fork under a different fault plan: the prefix-sharing primitive
+    /// (DESIGN.md §13). Valid only when `faults` agrees with this
+    /// world's plan strictly beyond [`World::plan_horizon`] —
+    /// everything simulated so far must be plan-independent, which
+    /// [`FaultPlan::first_divergence`] bounds conservatively. Before the
+    /// first divergent episode the fault engine performs no state
+    /// changes and draws no RNG, so swapping the plan and rebuilding the
+    /// episode index yields exactly the world a cold run under `faults`
+    /// would have reached.
+    pub fn fork_with_plan(&self, faults: FaultPlan) -> World<C> {
+        let mut w = self.snapshot();
+        w.rebase_plan(faults);
+        w
+    }
+
+    /// Swap this world's fault plan in place — [`World::fork_with_plan`]
+    /// without the snapshot. Same contract: the new plan must agree
+    /// with the current one strictly beyond [`World::plan_horizon`].
+    pub fn rebase_plan(&mut self, faults: FaultPlan) {
+        debug_assert!(
+            self.cfg
+                .faults
+                .first_divergence(&faults)
+                .is_none_or(|d| d > self.plan_horizon()),
+            "rebase_plan: candidate plan diverges at or before the plan horizon ({})",
+            self.plan_horizon(),
+        );
+        self.findex = FaultIndex::build(&faults, self.aps.len());
+        self.cfg.faults = faults;
+    }
+
+    /// Fork this world and advance the fork as close to `target` as
+    /// possible while keeping its [`World::plan_horizon`] strictly
+    /// before `divergence` — the safe base for a
+    /// [`World::rebase_plan`] swap of any plan agreeing up to that
+    /// point. Two stages so overshoot retries stay cheap: first to a
+    /// margin before the target (the medium's look-ahead is a few
+    /// frames of airtime, far less than the margin), then the final
+    /// stretch, backed off past the observed look-ahead and redone
+    /// from the margin snapshot on an overshoot. Returns the fork, the
+    /// limit it actually consumed events up to, and the events
+    /// executed including discarded attempts.
+    ///
+    /// Requires `self.plan_horizon() < divergence`.
+    pub fn advance_shared(&self, target: SimTime, divergence: SimTime) -> (World<C>, SimTime, u64) {
+        debug_assert!(
+            self.plan_horizon() < divergence,
+            "advance_shared: this world has already peeked past the divergence point"
+        );
+        /// How far short of the target stage 1 stops. Generously above
+        /// any realistic channel backlog, and still a rounding error
+        /// against the seconds-scale prefixes being shared.
+        const MARGIN: SimDuration = SimDuration::from_millis(100);
+
+        let mut executed = 0u64;
+        let floor = self.now();
+        let target = target.max(floor);
+        let advance_to = |from: &World<C>, limit: SimTime, executed: &mut u64| {
+            let mut w = from.fork();
+            let before = w.events_processed();
+            w.run_until(limit);
+            *executed += w.events_processed() - before;
+            w
+        };
+
+        // Stage 1: to `target - MARGIN`. An overshoot here means a
+        // pathological backlog; retry a few times, then give up on
+        // advancing at all (a plain fork is always safe).
+        let mut stage1 =
+            SimTime::from_micros(target.as_micros().saturating_sub(MARGIN.as_micros())).max(floor);
+        let mut tries = 0;
+        let base = loop {
+            let w = advance_to(self, stage1, &mut executed);
+            if w.plan_horizon() < divergence {
+                break w;
+            }
+            let back = w.plan_horizon().saturating_since(divergence) + SimDuration::from_micros(1);
+            tries += 1;
+            if stage1 <= floor || tries >= 3 {
+                return (self.fork(), floor, executed);
+            }
+            stage1 = SimTime::from_micros(stage1.as_micros().saturating_sub(back.as_micros()))
+                .max(floor);
+        };
+        if stage1 >= target {
+            return (base, stage1, executed);
+        }
+
+        // Stage 2: the last stretch. Each retry redoes at most the
+        // margin's worth of events from the stage-1 snapshot.
+        let mut t = target;
+        let mut tries = 0;
+        loop {
+            let w = advance_to(&base, t, &mut executed);
+            if w.plan_horizon() < divergence {
+                return (w, t, executed);
+            }
+            let back = w.plan_horizon().saturating_since(divergence) + SimDuration::from_micros(1);
+            tries += 1;
+            if t <= stage1 || tries >= 8 {
+                return (base, stage1, executed);
+            }
+            t = SimTime::from_micros(t.as_micros().saturating_sub(back.as_micros())).max(stage1);
+        }
+    }
+
+    /// The latest simulated instant whose fault-plan state has already
+    /// been consulted. Frame fates are decided at *reservation* time,
+    /// and a reservation starts in the future whenever the channel is
+    /// busy ([`ChannelMedium::reserve`]) — so a plan swap is only safe
+    /// strictly beyond this point, not merely beyond [`World::now`].
+    pub fn plan_horizon(&self) -> SimTime {
+        self.now().max(self.medium.horizon())
+    }
 }
 
 impl<C: ClientSystem> World<C> {
@@ -359,6 +556,7 @@ impl<C: ClientSystem> World<C> {
             fault_outage: None,
             client_covered: false,
             prev_connected: false,
+            started: false,
             cfg,
         }
     }
@@ -371,6 +569,35 @@ impl<C: ClientSystem> World<C> {
     /// The number of hardware channel switches so far.
     pub fn switch_count(&self) -> u64 {
         self.radio.switch_count()
+    }
+
+    /// Simulated time of the last processed event (t=0 before any).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events processed so far (continues into [`RunResult::events`], so
+    /// a forked run reports the same total as a cold one; prefix-sharing
+    /// schedulers measure *actual* work as deltas of this counter).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// The fault plan this world is running under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.cfg.faults
+    }
+
+    /// Start writing delivered frames to a capture file from this point
+    /// on (`limit` 0 = unlimited). Capture handles are the one piece of
+    /// world state a snapshot cannot carry (an open file is not
+    /// cloneable), so forks come up captureless and tests that compare
+    /// capture timelines arm a fresh writer on the fork — its records
+    /// must match the cold run's suffix exactly.
+    pub fn arm_capture(&mut self, path: &std::path::Path, limit: u64) -> std::io::Result<()> {
+        self.capture = Some(CaptureWriter::create(path, limit)?);
+        self.cfg.capture = Some((path.to_path_buf(), limit));
+        Ok(())
     }
 
     fn client_pos(&self, now: SimTime) -> Position {
@@ -392,11 +619,47 @@ impl<C: ClientSystem> World<C> {
 
     /// Run to completion, returning the result *and* the client system
     /// for post-run introspection (utility tables, lease caches, ...).
-    pub fn run_with(mut self) -> (RunResult, C) {
-        let end = SimTime::ZERO + self.cfg.duration;
+    pub fn run_with(self) -> (RunResult, C) {
+        self.finish()
+    }
+
+    /// Schedule the t=0 bootstrap events exactly once.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         self.queue.schedule(SimTime::ZERO, Ev::MobilityCheck);
         self.queue.schedule(SimTime::ZERO, Ev::ClientWake);
         self.client_wake_scheduled = SimTime::ZERO;
+    }
+
+    /// Advance the simulation through every event firing at or before
+    /// `limit` (clamped to the configured duration), then stop with the
+    /// world live — ready for [`World::snapshot`]/[`World::fork`],
+    /// further `run_until` calls, or [`World::finish`].
+    ///
+    /// Checkpointing hinges on this being a pure reordering of the cold
+    /// run's work: the bounded pop drains the exact `(at, seq)` prefix
+    /// an uninterrupted run would have popped, so `run_until(t)` +
+    /// `finish()` is bit-identical to a straight `run()`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.start();
+        let limit = limit.min(SimTime::ZERO + self.cfg.duration);
+        while let Some(ev) = self.queue.pop_before(limit) {
+            let now = ev.at;
+            self.events += 1;
+            if self.dispatch(now, ev.event) {
+                self.after_event(now);
+            }
+        }
+    }
+
+    /// Run from the current point (t=0 for a fresh world, the snapshot
+    /// point for a fork) to completion and produce the result.
+    pub fn finish(mut self) -> (RunResult, C) {
+        self.start();
+        let end = SimTime::ZERO + self.cfg.duration;
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             if now > end {

@@ -6,16 +6,17 @@
 //! one worker or four.
 
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_repro::simcore::SimDuration;
+use spider_repro::simcore::{SimDuration, SimTime};
 use spider_repro::wire::Channel;
 use spider_repro::workloads::campaign::{
-    run_campaign, CampaignConfig, ChaosProfile, MinimizedRepro, SloMetric, SloRule, SloTable,
+    run_campaign, run_campaign_forked, CampaignConfig, ChaosProfile, CheckpointCache,
+    MinimizedRepro, SloMetric, SloRule, SloTable,
 };
 use spider_repro::workloads::scenarios::lab_scenario;
-use spider_repro::workloads::{FaultPlan, RunResult, World};
+use spider_repro::workloads::{FaultEpisode, FaultKind, FaultPlan, RunResult, World};
 
 /// A cheap, fault-sensitive world: two same-channel APs, 40 s session.
-fn run_lab(plan: &FaultPlan) -> RunResult {
+fn make_lab(plan: &FaultPlan) -> World<SpiderDriver> {
     let mut cfg = lab_scenario(
         &[Channel::CH1, Channel::CH1],
         400_000.0,
@@ -30,7 +31,10 @@ fn run_lab(plan: &FaultPlan) -> RunResult {
             1,
         )),
     )
-    .run()
+}
+
+fn run_lab(plan: &FaultPlan) -> RunResult {
+    make_lab(plan).run()
 }
 
 /// Unmeetable on purpose: any detected fault at all is a violation, so
@@ -128,4 +132,81 @@ fn campaign_reports_are_byte_identical_across_worker_counts() {
     for (s, p) in serial.minimized.iter().zip(&parallel.minimized) {
         assert_eq!(s.to_json().pretty(), p.to_json().pretty());
     }
+}
+
+#[test]
+fn forked_campaign_report_matches_cold_byte_for_byte() {
+    // The checkpoint/fork engine is a pure optimization: its report —
+    // every outcome, measured SLO value, minimized plan, eval count —
+    // must render to exactly the cold path's JSON, at any worker count.
+    let cold = run_campaign(&campaign_config(1), run_lab);
+    for workers in [1, 4] {
+        let (forked, stats) = run_campaign_forked(&campaign_config(workers), make_lab);
+        assert_eq!(
+            forked.to_json().pretty(),
+            cold.to_json().pretty(),
+            "forked campaign report diverged from the cold run at {workers} workers"
+        );
+        assert!(stats.forks > 0, "no run was forked from a checkpoint");
+        assert!(stats.checkpoints > 0, "no checkpoint was materialized");
+        assert!(
+            stats.events_simulated < stats.events_cold,
+            "forking saved nothing: simulated {} of {} cold events",
+            stats.events_simulated,
+            stats.events_cold
+        );
+        assert!(
+            stats.shrink_events_simulated < stats.shrink_events_cold,
+            "shrink phase shared no prefixes"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_cache_runs_are_bit_identical_to_cold() {
+    // The shrinker's exact access pattern, by hand: evaluate ddmin-style
+    // candidates against a reference, adopt one, evaluate more. Every
+    // result must equal the candidate's cold run bit for bit. Episode
+    // starts are fixed mid-run so the divergence boundaries land past
+    // t=0 and the fork paths actually engage.
+    let ep = |ap: Option<usize>, kind: FaultKind, start: f64, end: f64| FaultEpisode {
+        ap,
+        kind,
+        start: SimTime::ZERO + SimDuration::from_secs_f64(start),
+        end: SimTime::ZERO + SimDuration::from_secs_f64(end),
+    };
+    let plan = FaultPlan::scripted(vec![
+        ep(Some(0), FaultKind::Blackout, 8.0, 20.0),
+        ep(Some(1), FaultKind::Zombie, 12.0, 26.0),
+        ep(None, FaultKind::LossBurst { extra: 0.4 }, 18.0, 30.0),
+        ep(Some(0), FaultKind::DhcpSilence, 22.0, 34.0),
+    ]);
+    let mut cache = CheckpointCache::new(make_lab, plan.clone());
+
+    let back_half = FaultPlan::scripted(plan.episodes[plan.episodes.len() / 2..].to_vec());
+    let mut trimmed = plan.clone();
+    trimmed.episodes[0].end = SimTime::from_micros(
+        (trimmed.episodes[0].start.as_micros() + trimmed.episodes[0].end.as_micros()) / 2,
+    );
+    for (i, candidate) in [&plan, &back_half, &trimmed].into_iter().enumerate() {
+        assert_eq!(
+            cache.run_plan(candidate),
+            run_lab(candidate),
+            "cached run of candidate {i} diverged from cold"
+        );
+    }
+
+    // Adopt a candidate (the shrinker does this after every successful
+    // check) and keep evaluating against the new reference.
+    cache.adopt(back_half.clone());
+    let rump = FaultPlan::scripted(vec![*back_half.episodes.last().unwrap()]);
+    for candidate in [&back_half, &rump] {
+        assert_eq!(
+            cache.run_plan(candidate),
+            run_lab(candidate),
+            "cached run diverged from cold after adopt"
+        );
+    }
+    assert!(cache.stats.forks > 0);
+    assert!(cache.stats.events_simulated < cache.stats.events_cold);
 }

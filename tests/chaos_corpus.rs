@@ -1,0 +1,142 @@
+//! Corpus replay: every checked-in `spider-chaos-repro` artifact in
+//! `corpus/` is re-run from its nearest checkpoint (through the
+//! checkpoint/fork engine, DESIGN.md §13) and its recorded violations
+//! must re-measure *exactly* — same rules, same budgets, same measured
+//! values to the last bit. A previously-shrunk reproducer that stops
+//! reproducing, or reproduces with different numbers, means an engine
+//! change silently altered behaviour the campaign already pinned down.
+//!
+//! The world and SLO table here mirror the generating command recorded
+//! in `corpus/README.md`: the tight-table campaign on the town drive,
+//! world seed 7, 60 s duration.
+
+use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
+use spider_repro::simcore::{Json, SimDuration};
+use spider_repro::wire::Channel;
+use spider_repro::workloads::campaign::{
+    CheckpointCache, MinimizedRepro, SloMetric, SloRule, SloTable,
+};
+use spider_repro::workloads::scenarios::{town_scenario, ScenarioParams};
+use spider_repro::workloads::{FaultPlan, World};
+use std::path::PathBuf;
+
+/// The campaign's fixed world seed (`chaos_campaign`'s `WORLD_SEED`).
+const WORLD_SEED: u64 = 7;
+
+/// Drive length every corpus artifact was recorded under.
+const DURATION_SECS: u64 = 60;
+
+/// The same world `chaos_campaign` builds per trial: the town drive
+/// with Spider in single-channel multi-AP mode on channel 6.
+fn corpus_world(plan: &FaultPlan) -> World<SpiderDriver> {
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(DURATION_SECS),
+        seed: WORLD_SEED,
+        ..Default::default()
+    };
+    let mut cfg = town_scenario(&params);
+    cfg.faults = plan.clone();
+    World::new(
+        cfg,
+        SpiderDriver::new(SpiderConfig::for_mode(
+            OperationMode::SingleChannelMultiAp(Channel::CH6),
+            1,
+        )),
+    )
+}
+
+/// The `--tight` table the corpus campaigns were judged by: any
+/// blackout or zombie detection at all is a violation.
+fn tight_table() -> SloTable {
+    SloTable {
+        rules: vec![
+            SloRule {
+                metric: SloMetric::MaxDetectS("blackout"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("zombie"),
+                budget: 0.0,
+            },
+        ],
+    }
+}
+
+fn corpus_artifacts() -> Vec<(String, MinimizedRepro)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus/ directory exists")
+        .map(|e| {
+            e.expect("readable corpus entry")
+                .file_name()
+                .into_string()
+                .unwrap()
+        })
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let text = std::fs::read_to_string(dir.join(&name))
+                .unwrap_or_else(|e| panic!("read corpus/{name}: {e}"));
+            let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse corpus/{name}: {e}"));
+            let repro = MinimizedRepro::from_json(&doc)
+                .unwrap_or_else(|| panic!("corpus/{name} is not a spider-chaos-repro artifact"));
+            (name, repro)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_artifacts_replay_identically_from_checkpoints() {
+    let artifacts = corpus_artifacts();
+    assert!(
+        !artifacts.is_empty(),
+        "corpus/ holds at least one artifact (see corpus/README.md)"
+    );
+
+    // One cache for the whole corpus: the fault-free reference means
+    // every artifact forks at its own first episode, and artifacts
+    // share whatever prefix checkpoints earlier ones already paid for.
+    // Replaying in divergence order keeps the chain advancing
+    // incrementally — an early-diverging artifact after a late one
+    // would find no usable earlier snapshot and rebuild from scratch.
+    let mut artifacts = artifacts;
+    artifacts.sort_by_key(|(_, r)| {
+        r.plan
+            .episodes
+            .iter()
+            .map(|e| e.start)
+            .min()
+            .expect("minimized plans keep at least one episode")
+    });
+    let table = tight_table();
+    let mut cache = CheckpointCache::new(corpus_world, FaultPlan::none());
+    for (name, repro) in &artifacts {
+        assert!(
+            repro.plan.episodes.len() <= repro.original_episodes,
+            "{name}: minimized plan grew past its original schedule"
+        );
+        let result = cache.run_plan(&repro.plan);
+        let measured = table.evaluate(&result);
+        assert_eq!(
+            measured, repro.violations,
+            "{name}: replay from checkpoint measured different violations \
+             than the artifact recorded"
+        );
+    }
+
+    // The engine must actually have shared prefixes, not just agreed.
+    assert!(
+        cache.stats.forks >= artifacts.len(),
+        "every artifact replays via a fork"
+    );
+    assert!(
+        cache.stats.events_simulated < cache.stats.events_cold,
+        "checkpoint replay simulated {} events but cold runs would cost {} — \
+         no prefix was shared",
+        cache.stats.events_simulated,
+        cache.stats.events_cold
+    );
+}
