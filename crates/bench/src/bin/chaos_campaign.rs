@@ -14,15 +14,18 @@
 //! ```text
 //! chaos_campaign [--trials N] [--seed S] [--duration-secs D]
 //!                [--shrink-budget N] [--workers N] [--tight]
-//!                [--no-fork] [--replay PATH]
+//!                [--no-fork] [--forkstats PATH] [--replay PATH]
 //! ```
 //!
 //! * default mode exits non-zero when any trial violates an SLO or
 //!   panics the simulator (CI runs this); trials and shrink candidates
-//!   run through the checkpoint/fork engine (DESIGN.md §13) and the
-//!   work saved is reported,
+//!   run through the checkpoint prefix-tree (DESIGN.md §13) and the
+//!   work saved is reported — trie depth, checkpoints reused, and
+//!   events served from shared checkpoints included,
 //! * `--no-fork` runs every world cold from `t = 0` — the report must
 //!   come out byte-identical either way, and CI diffs the two,
+//! * `--forkstats PATH` writes the fork-stats sidecar JSON to an
+//!   explicit path instead of `target/experiments/`,
 //! * `--tight` swaps in a deliberately unmeetable SLO table to
 //!   exercise the shrinking pipeline end to end,
 //! * `--replay PATH` re-runs a minimized artifact and exits zero only
@@ -171,6 +174,7 @@ fn main() -> ExitCode {
     let workers = parse_num(&args, "--workers", 0usize);
     let tight = args.iter().any(|a| a == "--tight");
     let no_fork = args.iter().any(|a| a == "--no-fork");
+    let forkstats_path = parse_flag(&args, "--forkstats");
 
     let (num_aps, make) = make_factory(duration);
     let mut cfg = CampaignConfig {
@@ -242,15 +246,29 @@ fn main() -> ExitCode {
         // Kept out of the report file on purpose: CI diffs the forked
         // and cold reports byte for byte, and the fork engine's own
         // accounting must not show up in that comparison.
-        let stats_path = write_json("chaos_campaign_forkstats.json", &stats.to_json());
+        let stats_path = match &forkstats_path {
+            Some(p) => {
+                let doc = stats.to_json().pretty();
+                std::fs::write(p, &doc).unwrap_or_else(|e| panic!("write {p}: {e}"));
+                std::path::PathBuf::from(p)
+            }
+            None => write_json("chaos_campaign_forkstats.json", &stats.to_json()),
+        };
         println!(
-            "wrote {} (checkpoint/fork engine: {:.2}x overall, {:.2}x in the shrink phase, \
+            "wrote {} (checkpoint prefix-tree: {:.2}x overall, {:.2}x in the shrink phase, \
              {} checkpoints, {} forks)",
             stats_path.display(),
             stats.speedup(),
             stats.shrink_speedup(),
             stats.checkpoints,
             stats.forks
+        );
+        println!(
+            "  divergence trie: depth {}, {} trials forked off shared checkpoints, \
+             {} events served from shared prefixes",
+            stats.tree_depth,
+            stats.edges.len(),
+            stats.events_shared()
         );
     }
     for m in &report.minimized {

@@ -19,9 +19,12 @@
 
 use crate::runs::StdConfigs;
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
-use spider_simcore::{sweep_with, worker_count, Json, SimDuration, SimTime};
+use spider_simcore::{worker_count, Json, SimDuration, SimTime};
 use spider_wire::Channel;
-use spider_workloads::campaign::{shrink_schedule, CheckpointCache, SloMetric, SloRule, SloTable};
+use spider_workloads::campaign::{
+    run_campaign, run_campaign_forked, shrink_schedule, CampaignConfig, ChaosProfile,
+    CheckpointCache, SloMetric, SloRule, SloTable,
+};
 use spider_workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_workloads::{FaultEpisode, FaultKind, FaultPlan, FaultProfile, World};
 use std::time::Instant;
@@ -149,22 +152,35 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
 pub const PRE_PR_DENSE_EVENTS_PER_SEC: f64 = 2_489_000.0;
 
 /// Measured outcome of the sweep-runner suite benchmark: the same
-/// batch of experiment jobs timed serially and with the sweep's worker
-/// pool.
+/// batch of experiment jobs run cold on one worker and as the forked
+/// seed fan on the worker pool.
 #[derive(Debug, Clone)]
 pub struct SuiteResult {
     /// Number of independent experiment jobs in the batch.
     pub jobs: usize,
-    /// Worker threads used for the parallel leg.
+    /// Worker threads used for the parallel (forked) leg.
     pub workers: usize,
-    /// Wall-clock seconds for the serial leg (`sweep_with(.., 1)`).
+    /// Wall-clock seconds for the serial cold leg (1 worker, every
+    /// world constructed from scratch).
     pub serial_wall_secs: f64,
-    /// Wall-clock seconds for the parallel leg.
+    /// Wall-clock seconds for the parallel forked leg.
     pub parallel_wall_secs: f64,
+    /// Total simulated events of the cold leg. Deterministic — a pure
+    /// function of the job list — unlike wall seconds.
+    pub events_cold: u64,
+    /// Total simulated events of the forked leg. Equal to
+    /// [`events_cold`](Self::events_cold) exactly when the fan is
+    /// bit-identical (forking shares construction, not events).
+    pub events_forked: u64,
+    /// The forked fan's results equalled the cold leg byte for byte —
+    /// the deterministic gate. Wall-clock speedup stays informational:
+    /// a 1-vCPU CI runner legitimately measures 1.00.
+    pub fan_identical: bool,
 }
 
 impl SuiteResult {
-    /// Serial / parallel wall-time ratio.
+    /// Serial / parallel wall-time ratio (informational; machine
+    /// dependent).
     pub fn speedup(&self) -> f64 {
         self.serial_wall_secs / self.parallel_wall_secs.max(1e-9)
     }
@@ -173,43 +189,49 @@ impl SuiteResult {
 /// Benchmark the sweep runner on a representative slice of the
 /// experiment suite: Table 2's six configurations across three seeds
 /// (one seed in fast mode), i.e. real 30-minute `World` drives, not a
-/// synthetic load. Runs the identical batch twice — once pinned to one
-/// worker, once with [`worker_count`] workers — and asserts the
-/// results are identical, which is the sweep's determinism contract
-/// measured on the real workload.
+/// synthetic load. Runs the identical batch twice — once cold on one
+/// worker, once as the [`StdConfigs::table2_fan`] forked leg on
+/// [`worker_count`] workers — and asserts the results are byte-
+/// identical, which is the sweep *and* fork determinism contract
+/// measured on the real workload. The event totals of both legs are
+/// recorded so the gate rests on deterministic numbers, not on
+/// machine-dependent wall-clock speedup.
 pub fn run_suite_bench(fast: bool) -> SuiteResult {
     let seeds: &[u64] = if fast { &[1] } else { &[1, 2, 3] };
-    let mut jobs = Vec::new();
-    for &seed in seeds {
-        for row in 0..StdConfigs::TABLE2_ROWS {
-            jobs.push((row, seed));
-        }
-    }
-    let run = |&(row, seed): &(usize, u64)| StdConfigs::table2_row(row, seed);
 
     let t = Instant::now();
-    let serial = sweep_with(&jobs, run, 1);
+    let cold = StdConfigs::table2_fan(seeds, false, 1);
     let serial_wall_secs = t.elapsed().as_secs_f64();
 
     let workers = worker_count();
     let t = Instant::now();
-    let parallel = sweep_with(&jobs, run, workers);
+    let forked = StdConfigs::table2_fan(seeds, true, workers);
     let parallel_wall_secs = t.elapsed().as_secs_f64();
 
-    let anchor = |rs: &[spider_workloads::RunResult]| -> Vec<(u64, u64)> {
-        rs.iter().map(|r| (r.events, r.bytes)).collect()
+    let render = |fan: &[(String, Vec<spider_workloads::RunResult>)]| -> Vec<String> {
+        fan.iter()
+            .flat_map(|(_, rs)| rs.iter().map(|r| r.to_json().pretty()))
+            .collect()
     };
-    assert_eq!(
-        anchor(&serial),
-        anchor(&parallel),
-        "suite bench: parallel sweep diverged from the serial run"
+    let fan_identical = render(&cold) == render(&forked);
+    assert!(
+        fan_identical,
+        "suite bench: forked seed fan diverged from the cold serial leg"
     );
+    let events = |fan: &[(String, Vec<spider_workloads::RunResult>)]| -> u64 {
+        fan.iter()
+            .flat_map(|(_, rs)| rs.iter().map(|r| r.events))
+            .sum()
+    };
 
     SuiteResult {
-        jobs: jobs.len(),
+        jobs: seeds.len() * StdConfigs::TABLE2_ROWS,
         workers,
         serial_wall_secs,
         parallel_wall_secs,
+        events_cold: events(&cold),
+        events_forked: events(&forked),
+        fan_identical,
     }
 }
 
@@ -441,17 +463,225 @@ pub fn run_checkpoint_bench(fast: bool) -> CheckpointResult {
     }
 }
 
+/// Measured outcome of the checkpoint prefix-tree benchmark: the
+/// Table 2 seed fan served by [`World::rebase_seed`]
+/// forks of one constructed world per row, and a chaos campaign whose
+/// trials fork from a divergence trie instead of each simulating its
+/// own prefix (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct PrefixTreeResult {
+    /// Seeds in the fan leg.
+    pub fan_seeds: usize,
+    /// `(row, seed)` jobs in the fan leg.
+    pub fan_jobs: usize,
+    /// Simulated seconds per fan job (a shortened miniature of the
+    /// real 1800 s fan; identity is duration-independent).
+    pub fan_sim_secs: u64,
+    /// Wall seconds for the cold fan leg (every world from scratch).
+    pub fan_cold_wall_secs: f64,
+    /// Wall seconds for the forked fan leg.
+    pub fan_forked_wall_secs: f64,
+    /// Forked fan output byte-identical to cold on 1 worker.
+    pub fan_identical_w1: bool,
+    /// Forked fan output byte-identical to cold on 4 workers.
+    pub fan_identical_w4: bool,
+    /// Trials in the campaign leg.
+    pub campaign_trials: usize,
+    /// Wall seconds for the cold campaign ([`run_campaign`]).
+    pub campaign_cold_wall_secs: f64,
+    /// Wall seconds for the forked campaign through the trie.
+    pub campaign_forked_wall_secs: f64,
+    /// Events the cold path would simulate for the same campaign
+    /// (deterministic, from [`ForkStats`]).
+    pub campaign_events_cold: u64,
+    /// Events the forked campaign actually simulated (tree advances
+    /// plus post-divergence suffixes, shrink phase included).
+    pub campaign_events_simulated: u64,
+    /// Forked [`CampaignReport`] byte-identical to the cold report.
+    pub campaign_identical: bool,
+    /// Depth of the campaign's divergence trie.
+    pub tree_depth: usize,
+    /// Checkpoints the forked campaign materialized.
+    pub checkpoints: usize,
+    /// Events trials served from shared checkpoints (per-edge sum).
+    pub events_shared: u64,
+}
+
+impl PrefixTreeResult {
+    /// Simulated-event reduction of the forked campaign — the
+    /// machine-independent headline the `bench_world` gate enforces
+    /// (>= 1.3 in both modes).
+    pub fn campaign_events_ratio(&self) -> f64 {
+        self.campaign_events_cold as f64 / self.campaign_events_simulated.max(1) as f64
+    }
+
+    /// Render as the `prefix_tree` section of `BENCH_world.json`. Keys
+    /// are distinct from the scenario `name`/`events_per_sec` keys so
+    /// the line-oriented `--check` parser never sees them.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "note",
+                Json::str(
+                    "checkpoint prefix-tree: Table 2 seed fan via World::rebase_seed forks, \
+                     and cross-trial checkpoint sharing through the campaign divergence trie",
+                ),
+            ),
+            (
+                "seed_fan",
+                Json::obj([
+                    ("seeds", Json::UInt(self.fan_seeds as u64)),
+                    ("jobs", Json::UInt(self.fan_jobs as u64)),
+                    ("sim_seconds", Json::UInt(self.fan_sim_secs)),
+                    ("cold_wall_seconds", Json::Num(self.fan_cold_wall_secs)),
+                    ("forked_wall_seconds", Json::Num(self.fan_forked_wall_secs)),
+                    ("identical_1_worker", Json::Bool(self.fan_identical_w1)),
+                    ("identical_4_workers", Json::Bool(self.fan_identical_w4)),
+                ]),
+            ),
+            (
+                "campaign_trie",
+                Json::obj([
+                    ("trials", Json::UInt(self.campaign_trials as u64)),
+                    ("cold_wall_seconds", Json::Num(self.campaign_cold_wall_secs)),
+                    (
+                        "forked_wall_seconds",
+                        Json::Num(self.campaign_forked_wall_secs),
+                    ),
+                    ("events_cold", Json::UInt(self.campaign_events_cold)),
+                    (
+                        "events_simulated",
+                        Json::UInt(self.campaign_events_simulated),
+                    ),
+                    ("events_ratio", Json::Num(self.campaign_events_ratio())),
+                    ("report_identical", Json::Bool(self.campaign_identical)),
+                    ("tree_depth", Json::UInt(self.tree_depth as u64)),
+                    ("checkpoints", Json::UInt(self.checkpoints as u64)),
+                    ("events_shared", Json::UInt(self.events_shared)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Benchmark the checkpoint prefix-tree (DESIGN.md §13) in both the
+/// shapes this repo fans out over:
+///
+/// * **seed fan** — a shortened Table 2 fan run cold and forked
+///   ([`StdConfigs::table2_fan_scaled`]); the forked leg must be
+///   byte-identical to cold on 1 and on 4 workers;
+/// * **campaign trie** — a tight-SLO chaos campaign run cold
+///   ([`run_campaign`]) and through the divergence trie
+///   ([`run_campaign_forked`]); reports must be byte-identical while
+///   the trie simulates measurably fewer events.
+pub fn run_prefix_tree_bench(fast: bool) -> PrefixTreeResult {
+    // Seed-fan leg.
+    let fan_sim_secs: u64 = if fast { 60 } else { 300 };
+    let seeds: &[u64] = if fast { &[1, 2] } else { &[1, 2, 3] };
+    let duration = Some(SimDuration::from_secs(fan_sim_secs));
+    let render = |fan: &[(String, Vec<spider_workloads::RunResult>)]| -> Vec<String> {
+        fan.iter()
+            .flat_map(|(_, rs)| rs.iter().map(|r| r.to_json().pretty()))
+            .collect()
+    };
+    let t = Instant::now();
+    let cold = StdConfigs::table2_fan_scaled(seeds, false, 4, duration);
+    let fan_cold_wall_secs = t.elapsed().as_secs_f64();
+    let forked_w1 = StdConfigs::table2_fan_scaled(seeds, true, 1, duration);
+    let t = Instant::now();
+    let forked_w4 = StdConfigs::table2_fan_scaled(seeds, true, 4, duration);
+    let fan_forked_wall_secs = t.elapsed().as_secs_f64();
+    let cold_rendered = render(&cold);
+
+    // Campaign leg: a tight-SLO chaos campaign on the checkpoint
+    // bench's town, once cold and once through the divergence trie.
+    // Back-loaded schedules (every episode in the second half of the
+    // drive) are the regime the trie targets — long shared fault-free
+    // prefixes — matching the checkpoint bench's final-tenth scenario.
+    let campaign_sim_secs: u64 = if fast { 120 } else { 300 };
+    let params = ScenarioParams {
+        duration: SimDuration::from_secs(campaign_sim_secs),
+        seed: CHECKPOINT_WORLD_SEED,
+        density_per_km: 40.0,
+        ..Default::default()
+    };
+    let sites = town_scenario(&params).deployment.len();
+    let make = |plan: &FaultPlan| {
+        let mut cfg = town_scenario(&params);
+        cfg.faults = plan.clone();
+        World::new(
+            cfg,
+            SpiderDriver::new(SpiderConfig::for_mode(
+                OperationMode::SingleChannelMultiAp(Channel::CH6),
+                1,
+            )),
+        )
+    };
+    let campaign_cfg = CampaignConfig {
+        trials: if fast { 8 } else { 16 },
+        seed: CHECKPOINT_WORLD_SEED,
+        num_aps: sites,
+        duration: SimDuration::from_secs(campaign_sim_secs),
+        profile: ChaosProfile::back_loaded(0.5),
+        // Any detection at all violates: failing trials exercise the
+        // shrink phase of both legs.
+        slo: SloTable {
+            rules: vec![
+                SloRule {
+                    metric: SloMetric::MaxDetectS("blackout"),
+                    budget: 0.0,
+                },
+                SloRule {
+                    metric: SloMetric::MaxDetectS("zombie"),
+                    budget: 0.0,
+                },
+            ],
+        },
+        shrink_budget: 60,
+        max_shrinks: 2,
+        workers: 4,
+        watchdog_ms: None,
+    };
+    let t = Instant::now();
+    let report_cold = run_campaign(&campaign_cfg, |p| make(p).run());
+    let campaign_cold_wall_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let (report_forked, stats) = run_campaign_forked(&campaign_cfg, make);
+    let campaign_forked_wall_secs = t.elapsed().as_secs_f64();
+
+    PrefixTreeResult {
+        fan_seeds: seeds.len(),
+        fan_jobs: seeds.len() * StdConfigs::TABLE2_ROWS,
+        fan_sim_secs,
+        fan_cold_wall_secs,
+        fan_forked_wall_secs,
+        fan_identical_w1: render(&forked_w1) == cold_rendered,
+        fan_identical_w4: render(&forked_w4) == cold_rendered,
+        campaign_trials: campaign_cfg.trials,
+        campaign_cold_wall_secs,
+        campaign_forked_wall_secs,
+        campaign_events_cold: stats.events_cold,
+        campaign_events_simulated: stats.events_simulated,
+        campaign_identical: report_forked.to_json().pretty() == report_cold.to_json().pretty(),
+        tree_depth: stats.tree_depth,
+        checkpoints: stats.checkpoints,
+        events_shared: stats.events_shared(),
+    }
+}
+
 /// Render the results as the `BENCH_world.json` document. The engine
 /// scenarios are always single-threaded; `suite`, when present, adds a
-/// section for the parallel sweep runner, and `checkpoint` one for the
-/// checkpoint/fork engine. Their keys are deliberately distinct from
-/// the per-scenario `name`/`events_per_sec` keys so the line-oriented
-/// `--check` parser never sees them.
+/// section for the parallel sweep runner, `checkpoint` one for the
+/// checkpoint/fork engine, and `prefix_tree` one for the seed-fan and
+/// campaign-trie sharing benchmark. Their keys are deliberately
+/// distinct from the per-scenario `name`/`events_per_sec` keys so the
+/// line-oriented `--check` parser never sees them.
 pub fn to_json(
     mode: &str,
     results: &[ScenarioResult],
     suite: Option<&SuiteResult>,
     checkpoint: Option<&CheckpointResult>,
+    prefix_tree: Option<&PrefixTreeResult>,
 ) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
@@ -491,7 +721,7 @@ pub fn to_json(
         s.push_str(",\n");
         s.push_str("  \"suite\": {\n");
         s.push_str(
-            "    \"note\": \"sweep runner on Table 2 drives: identical batch, 1 worker vs the pool\",\n",
+            "    \"note\": \"sweep runner on Table 2 drives: identical batch, cold on 1 worker vs the forked fan on the pool; the gate is the deterministic event accounting and byte-identity, wall seconds are informational\",\n",
         );
         s.push_str(&format!("    \"experiment_jobs\": {},\n", suite.jobs));
         s.push_str(&format!("    \"workers\": {},\n", suite.workers));
@@ -504,15 +734,30 @@ pub fn to_json(
             suite.parallel_wall_secs
         ));
         s.push_str(&format!(
-            "    \"parallel_speedup\": {:.2}\n",
+            "    \"parallel_speedup\": {:.2},\n",
             suite.speedup()
         ));
+        s.push_str(&format!("    \"events_cold\": {},\n", suite.events_cold));
+        s.push_str(&format!(
+            "    \"events_forked\": {},\n",
+            suite.events_forked
+        ));
+        s.push_str(&format!("    \"fan_identical\": {}\n", suite.fan_identical));
         s.push_str("  }");
     }
     if let Some(cp) = checkpoint {
         s.push_str(",\n  \"checkpoint\": ");
         // Re-indent the simcore-rendered object to sit two levels deep.
         for (i, line) in cp.to_json().pretty().lines().enumerate() {
+            if i > 0 {
+                s.push_str("\n  ");
+            }
+            s.push_str(line);
+        }
+    }
+    if let Some(pt) = prefix_tree {
+        s.push_str(",\n  \"prefix_tree\": ");
+        for (i, line) in pt.to_json().pretty().lines().enumerate() {
             if i > 0 {
                 s.push_str("\n  ");
             }
@@ -588,7 +833,7 @@ mod tests {
             result("sparse_commute", 1_500_000.0),
             result("dense_downtown", 9_000_000.5),
         ];
-        let json = to_json("full", &results, None, None);
+        let json = to_json("full", &results, None, None, None);
         let parsed = parse_events_per_sec(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "sparse_commute");
@@ -604,17 +849,23 @@ mod tests {
             workers: 4,
             serial_wall_secs: 12.0,
             parallel_wall_secs: 3.0,
+            events_cold: 5_000_000,
+            events_forked: 5_000_000,
+            fan_identical: true,
         };
         assert!((suite.speedup() - 4.0).abs() < 1e-9);
         let results = vec![result("sparse_commute", 1_500_000.0)];
-        let json = to_json("full", &results, Some(&suite), None);
+        let json = to_json("full", &results, Some(&suite), None, None);
         assert!(json.contains("\"experiment_jobs\": 18"));
         assert!(json.contains("\"parallel_speedup\": 4.00"));
+        assert!(json.contains("\"events_cold\": 5000000"));
+        assert!(json.contains("\"events_forked\": 5000000"));
+        assert!(json.contains("\"fan_identical\": true"));
         // The regression-gate parser must see exactly the scenarios,
         // with or without the suite section.
         assert_eq!(
             parse_events_per_sec(&json),
-            parse_events_per_sec(&to_json("full", &results, None, None))
+            parse_events_per_sec(&to_json("full", &results, None, None, None))
         );
     }
 
@@ -635,22 +886,65 @@ mod tests {
         };
         assert!((cp.events_ratio() - 10.0 / 3.0).abs() < 1e-9);
         let results = vec![result("sparse_commute", 1_500_000.0)];
-        let json = to_json("full", &results, None, Some(&cp));
+        let json = to_json("full", &results, None, Some(&cp), None);
         assert!(json.contains("\"checkpoint\":"));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("\"events_ratio\":"));
         // The regression-gate parser must see exactly the scenarios.
         assert_eq!(
             parse_events_per_sec(&json),
-            parse_events_per_sec(&to_json("full", &results, None, None))
+            parse_events_per_sec(&to_json("full", &results, None, None, None))
         );
         // And the document itself must stay parseable JSON.
         Json::parse(&json).expect("BENCH_world.json with checkpoint section parses");
     }
 
     #[test]
+    fn prefix_tree_section_is_rendered_and_invisible_to_the_check_parser() {
+        let pt = PrefixTreeResult {
+            fan_seeds: 3,
+            fan_jobs: 18,
+            fan_sim_secs: 300,
+            fan_cold_wall_secs: 9.0,
+            fan_forked_wall_secs: 6.0,
+            fan_identical_w1: true,
+            fan_identical_w4: true,
+            campaign_trials: 16,
+            campaign_cold_wall_secs: 4.0,
+            campaign_forked_wall_secs: 1.5,
+            campaign_events_cold: 2_600_000,
+            campaign_events_simulated: 2_000_000,
+            campaign_identical: true,
+            tree_depth: 2,
+            checkpoints: 9,
+            events_shared: 400_000,
+        };
+        assert!((pt.campaign_events_ratio() - 1.3).abs() < 1e-9);
+        let results = vec![result("sparse_commute", 1_500_000.0)];
+        let json = to_json("full", &results, None, None, Some(&pt));
+        assert!(json.contains("\"prefix_tree\":"));
+        assert!(json.contains("\"identical_1_worker\": true"));
+        assert!(json.contains("\"identical_4_workers\": true"));
+        assert!(json.contains("\"report_identical\": true"));
+        assert!(json.contains("\"tree_depth\": 2"));
+        // The regression-gate parser must see exactly the scenarios.
+        assert_eq!(
+            parse_events_per_sec(&json),
+            parse_events_per_sec(&to_json("full", &results, None, None, None))
+        );
+        // And the document itself must stay parseable JSON.
+        Json::parse(&json).expect("BENCH_world.json with prefix_tree section parses");
+    }
+
+    #[test]
     fn regression_gate_fires_only_past_the_factor() {
-        let baseline = to_json("full", &[result("dense_downtown", 8_000_000.0)], None, None);
+        let baseline = to_json(
+            "full",
+            &[result("dense_downtown", 8_000_000.0)],
+            None,
+            None,
+            None,
+        );
         // 2x slower exactly: passes (gate is strict >2x).
         assert!(check_regressions(&baseline, &[result("dense_downtown", 4_000_000.0)]).is_empty());
         // Slightly worse than 2x: fails.

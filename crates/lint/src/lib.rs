@@ -22,6 +22,7 @@
 //! | `sans-io`      | no `println!`/`eprintln!`/file I/O in library crates (bins, examples, benches and `#[cfg(test)]` are exempt) |
 //! | `forbid-unsafe`| every crate root must carry `#![forbid(unsafe_code)]` |
 //! | `clone-nondet` | no `Clone` (derived or hand-written) on a type whose body carries a `lint:allow`-escaped determinism violation — the checkpoint engine (DESIGN.md §13) deep-clones worlds, and forking escaped nondeterministic state silently breaks fork/resume bit-identity |
+//! | `rng-derivation` | no hand-cooked `SimRng::new(..)` seeds (XOR/splitmix/FNV arithmetic) outside `simcore::rng` — a cooked seed bypasses the recorded derivation chain that `rebase_seed` replays |
 //!
 //! # Escapes
 //!
@@ -61,11 +62,15 @@ pub enum Rule {
     /// `Clone` on a type holding `lint:allow`-escaped nondeterministic
     /// state (checkpoint-engine hazard).
     CloneNondet,
+    /// Hand-cooked `SimRng` seeds outside `simcore::rng` (seed-rebase
+    /// hazard: the derivation chain cannot replay arithmetic it never
+    /// saw).
+    RngDerivation,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::WallClock,
         Rule::EnvVar,
         Rule::DefaultHash,
@@ -74,6 +79,7 @@ impl Rule {
         Rule::SansIo,
         Rule::ForbidUnsafe,
         Rule::CloneNondet,
+        Rule::RngDerivation,
     ];
 
     /// The identifier used in `lint:allow(...)` comments and reports.
@@ -87,6 +93,7 @@ impl Rule {
             Rule::SansIo => "sans-io",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::CloneNondet => "clone-nondet",
+            Rule::RngDerivation => "rng-derivation",
         }
     }
 }
@@ -146,6 +153,11 @@ const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
 /// The one file allowed to read `SPIDER_JOBS` and spawn threads: the
 /// parallel sweep runner (DESIGN.md §10).
 const SWEEP_FILE: &str = "crates/simcore/src/sweep.rs";
+
+/// The one file allowed to do seed arithmetic: the RNG itself, which
+/// records every derivation step so `rebase_seed` can replay it
+/// (DESIGN.md §13).
+const RNG_FILE: &str = "crates/simcore/src/rng.rs";
 
 /// Crates whose hash-map iteration feeds output/aggregation paths and
 /// is therefore checked by `hash-iter`.
@@ -475,6 +487,7 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
 
     let io_exempt_crate = IO_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
     let is_sweep = ctx.rel.to_string_lossy().replace('\\', "/") == SWEEP_FILE;
+    let is_rng = ctx.rel.to_string_lossy().replace('\\', "/") == RNG_FILE;
 
     for (i, code) in code_lines.iter().enumerate() {
         let test_here = ctx.kind == FileKind::Test || in_test_region[i];
@@ -562,6 +575,47 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
                             }
                         }
                     }
+                }
+            }
+        }
+
+        // rng-derivation: every stream handed to the simulator must be
+        // derived through the recorded API (`stream`/`stream_indexed`),
+        // never by cooking a root seed with ad-hoc arithmetic. A cooked
+        // seed bypasses the derivation chain that `World::rebase_seed`
+        // replays (DESIGN.md §13), so the stream silently keeps its old
+        // seed after a rebase. Only `simcore::rng` itself mixes seeds.
+        if !is_rng && !allowed(Rule::RngDerivation, i) {
+            for (pos, _) in code.match_indices("SimRng::new(") {
+                let tail = &code[pos + "SimRng::new(".len()..];
+                // Take the argument up to the matching close paren (or
+                // the rest of the line if the call spans lines).
+                let mut depth = 1i32;
+                let mut end = tail.len();
+                for (j, c) in tail.char_indices() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let arg = &tail[..end];
+                const COOKED_SEED_TOKENS: [&str; 4] = ["^", "splitmix64", "fnv1a", "wrapping_"];
+                if let Some(tok) = COOKED_SEED_TOKENS.iter().find(|t| arg.contains(*t)) {
+                    report(
+                        Rule::RngDerivation,
+                        i,
+                        format!(
+                            "`SimRng::new(..{tok}..)` cooks a seed by hand; derive the stream \
+                             via `stream`/`stream_indexed` so `rebase_seed` can replay it"
+                        ),
+                    );
                 }
             }
         }

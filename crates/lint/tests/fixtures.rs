@@ -34,6 +34,11 @@ fn every_rule_fires_exactly_once_on_the_fixture_tree() {
         ("crates/simdemo/src/io.rs".to_string(), "sans-io", 4),
         ("crates/simdemo/src/lib.rs".to_string(), "forbid-unsafe", 1),
         ("crates/simdemo/src/maps.rs".to_string(), "default-hash", 4),
+        (
+            "crates/simdemo/src/rngseed.rs".to_string(),
+            "rng-derivation",
+            4,
+        ),
         ("crates/simdemo/src/threads.rs".to_string(), "thread", 4),
         ("crates/workloads/src/agg.rs".to_string(), "hash-iter", 9),
     ];

@@ -48,6 +48,15 @@
 //! bit-identical at any worker count; only redundant prefix simulation
 //! disappears.
 //!
+//! [`forked_sweep_tree`] generalises the flat base list into a base
+//! **tree**: checkpoints themselves can fork from other checkpoints
+//! (parent links, parents at smaller indices), which is the shape of a
+//! campaign whose trial plans share *faulty* prefixes, not just the
+//! fault-free one. [`grow_tree_with`] materialises the tree level by
+//! level — siblings in parallel, children only after their parent's
+//! level — and the flat [`forked_sweep`] is now just the degenerate
+//! all-roots tree.
+//!
 //! Only `std` is used — scoped threads, no external dependencies.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -223,16 +232,132 @@ where
     J: Sync,
     R: Send,
 {
-    if let Some(&(bad, _)) = jobs.iter().find(|(b, _)| *b >= bases.len()) {
+    // A flat base list is the degenerate tree: every base is a root.
+    let nodes: Vec<(Option<usize>, &B)> = bases.iter().map(|b| (None, b)).collect();
+    forked_sweep_tree_with(&nodes, jobs, |_parent, b| warmup(b), run, workers)
+}
+
+/// Grow a checkpoint *tree* level by level: each node's state is built
+/// by `grow` from its parent's finished state (`None` for a root).
+///
+/// `nodes[i] = (parent, base)` where `parent`, if present, **must be a
+/// smaller index** — parents precede children, so the input order is a
+/// valid topological order and each tree level can run as one parallel
+/// sweep. Nodes at the same depth share nothing and run concurrently;
+/// a node only starts after its parent's level has completed. The
+/// returned states are in node order regardless of worker count.
+///
+/// # Panics
+///
+/// Panics if a node names a parent at an equal or larger index, and
+/// propagates panics from `grow` like [`sweep`] does.
+pub fn grow_tree_with<B, S>(
+    nodes: &[(Option<usize>, B)],
+    grow: impl Fn(Option<&S>, &B) -> S + Sync,
+    workers: usize,
+) -> Vec<S>
+where
+    B: Sync,
+    S: Send + Sync,
+{
+    let mut depth = vec![0usize; nodes.len()];
+    for (i, (parent, _)) in nodes.iter().enumerate() {
+        if let Some(p) = *parent {
+            assert!(
+                p < i,
+                "grow_tree: node {i} names parent {p}; parents must precede children"
+            );
+            depth[i] = depth[p] + 1;
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+
+    let mut states: Vec<Option<S>> = Vec::with_capacity(nodes.len());
+    states.resize_with(nodes.len(), || None);
+    for level in 0..=max_depth {
+        let level_nodes: Vec<usize> = (0..nodes.len()).filter(|&i| depth[i] == level).collect();
+        // The closure reads completed parent states from the previous
+        // levels; the immutable borrow ends before the write-back below.
+        let states_ref = &states;
+        let grown = sweep_with(
+            &level_nodes,
+            |&i| {
+                let parent = nodes[i].0.map(|p| {
+                    states_ref[p]
+                        .as_ref()
+                        .expect("grow_tree: parent level completed before child level")
+                });
+                grow(parent, &nodes[i].1)
+            },
+            workers,
+        );
+        for (i, s) in level_nodes.into_iter().zip(grown) {
+            states[i] = Some(s);
+        }
+    }
+    states
+        .into_iter()
+        .map(|s| s.expect("grow_tree: every node grown"))
+        .collect()
+}
+
+/// Tree-shaped [`forked_sweep`]: bases form a checkpoint tree (parent
+/// links) instead of a flat list, so jobs can fork from checkpoints
+/// that themselves forked from a deeper shared prefix — the shape of a
+/// chaos campaign whose trial plans share faulty prefixes, not just the
+/// fault-free one (DESIGN.md §13).
+///
+/// `nodes[i] = (parent, base)` with parents at smaller indices; `grow`
+/// builds each node's checkpoint from its parent's (or from scratch for
+/// a root). Each job `(node_index, job)` then runs from a clone of its
+/// node's checkpoint. Results stay slot-ordered and worker-count
+/// invariant exactly like every other sweep in this module.
+///
+/// # Panics
+///
+/// Panics if a job names a node index out of range or a node names a
+/// parent at an equal or larger index, and propagates panics from
+/// `grow`/`run` like [`sweep`] does.
+pub fn forked_sweep_tree<B, S, J, R>(
+    nodes: &[(Option<usize>, B)],
+    jobs: &[(usize, J)],
+    grow: impl Fn(Option<&S>, &B) -> S + Sync,
+    run: impl Fn(S, &J) -> R + Sync,
+) -> Vec<R>
+where
+    B: Sync,
+    S: Clone + Send + Sync,
+    J: Sync,
+    R: Send,
+{
+    forked_sweep_tree_with(nodes, jobs, grow, run, worker_count())
+}
+
+/// [`forked_sweep_tree`] with an explicit worker count (used by tests
+/// so they don't have to mutate the process environment).
+pub fn forked_sweep_tree_with<B, S, J, R>(
+    nodes: &[(Option<usize>, B)],
+    jobs: &[(usize, J)],
+    grow: impl Fn(Option<&S>, &B) -> S + Sync,
+    run: impl Fn(S, &J) -> R + Sync,
+    workers: usize,
+) -> Vec<R>
+where
+    B: Sync,
+    S: Clone + Send + Sync,
+    J: Sync,
+    R: Send,
+{
+    if let Some(&(bad, _)) = jobs.iter().find(|(n, _)| *n >= nodes.len()) {
         panic!(
             "forked_sweep: job references base {bad} but only {} bases were provided",
-            bases.len()
+            nodes.len()
         );
     }
-    let checkpoints: Vec<S> = sweep_with(bases, &warmup, workers);
+    let checkpoints: Vec<S> = grow_tree_with(nodes, grow, workers);
     sweep_with(
         jobs,
-        |(base, job)| run(checkpoints[*base].clone(), job),
+        |(node, job)| run(checkpoints[*node].clone(), job),
         workers,
     )
 }
@@ -542,6 +667,59 @@ mod tests {
     #[should_panic(expected = "only 1 bases were provided")]
     fn forked_sweep_rejects_out_of_range_base() {
         forked_sweep_with(&[1u64], &[(1usize, 0u64)], |b| *b, |s, _| s, 1);
+    }
+
+    #[test]
+    fn tree_sweep_matches_cold_runs_at_any_worker_count() {
+        // A three-level tree: node state = parent state * 3 + own base.
+        // Cold reference recomputes every chain from the root.
+        let nodes: Vec<(Option<usize>, u64)> = vec![
+            (None, 5),     // 0: root
+            (Some(0), 11), // 1
+            (Some(0), 13), // 2
+            (Some(1), 17), // 3: grandchild
+            (None, 1_000), // 4: second root
+            (Some(4), 19), // 5
+        ];
+        let grow = |parent: Option<&u64>, base: &u64| parent.copied().unwrap_or(0) * 3 + base;
+        let jobs: Vec<(usize, u64)> = (0..30).map(|i| (i % nodes.len(), i as u64)).collect();
+        let tail = |s: u64, j: &u64| s * 7 + j;
+        let mut chain = vec![0u64; nodes.len()];
+        for (i, (parent, base)) in nodes.iter().enumerate() {
+            chain[i] = parent.map(|p| chain[p]).unwrap_or(0) * 3 + base;
+        }
+        let cold: Vec<u64> = jobs.iter().map(|(n, j)| tail(chain[*n], j)).collect();
+        for workers in [1, 2, 4, 7] {
+            assert_eq!(
+                forked_sweep_tree_with(&nodes, &jobs, grow, tail, workers),
+                cold
+            );
+        }
+    }
+
+    #[test]
+    fn grow_tree_runs_children_after_parents() {
+        // Deep chain: each node adds its own index; any child grown
+        // before its parent would observe a missing (panicking) state.
+        let nodes: Vec<(Option<usize>, usize)> =
+            (0..50usize).map(|i| (i.checked_sub(1), i)).collect();
+        let states = grow_tree_with(
+            &nodes,
+            |parent: Option<&usize>, base| parent.copied().unwrap_or(0) + base,
+            4,
+        );
+        let expected: Vec<usize> = (0..50).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(states, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must precede children")]
+    fn grow_tree_rejects_forward_parent_links() {
+        grow_tree_with(
+            &[(Some(1), 0u64), (None, 1u64)],
+            |p: Option<&u64>, b| p.copied().unwrap_or(0) + b,
+            1,
+        );
     }
 
     #[test]

@@ -43,7 +43,8 @@ use crate::metrics::RunResult;
 use crate::world::World;
 use spider_mac80211::ClientSystem;
 use spider_simcore::{
-    try_sweep_with, JobFailure, Json, SimDuration, SimRng, SimTime, SweepOptions,
+    grow_tree_with, try_sweep_with, worker_count, JobFailure, Json, SimDuration, SimRng, SimTime,
+    SweepOptions,
 };
 
 /// Knobs for randomized chaos-schedule generation.
@@ -72,6 +73,12 @@ pub struct ChaosProfile {
     /// blackout, zombie, dhcp-silence, dhcp-exhausted, icmp-blackhole,
     /// loss-burst.
     pub kind_weights: [f64; 6],
+    /// Fraction window of the available start range episodes may begin
+    /// in, as `(lo, hi)` in `[0, 1]`. `(0.0, 1.0)` is the whole drive;
+    /// `(0.5, 1.0)` back-loads every episode into the second half,
+    /// which is the regime where the checkpoint prefix-tree
+    /// (DESIGN.md §13) pays most — long shared fault-free prefixes.
+    pub start_frac: (f64, f64),
 }
 
 /// Class order behind [`ChaosProfile::kind_weights`].
@@ -96,6 +103,7 @@ impl ChaosProfile {
             global_prob: 0.1,
             loss_extra: (0.1, 0.6),
             kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            start_frac: (0.0, 1.0),
         }
     }
 
@@ -109,6 +117,23 @@ impl ChaosProfile {
             global_prob: 0.2,
             loss_extra: (0.2, 0.8),
             kind_weights: [1.0, 1.5, 1.0, 1.0, 1.5, 1.5],
+            start_frac: (0.0, 1.0),
+        }
+    }
+
+    /// [`ChaosProfile::standard`] with every episode back-loaded into
+    /// the tail `1 - frac` of the drive: the long shared fault-free
+    /// prefix makes this the showcase regime for cross-trial
+    /// checkpoint sharing (the `prefix_tree` section of
+    /// `BENCH_world.json` runs it).
+    pub fn back_loaded(frac: f64) -> ChaosProfile {
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "back_loaded wants frac in [0, 1)"
+        );
+        ChaosProfile {
+            start_frac: (frac, 1.0),
+            ..ChaosProfile::standard()
         }
     }
 }
@@ -155,7 +180,11 @@ pub fn chaos_plan(
         };
         let kind = draw_kind(&mut rng, profile);
         let dur = rng.uniform_in(profile.window_secs.0, profile.window_secs.1);
-        let start = rng.uniform_in(0.0, (horizon - dur).max(0.0));
+        let avail = (horizon - dur).max(0.0);
+        // With the default (0.0, 1.0) window this is uniform_in(0, avail)
+        // exactly — same arguments, same draw — so existing seeded plans
+        // stay bit-identical.
+        let start = rng.uniform_in(profile.start_frac.0 * avail, profile.start_frac.1 * avail);
         let end = (start + dur).min(horizon);
         let base = FaultEpisode {
             ap,
@@ -884,10 +913,43 @@ where
     }
 }
 
+/// One fork edge of the campaign's divergence trie (DESIGN.md §13):
+/// trial `trial` resumed from `parent`'s checkpoint (`None` = the
+/// fault-free root), inheriting `shared_events` already-simulated
+/// events instead of re-simulating them from `t = 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkEdge {
+    /// The trial whose checkpoint chain served the fork; `None` means
+    /// the fault-free root world.
+    pub parent: Option<usize>,
+    /// The trial that forked.
+    pub trial: usize,
+    /// Events inherited through this edge (the checkpoint's event
+    /// count at fork time).
+    pub shared_events: u64,
+}
+
+impl ForkEdge {
+    /// Report form (sidecar only, never in [`CampaignReport`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "parent",
+                match self.parent {
+                    Some(p) => Json::UInt(p as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("trial", Json::UInt(self.trial as u64)),
+            ("shared_events", Json::UInt(self.shared_events)),
+        ])
+    }
+}
+
 /// Work ledger of the forked campaign path: how much simulation the
 /// checkpoint engine actually executed versus what the cold path pays
 /// for the same bit-identical results.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ForkStats {
     /// Events actually executed: checkpoint building plus every
     /// resumed suffix.
@@ -903,6 +965,11 @@ pub struct ForkStats {
     pub shrink_events_simulated: u64,
     /// The shrink phase's share of `events_cold`.
     pub shrink_events_cold: u64,
+    /// Deepest trial in the divergence trie (0 = every trial forked
+    /// straight off the fault-free root or ran cold).
+    pub tree_depth: usize,
+    /// Per-trial fork edges of the divergence trie, in trial order.
+    pub edges: Vec<ForkEdge>,
 }
 
 impl ForkStats {
@@ -931,7 +998,18 @@ impl ForkStats {
             ("shrink_events_cold", Json::UInt(self.shrink_events_cold)),
             ("speedup", Json::Num(self.speedup())),
             ("shrink_speedup", Json::Num(self.shrink_speedup())),
+            ("tree_depth", Json::UInt(self.tree_depth as u64)),
+            (
+                "edges",
+                Json::Arr(self.edges.iter().map(ForkEdge::to_json).collect()),
+            ),
         ])
+    }
+
+    /// Total events inherited through trie edges (the trial phase's
+    /// saved work; the shrink phase accounts separately).
+    pub fn events_shared(&self) -> u64 {
+        self.edges.iter().map(|e| e.shared_events).sum()
     }
 }
 
@@ -1087,15 +1165,87 @@ where
     }
 }
 
-/// The last instant a trial's schedule is indistinguishable from the
-/// fault-free plan: one microsecond before its earliest episode.
-/// `None` when nothing can be shared (an episode at `t = 0`, or no
-/// episodes to bound the prefix with... an empty plan shares
-/// *everything*, but campaigns never generate one, so it just runs
-/// cold).
-fn trial_boundary(plan: &FaultPlan) -> Option<SimTime> {
-    let first = plan.episodes.iter().map(|e| e.start).min()?;
-    (first > SimTime::ZERO).then(|| SimTime::from_micros(first.as_micros() - 1))
+/// Who a trial forks from in the divergence trie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrieParent {
+    /// No shareable prefix at all (divergence at `t = 0` against every
+    /// candidate): the trial runs cold.
+    Cold,
+    /// The fault-free root world.
+    Root,
+    /// A previous trial's checkpoint chain.
+    Trial(usize),
+}
+
+/// One node of the grow tree the trial-phase checkpoints are built
+/// through ([`spider_simcore::grow_tree_with`]).
+enum GrowBase {
+    /// A trie root: construct a fresh world under `plan` — the
+    /// fault-free plan, or the plan of a cold trial other trials
+    /// share a faulty prefix with.
+    Construct(FaultPlan),
+    /// A checkpoint serving one trial: advance the grow-parent's world
+    /// under `plan` (the plan-parent's plan) to `target`, keeping the
+    /// plan horizon strictly before `divergence`. `swap` re-plans the
+    /// parent world onto `plan` first — needed exactly when the
+    /// grow-parent is a sharing trial's own checkpoint, which is still
+    /// advanced under *its* parent's plan.
+    Advance {
+        plan: FaultPlan,
+        swap: bool,
+        target: SimTime,
+        divergence: SimTime,
+    },
+}
+
+/// Checkpoint state per grow-tree node: the world (or `None` when the
+/// node could not be built — a panicking or unusable prefix degrades
+/// its subtree to cold runs, never to wrong results) plus the events
+/// executed building it.
+type NodeState<C> = (Option<World<C>>, u64);
+
+/// Arrange trial plans into a divergence trie: each trial's parent is
+/// the candidate (fault-free root, or any earlier trial) whose plan
+/// shares the deepest prefix with it, measured by
+/// [`FaultPlan::divergence_rank`]. Strict improvement over earlier
+/// candidates is required, which both makes the choice deterministic
+/// and guarantees chain validity: if a deeper candidate `c` (with
+/// parent `p`) is chosen over `p`, then `d(c, k) > d(p, k) >=
+/// min(d(p, c), d(c, k))` forces `d(c, k) > d(p, c)` — so `c`'s
+/// checkpoint, advanced to just before `d(p, c)`, can always serve the
+/// child's share point.
+///
+/// Returns per-trial parents, divergences from the chosen parent, and
+/// trie depths (roots at 0).
+fn plan_trie(plans: &[FaultPlan]) -> (Vec<TrieParent>, Vec<SimTime>, Vec<usize>) {
+    let none_plan = FaultPlan::none();
+    let mut parents: Vec<TrieParent> = Vec::with_capacity(plans.len());
+    let mut divergences: Vec<SimTime> = Vec::with_capacity(plans.len());
+    let mut depths: Vec<usize> = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let mut best_d = none_plan.divergence_rank(plan);
+        let mut best = TrieParent::Root;
+        for (j, candidate) in plans.iter().enumerate().take(i) {
+            let d = candidate.divergence_rank(plan);
+            if d > best_d {
+                best_d = d;
+                best = TrieParent::Trial(j);
+            }
+        }
+        if best_d == SimTime::ZERO {
+            parents.push(TrieParent::Cold);
+            divergences.push(SimTime::ZERO);
+            depths.push(0);
+        } else {
+            depths.push(match best {
+                TrieParent::Trial(j) => depths[j] + 1,
+                _ => 1,
+            });
+            parents.push(best);
+            divergences.push(best_d);
+        }
+    }
+    (parents, divergences, depths)
 }
 
 /// Run a chaos campaign through the checkpoint/fork engine.
@@ -1104,10 +1254,15 @@ fn trial_boundary(plan: &FaultPlan) -> Option<SimTime> {
 /// is byte-for-byte the same (CI diffs the two JSON forms) — but the
 /// work is shared:
 ///
-/// * **trial phase** — every trial shares the fault-free prefix before
-///   its first episode: one base world is advanced once through the
-///   sorted trial boundaries and snapshotted at each, and the sweep
-///   forks per trial instead of simulating from `t = 0`,
+/// * **trial phase** — trial plans are arranged into a divergence
+///   **trie** ([`plan_trie`]): each trial forks from the deepest
+///   checkpoint whose plan shares a prefix with it — the fault-free
+///   root, or an earlier trial's checkpoint when the two schedules
+///   share a *faulty* prefix. Checkpoints are grown level by level
+///   through [`spider_simcore::grow_tree_with`] (siblings in
+///   parallel), each advanced under its plan-parent's plan to just
+///   before the child's divergence, and [`ForkStats::edges`] accounts
+///   the events inherited per tree edge,
 /// * **shrink phase** — each failing trial gets a [`CheckpointCache`];
 ///   every ddmin / window-narrowing candidate resumes from the last
 ///   event before it diverges from the current reference schedule, and
@@ -1132,32 +1287,148 @@ where
         })
         .collect();
 
-    // Trial-phase checkpoints: advance one fault-free world through the
-    // sorted boundaries, snapshotting at each. The whole shared prefix
-    // is simulated exactly once. A checkpoint may stop short of its
-    // boundary when the medium's look-ahead would peek past the
-    // trial's first episode — the fork then consumes the remainder
-    // under the trial's own plan, which agrees up to the boundary.
+    // Trial-phase checkpoints: arrange the plans into the divergence
+    // trie, then grow one checkpoint chain per plan-parent — each
+    // child's checkpoint is its parent's world advanced (under the
+    // parent's plan) to just before the child's divergence. Shared
+    // prefixes — fault-free *and* faulty — are simulated exactly once.
+    // A checkpoint may stop short of its share point when the medium's
+    // look-ahead would peek past the divergence — the fork then
+    // consumes the remainder under the trial's own plan, which agrees
+    // up to that point.
     let mut stats = ForkStats::default();
-    let mut boundaries: Vec<SimTime> = jobs
-        .iter()
-        .filter_map(|j| trial_boundary(&j.plan))
-        .collect();
-    boundaries.sort_unstable();
-    boundaries.dedup();
-    let checkpoints: Vec<(SimTime, World<C>)> = {
-        let mut base = make(&FaultPlan::none());
-        let mut chain = Vec::with_capacity(boundaries.len());
-        for &b in &boundaries {
-            let divergence = b + SimDuration::from_micros(1);
-            let (w, _, executed) = base.advance_shared(b, divergence);
-            stats.events_simulated += executed;
-            chain.push((b, w.fork()));
-            base = w;
+    let plans: Vec<FaultPlan> = jobs.iter().map(|j| j.plan.clone()).collect();
+    let (parents, divergences, depths) = plan_trie(&plans);
+
+    // Children per plan-parent, sorted by share point (ascending, tie
+    // by trial index) so each chain advances monotonically.
+    let mut root_children: Vec<usize> = Vec::new();
+    let mut trial_children: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+    for (i, parent) in parents.iter().enumerate() {
+        match parent {
+            TrieParent::Root => root_children.push(i),
+            TrieParent::Trial(j) => trial_children[*j].push(i),
+            TrieParent::Cold => {}
         }
-        stats.checkpoints += boundaries.len();
-        chain
+    }
+    let share_key = |i: usize| (divergences[i], i);
+    root_children.sort_unstable_by_key(|&i| share_key(i));
+    for children in &mut trial_children {
+        children.sort_unstable_by_key(|&i| share_key(i));
+    }
+
+    // Lay the grow-tree nodes out breadth-first (parents strictly
+    // before children, as grow_tree_with requires): one Construct node
+    // per trie root, then per plan-parent a sibling chain where each
+    // checkpoint's grow-parent is the previous sibling's.
+    let mut nodes: Vec<(Option<usize>, GrowBase)> = Vec::new();
+    let mut node_of_trial: Vec<Option<usize>> = vec![None; jobs.len()];
+    let mut queue: std::collections::VecDeque<(TrieParent, usize)> =
+        std::collections::VecDeque::new();
+    nodes.push((None, GrowBase::Construct(FaultPlan::none())));
+    queue.push_back((TrieParent::Root, 0));
+    for (i, parent) in parents.iter().enumerate() {
+        if *parent == TrieParent::Cold && !trial_children[i].is_empty() {
+            nodes.push((None, GrowBase::Construct(jobs[i].plan.clone())));
+            queue.push_back((TrieParent::Trial(i), nodes.len() - 1));
+        }
+    }
+    while let Some((plan_parent, entry_node)) = queue.pop_front() {
+        let (children, chain_plan, entry_is_checkpoint) = match plan_parent {
+            TrieParent::Root => (&root_children, FaultPlan::none(), false),
+            TrieParent::Trial(q) => (
+                &trial_children[q],
+                jobs[q].plan.clone(),
+                parents[q] != TrieParent::Cold,
+            ),
+            TrieParent::Cold => unreachable!("cold trials are never enqueued as parents"),
+        };
+        let mut grow_parent = entry_node;
+        for (k, &child) in children.iter().enumerate() {
+            let divergence = divergences[child];
+            let target = SimTime::from_micros(divergence.as_micros().saturating_sub(1));
+            nodes.push((
+                Some(grow_parent),
+                GrowBase::Advance {
+                    plan: chain_plan.clone(),
+                    // Only the first fork off a sharing trial's own
+                    // checkpoint must re-plan; later siblings extend a
+                    // chain already under the plan-parent's plan.
+                    swap: k == 0 && entry_is_checkpoint,
+                    target,
+                    divergence,
+                },
+            ));
+            grow_parent = nodes.len() - 1;
+            node_of_trial[child] = Some(grow_parent);
+            if !trial_children[child].is_empty() {
+                queue.push_back((TrieParent::Trial(child), grow_parent));
+            }
+        }
+    }
+
+    let workers = if cfg.workers == 0 {
+        worker_count()
+    } else {
+        cfg.workers
     };
+    let states: Vec<NodeState<C>> = grow_tree_with(
+        &nodes,
+        |parent: Option<&NodeState<C>>, base: &GrowBase| {
+            // A panicking prefix degrades its subtree to cold runs
+            // (where try_sweep quarantines the panic with a proper
+            // fingerprint) instead of sinking the whole campaign.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match base {
+                GrowBase::Construct(plan) => (Some(make(plan)), 0),
+                GrowBase::Advance {
+                    plan,
+                    swap,
+                    target,
+                    divergence,
+                } => {
+                    let Some(pw) = parent.and_then(|p| p.0.as_ref()) else {
+                        return (None, 0);
+                    };
+                    if pw.plan_horizon() >= *divergence {
+                        // Defensive: the trie construction keeps chain
+                        // horizons below every child divergence, but a
+                        // stale chain must degrade, never mis-share.
+                        return (None, 0);
+                    }
+                    let (w, _, executed) = if *swap {
+                        pw.fork_with_plan(plan.clone())
+                            .advance_shared(*target, *divergence)
+                    } else {
+                        pw.advance_shared(*target, *divergence)
+                    };
+                    (Some(w), executed)
+                }
+            }))
+            .unwrap_or((None, 0))
+        },
+        workers,
+    );
+
+    for ((_, base), (world, executed)) in nodes.iter().zip(&states) {
+        stats.events_simulated += *executed;
+        if matches!(base, GrowBase::Advance { .. }) && world.is_some() {
+            stats.checkpoints += 1;
+        }
+    }
+    for (i, node) in node_of_trial.iter().enumerate() {
+        let Some(world) = node.and_then(|n| states[n].0.as_ref()) else {
+            continue;
+        };
+        stats.edges.push(ForkEdge {
+            parent: match parents[i] {
+                TrieParent::Trial(j) => Some(j),
+                _ => None,
+            },
+            trial: i,
+            shared_events: world.events_processed(),
+        });
+        stats.tree_depth = stats.tree_depth.max(depths[i]);
+    }
 
     // lint:allow(wall-clock) — the watchdog deadline is a real-time
     // hang budget for the host, never simulated time.
@@ -1165,10 +1436,9 @@ where
     let sweep = try_sweep_with(
         &jobs,
         |j| {
-            let base =
-                trial_boundary(&j.plan).and_then(|b| checkpoints.iter().find(|(t, _)| *t == b));
+            let base = node_of_trial[j.trial].and_then(|n| states[n].0.as_ref());
             match base {
-                Some((_, base)) => {
+                Some(base) => {
                     let fork = base.fork_with_plan(j.plan.clone());
                     let resumed_from = fork.events_processed();
                     let (r, _) = fork.finish();
@@ -1193,10 +1463,7 @@ where
             watchdog,
         },
     );
-    stats.forks += jobs
-        .iter()
-        .filter(|j| trial_boundary(&j.plan).is_some())
-        .count();
+    stats.forks += stats.edges.len();
 
     let mut outcomes = Vec::new();
     let mut minimized = Vec::new();
@@ -1288,6 +1555,30 @@ mod tests {
             }
         }
         assert_ne!(a, chaos_plan(43, 10, dur(300), &profile));
+    }
+
+    #[test]
+    fn back_loaded_plans_leave_a_fault_free_prefix() {
+        // start >= frac * (horizon - dur), and dur is capped by the
+        // window bound, so every episode of every seed starts past
+        // frac * (horizon - window_hi).
+        let profile = ChaosProfile::back_loaded(0.5);
+        let floor = t(0.5 * (300.0 - profile.window_secs.1));
+        for seed in 0..10 {
+            let plan = chaos_plan(seed, 10, dur(300), &profile);
+            for e in &plan.episodes {
+                assert!(e.start >= floor, "seed {seed}: {e:?} starts too early");
+            }
+        }
+        // The neutral window is a no-op: same draws as standard().
+        let neutral = ChaosProfile {
+            start_frac: (0.0, 1.0),
+            ..ChaosProfile::standard()
+        };
+        assert_eq!(
+            chaos_plan(42, 10, dur(300), &neutral),
+            chaos_plan(42, 10, dur(300), &ChaosProfile::standard())
+        );
     }
 
     #[test]

@@ -449,6 +449,15 @@ impl FaultPlan {
         div
     }
 
+    /// Divergence instant for prefix-sharing schedulers: like
+    /// [`FaultPlan::first_divergence`], but with "behaviorally
+    /// identical" (`None`) collapsed to [`SimTime::MAX`], so candidate
+    /// checkpoints can be ranked on one total order — a later
+    /// divergence means a deeper shareable prefix (DESIGN.md §13).
+    pub fn divergence_rank(&self, other: &FaultPlan) -> SimTime {
+        self.first_divergence(other).unwrap_or(SimTime::MAX)
+    }
+
     /// Serialize to the artifact JSON form (replays exactly:
     /// microsecond times, shortest-round-trip floats).
     pub fn to_json(&self) -> Json {

@@ -36,8 +36,8 @@ pub mod world;
 
 pub use campaign::{
     chaos_plan, run_campaign, run_campaign_forked, shrink_schedule, CampaignConfig, CampaignReport,
-    ChaosProfile, CheckpointCache, ForkStats, MinimizedRepro, ShrinkOutcome, SloMetric, SloRule,
-    SloTable, SloViolation, TrialRecord,
+    ChaosProfile, CheckpointCache, ForkEdge, ForkStats, MinimizedRepro, ShrinkOutcome, SloMetric,
+    SloRule, SloTable, SloViolation, TrialRecord,
 };
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
 pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, FaultStats};

@@ -29,6 +29,13 @@ pub struct ScenarioParams {
     pub duration: SimDuration,
     /// Root seed.
     pub seed: u64,
+    /// Deployment seed override. `None` derives the deployment from
+    /// [`seed`](Self::seed) (each seed gets its own town). `Some(d)`
+    /// pins the deployment to `d` so a fan of seeds shares one physical
+    /// town and differs only in world RNG (beacon phases, DHCP draws,
+    /// loss) — the shape [`World::rebase_seed`](crate::World::rebase_seed)
+    /// can serve from a single constructed world.
+    pub deploy_seed: Option<u64>,
     /// Open-AP density per km of road.
     pub density_per_km: f64,
     /// Channel mix of the deployment.
@@ -51,6 +58,7 @@ impl Default for ScenarioParams {
             speed_mps: 10.0,
             duration: SimDuration::from_secs(1_800),
             seed: 1,
+            deploy_seed: None,
             density_per_km: 15.0,
             mix: ChannelMix::paper_town(),
             // AP DHCP response times: the paper's model uses
@@ -71,7 +79,7 @@ impl Default for ScenarioParams {
 /// The paper's small-town drive: Poisson roadside APs in the measured
 /// channel mix along a repeated downtown loop (or a straight pass).
 pub fn town_scenario(params: &ScenarioParams) -> WorldConfig {
-    let mut rng = SimRng::new(params.seed).stream("deployment");
+    let mut rng = SimRng::new(params.deploy_seed.unwrap_or(params.seed)).stream("deployment");
     let roadside = |length| RoadsideParams {
         road_length_m: length,
         density_per_km: params.density_per_km,
@@ -189,6 +197,26 @@ mod tests {
             assert_eq!(x.position, y.position);
             assert_eq!(x.channel, y.channel);
         }
+    }
+
+    #[test]
+    fn pinned_deploy_seed_shares_the_town_across_seeds() {
+        let mk = |seed| {
+            town_scenario(&ScenarioParams {
+                seed,
+                deploy_seed: Some(1),
+                duration: SimDuration::from_secs(600),
+                ..Default::default()
+            })
+        };
+        let (a, b) = (mk(1), mk(2));
+        assert_eq!(a.deployment.len(), b.deployment.len());
+        for (x, y) in a.deployment.sites.iter().zip(&b.deployment.sites) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.channel, y.channel);
+        }
+        // World seeds still differ: that is the only divergence.
+        assert_ne!(a.seed, b.seed);
     }
 
     #[test]

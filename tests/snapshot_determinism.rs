@@ -11,6 +11,7 @@
 //! additionally replays across every snapshot boundary: frames created
 //! before a fork must balance against deliveries after it.
 
+use spider_repro::baselines::{StockConfig, StockDriver};
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_repro::simcore::{forked_sweep_with, SimDuration, SimTime};
 use spider_repro::wire::Channel;
@@ -21,6 +22,20 @@ use spider_repro::workloads::{
 
 /// Same fault-plan seed as the benchmark suite's `chaos_storm`.
 const STORM_SEED: u64 = 99;
+
+/// A town drive with the deployment pinned to one seed while the world
+/// seed varies — the shape every seed-rebase comparison needs, since a
+/// cold world at a different seed would otherwise also get a different
+/// physical town.
+fn pinned_cfg(seed: u64, deploy_seed: u64, density: f64, sim_secs: u64) -> WorldConfig {
+    town_scenario(&ScenarioParams {
+        duration: SimDuration::from_secs(sim_secs),
+        seed,
+        deploy_seed: Some(deploy_seed),
+        density_per_km: density,
+        ..Default::default()
+    })
+}
 
 fn dense_cfg(sim_secs: u64, storm: bool) -> WorldConfig {
     let mut cfg = town_scenario(&ScenarioParams {
@@ -187,4 +202,64 @@ fn forked_sweep_is_worker_count_invariant() {
         );
         assert_eq!(results, cold, "forked sweep at {workers} workers");
     }
+}
+
+/// The seed-rebase primitive (DESIGN.md §13): one constructed world,
+/// forked under new root seeds, must equal cold construction at those
+/// seeds bit for bit — across all three benchmark scenario shapes.
+#[test]
+fn seed_rebase_matches_cold_construction_across_scenarios() {
+    for (name, density, storm, sim_secs) in [
+        ("sparse_commute", 12.0, false, 120u64),
+        ("dense_downtown", 220.0, false, 30),
+        ("chaos_storm", 220.0, true, 30),
+    ] {
+        let mk = |seed: u64| {
+            let mut cfg = pinned_cfg(seed, 42, density, sim_secs);
+            if storm {
+                cfg.faults = FaultPlan::seeded(
+                    STORM_SEED,
+                    cfg.deployment.len(),
+                    cfg.duration,
+                    &FaultProfile::stormy(),
+                );
+                assert!(!cfg.faults.is_empty(), "storm plan came up empty");
+            }
+            cfg
+        };
+        let base = World::new(mk(42), spider_driver());
+        for seed in [5u64, 23] {
+            let forked = base.fork_with_seed(seed).run();
+            let cold = World::new(mk(seed), spider_driver()).run();
+            assert_eq!(
+                forked, cold,
+                "{name}: seed-rebased fork to seed {seed} diverged from cold construction"
+            );
+        }
+    }
+}
+
+/// Seed rebasing is driver-agnostic: the stock single-connection
+/// baseline holds the same world-side streams, so its forks must
+/// rebase just as cleanly as Spider's.
+#[test]
+fn seed_rebase_matches_cold_for_the_stock_baseline() {
+    let mk = |seed: u64| pinned_cfg(seed, 42, 40.0, 120);
+    let base = World::new(mk(42), StockDriver::new(StockConfig::stock(1)));
+    let forked = base.fork_with_seed(9).run();
+    let cold = World::new(mk(9), StockDriver::new(StockConfig::stock(1))).run();
+    assert_eq!(
+        forked, cold,
+        "stock baseline: seed-rebased fork diverged from cold construction"
+    );
+}
+
+/// Rebasing after the first event is unsound — streams have drawn under
+/// the old seed — and the guard must refuse, not silently corrupt.
+#[test]
+#[should_panic(expected = "already started")]
+fn seed_rebase_after_start_panics() {
+    let mut w = World::new(pinned_cfg(42, 42, 12.0, 60), spider_driver());
+    w.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    w.rebase_seed(5);
 }
