@@ -1,0 +1,18 @@
+//! Stream-call inventory fixture: literal and computed labels, chained
+//! receivers, and a `#[cfg(test)]` type the index must mark as such.
+
+pub fn seeded(root: &SimRng, ap: u64) -> SimRng {
+    let beacon = root.stream("beacon");
+    beacon.stream_indexed("ap", ap)
+}
+
+pub fn tagged(root: &SimRng, which: &str) -> SimRng {
+    root.stream(which)
+}
+
+#[cfg(test)]
+mod tests {
+    pub struct Scratch {
+        pub x: u32,
+    }
+}

@@ -9,3 +9,14 @@ pub fn escaped_jobs() -> usize {
     // test hook, documented: lint:allow(env-var)
     std::env::var("ESCAPED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
 }
+
+/// Multi-line statement under a standalone allow: the escape must
+/// cover the continuation line the token lands on (regression test
+/// for statement-span allow scoping). Must NOT fire.
+pub fn escaped_multiline() -> usize {
+    // test hook, documented: lint:allow(env-var)
+    Some(())
+        .and_then(|_| std::env::var("SPAN").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

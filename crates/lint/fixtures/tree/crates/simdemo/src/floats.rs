@@ -1,0 +1,10 @@
+//! Fixture: NaN-capable ordering. The `partial_cmp(..).unwrap()`
+//! comparator must fire; the `total_cmp` rewrite below must not.
+
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn good_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,16 @@
+//! Fixture: RNG stream-label hygiene. Two derivations of one label
+//! from one receiver inside one function alias the same stream — the
+//! rule fires once, on the second derivation. The escaped computed
+//! label must NOT fire.
+
+pub fn draws(root: &SimRng) -> (f64, f64) {
+    let mut a = root.stream("loss");
+    let mut b = root.stream("loss");
+    (a.next_f64(), b.next_f64())
+}
+
+/// Deliberate dynamic derivation over a closed label table; escaped.
+pub fn keyed(root: &SimRng, class: &str) -> SimRng {
+    // label table is fixed at the call-site: lint:allow(stream-label)
+    root.stream(&format!("class-{class}"))
+}

@@ -1,0 +1,22 @@
+//! Fixture: the snapshot-completeness walk. `World` here is the
+//! checkpoint root (crate `workloads`, type `World`); `MiniQueue` is
+//! Clone-covered, `Recorder` is not — the rule must fire exactly
+//! once, at the field that references `Recorder`.
+
+#[derive(Clone)]
+pub struct World {
+    pub queue: MiniQueue,
+    pub probe: Recorder,
+    pub horizon: u64,
+}
+
+#[derive(Clone)]
+pub struct MiniQueue {
+    pub depth: usize,
+}
+
+/// Not `Clone`: reachable from `World`, so forks would silently lose
+/// whatever it held.
+pub struct Recorder {
+    pub frames: u64,
+}

@@ -1,14 +1,29 @@
-//! `spider-lint` — the workspace's determinism / sans-IO static-analysis
-//! pass.
+//! `spider-lint` — the workspace's determinism / sans-IO semantic
+//! analysis engine.
 //!
 //! Everything this repository claims rests on one property: a `World`
-//! run is a pure function of `(config, seed)`. One stray
+//! run is a pure function of `(config, seed)`, and a *forked* world is
+//! bit-identical to a cold one (DESIGN.md §13). One stray
 //! `SystemTime::now()`, one `std::collections::HashMap` iterated with
-//! its per-process `RandomState`, one `println!` buried in a library
-//! crate, and reproducibility silently dies. rustc and clippy cannot
-//! express these project rules, so this crate enforces them with a
-//! hand-rolled line/token scanner (the workspace builds offline — no
-//! `syn`, no dependencies at all).
+//! its per-process `RandomState`, one field added to the cloned state
+//! tree but missed by `World::snapshot`, and reproducibility silently
+//! dies. rustc and clippy cannot express these project rules, so this
+//! crate enforces them — with no external dependencies (the workspace
+//! builds offline: no `syn`, no registry access).
+//!
+//! # Architecture
+//!
+//! * [`tokens`] — a hand-rolled Rust tokenizer (comments, nested block
+//!   comments, string/char/raw literals carried across lines). Its
+//!   per-line compact render drives the nine *line rules*; carrying
+//!   literal state across newlines kills the old line-scanner's
+//!   false-positive class where rule tokens inside multi-line strings
+//!   fired as code.
+//! * [`index`] — a workspace item index built from the token streams:
+//!   structs with fields and derives, impl blocks with per-fn
+//!   identifier sets, and `stream(..)` derivation call-sites.
+//! * `semantic` — three cross-file rules over the index:
+//!   `snapshot-completeness`, `stream-label`, `float-ord`.
 //!
 //! # Rule catalog
 //!
@@ -23,13 +38,18 @@
 //! | `forbid-unsafe`| every crate root must carry `#![forbid(unsafe_code)]` |
 //! | `clone-nondet` | no `Clone` (derived or hand-written) on a type whose body carries a `lint:allow`-escaped determinism violation — the checkpoint engine (DESIGN.md §13) deep-clones worlds, and forking escaped nondeterministic state silently breaks fork/resume bit-identity |
 //! | `rng-derivation` | no hand-cooked `SimRng::new(..)` seeds (XOR/splitmix/FNV arithmetic) outside `simcore::rng` — a cooked seed bypasses the recorded derivation chain that `rebase_seed` replays |
+//! | `snapshot-completeness` | every struct/enum reachable from `World` state must be Clone-covered, and a hand-written Clone/snapshot path must mention every field — the static guard for fork/resume bit-identity |
+//! | `stream-label` | no duplicate `stream("…")` labels per (function, receiver) — identical labels alias the same RNG stream — and no computed labels outside `simcore::rng` |
+//! | `float-ord`    | no `partial_cmp(..).unwrap()` comparators or `f32`/`f64` container keys; NaN-capable ordering panics or silently reorders — use `total_cmp` |
 //!
 //! # Escapes
 //!
 //! A violation that is deliberate is allow-listed in the source:
 //!
-//! * `// lint:allow(rule)` on the offending line, or on a comment line
-//!   of its own immediately above it, silences that rule there;
+//! * `// lint:allow(rule)` on the offending line silences that rule
+//!   there; on a comment line of its own, it silences the rule for the
+//!   whole statement that follows (all continuation lines of a
+//!   multi-line expression, until the statement terminates);
 //! * `// lint:allow-file(rule)` anywhere in a file silences the rule
 //!   for the whole file (used e.g. by the capture subsystem, whose
 //!   entire purpose is file I/O).
@@ -39,6 +59,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod index;
+mod semantic;
+pub mod tokens;
+
+use crate::index::{parse_file, FileItems, ItemIndex};
+use crate::tokens::{find_tok, tokenize, FileTokens};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -66,11 +93,21 @@ pub enum Rule {
     /// hazard: the derivation chain cannot replay arithmetic it never
     /// saw).
     RngDerivation,
+    /// A type reachable from `World` state without Clone coverage, or a
+    /// field missed by a hand-written Clone/snapshot path
+    /// (checkpoint-engine hazard: forks silently diverge).
+    SnapshotCompleteness,
+    /// Duplicate or computed RNG stream labels (stream aliasing
+    /// silently couples draws).
+    StreamLabel,
+    /// NaN-capable float ordering (`partial_cmp(..).unwrap()`, float
+    /// container keys) on paths that need a total order.
+    FloatOrd,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::WallClock,
         Rule::EnvVar,
         Rule::DefaultHash,
@@ -80,6 +117,9 @@ impl Rule {
         Rule::ForbidUnsafe,
         Rule::CloneNondet,
         Rule::RngDerivation,
+        Rule::SnapshotCompleteness,
+        Rule::StreamLabel,
+        Rule::FloatOrd,
     ];
 
     /// The identifier used in `lint:allow(...)` comments and reports.
@@ -94,7 +134,17 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::CloneNondet => "clone-nondet",
             Rule::RngDerivation => "rng-derivation",
+            Rule::SnapshotCompleteness => "snapshot-completeness",
+            Rule::StreamLabel => "stream-label",
+            Rule::FloatOrd => "float-ord",
         }
+    }
+
+    fn order(self) -> usize {
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -122,6 +172,30 @@ impl fmt::Display for Violation {
             self.message
         )
     }
+}
+
+/// Machine-readable report: byte-deterministic JSON (ordered keys,
+/// sorted violations) for `spider-lint --json` and CI annotation.
+pub fn violations_json(violations: &[Violation]) -> spider_simcore::json::Json {
+    use spider_simcore::json::Json;
+    Json::obj([
+        ("version", Json::UInt(1)),
+        (
+            "violations",
+            Json::arr(violations.iter().map(|v| {
+                Json::obj([
+                    (
+                        "file",
+                        Json::str(v.file.to_string_lossy().replace('\\', "/")),
+                    ),
+                    ("line", Json::UInt(v.line as u64)),
+                    ("rule", Json::str(v.rule.id())),
+                    ("message", Json::str(v.message.clone())),
+                ])
+            })),
+        ),
+        ("count", Json::UInt(violations.len() as u64)),
+    ])
 }
 
 /// Where a file sits in the workspace, which decides rule applicability.
@@ -154,25 +228,34 @@ const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
 /// parallel sweep runner (DESIGN.md §10).
 const SWEEP_FILE: &str = "crates/simcore/src/sweep.rs";
 
-/// The one file allowed to do seed arithmetic: the RNG itself, which
-/// records every derivation step so `rebase_seed` can replay it
-/// (DESIGN.md §13).
+/// The one file allowed to do seed arithmetic and dynamic stream
+/// derivation: the RNG itself, which records every derivation step so
+/// `rebase_seed` can replay it (DESIGN.md §13).
 const RNG_FILE: &str = "crates/simcore/src/rng.rs";
 
 /// Crates whose hash-map iteration feeds output/aggregation paths and
 /// is therefore checked by `hash-iter`.
 const HASH_ITER_CRATES: &[&str] = &["bench", "workloads"];
 
+/// The crate name a workspace-relative path belongs to.
+pub(crate) fn crate_of(rel: &Path) -> String {
+    let parts: Vec<&str> = rel
+        .components()
+        .map(|c| c.as_os_str().to_str().unwrap_or(""))
+        .collect();
+    if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        String::from("(workspace)")
+    }
+}
+
 fn classify(rel: &Path) -> FileCtx {
     let parts: Vec<&str> = rel
         .components()
         .map(|c| c.as_os_str().to_str().unwrap_or(""))
         .collect();
-    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
-        parts[1].to_string()
-    } else {
-        String::from("(workspace)")
-    };
+    let crate_name = crate_of(rel);
     let file_name = parts.last().copied().unwrap_or("");
     let kind = if parts.contains(&"tests") {
         FileKind::Test
@@ -191,103 +274,6 @@ fn classify(rel: &Path) -> FileCtx {
         crate_name,
         kind,
     }
-}
-
-/// Strip comments and string/char literals from `line`, carrying block
-/// comment state across lines. Stripped spans become spaces so token
-/// positions stay stable. Comment *text* is returned separately so
-/// `lint:allow` markers can be read from it.
-fn strip_line(line: &str, in_block_comment: &mut bool) -> (String, String) {
-    let bytes: Vec<char> = line.chars().collect();
-    let mut code = String::with_capacity(line.len());
-    let mut comments = String::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                comments.push(bytes[i]);
-                i += 1;
-            }
-            code.push(' ');
-            continue;
-        }
-        match bytes[i] {
-            '/' if bytes.get(i + 1) == Some(&'/') => {
-                // Line comment: everything to EOL is comment text.
-                comments.extend(&bytes[i..]);
-                code.extend(std::iter::repeat_n(' ', bytes.len() - i));
-                break;
-            }
-            '/' if bytes.get(i + 1) == Some(&'*') => {
-                *in_block_comment = true;
-                code.push_str("  ");
-                i += 2;
-            }
-            '"' => {
-                // String literal (escapes honoured, unterminated tolerated).
-                code.push(' ');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == '\\' {
-                        i += 2;
-                        code.push_str("  ");
-                        continue;
-                    }
-                    let done = bytes[i] == '"';
-                    code.push(' ');
-                    i += 1;
-                    if done {
-                        break;
-                    }
-                }
-            }
-            'r' if bytes.get(i + 1) == Some(&'"')
-                || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
-            {
-                // Raw string (r"..." / r#"..."#): skip to the closing
-                // quote+hashes. Nested hashes beyond one are not used in
-                // this workspace.
-                let hashes = usize::from(bytes.get(i + 1) == Some(&'#'));
-                let close: String = std::iter::once('"')
-                    .chain(std::iter::repeat_n('#', hashes))
-                    .collect();
-                let rest: String = bytes[i..].iter().collect();
-                let skip = rest[1 + hashes + 1..]
-                    .find(&close)
-                    .map(|p| 1 + hashes + 1 + p + close.len())
-                    .unwrap_or(bytes.len() - i);
-                code.extend(std::iter::repeat_n(' ', skip));
-                i += skip;
-            }
-            '\'' => {
-                // Char literal or lifetime. A lifetime has no closing
-                // quote within two characters.
-                if bytes.get(i + 1) == Some(&'\\') {
-                    let end = bytes[i + 1..]
-                        .iter()
-                        .position(|&c| c == '\'')
-                        .map(|p| i + 1 + p + 1)
-                        .unwrap_or(bytes.len());
-                    code.extend(std::iter::repeat_n(' ', end - i));
-                    i = end;
-                } else if bytes.get(i + 2) == Some(&'\'') {
-                    code.push_str("   ");
-                    i += 3;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    (code, comments)
 }
 
 /// Parse `lint:allow(<rules>)` / `lint:allow-file(<rules>)` markers out
@@ -329,6 +315,152 @@ fn ident_before(line: &str, pos: usize) -> Option<&str> {
         .unwrap_or(0);
     let id = &head[start..];
     (!id.is_empty() && !id.chars().next().unwrap().is_ascii_digit()).then_some(id)
+}
+
+/// 0-based line of the statement's last line, starting from `start`:
+/// continues while parens/brackets are open, the line ends in a binary
+/// operator or other continuation, or the next code line begins with a
+/// method-chain `.`. Bounded to 50 lines.
+fn statement_end(code_lines: &[String], start: usize) -> usize {
+    let mut depth = 0i64;
+    let cap = (start + 50).min(code_lines.len());
+    let mut last = start;
+    for k in start..cap {
+        last = k;
+        let code = code_lines[k].trim_end();
+        for c in code.chars() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth > 0 {
+            continue;
+        }
+        let cont = matches!(
+            code.chars().next_back(),
+            Some('.' | '=' | '&' | '|' | '+' | '-' | '*' | '/' | '<' | '>' | '?' | ':')
+        );
+        if cont {
+            continue;
+        }
+        // Method chains break *before* the dot: peek the next code line.
+        let chain_continues = code_lines[k + 1..cap]
+            .iter()
+            .find(|l| !l.trim().is_empty())
+            .is_some_and(|l| l.trim_start().starts_with('.') || l.trim_start().starts_with("?."));
+        if chain_continues {
+            continue;
+        }
+        return k;
+    }
+    last
+}
+
+/// Fully prepared per-file scan state.
+struct ScannedFile {
+    ctx: FileCtx,
+    ft: FileTokens,
+    items: FileItems,
+    line_allows: Vec<Vec<Rule>>,
+    file_allows: Vec<Rule>,
+    in_test_region: Vec<bool>,
+}
+
+impl ScannedFile {
+    fn allowed(&self, rule: Rule, line: usize) -> bool {
+        self.file_allows.contains(&rule)
+            || self
+                .line_allows
+                .get(line)
+                .is_some_and(|a| a.contains(&rule))
+    }
+}
+
+impl semantic::AllowLookup for ScannedFile {
+    fn allowed(&self, _file: &Path, rule: Rule, line: usize) -> bool {
+        ScannedFile::allowed(self, rule, line)
+    }
+}
+
+/// Allow lookup across a whole scanned set, keyed by path.
+struct TreeAllows<'a>(BTreeMap<&'a Path, &'a ScannedFile>);
+
+impl semantic::AllowLookup for TreeAllows<'_> {
+    fn allowed(&self, file: &Path, rule: Rule, line: usize) -> bool {
+        self.0.get(file).is_some_and(|sf| sf.allowed(rule, line))
+    }
+}
+
+/// `#[cfg(test)]` regions by brace depth over the compact code lines.
+pub(crate) fn test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test_region = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_entry: Option<i64> = None;
+    for (i, code) in code_lines.iter().enumerate() {
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        let before = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if pending_attr && depth > before {
+            region_entry = Some(before);
+            pending_attr = false;
+        }
+        if let Some(entry) = region_entry {
+            in_test_region[i] = true;
+            if depth <= entry {
+                region_entry = None;
+            }
+        }
+    }
+    in_test_region
+}
+
+fn prepare(rel: &Path, source: &str) -> ScannedFile {
+    let ctx = classify(rel);
+    let ft = tokenize(source);
+    let n = ft.code_lines.len();
+    let mut line_allows: Vec<Vec<Rule>> = vec![Vec::new(); n];
+    let mut file_allows: Vec<Rule> = Vec::new();
+    for (i, comment) in ft.comment_lines.iter().enumerate() {
+        let mut here = Vec::new();
+        parse_allows(comment, &mut file_allows, &mut here);
+        if here.is_empty() {
+            continue;
+        }
+        if ft.code_lines[i].trim().is_empty() {
+            // A standalone allow comment covers the whole statement
+            // that follows — including continuation lines of a
+            // multi-line expression.
+            if let Some(first) = (i + 1..n).find(|&k| !ft.code_lines[k].trim().is_empty()) {
+                let end = statement_end(&ft.code_lines, first);
+                for slot in line_allows.iter_mut().take(end + 1).skip(first) {
+                    slot.extend(here.iter().copied());
+                }
+            }
+        } else {
+            line_allows[i].extend(here);
+        }
+    }
+    let in_test_region = test_regions(&ft.code_lines);
+    let items = parse_file(rel, &ctx.crate_name, &ft.toks, &in_test_region);
+    ScannedFile {
+        ctx,
+        ft,
+        items,
+        line_allows,
+        file_allows,
+        in_test_region,
+    }
 }
 
 /// Collect identifiers declared as hash maps/sets in this file: struct
@@ -408,74 +540,19 @@ const HASH_ITER_METHODS: [&str; 5] = [
     ".values_mut()",
 ];
 
-/// Scan one file's contents. `rel` is the path relative to the scanned
-/// root (used for classification and reporting).
-pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
-    let ctx = classify(rel);
-    let raw_lines: Vec<&str> = source.lines().collect();
-
-    // Pass 1: strip comments/strings, harvest allow markers.
-    let mut code_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
-    let mut line_allows: Vec<Vec<Rule>> = vec![Vec::new(); raw_lines.len()];
-    let mut file_allows: Vec<Rule> = Vec::new();
-    let mut in_block = false;
-    for (i, raw) in raw_lines.iter().enumerate() {
-        let (code, comments) = strip_line(raw, &mut in_block);
-        let mut here = Vec::new();
-        parse_allows(&comments, &mut file_allows, &mut here);
-        if !here.is_empty() {
-            if code.trim().is_empty() {
-                // A standalone allow comment covers the next line.
-                if i + 1 < line_allows.len() {
-                    line_allows[i + 1].extend(here);
-                }
-            } else {
-                line_allows[i].extend(here);
-            }
-        }
-        code_lines.push(code);
-    }
-
-    // Pass 2: track `#[cfg(test)]` regions by brace depth.
-    let mut in_test_region = vec![false; code_lines.len()];
-    {
-        let mut depth: i64 = 0;
-        let mut pending_attr = false;
-        let mut region_entry: Option<i64> = None;
-        for (i, code) in code_lines.iter().enumerate() {
-            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
-                pending_attr = true;
-            }
-            let before = depth;
-            for c in code.chars() {
-                match c {
-                    '{' => depth += 1,
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if pending_attr && depth > before {
-                region_entry = Some(before);
-                pending_attr = false;
-            }
-            if let Some(entry) = region_entry {
-                in_test_region[i] = true;
-                if depth <= entry {
-                    region_entry = None;
-                }
-            }
-        }
-    }
+/// Run every per-file rule over one prepared file.
+fn scan_file(sf: &ScannedFile, out: &mut Vec<Violation>) {
+    let ctx = &sf.ctx;
+    let code_lines = &sf.ft.code_lines;
+    let in_test_region = &sf.in_test_region;
 
     let map_idents = if HASH_ITER_CRATES.contains(&ctx.crate_name.as_str()) {
-        collect_map_idents(&code_lines)
+        collect_map_idents(code_lines)
     } else {
         Vec::new()
     };
 
-    let allowed = |rule: Rule, i: usize| -> bool {
-        file_allows.contains(&rule) || line_allows[i].contains(&rule)
-    };
+    let allowed = |rule: Rule, i: usize| -> bool { sf.allowed(rule, i) };
     let mut report = |rule: Rule, i: usize, msg: String| {
         out.push(Violation {
             file: ctx.rel.clone(),
@@ -486,8 +563,9 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
     };
 
     let io_exempt_crate = IO_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
-    let is_sweep = ctx.rel.to_string_lossy().replace('\\', "/") == SWEEP_FILE;
-    let is_rng = ctx.rel.to_string_lossy().replace('\\', "/") == RNG_FILE;
+    let rel_slash = ctx.rel.to_string_lossy().replace('\\', "/");
+    let is_sweep = rel_slash == SWEEP_FILE;
+    let is_rng = rel_slash == RNG_FILE;
 
     for (i, code) in code_lines.iter().enumerate() {
         let test_here = ctx.kind == FileKind::Test || in_test_region[i];
@@ -495,7 +573,7 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
         // wall-clock: simulation code (lib + tests) must not read time
         // or ambient randomness. Bins/examples/benches time themselves.
         if ctx.kind != FileKind::Bin && !io_exempt_crate && !allowed(Rule::WallClock, i) {
-            if let Some(tok) = WALL_CLOCK_TOKENS.iter().find(|t| code.contains(*t)) {
+            if let Some(tok) = WALL_CLOCK_TOKENS.iter().find(|t| find_tok(code, t)) {
                 report(Rule::WallClock, i, format!("`{tok}` in simulation code"));
             }
         }
@@ -508,7 +586,7 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
             && !test_here
             && !allowed(Rule::EnvVar, i)
         {
-            if let Some(tok) = ENV_TOKENS.iter().find(|t| code.contains(*t)) {
+            if let Some(tok) = ENV_TOKENS.iter().find(|t| find_tok(code, t)) {
                 report(Rule::EnvVar, i, format!("`{tok}` outside sweep/bench"));
             }
         }
@@ -517,11 +595,11 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
         // The path check also catches brace imports
         // (`use std::collections::{HashMap, ...}`).
         if ctx.kind == FileKind::Lib && !test_here && !allowed(Rule::DefaultHash, i) {
-            let brace_import = code.contains("std::collections::")
-                && (code.contains("HashMap") || code.contains("HashSet"));
+            let brace_import = find_tok(code, "std::collections::")
+                && (find_tok(code, "HashMap") || find_tok(code, "HashSet"));
             if let Some(tok) = DEFAULT_HASH_TOKENS
                 .iter()
-                .find(|t| code.contains(*t))
+                .find(|t| find_tok(code, t))
                 .or(brace_import.then_some(&"std::collections::{Hash..}"))
             {
                 report(
@@ -534,7 +612,7 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
 
         // thread: only the sweep runner may spawn or channel.
         if !is_sweep && !allowed(Rule::Thread, i) {
-            if let Some(tok) = THREAD_TOKENS.iter().find(|t| code.contains(*t)) {
+            if let Some(tok) = THREAD_TOKENS.iter().find(|t| find_tok(code, t)) {
                 report(Rule::Thread, i, format!("`{tok}` outside simcore::sweep"));
             }
         }
@@ -542,7 +620,7 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
         // sans-io: library code performs no I/O.
         if ctx.kind == FileKind::Lib && !test_here && !io_exempt_crate && !allowed(Rule::SansIo, i)
         {
-            if let Some(tok) = SANS_IO_TOKENS.iter().find(|t| code.contains(*t)) {
+            if let Some(tok) = SANS_IO_TOKENS.iter().find(|t| find_tok(code, t)) {
                 report(Rule::SansIo, i, format!("`{tok}` in library code"));
             }
         }
@@ -637,52 +715,6 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
             Rule::DefaultHash,
             Rule::Thread,
         ];
-        // Type definitions with brace bodies: (name, first line, last line).
-        let mut types: Vec<(String, usize, usize)> = Vec::new();
-        {
-            let mut depth: i64 = 0;
-            let mut open: Vec<(String, usize, i64)> = Vec::new();
-            let mut pending: Option<(String, usize)> = None;
-            for (i, code) in code_lines.iter().enumerate() {
-                for kw in ["struct", "enum"] {
-                    for (pos, _) in code.match_indices(kw) {
-                        let bounded = code[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
-                        let after = &code[pos + kw.len()..];
-                        if !bounded || !after.starts_with(char::is_whitespace) {
-                            continue;
-                        }
-                        let name: String = after
-                            .trim_start()
-                            .chars()
-                            .take_while(|&c| is_ident(c))
-                            .collect();
-                        if !name.is_empty() {
-                            pending = Some((name, i));
-                        }
-                    }
-                }
-                for c in code.chars() {
-                    match c {
-                        '{' => {
-                            if let Some((name, start)) = pending.take() {
-                                open.push((name, start, depth));
-                            }
-                            depth += 1;
-                        }
-                        '}' => {
-                            depth -= 1;
-                            if open.last().is_some_and(|&(_, _, entry)| depth == entry) {
-                                let (name, start, _) = open.pop().unwrap();
-                                types.push((name, start, i));
-                            }
-                        }
-                        // Tuple/unit struct: no body to inspect.
-                        ';' if pending.is_some() => pending = None,
-                        _ => {}
-                    }
-                }
-            }
-        }
         let contains_word = |line: &str, word: &str| -> bool {
             line.match_indices(word).any(|(pos, _)| {
                 line[..pos].chars().next_back().is_none_or(|c| !is_ident(c))
@@ -692,46 +724,62 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
                         .is_none_or(|c| !is_ident(c))
             })
         };
-        for (name, start, end) in types {
-            if in_test_region[start] {
+        for ty in &sf.items.types {
+            if sf.in_test_region.get(ty.line).copied().unwrap_or(false) {
                 continue;
             }
-            let tainted = (start..=end.min(code_lines.len() - 1))
-                .any(|i| NONDET_RULES.iter().any(|r| line_allows[i].contains(r)));
+            let end = ty
+                .fields
+                .iter()
+                .map(|f| f.line)
+                .chain(ty.payload_idents.iter().map(|(_, l)| *l))
+                .max()
+                .unwrap_or(ty.line)
+                + 1;
+            let tainted = (ty.line..=end.min(code_lines.len().saturating_sub(1)))
+                .any(|i| NONDET_RULES.iter().any(|r| sf.line_allows[i].contains(r)));
             if !tainted {
                 continue;
             }
-            // `#[derive(.., Clone, ..)]` in the attribute block above the
-            // definition (doc comments strip to blank code lines).
-            let derive_line = (0..start)
-                .rev()
-                .take_while(|&j| {
-                    let l = code_lines[j].trim_start();
-                    l.starts_with('#') || l.is_empty()
-                })
-                .find(|&j| {
-                    code_lines[j].contains("derive") && contains_word(&code_lines[j], "Clone")
-                });
-            // `impl [<..>] Clone for Name` anywhere in the file.
-            let impl_line = code_lines.iter().position(|l| {
-                l.contains("impl")
-                    && l.split(" Clone for ").nth(1).is_some_and(|after| {
-                        let id: String = after
-                            .trim_start()
-                            .chars()
-                            .take_while(|&c| is_ident(c))
-                            .collect();
-                        id == name
+            if ty.derives.iter().any(|d| d == "Clone") {
+                // `#[derive(.., Clone, ..)]` in the attribute block
+                // above the definition.
+                let derive_line = (0..ty.line)
+                    .rev()
+                    .take_while(|&j| {
+                        let l = code_lines[j].trim_start();
+                        l.starts_with('#') || l.is_empty()
                     })
-            });
-            if let Some(at) = derive_line.or(impl_line) {
+                    .find(|&j| {
+                        code_lines[j].contains("derive") && contains_word(&code_lines[j], "Clone")
+                    });
+                let at = derive_line.unwrap_or(ty.line);
                 if !allowed(Rule::CloneNondet, at) {
                     report(
                         Rule::CloneNondet,
                         at,
                         format!(
-                            "`{name}` is Clone but its body carries a lint:allow-escaped \
-                             determinism violation; the checkpoint engine would fork that state"
+                            "`{}` is Clone but its body carries a lint:allow-escaped \
+                             determinism violation; the checkpoint engine would fork that state",
+                            ty.name
+                        ),
+                    );
+                }
+            } else if let Some(at) = sf
+                .items
+                .impls
+                .iter()
+                .find(|im| im.trait_name.as_deref() == Some("Clone") && im.type_name == ty.name)
+                .map(|im| im.line)
+            {
+                if !allowed(Rule::CloneNondet, at) {
+                    report(
+                        Rule::CloneNondet,
+                        at,
+                        format!(
+                            "`{}` is Clone but its body carries a lint:allow-escaped \
+                             determinism violation; the checkpoint engine would fork that state",
+                            ty.name
                         ),
                     );
                 }
@@ -750,10 +798,10 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
             && (parts.as_slice() == ["src", "lib.rs"]
                 || (parts.first() == Some(&"crates") && parts.get(2) == Some(&"src")))
     };
-    // Checked against stripped code so a doc comment merely *mentioning*
-    // the attribute doesn't satisfy the rule.
+    // Checked against the token render so a doc comment or string
+    // merely *mentioning* the attribute doesn't satisfy the rule.
     if is_crate_root
-        && !file_allows.contains(&Rule::ForbidUnsafe)
+        && !sf.file_allows.contains(&Rule::ForbidUnsafe)
         && !code_lines
             .iter()
             .any(|l| l.contains("#![forbid(unsafe_code)]"))
@@ -764,6 +812,57 @@ pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
             rule: Rule::ForbidUnsafe,
             message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
         });
+    }
+
+    // Per-file semantic rules over the token stream / item inventory.
+    semantic::stream_label(&sf.items, &ctx.rel, is_rng, sf, out);
+    semantic::float_ord(&sf.ft.toks, &ctx.rel, sf, out);
+}
+
+/// Scan one file's contents: the per-file rules only (the cross-file
+/// `snapshot-completeness` pass needs the whole tree; use
+/// [`scan_sources`] / [`scan_tree`]). `rel` is the path relative to the
+/// scanned root (used for classification and reporting).
+pub fn scan_source(rel: &Path, source: &str, out: &mut Vec<Violation>) {
+    let sf = prepare(rel, source);
+    scan_file(&sf, out);
+}
+
+/// Scan a whole set of in-memory sources: every per-file rule plus the
+/// cross-file semantic rules over the aggregated item index. Output is
+/// sorted by (file, line, rule).
+pub fn scan_sources(files: &[(PathBuf, String)]) -> Vec<Violation> {
+    let scanned: Vec<ScannedFile> = files.iter().map(|(rel, src)| prepare(rel, src)).collect();
+    let mut out = Vec::new();
+    for sf in &scanned {
+        scan_file(sf, &mut out);
+    }
+    // Cross-file: snapshot completeness over the aggregated index.
+    let index = ItemIndex::from_files(scanned.iter().map(|sf| clone_items(&sf.items)));
+    let allows = TreeAllows(
+        scanned
+            .iter()
+            .map(|sf| (sf.ctx.rel.as_path(), sf))
+            .collect(),
+    );
+    semantic::snapshot_completeness(&index, &allows, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.order(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.order(),
+            &b.message,
+        ))
+    });
+    out
+}
+
+fn clone_items(items: &FileItems) -> FileItems {
+    FileItems {
+        types: items.types.clone(),
+        impls: items.impls.clone(),
+        streams: items.streams.clone(),
+        fn_spans: items.fn_spans.clone(),
     }
 }
 
@@ -812,13 +911,13 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
     for sub in ["src", "tests", "examples"] {
         rust_files(&root.join(sub), &mut files)?;
     }
-    let mut out = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = std::fs::read_to_string(&path)?;
-        scan_source(&rel, &source, &mut out);
+        sources.push((rel, source));
     }
-    Ok(out)
+    Ok(scan_sources(&sources))
 }
 
 #[cfg(test)]
@@ -832,43 +931,19 @@ mod tests {
     }
 
     #[test]
-    fn strips_comments_and_strings() {
-        let mut in_block = false;
-        let (code, comments) = strip_line(
-            r#"let x = "Instant::now"; // lint:allow(thread)"#,
-            &mut in_block,
-        );
-        assert!(!code.contains("Instant"));
-        assert!(comments.contains("lint:allow(thread)"));
-        let (code, _) = strip_line("/* SystemTime */ let y = 1;", &mut in_block);
-        assert!(!code.contains("SystemTime"));
-        assert!(code.contains("let y = 1;"));
-    }
-
-    #[test]
-    fn block_comment_state_carries_across_lines() {
-        let mut in_block = false;
-        strip_line("/* open", &mut in_block);
-        assert!(in_block);
-        let (code, _) = strip_line("SystemTime::now() */ let z = 2;", &mut in_block);
-        assert!(!in_block);
-        assert!(!code.contains("SystemTime"));
-        assert!(code.contains("let z = 2;"));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let mut in_block = false;
-        let (code, _) = strip_line("fn f<'a>(x: &'a str) -> &'a str { x }", &mut in_block);
-        assert!(code.contains("fn f<'a>"));
-    }
-
-    #[test]
     fn wall_clock_fires_in_lib_not_bin() {
         let src = "fn t() { let _ = std::time::Instant::now(); }\n";
         assert_eq!(scan_one("crates/simcore/src/x.rs", src).len(), 1);
         assert!(scan_one("crates/bench/src/bin/fig01.rs", src).is_empty());
         assert!(scan_one("crates/workloads/examples/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_multiline_strings_do_not_fire() {
+        // The line-scanner false-positive class the tokenizer kills: a
+        // multi-line string carrying rule tokens on its later lines.
+        let src = "pub fn banner() -> &'static str {\n    \"release notes:\nuses std::time::Instant::now() internally — not!\nthread::spawn here is only prose\n\"\n}\n";
+        assert!(scan_one("crates/simcore/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -892,6 +967,24 @@ mod tests {
         assert!(scan_one("crates/radio/src/x.rs", next).is_empty());
         let bare = "let _ = std::env::var(\"X\");\n";
         assert_eq!(scan_one("crates/radio/src/x.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn allow_covers_full_statement_span() {
+        // The token may land on a continuation line of the statement
+        // under the allow comment; the escape must still cover it.
+        let src = "\
+// deliberate, test hook: lint:allow(env-var)
+let jobs =
+    std::env::var(\"JOBS\")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+let other = std::env::var(\"X\");
+";
+        let v = scan_one("crates/radio/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 7, "the next statement is NOT covered");
     }
 
     #[test]
@@ -963,5 +1056,80 @@ mod tests {
         let src = "fn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(scan_one("crates/workloads/src/x.rs", src).len(), 1);
         assert!(scan_one("crates/simcore/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stream_label_duplicates_and_computed() {
+        let dup = "fn f(root: &SimRng) {\n    let a = root.stream(\"mob\");\n    let b = root.stream(\"mob\");\n}\n";
+        let v = scan_one("crates/workloads/src/x.rs", dup);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StreamLabel);
+        assert_eq!(v[0].line, 3, "second derivation is the violation");
+
+        // Same label in *different* functions re-derives the same
+        // stream deliberately (e.g. `new` vs `rebase_seed`) — fine.
+        let two_fns =
+            "fn f(r: &SimRng) { let _ = r.stream(\"mob\"); }\nfn g(r: &SimRng) { let _ = r.stream(\"mob\"); }\n";
+        assert!(scan_one("crates/workloads/src/x.rs", two_fns).is_empty());
+
+        // Different receivers in one function are distinct streams.
+        let two_recv = "fn f(a: &SimRng, b: &SimRng) {\n    let x = a.stream(\"mob\");\n    let y = b.stream(\"mob\");\n}\n";
+        assert!(scan_one("crates/workloads/src/x.rs", two_recv).is_empty());
+
+        let computed = "fn f(root: &SimRng, which: &str) {\n    let s = root.stream(which);\n}\n";
+        let v = scan_one("crates/workloads/src/x.rs", computed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StreamLabel);
+
+        // The RNG itself derives dynamically — exempt.
+        let inner = "impl SimRng { fn via(&self, l: &str) -> SimRng { self.stream(l) } }\n";
+        assert!(scan_one("crates/simcore/src/rng.rs", inner).is_empty());
+    }
+
+    #[test]
+    fn float_ord_comparators_and_keys() {
+        let cmp = "fn f(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let v = scan_one("crates/model/src/x.rs", cmp);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatOrd);
+        assert_eq!(v[0].line, 2);
+
+        let expect =
+            "fn f(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).expect(\"NaN\"));\n}\n";
+        assert_eq!(scan_one("crates/model/src/x.rs", expect).len(), 1);
+
+        let total = "fn f(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.total_cmp(b));\n}\n";
+        assert!(scan_one("crates/model/src/x.rs", total).is_empty());
+
+        // A PartialOrd *definition* is not a comparator call.
+        let def = "impl PartialOrd for K {\n    fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }\n}\n";
+        assert!(scan_one("crates/simcore/src/x.rs", def).is_empty());
+
+        let key = "struct S { by_rssi: FxHashMap<f64, u32> }\n";
+        let v = scan_one("crates/spider/src/x.rs", key);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatOrd);
+    }
+
+    #[test]
+    fn snapshot_completeness_via_scan_sources() {
+        let world = "\
+#[derive(Clone)]
+pub struct World {
+    pub queue: MiniQueue,
+    pub probe: Recorder,
+}
+#[derive(Clone)]
+pub struct MiniQueue { pub depth: usize }
+pub struct Recorder { pub frames: u64 }
+";
+        let files = vec![(
+            PathBuf::from("crates/workloads/src/world.rs"),
+            world.to_string(),
+        )];
+        let v = scan_sources(&files);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::SnapshotCompleteness);
+        assert_eq!(v[0].line, 4, "violation lands on the referencing field");
     }
 }

@@ -4,12 +4,19 @@
 //! workspace root under `cargo run`) and prints one line per violation,
 //! exiting non-zero if any fired. See the library docs / DESIGN.md §11
 //! for the rule catalog and the `lint:allow` escape convention.
+//!
+//! Exit-code contract (stable — CI depends on it):
+//! * `0` — tree scanned clean;
+//! * `1` — at least one violation (the report is the output);
+//! * `2` — the scan itself failed (bad arguments, unreadable tree).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut github = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,12 +27,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+            "--json" => json = true,
+            "--github" => github = true,
             "--help" | "-h" => {
                 println!(
-                    "spider-lint: determinism / sans-IO static analysis\n\n\
-                     USAGE: spider-lint [--root <workspace-root>]\n\n\
-                     Exits 0 if the tree is clean, 1 with one line per\n\
-                     violation otherwise. Rules and escapes: DESIGN.md §11."
+                    "spider-lint: determinism / sans-IO semantic analysis\n\n\
+                     USAGE: spider-lint [--root <workspace-root>] [--json] [--github]\n\n\
+                     --json    emit the report as byte-deterministic JSON on stdout\n\
+                     \u{20}         (ordered keys, violations sorted by file/line/rule)\n\
+                     --github  additionally emit GitHub Actions `::error` annotations\n\
+                     \u{20}         on stderr, one per violation\n\n\
+                     Exit codes: 0 clean, 1 violations found, 2 scan error.\n\
+                     Rules and escapes: DESIGN.md §11."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -43,21 +56,38 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    match spider_lint::scan_tree(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("spider-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!("spider-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+    let violations = match spider_lint::scan_tree(&root) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("spider-lint: scan failed: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if github {
+        // Annotations go to stderr so they compose with --json on stdout.
+        for v in &violations {
+            eprintln!(
+                "::error file={},line={}::[{}] {}",
+                v.file.to_string_lossy().replace('\\', "/"),
+                v.line,
+                v.rule.id(),
+                v.message
+            );
+        }
+    }
+    if json {
+        println!("{}", spider_lint::violations_json(&violations).pretty());
+    } else if violations.is_empty() {
+        println!("spider-lint: clean");
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("spider-lint: {} violation(s)", violations.len());
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

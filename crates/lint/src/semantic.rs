@@ -1,0 +1,296 @@
+//! The semantic rules: cross-file analyses over the item index.
+//!
+//! Three rules live here (catalog in DESIGN.md §11):
+//!
+//! * `snapshot-completeness` — walks the type graph reachable from
+//!   `World` (crate `workloads`) and flags any reachable struct/enum
+//!   that is not Clone-covered, plus — for types whose `Clone` is
+//!   hand-written — any field the clone path never mentions. This is
+//!   the static guard for the checkpoint engine's core invariant
+//!   (DESIGN.md §13): a forked world is bit-identical to a cold one,
+//!   which dies silently the day someone adds a field the snapshot
+//!   misses.
+//! * `stream-label` — two `.stream("x")` derivations with the same
+//!   receiver, method and label inside one function alias the same RNG
+//!   stream (the derivation is a pure function of `(root, label)`), and
+//!   computed labels (`.stream(&format!(..))`) can collide at runtime
+//!   in ways no reviewer can audit; both are rejected outside
+//!   `simcore::rng`.
+//! * `float-ord` — `partial_cmp(..).unwrap()/expect(..)` comparators
+//!   and `f32`/`f64` hash/tree keys: NaN-capable ordering panics on the
+//!   hot path (or worse, silently reorders); steer to `total_cmp`.
+
+use crate::index::{FileItems, ItemIndex, TypeInfo, TypeKind};
+use crate::tokens::{Tok, TokKind};
+use crate::{Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Per-file context the semantic rules need to honour escapes.
+pub(crate) trait AllowLookup {
+    /// Is `rule` allowed (escaped) at 0-based `line` of `file`?
+    fn allowed(&self, file: &Path, rule: Rule, line: usize) -> bool;
+}
+
+/// The root of the snapshot-completeness walk: the simulation world.
+const SNAPSHOT_ROOT: (&str, &str) = ("workloads", "World");
+
+/// Container types whose *key* position must be totally ordered; a
+/// float key means NaN-capable ordering.
+const KEYED_CONTAINERS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// snapshot-completeness: see module docs. Reports
+/// * at a field/payload line when the referenced type is reachable from
+///   `World` but not Clone-covered;
+/// * at the root's definition line if the root itself is not cloneable;
+/// * at a field line when the type's hand-written `Clone` (directly or
+///   one delegation hop away, e.g. `Clone → snapshot`) never mentions
+///   the field.
+pub(crate) fn snapshot_completeness(
+    index: &ItemIndex,
+    allows: &dyn AllowLookup,
+    out: &mut Vec<Violation>,
+) {
+    let roots: Vec<&TypeInfo> = index
+        .types
+        .iter()
+        .filter(|t| !t.in_test && t.name == SNAPSHOT_ROOT.1 && t.crate_name == SNAPSHOT_ROOT.0)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+
+    let mut reported: BTreeSet<(PathBuf, usize, String)> = BTreeSet::new();
+    let mut visited: BTreeSet<(PathBuf, usize)> = BTreeSet::new();
+    let mut queue: Vec<&TypeInfo> = roots.clone();
+
+    for root in &roots {
+        if !index.clone_covered(root)
+            && !allows.allowed(&root.file, Rule::SnapshotCompleteness, root.line)
+        {
+            out.push(Violation {
+                file: root.file.clone(),
+                line: root.line + 1,
+                rule: Rule::SnapshotCompleteness,
+                message: format!(
+                    "`{}` is the checkpoint root but has no Clone/snapshot coverage",
+                    root.name
+                ),
+            });
+        }
+    }
+
+    while let Some(t) = queue.pop() {
+        if !visited.insert((t.file.clone(), t.line)) {
+            continue;
+        }
+
+        // Hand-written Clone: every named field must be mentioned by the
+        // clone path (the impl body, or any inherent method the impl
+        // body names — `Clone for World` delegates to `snapshot`).
+        if t.kind == TypeKind::Struct && !t.derives.iter().any(|d| d == "Clone") {
+            if let Some(clone_impl) = index.clone_impl_of(t) {
+                let mut covered: BTreeSet<&str> =
+                    clone_impl.idents.iter().map(|s| s.as_str()).collect();
+                for im in index.inherent_impls_of(t) {
+                    for (fname, fidents) in &im.fns {
+                        if clone_impl.idents.contains(fname) {
+                            covered.extend(fidents.iter().map(|s| s.as_str()));
+                        }
+                    }
+                }
+                for f in &t.fields {
+                    if !covered.contains(f.name.as_str())
+                        && !allows.allowed(&t.file, Rule::SnapshotCompleteness, f.line)
+                    {
+                        out.push(Violation {
+                            file: t.file.clone(),
+                            line: f.line + 1,
+                            rule: Rule::SnapshotCompleteness,
+                            message: format!(
+                                "field `{}` of `{}` is never mentioned by its hand-written \
+                                 Clone/snapshot path; forks would silently lose or reset it",
+                                f.name, t.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Edges: every type identifier in field/payload position.
+        let mut edges: Vec<(&str, usize)> = Vec::new();
+        for f in &t.fields {
+            for id in &f.ty_idents {
+                edges.push((id.as_str(), f.line));
+            }
+        }
+        for (id, line) in &t.payload_idents {
+            edges.push((id.as_str(), *line));
+        }
+        for (ident, line) in edges {
+            for cand in index.resolve(ident, &t.crate_name) {
+                if !index.clone_covered(cand) {
+                    let key = (t.file.clone(), line, cand.name.clone());
+                    if !reported.contains(&key)
+                        && !allows.allowed(&t.file, Rule::SnapshotCompleteness, line)
+                    {
+                        reported.insert(key);
+                        out.push(Violation {
+                            file: t.file.clone(),
+                            line: line + 1,
+                            rule: Rule::SnapshotCompleteness,
+                            message: format!(
+                                "`{}` is reachable from `World` state here but `{}` has no \
+                                 Clone coverage; the checkpoint engine cannot fork it",
+                                cand.name, cand.name
+                            ),
+                        });
+                    }
+                }
+                queue.push(cand);
+            }
+        }
+    }
+}
+
+/// stream-label: duplicate literal labels per (function, receiver,
+/// method), and computed labels anywhere outside `simcore::rng`.
+pub(crate) fn stream_label(
+    items: &FileItems,
+    rel: &Path,
+    is_rng_file: bool,
+    allows: &dyn AllowLookup,
+    out: &mut Vec<Violation>,
+) {
+    if is_rng_file {
+        return;
+    }
+    let mut seen: BTreeMap<(usize, &str, &str, &str), usize> = BTreeMap::new();
+    for call in &items.streams {
+        match &call.label {
+            None => {
+                if !allows.allowed(rel, Rule::StreamLabel, call.line) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: call.line + 1,
+                        rule: Rule::StreamLabel,
+                        message: format!(
+                            "`.{}(..)` with a computed label; stream labels must be string \
+                             literals so aliasing is auditable (only simcore::rng derives \
+                             dynamically)",
+                            call.method
+                        ),
+                    });
+                }
+            }
+            Some(label) => {
+                let key = (
+                    call.scope,
+                    call.method,
+                    call.receiver.as_str(),
+                    label.as_str(),
+                );
+                match seen.get(&key) {
+                    None => {
+                        seen.insert(key, call.line);
+                    }
+                    Some(&first) => {
+                        if !allows.allowed(rel, Rule::StreamLabel, call.line) {
+                            out.push(Violation {
+                                file: rel.to_path_buf(),
+                                line: call.line + 1,
+                                rule: Rule::StreamLabel,
+                                message: format!(
+                                    "duplicate stream label \"{label}\" on `{}` (first derived \
+                                     at line {}); identical labels alias the same RNG stream \
+                                     and silently couple draws",
+                                    call.receiver,
+                                    first + 1
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// float-ord: NaN-capable ordering. Token-level checks:
+/// * `.partial_cmp(..).unwrap()` / `.expect(..)` comparator chains;
+/// * `f32`/`f64` in the key position of a keyed container.
+pub(crate) fn float_ord(
+    toks: &[Tok],
+    rel: &Path,
+    allows: &dyn AllowLookup,
+    out: &mut Vec<Violation>,
+) {
+    let is_punct = |t: &Tok, s: &str| t.kind == TokKind::Punct && t.text == s;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "partial_cmp"
+            && i > 0
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|u| is_punct(u, "("))
+        {
+            // Find the matching close paren, then look for `.unwrap()` /
+            // `.expect(..)`.
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if is_punct(&toks[j], "(") {
+                    depth += 1;
+                } else if is_punct(&toks[j], ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let chained_panic = toks.get(j + 1).is_some_and(|u| is_punct(u, "."))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|u| u.text == "unwrap" || u.text == "expect");
+            if chained_panic && !allows.allowed(rel, Rule::FloatOrd, t.line) {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: t.line + 1,
+                    rule: Rule::FloatOrd,
+                    message: "`.partial_cmp(..).unwrap()` comparator panics on NaN; use \
+                              `total_cmp` for float sort keys"
+                        .to_string(),
+                });
+            }
+        }
+        if KEYED_CONTAINERS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|u| is_punct(u, "<"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|u| u.text == "f32" || u.text == "f64")
+            && !allows.allowed(rel, Rule::FloatOrd, t.line)
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: t.line + 1,
+                rule: Rule::FloatOrd,
+                message: format!(
+                    "`{}<{}, ..>` keys on a float; NaN-capable keys break ordering/lookup — \
+                     key on integers (e.g. bit patterns or scaled ints) instead",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+}

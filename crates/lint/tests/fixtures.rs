@@ -31,6 +31,7 @@ fn every_rule_fires_exactly_once_on_the_fixture_tree() {
             7,
         ),
         ("crates/simdemo/src/envread.rs".to_string(), "env-var", 4),
+        ("crates/simdemo/src/floats.rs".to_string(), "float-ord", 5),
         ("crates/simdemo/src/io.rs".to_string(), "sans-io", 4),
         ("crates/simdemo/src/lib.rs".to_string(), "forbid-unsafe", 1),
         ("crates/simdemo/src/maps.rs".to_string(), "default-hash", 4),
@@ -41,10 +42,41 @@ fn every_rule_fires_exactly_once_on_the_fixture_tree() {
         ),
         ("crates/simdemo/src/threads.rs".to_string(), "thread", 4),
         ("crates/workloads/src/agg.rs".to_string(), "hash-iter", 9),
+        (
+            "crates/workloads/src/streams.rs".to_string(),
+            "stream-label",
+            8,
+        ),
+        (
+            "crates/workloads/src/worldlike.rs".to_string(),
+            "snapshot-completeness",
+            9,
+        ),
     ];
     let mut expected = expected;
     expected.sort();
     assert_eq!(got, expected, "full violation set mismatch");
+}
+
+#[test]
+fn json_report_is_byte_deterministic_and_ordered() {
+    let a = spider_lint::violations_json(&scan_tree(&fixture_root()).expect("scan"));
+    let b = spider_lint::violations_json(&scan_tree(&fixture_root()).expect("scan"));
+    let (a, b) = (a.pretty(), b.pretty());
+    assert_eq!(a, b, "two scans must serialize identically");
+    // Ordered keys and forward-slashed paths, CI-parsable.
+    let version = a.find("\"version\"").expect("version key");
+    let violations = a.find("\"violations\"").expect("violations key");
+    let count = a.find("\"count\"").expect("count key");
+    assert!(
+        version < violations && violations < count,
+        "key order is fixed"
+    );
+    assert!(a.contains("\"crates/simdemo/src/clock.rs\""));
+    assert!(
+        !a.contains("crates\\"),
+        "paths use forward slashes on every host"
+    );
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Negative tests for `snapshot-completeness`: deliberately grow a
+//! `World`-reachable type in ways the checkpoint engine cannot fork and
+//! prove the rule catches each one — exactly once, at the field's line.
+
+use spider_lint::{scan_sources, Rule};
+use std::path::PathBuf;
+
+fn world_sources(world_body: &str, extra: &str) -> Vec<(PathBuf, String)> {
+    // Mirrors the real shape: manual `Clone for World` delegating to an
+    // inherent `snapshot`, plus a small reachable type tree.
+    let world = format!(
+        "\
+pub struct World {{
+{world_body}
+}}
+
+impl Clone for World {{
+    fn clone(&self) -> Self {{
+        self.snapshot()
+    }}
+}}
+
+{extra}
+
+#[derive(Clone)]
+pub struct MiniQueue {{
+    pub depth: usize,
+}}
+
+pub struct Recorder {{
+    pub frames: u64,
+}}
+"
+    );
+    vec![(PathBuf::from("crates/workloads/src/world.rs"), world)]
+}
+
+#[test]
+fn added_uncloned_field_is_caught_at_its_line() {
+    // The scenario the rule exists for: someone adds a field holding
+    // non-Clone state to World and wires it into snapshot() — but the
+    // type itself still cannot be forked.
+    let v = scan_sources(&world_sources(
+        "    pub queue: MiniQueue,\n    pub probe: Recorder,",
+        "\
+impl World {
+    pub fn snapshot(&self) -> Self {
+        World {
+            queue: self.queue.clone(),
+            probe: Recorder { frames: self.probe.frames },
+        }
+    }
+}",
+    ));
+    assert_eq!(v.len(), 1, "exactly one violation: {v:?}");
+    assert_eq!(v[0].rule, Rule::SnapshotCompleteness);
+    assert_eq!(v[0].line, 3, "at the `probe` field's line");
+    assert!(v[0].message.contains("Recorder"));
+}
+
+#[test]
+fn field_missing_from_snapshot_is_caught_at_its_line() {
+    // Second failure mode: the field's type is forkable, but snapshot()
+    // was never taught about it — forks would silently lose it.
+    let v = scan_sources(&world_sources(
+        "    pub queue: MiniQueue,\n    pub horizon: u64,",
+        "\
+impl World {
+    pub fn snapshot(&self) -> Self {
+        World {
+            queue: self.queue.clone(),
+            ..unreachable!()
+        }
+    }
+}",
+    ));
+    // `horizon` is never mentioned by the Clone/snapshot path.
+    let misses: Vec<_> = v
+        .iter()
+        .filter(|v| v.rule == Rule::SnapshotCompleteness)
+        .collect();
+    assert_eq!(misses.len(), 1, "exactly one violation: {v:?}");
+    assert_eq!(misses[0].line, 3, "at the `horizon` field's line");
+    assert!(misses[0].message.contains("horizon"));
+}
+
+#[test]
+fn covered_world_is_clean() {
+    let v = scan_sources(&world_sources(
+        "    pub queue: MiniQueue,\n    pub horizon: u64,",
+        "\
+impl World {
+    pub fn snapshot(&self) -> Self {
+        World {
+            queue: self.queue.clone(),
+            horizon: self.horizon,
+        }
+    }
+}",
+    ));
+    assert!(v.is_empty(), "covered world must scan clean: {v:?}");
+}
+
+#[test]
+fn transitively_reachable_uncloned_type_is_caught() {
+    // Reachability is transitive: World → MiniQueue → the offending
+    // type, two files apart.
+    let files = vec![
+        (
+            PathBuf::from("crates/workloads/src/world.rs"),
+            "\
+#[derive(Clone)]
+pub struct World {
+    pub queue: MiniQueue,
+}
+"
+            .to_string(),
+        ),
+        (
+            PathBuf::from("crates/workloads/src/queue.rs"),
+            "\
+#[derive(Clone)]
+pub struct MiniQueue {
+    pub scratch: Recorder,
+}
+
+pub struct Recorder {
+    pub frames: u64,
+}
+"
+            .to_string(),
+        ),
+    ];
+    let v = scan_sources(&files);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::SnapshotCompleteness);
+    assert_eq!(
+        v[0].file,
+        PathBuf::from("crates/workloads/src/queue.rs"),
+        "reported where the edge is, one hop down"
+    );
+    assert_eq!(v[0].line, 3, "at the `scratch` field's line");
+}
+
+#[test]
+fn allow_escape_silences_the_field() {
+    let v = scan_sources(&world_sources(
+        "    pub queue: MiniQueue,\n    // dropped on fork by design: lint:allow(snapshot-completeness)\n    pub probe: Recorder,",
+        "\
+impl World {
+    pub fn snapshot(&self) -> Self {
+        World {
+            queue: self.queue.clone(),
+            probe: Recorder { frames: 0 },
+        }
+    }
+}",
+    ));
+    assert!(v.is_empty(), "escaped field must not fire: {v:?}");
+}
+
+#[test]
+fn non_workloads_world_is_not_a_root() {
+    // Only the real checkpoint root anchors the walk; a `World` in some
+    // other crate (e.g. a test helper) does not.
+    let files = vec![(
+        PathBuf::from("crates/model/src/world.rs"),
+        "\
+#[derive(Clone)]
+pub struct World {
+    pub probe: Recorder,
+}
+
+pub struct Recorder {
+    pub frames: u64,
+}
+"
+        .to_string(),
+    )];
+    let v = scan_sources(&files);
+    assert!(v.is_empty(), "{v:?}");
+}

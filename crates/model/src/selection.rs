@@ -145,8 +145,7 @@ pub fn greedy_select<F: Fn(&ApOption) -> f64>(
     let mut order: Vec<usize> = (0..options.len()).collect();
     order.sort_by(|&a, &b| {
         score(&options[b])
-            .partial_cmp(&score(&options[a]))
-            .unwrap()
+            .total_cmp(&score(&options[a]))
             .then(a.cmp(&b))
     });
     let mut chosen = Vec::new();

@@ -231,9 +231,8 @@ impl UtilityTable {
             })
             .max_by(|(a_id, a), (b_id, b)| {
                 self.score(a)
-                    .partial_cmp(&self.score(b))
-                    .unwrap()
-                    .then(a.rssi_dbm.partial_cmp(&b.rssi_dbm).unwrap())
+                    .total_cmp(&self.score(b))
+                    .then(a.rssi_dbm.total_cmp(&b.rssi_dbm))
                     // Deterministic final tie-break.
                     .then(b_id.cmp(a_id))
             })

@@ -253,6 +253,10 @@ pub struct World<C: ClientSystem> {
     delivered_prev: u64,
     encountered: FxHashSet<usize>,
     client_wake_scheduled: SimTime,
+    // Deliberately NOT forked: `snapshot()` sets this to `None` so a
+    // fork never inherits the parent's open trace file. The capture
+    // sink is observability, not simulation state — dropping it cannot
+    // affect the event stream. lint:allow(snapshot-completeness)
     capture: Option<CaptureWriter>,
     // Fault-injection state.
     fstats: FaultStats,
