@@ -151,7 +151,8 @@ impl FatVapDriver {
                 }
                 IfaceEvent::GotLease { .. }
                 | IfaceEvent::ConnectivityUp { .. }
-                | IfaceEvent::LeaseRejected { .. } => {}
+                | IfaceEvent::LeaseRejected { .. }
+                | IfaceEvent::PortalSuspected { .. } => {}
             }
         }
     }

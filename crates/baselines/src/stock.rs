@@ -173,6 +173,9 @@ impl StockDriver {
                 IfaceEvent::LeaseRejected { bssid } => {
                     self.leases.invalidate(bssid);
                 }
+                // A stock driver has no portal heuristics: it learns about
+                // the portal only from the matching `Down`.
+                IfaceEvent::PortalSuspected { .. } => {}
             }
         }
     }

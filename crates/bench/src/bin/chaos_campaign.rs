@@ -14,7 +14,8 @@
 //! ```text
 //! chaos_campaign [--trials N] [--seed S] [--duration-secs D]
 //!                [--shrink-budget N] [--workers N] [--tight]
-//!                [--no-fork] [--forkstats PATH] [--replay PATH]
+//!                [--tight-class CLASS] [--adversarial] [--no-fork]
+//!                [--forkstats PATH] [--replay PATH] [--matrix]
 //! ```
 //!
 //! * default mode exits non-zero when any trial violates an SLO or
@@ -22,22 +23,37 @@
 //!   run through the checkpoint prefix-tree (DESIGN.md §13) and the
 //!   work saved is reported — trie depth, checkpoints reused, and
 //!   events served from shared checkpoints included,
+//! * `--adversarial` arms the generator's adversarial tail (ARP
+//!   poisoning, captive portals, asymmetric loss) alongside the
+//!   standard classes,
 //! * `--no-fork` runs every world cold from `t = 0` — the report must
 //!   come out byte-identical either way, and CI diffs the two,
 //! * `--forkstats PATH` writes the fork-stats sidecar JSON to an
 //!   explicit path instead of `target/experiments/`,
 //! * `--tight` swaps in a deliberately unmeetable SLO table to
 //!   exercise the shrinking pipeline end to end,
+//! * `--tight-class CLASS` narrows the tight table to one fault class
+//!   (e.g. `arp-poison`), so the minimized reproducer is guaranteed to
+//!   pin that class — how the corpus artifacts for the adversarial
+//!   classes were harvested,
 //! * `--replay PATH` re-runs a minimized artifact and exits zero only
-//!   if the violation reproduces.
+//!   if the violation reproduces,
+//! * `--matrix` runs the full campaign matrix instead: all four
+//!   operation modes × {spider, stock, fatvap}, each cell calibrated
+//!   against its own fault-free envelope and hammered by the *same*
+//!   adversarial schedules (DESIGN.md §12). Exits non-zero only on
+//!   simulator panics — per-cell SLO violations are triage output, a
+//!   comparative result rather than a gate.
 
+use spider_baselines::{FatVapConfig, FatVapDriver, StockConfig, StockDriver};
 use spider_bench::{write_json, OutDir};
 use spider_core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_simcore::{Json, SimDuration};
 use spider_wire::Channel;
 use spider_workloads::campaign::{
-    run_campaign, run_campaign_forked, CampaignConfig, ChaosProfile, CheckpointCache,
-    MinimizedRepro, SloMetric, SloRule, SloTable,
+    run_campaign, run_campaign_forked, run_matrix_cell, CampaignConfig, ChaosProfile,
+    CheckpointCache, MatrixCell, MatrixReport, MinimizedRepro, SloMargins, SloMetric, SloRule,
+    SloTable,
 };
 use spider_workloads::scenarios::{town_scenario, ScenarioParams};
 use spider_workloads::{FaultPlan, World};
@@ -100,7 +116,39 @@ fn tight_table() -> SloTable {
                 metric: SloMetric::MaxDetectS("zombie"),
                 budget: 0.0,
             },
+            SloRule {
+                metric: SloMetric::MaxDetectS("arp-poison"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("captive-portal"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("asymmetric-loss"),
+                budget: 0.0,
+            },
         ],
+    }
+}
+
+/// The tight table narrowed to one class: only detections of `class`
+/// violate, so ddmin cannot trade the episode under study away for a
+/// faster-detected blackout.
+fn tight_class_table(class: &str) -> SloTable {
+    let class = match class {
+        "blackout" => "blackout",
+        "zombie" => "zombie",
+        "arp-poison" => "arp-poison",
+        "captive-portal" => "captive-portal",
+        "asymmetric-loss" => "asymmetric-loss",
+        other => panic!("--tight-class {other}: not a detectable fault class"),
+    };
+    SloTable {
+        rules: vec![SloRule {
+            metric: SloMetric::MaxDetectS(class),
+            budget: 0.0,
+        }],
     }
 }
 
@@ -161,10 +209,219 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+/// The four §4.1 configurations, as matrix rows.
+fn matrix_modes() -> Vec<OperationMode> {
+    let period = SimDuration::from_millis(600);
+    vec![
+        OperationMode::SingleChannelSingleAp(Channel::CH6),
+        OperationMode::SingleChannelMultiAp(Channel::CH6),
+        OperationMode::MultiChannelMultiAp { period },
+        OperationMode::MultiChannelSingleAp { period },
+    ]
+}
+
+/// Project an operation mode onto the stock driver's knobs: the only
+/// mode dimension it has is which channels it sweeps (it is single-AP
+/// by construction, so both single-AP and multi-AP rows get the same
+/// client — the rows stay comparable column-wise).
+fn stock_for_mode(mode: &OperationMode) -> StockConfig {
+    let mut c = StockConfig::quickwifi(1);
+    if let OperationMode::SingleChannelSingleAp(ch) | OperationMode::SingleChannelMultiAp(ch) = mode
+    {
+        c.scan_channels = vec![*ch];
+    }
+    c
+}
+
+/// Project an operation mode onto FatVAP's knobs: channel restriction
+/// for the single-channel rows, connection fan-out for the multi-AP
+/// rows.
+fn fatvap_for_mode(mode: &OperationMode) -> FatVapConfig {
+    let mut c = FatVapConfig::default();
+    if let OperationMode::SingleChannelSingleAp(ch) | OperationMode::SingleChannelMultiAp(ch) = mode
+    {
+        c.scan_channels = vec![*ch];
+    }
+    if let OperationMode::SingleChannelSingleAp(_) | OperationMode::MultiChannelSingleAp { .. } =
+        mode
+    {
+        c.num_conns = 1;
+    }
+    c
+}
+
+/// Per-cell triage line(s) for the matrix run.
+fn triage_cell(cell: &MatrixCell) {
+    let r = &cell.report;
+    println!(
+        "[{} / {}] envelope {} bytes, {:.1}% connectivity -> {} trials, {} violating, {} panicked",
+        cell.mode,
+        cell.driver,
+        cell.envelope.bytes,
+        cell.envelope.connectivity * 100.0,
+        r.trials,
+        r.violating_trials(),
+        r.job_failures.len()
+    );
+    for o in &r.outcomes {
+        for v in &o.violations {
+            println!("    trial {:>3}: {v}", o.trial);
+        }
+    }
+    for f in &r.job_failures {
+        println!(
+            "    trial {:>3}: PANIC {} [{}]",
+            f.index, f.message, f.fingerprint
+        );
+    }
+}
+
+/// The full campaign matrix: modes × drivers, every cell calibrated
+/// then judged against the same generated schedules.
+fn run_matrix(args: &[String]) -> ExitCode {
+    let trials = parse_num(args, "--trials", 4usize);
+    let seed = parse_num(args, "--seed", 1u64);
+    let duration = SimDuration::from_secs(parse_num(args, "--duration-secs", 120u64));
+    let shrink_budget = parse_num(args, "--shrink-budget", 40usize);
+    let workers = parse_num(args, "--workers", 0usize);
+    let no_fork = args.iter().any(|a| a == "--no-fork");
+
+    let params = ScenarioParams {
+        duration,
+        seed: WORLD_SEED,
+        ..Default::default()
+    };
+    let num_aps = town_scenario(&params).deployment.len();
+    let cfg = CampaignConfig {
+        trials,
+        seed,
+        num_aps,
+        duration,
+        // The adversarial tail is the matrix's reason to exist.
+        profile: ChaosProfile::adversarial(),
+        // Placeholder; every cell swaps in its calibrated table.
+        slo: SloTable::paper_default(),
+        shrink_budget,
+        max_shrinks: 1,
+        workers,
+        watchdog_ms: Some(120_000),
+    };
+
+    let spider_margins = SloMargins::spider_paper();
+    let stock_margins = SloMargins::stock_monitor();
+    // FatVAP shares Spider's §3.2.2 monitor (same iface stack) but
+    // recovers by re-estimation and rescans, without lease caches or a
+    // blacklist ladder — looser recovery and byte floors.
+    let fatvap_margins = SloMargins {
+        recover_s: 60.0,
+        bytes_frac: 0.01,
+        ..SloMargins::spider_paper()
+    };
+
+    println!(
+        "chaos matrix: {} modes x 3 drivers, {trials} trials/cell, seed {seed}, \
+         {num_aps} APs, {}s drives{}",
+        matrix_modes().len(),
+        duration.as_secs_f64(),
+        if no_fork { " (cold, no forking)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    let mut stats_json = Vec::new();
+    for mode in matrix_modes() {
+        let label = mode.label();
+        {
+            let mode = mode.clone();
+            let make = |plan: &FaultPlan| {
+                let mut wc = town_scenario(&params);
+                wc.faults = plan.clone();
+                World::new(
+                    wc,
+                    SpiderDriver::new(SpiderConfig::for_mode(mode.clone(), 1)),
+                )
+            };
+            let (cell, fs) =
+                run_matrix_cell(&label, "spider", &cfg, &spider_margins, !no_fork, make);
+            triage_cell(&cell);
+            stats_json.push(Json::obj([
+                ("mode", Json::str(label.clone())),
+                ("driver", Json::str("spider")),
+                ("forkstats", fs.to_json()),
+            ]));
+            cells.push(cell);
+        }
+        {
+            let stock_cfg = stock_for_mode(&mode);
+            let make = |plan: &FaultPlan| {
+                let mut wc = town_scenario(&params);
+                wc.faults = plan.clone();
+                World::new(wc, StockDriver::new(stock_cfg.clone()))
+            };
+            let (cell, fs) = run_matrix_cell(&label, "stock", &cfg, &stock_margins, !no_fork, make);
+            triage_cell(&cell);
+            stats_json.push(Json::obj([
+                ("mode", Json::str(label.clone())),
+                ("driver", Json::str("stock")),
+                ("forkstats", fs.to_json()),
+            ]));
+            cells.push(cell);
+        }
+        {
+            let fv_cfg = fatvap_for_mode(&mode);
+            let make = |plan: &FaultPlan| {
+                let mut wc = town_scenario(&params);
+                wc.faults = plan.clone();
+                World::new(wc, FatVapDriver::new(fv_cfg.clone()))
+            };
+            let (cell, fs) =
+                run_matrix_cell(&label, "fatvap", &cfg, &fatvap_margins, !no_fork, make);
+            triage_cell(&cell);
+            stats_json.push(Json::obj([
+                ("mode", Json::str(label.clone())),
+                ("driver", Json::str("fatvap")),
+                ("forkstats", fs.to_json()),
+            ]));
+            cells.push(cell);
+        }
+    }
+
+    let matrix = MatrixReport { seed, cells };
+    let panicked: usize = matrix
+        .cells
+        .iter()
+        .map(|c| c.report.job_failures.len())
+        .sum();
+
+    let _out = OutDir::open();
+    let report_path = write_json("chaos_matrix_report.json", &matrix.to_json());
+    println!("\nwrote {}", report_path.display());
+    if !no_fork {
+        // Sidecar, never part of the byte-diffed report (CI compares
+        // the forked and cold matrix reports byte for byte).
+        let stats_path = write_json("chaos_matrix_forkstats.json", &Json::Arr(stats_json));
+        println!("wrote {}", stats_path.display());
+    }
+
+    println!(
+        "\nmatrix: {} cells, {} with violations, {} simulator panics",
+        matrix.cells.len(),
+        matrix.violating_cells(),
+        panicked
+    );
+    if panicked == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = parse_flag(&args, "--replay") {
         return replay(&path);
+    }
+    if args.iter().any(|a| a == "--matrix") {
+        return run_matrix(&args);
     }
 
     let trials = parse_num(&args, "--trials", 8usize);
@@ -172,7 +429,9 @@ fn main() -> ExitCode {
     let duration = SimDuration::from_secs(parse_num(&args, "--duration-secs", 300u64));
     let shrink_budget = parse_num(&args, "--shrink-budget", 120usize);
     let workers = parse_num(&args, "--workers", 0usize);
-    let tight = args.iter().any(|a| a == "--tight");
+    let tight_class = parse_flag(&args, "--tight-class");
+    let tight = args.iter().any(|a| a == "--tight") || tight_class.is_some();
+    let adversarial = args.iter().any(|a| a == "--adversarial");
     let no_fork = args.iter().any(|a| a == "--no-fork");
     let forkstats_path = parse_flag(&args, "--forkstats");
 
@@ -182,11 +441,15 @@ fn main() -> ExitCode {
         seed,
         num_aps,
         duration,
-        profile: ChaosProfile::standard(),
-        slo: if tight {
-            tight_table()
+        profile: if adversarial {
+            ChaosProfile::adversarial()
         } else {
-            SloTable::paper_default()
+            ChaosProfile::standard()
+        },
+        slo: match &tight_class {
+            Some(class) => tight_class_table(class),
+            None if tight => tight_table(),
+            None => SloTable::paper_default(),
         },
         shrink_budget,
         max_shrinks: 4,

@@ -83,6 +83,10 @@ pub fn run_driver<C: ClientSystem>(cfg: WorldConfig, client: C) -> RunResult {
 /// [`World::rebase_seed`]. Rows 0–4 drive Spider and row 5 the stock
 /// baseline; one enum lets the heterogeneous rows share a single
 /// forked sweep.
+// Both variants are full Worlds (kilobytes each, six instances per
+// fan run); boxing would add indirection without meaningfully
+// shrinking anything that matters at this scale.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum Table2Base {
     /// A Spider-driven row (rows 0–4).

@@ -1,0 +1,121 @@
+//! Minimal gateway-resolution (ARP) state on the lease path.
+//!
+//! The simulator's data frames are addressed at the BSSID, so a full
+//! neighbour table would be theatre — but *whether the client's
+//! mapping for its gateway is trustworthy* is real state with real
+//! failure modes: an ARP-poison episode hijacks the mapping so
+//! upstream unicast lands on a black-hole MAC while association, DHCP
+//! and link state all stay green. This module keeps that state
+//! first-class on the client: the gateway is resolved when a lease
+//! binds, flushed when the interface tears down, and re-resolved on
+//! the next join — so "recovery re-resolved the gateway" is an
+//! observable fact ([`GatewayArp::resolutions`]) rather than an
+//! inference.
+
+use spider_simcore::SimTime;
+use spider_wire::Ipv4Addr;
+
+/// Client-side gateway-resolution state for one interface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GatewayArp {
+    /// The gateway (DHCP server) the current mapping points at, while
+    /// resolved.
+    gateway: Option<Ipv4Addr>,
+    /// When the current mapping was established.
+    resolved_at: Option<SimTime>,
+    /// Total resolutions performed over the interface's lifetime (one
+    /// per lease bind) — re-resolution after a poisoning episode shows
+    /// up as this counter advancing past the first join.
+    resolutions: u64,
+    /// Total flushes (teardowns) over the interface's lifetime.
+    flushes: u64,
+}
+
+impl GatewayArp {
+    /// Fresh, unresolved state.
+    pub fn new() -> GatewayArp {
+        GatewayArp::default()
+    }
+
+    /// A lease bound: resolve the gateway it names. Called on every
+    /// bind, so a rejoin after a poisoning episode re-resolves even if
+    /// the same gateway comes back.
+    pub fn resolve(&mut self, now: SimTime, gateway: Ipv4Addr) {
+        self.gateway = Some(gateway);
+        self.resolved_at = Some(now);
+        self.resolutions += 1;
+    }
+
+    /// Interface teardown: the mapping dies with the link.
+    pub fn flush(&mut self) {
+        if self.gateway.take().is_some() {
+            self.flushes += 1;
+        }
+        self.resolved_at = None;
+    }
+
+    /// Whether a gateway mapping is currently held.
+    pub fn is_resolved(&self) -> bool {
+        self.gateway.is_some()
+    }
+
+    /// The currently resolved gateway, if any.
+    pub fn gateway(&self) -> Option<Ipv4Addr> {
+        self.gateway
+    }
+
+    /// When the current mapping was established, if resolved.
+    pub fn resolved_at(&self) -> Option<SimTime> {
+        self.resolved_at
+    }
+
+    /// Lifetime resolution count (see field docs).
+    pub fn resolutions(&self) -> u64 {
+        self.resolutions
+    }
+
+    /// Lifetime flush count.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GW: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+
+    #[test]
+    fn resolve_and_flush_track_the_lease_lifecycle() {
+        let mut arp = GatewayArp::new();
+        assert!(!arp.is_resolved());
+        assert_eq!(arp.resolutions(), 0);
+        arp.resolve(SimTime::from_secs(1), GW);
+        assert!(arp.is_resolved());
+        assert_eq!(arp.gateway(), Some(GW));
+        assert_eq!(arp.resolved_at(), Some(SimTime::from_secs(1)));
+        assert_eq!(arp.resolutions(), 1);
+        arp.flush();
+        assert!(!arp.is_resolved());
+        assert_eq!(arp.gateway(), None);
+        assert_eq!(arp.flushes(), 1);
+    }
+
+    #[test]
+    fn rejoin_re_resolves_even_the_same_gateway() {
+        let mut arp = GatewayArp::new();
+        arp.resolve(SimTime::from_secs(1), GW);
+        arp.flush();
+        arp.resolve(SimTime::from_secs(7), GW);
+        assert_eq!(arp.resolutions(), 2, "same gateway still re-resolves");
+        assert_eq!(arp.resolved_at(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn flush_without_a_mapping_is_a_no_op() {
+        let mut arp = GatewayArp::new();
+        arp.flush();
+        assert_eq!(arp.flushes(), 0);
+    }
+}

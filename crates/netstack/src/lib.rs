@@ -12,16 +12,21 @@
 //!   delay distribution (the analytical model's β ∈ [βmin, βmax]),
 //! * [`lease`] — per-BSSID lease cache (§3.1: "Spider uses dhcp caches
 //!   ... to reduce the time to join"),
+//! * [`arp`] — gateway-resolution state on the lease path, so
+//!   ARP-poison chaos episodes (and the re-resolution that recovers
+//!   from them) are first-class simulated events,
 //! * [`ping`] — Spider's end-to-end liveness monitor: 10 pings/second,
 //!   30 consecutive losses declare the connection dead (§3.2.2).
 
 #![forbid(unsafe_code)]
 
+pub mod arp;
 pub mod dhcp_client;
 pub mod dhcp_server;
 pub mod lease;
 pub mod ping;
 
+pub use arp::GatewayArp;
 pub use dhcp_client::{DhcpClient, DhcpClientConfig, DhcpClientEvent, DhcpClientState};
 pub use dhcp_server::{DhcpServer, DhcpServerConfig};
 pub use lease::{Lease, LeaseCache};

@@ -91,6 +91,27 @@ impl ApBlacklist {
         entry.blocked_until
     }
 
+    /// A portal classification against `bssid`: demote straight to the
+    /// backoff ceiling instead of climbing the ladder. A captive portal
+    /// is not *failing* — it is working exactly as its operator
+    /// intends, and will still be intercepting on the next retry — so
+    /// strikes jump past the exponent cap (the ladder saturates there,
+    /// keeping any later [`ApBlacklist::record_failure`] at the
+    /// ceiling too). Returns the instant the block expires.
+    pub fn record_portal(&mut self, now: SimTime, bssid: MacAddr) -> SimTime {
+        // One past the record_failure exponent cap of 16.
+        const PORTAL_STRIKES: u32 = 17;
+        let entry = self.entries.entry(bssid).or_insert(Entry {
+            strikes: 0,
+            blocked_until: now,
+        });
+        entry.strikes = entry.strikes.max(PORTAL_STRIKES);
+        let unit = (jitter_hash(bssid, entry.strikes) % 10_000) as f64 / 10_000.0;
+        let factor = 1.0 + self.cfg.jitter * (2.0 * unit - 1.0);
+        entry.blocked_until = now.saturating_add(self.cfg.max.mul_f64(factor));
+        entry.blocked_until
+    }
+
     /// A verified join succeeded: forgive all strikes.
     pub fn record_success(&mut self, bssid: MacAddr) {
         self.entries.remove(&bssid);
@@ -192,6 +213,23 @@ mod tests {
                 secs(60)
             ]
         );
+    }
+
+    #[test]
+    fn portal_demotion_jumps_to_the_ceiling_and_stays_there() {
+        let mut b = bl();
+        let until = b.record_portal(SimTime::ZERO, AP);
+        assert_eq!(until, SimTime::from_secs(60), "straight to the cap");
+        assert_eq!(b.strikes(AP), 17);
+        // A later plain failure (the matching Down) cannot shorten it.
+        let later = b.record_failure(SimTime::ZERO, AP);
+        assert_eq!(later, SimTime::from_secs(60));
+        // Strikes already past the ladder never regress.
+        b.record_portal(SimTime::ZERO, AP);
+        assert_eq!(b.strikes(AP), 18);
+        // Success still forgives everything.
+        b.record_success(AP);
+        assert_eq!(b.strikes(AP), 0);
     }
 
     #[test]

@@ -211,6 +211,17 @@ impl SpiderDriver {
         &self.blacklist
     }
 
+    /// Total gateway resolutions across all interfaces — one per lease
+    /// bind (see [`spider_netstack::GatewayArp`]). A rejoin after an
+    /// ARP-poison teardown shows up as this advancing past the first
+    /// join: recovery re-resolved the gateway.
+    pub fn gateway_resolutions(&self) -> u64 {
+        self.ifaces
+            .iter()
+            .map(|i| i.gateway_arp().resolutions())
+            .sum()
+    }
+
     /// Interfaces currently associated at the link layer.
     pub fn associated_count(&self) -> usize {
         self.ifaces.iter().filter(|i| i.is_associated()).count()
@@ -332,6 +343,15 @@ impl SpiderDriver {
                     }
                     // Try to rebind immediately.
                     self.next_housekeeping = now;
+                }
+                IfaceEvent::PortalSuspected { bssid } => {
+                    // A captive portal answers pings but delivers nothing:
+                    // demote straight to the blacklist ceiling so selection
+                    // does not keep walking into the same walled garden
+                    // (the matching `Down` follows and cannot shorten it).
+                    if !self.suppress_blacklist && bssid != MacAddr::BROADCAST {
+                        self.blacklist.record_portal(now, bssid);
+                    }
                 }
                 IfaceEvent::LeaseRejected { bssid } => {
                     // The server NAKed the cached lease: it is stale.

@@ -8,7 +8,8 @@
 
 use spider_mac80211::{ApTarget, ClientMacConfig, InterfaceMac, JoinLog, MacEvent};
 use spider_netstack::{
-    DhcpClient, DhcpClientConfig, DhcpClientEvent, Lease, PingConfig, PingEngine, PingEvent,
+    DhcpClient, DhcpClientConfig, DhcpClientEvent, GatewayArp, Lease, PingConfig, PingEngine,
+    PingEvent,
 };
 use spider_simcore::{SimDuration, SimTime};
 use spider_tcpsim::TcpReceiver;
@@ -77,6 +78,17 @@ pub enum IfaceEvent {
         /// The AP whose server rejected the lease.
         bssid: MacAddr,
     },
+    /// The interface classified this AP as a captive portal: the link
+    /// fell back to gateway probing (end-to-end ICMP is dead), gateway
+    /// pings are answered — so the link *looks* alive — yet the data
+    /// plane has delivered nothing for a sustained window. A portal is
+    /// not failing, it is working as its operator intends, so the
+    /// driver should demote the AP rather than retry it forever. A
+    /// matching [`IfaceEvent::Down`] follows.
+    PortalSuspected {
+        /// The AP behind the suspected portal.
+        bssid: MacAddr,
+    },
 }
 
 /// A virtual interface.
@@ -99,6 +111,17 @@ pub struct ClientIface {
     /// Probe the gateway instead of the wired server (set once the ping
     /// engine reports that end-to-end ICMP looks filtered, §3.2.2).
     ping_gateway: bool,
+    /// Gateway-resolution state: resolved on every lease bind, flushed
+    /// on teardown. Re-resolution is how an ARP-poisoned session
+    /// recovers, and the resolution counter is the observable proof.
+    arp: GatewayArp,
+    /// When the gateway-ping fallback engaged, while the captive-portal
+    /// classifier is armed (`None` once the data plane shows progress —
+    /// an honest ICMP-filtering gateway, not a portal).
+    fell_back_at: Option<SimTime>,
+    /// Bytes delivered at the instant of fallback, the zero-progress
+    /// reference for the portal classifier.
+    fallback_bytes: u64,
     join_started: SimTime,
     fully_joined: bool,
     tcp_enabled: bool,
@@ -132,6 +155,9 @@ impl ClientIface {
             phase: IfacePhase::Idle,
             lease: None,
             ping_gateway: false,
+            arp: GatewayArp::new(),
+            fell_back_at: None,
+            fallback_bytes: 0,
             join_started: SimTime::ZERO,
             fully_joined: false,
             tcp_enabled,
@@ -145,6 +171,14 @@ impl ClientIface {
     /// How long a connected flow may sit without progress before being
     /// re-dialled (an application-level retry, as a stalled `wget` would).
     const FLOW_STALL: SimDuration = SimDuration::from_secs(5);
+
+    /// How long a fallen-back link may show zero delivery progress
+    /// before it is classified as a captive portal. Two flow-stall
+    /// windows: long enough for a genuine ICMP-filtering gateway to get
+    /// a first byte through even under heavy interference (the flow
+    /// re-dials at [`Self::FLOW_STALL`]), short enough that a portal is
+    /// demoted well inside a drive-by encounter.
+    const PORTAL_SUSPECT: SimDuration = SimDuration::from_secs(10);
 
     fn open_flow(&mut self, now: SimTime) -> Vec<IfaceEvent> {
         let iss = self.next_iss;
@@ -204,6 +238,13 @@ impl ClientIface {
         self.delivered_base + self.tcp.as_ref().map(|t| t.delivered).unwrap_or(0)
     }
 
+    /// Gateway-resolution state (see [`GatewayArp`]): how many times
+    /// this interface has resolved a gateway, and whether a mapping is
+    /// currently held.
+    pub fn gateway_arp(&self) -> &GatewayArp {
+        &self.arp
+    }
+
     /// Begin joining `target`, optionally with a cached lease.
     pub fn start_join(&mut self, now: SimTime, target: ApTarget, cached: Option<Lease>) {
         self.teardown_stacks();
@@ -224,6 +265,9 @@ impl ClientIface {
         self.mac.reset();
         self.lease = None;
         self.ping_gateway = false;
+        self.arp.flush();
+        self.fell_back_at = None;
+        self.fallback_bytes = 0;
         self.phase = IfacePhase::Idle;
     }
 
@@ -381,9 +425,14 @@ impl ClientIface {
             IfacePhase::Verifying | IfacePhase::Connected => {
                 let ping_events = self.ping.poll(now, on_channel);
                 // If the whole session has been silence, redirect the
-                // probes at the gateway before wrapping any Send below.
+                // probes at the gateway before wrapping any Send below —
+                // and arm the portal classifier: a link that *stays* on
+                // gateway probing with zero delivery progress is being
+                // intercepted, not filtered.
                 if !self.ping_gateway && self.ping.should_fall_back() {
                     self.ping_gateway = true;
+                    self.fell_back_at = Some(now);
+                    self.fallback_bytes = self.delivered_bytes();
                 }
                 for ev in ping_events {
                     match ev {
@@ -427,6 +476,16 @@ impl ClientIface {
                 {
                     self.flow_progress_at = now;
                 }
+                // Same for the portal clock: progress is impossible
+                // off-channel, so an expiry there slides instead of
+                // firing (the judgement window must elapse on-channel).
+                if self.tcp_enabled && self.phase == IfacePhase::Connected && !on_channel {
+                    if let Some(fb) = self.fell_back_at {
+                        if now.saturating_since(fb) >= Self::PORTAL_SUSPECT {
+                            self.fell_back_at = Some(now);
+                        }
+                    }
+                }
                 // Application-level retry: if the flow died (SYN gave up,
                 // server sender timed out away) or stalled, and the link
                 // itself is verified alive, dial a fresh connection.
@@ -444,6 +503,33 @@ impl ClientIface {
                         }
                         let flow = self.open_flow(now);
                         out.extend(flow);
+                    }
+                    // Captive-portal classifier: fallen back to gateway
+                    // probing (so the ping engine says "alive"), yet not
+                    // one byte delivered since the fallback. An honest
+                    // ICMP-filtering gateway shows progress and disarms;
+                    // a portal never does — demote it and move on.
+                    if let Some(fb) = self.fell_back_at {
+                        if self.delivered_bytes() > self.fallback_bytes {
+                            self.fell_back_at = None;
+                        } else if now.saturating_since(fb) >= Self::PORTAL_SUSPECT {
+                            let bssid = self.bssid().unwrap_or(MacAddr::BROADCAST);
+                            out.push(IfaceEvent::PortalSuspected { bssid });
+                            if self.mac.is_associated() {
+                                out.push(IfaceEvent::Transmit(Frame {
+                                    src: self.addr,
+                                    dst: bssid,
+                                    bssid,
+                                    body: FrameBody::Deauth { reason: 3 },
+                                }));
+                            }
+                            out.push(IfaceEvent::Down {
+                                bssid,
+                                outcome: self.pending_outcome(),
+                            });
+                            self.teardown_stacks();
+                            return out;
+                        }
                     }
                 }
             }
@@ -465,6 +551,9 @@ impl ClientIface {
                 }
                 if self.tcp_enabled && self.phase == IfacePhase::Connected {
                     t = t.min(self.flow_progress_at + Self::FLOW_STALL);
+                    if let Some(fb) = self.fell_back_at {
+                        t = t.min(fb + Self::PORTAL_SUSPECT);
+                    }
                 }
             }
         }
@@ -542,6 +631,11 @@ impl ClientIface {
                                 via_cache,
                             } => {
                                 self.lease = Some(lease);
+                                // The lease names the gateway: resolve it.
+                                // A rejoin after an ARP-poison episode
+                                // lands here again — that second
+                                // resolution *is* the recovery.
+                                self.arp.resolve(now, lease.server);
                                 self.phase = IfacePhase::Verifying;
                                 log.record_dhcp(now, took);
                                 let bssid = self.bssid().unwrap_or(MacAddr::BROADCAST);

@@ -71,8 +71,14 @@ pub struct ChaosProfile {
     pub loss_extra: (f64, f64),
     /// Relative draw weights per class, in [`CHAOS_KINDS`] order:
     /// blackout, zombie, dhcp-silence, dhcp-exhausted, icmp-blackhole,
-    /// loss-burst.
-    pub kind_weights: [f64; 6],
+    /// loss-burst, arp-poison, captive-portal, asymmetric-loss.
+    ///
+    /// `pick_weighted` sums the slice and walks it against one uniform
+    /// draw, so *trailing zero* weights change neither the total nor
+    /// the draw sequence: profiles that zero the adversarial tail
+    /// generate byte-identical plans to the six-class generator, which
+    /// is what keeps every recorded corpus artifact valid.
+    pub kind_weights: [f64; 9],
     /// Fraction window of the available start range episodes may begin
     /// in, as `(lo, hi)` in `[0, 1]`. `(0.0, 1.0)` is the whole drive;
     /// `(0.5, 1.0)` back-loads every episode into the second half,
@@ -82,13 +88,16 @@ pub struct ChaosProfile {
 }
 
 /// Class order behind [`ChaosProfile::kind_weights`].
-pub const CHAOS_KINDS: [&str; 6] = [
+pub const CHAOS_KINDS: [&str; 9] = [
     "blackout",
     "zombie",
     "dhcp-silence",
     "dhcp-exhausted",
     "icmp-blackhole",
     "loss-burst",
+    "arp-poison",
+    "captive-portal",
+    "asymmetric-loss",
 ];
 
 impl ChaosProfile {
@@ -102,7 +111,9 @@ impl ChaosProfile {
             compound_prob: 0.35,
             global_prob: 0.1,
             loss_extra: (0.1, 0.6),
-            kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            // Adversarial tail zeroed: the standard profile's plans (and
+            // so every recorded corpus artifact) predate those classes.
+            kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0],
             start_frac: (0.0, 1.0),
         }
     }
@@ -116,8 +127,20 @@ impl ChaosProfile {
             compound_prob: 0.6,
             global_prob: 0.2,
             loss_extra: (0.2, 0.8),
-            kind_weights: [1.0, 1.5, 1.0, 1.0, 1.5, 1.5],
+            kind_weights: [1.0, 1.5, 1.0, 1.0, 1.5, 1.5, 0.0, 0.0, 0.0],
             start_frac: (0.0, 1.0),
+        }
+    }
+
+    /// [`ChaosProfile::standard`] with the adversarial classes armed:
+    /// ARP poison, captive portals, and directional loss drawn at full
+    /// weight alongside the original six. New artifacts and the
+    /// campaign matrix use this; the legacy profiles keep the tail at
+    /// zero so their recorded plans never shift.
+    pub fn adversarial() -> ChaosProfile {
+        ChaosProfile {
+            kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            ..ChaosProfile::standard()
         }
     }
 
@@ -146,8 +169,16 @@ fn draw_kind(rng: &mut SimRng, profile: &ChaosProfile) -> FaultKind {
         2 => FaultKind::DhcpSilence,
         3 => FaultKind::DhcpExhausted,
         4 => FaultKind::IcmpBlackhole,
-        _ => FaultKind::LossBurst {
+        5 => FaultKind::LossBurst {
             extra: rng.uniform_in(profile.loss_extra.0, profile.loss_extra.1),
+        },
+        6 => FaultKind::ArpPoison,
+        7 => FaultKind::CaptivePortal,
+        // Directional loss reuses the burst's extra bounds per leg; the
+        // two draws are ordered up-then-down.
+        _ => FaultKind::AsymmetricLoss {
+            up: rng.uniform_in(profile.loss_extra.0, profile.loss_extra.1),
+            down: rng.uniform_in(profile.loss_extra.0, profile.loss_extra.1),
         },
     }
 }
@@ -223,8 +254,9 @@ pub fn chaos_plan(
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SloMetric {
     /// Worst ping-monitor detection latency for one data-fault class
-    /// (`"blackout"` / `"zombie"`), seconds. No detections of that
-    /// class → nothing to judge.
+    /// (`"blackout"`, `"zombie"`, `"arp-poison"`, `"captive-portal"`,
+    /// `"asymmetric-loss"`), seconds. No detections of that class →
+    /// nothing to judge.
     MaxDetectS(&'static str),
     /// Worst fault-coincident outage-to-recovery latency, seconds.
     MaxRecoverS,
@@ -1523,6 +1555,270 @@ where
             job_failures: sweep.failures,
             hung: sweep.hung,
             minimized,
+        },
+        stats,
+    )
+}
+
+/// Fault-free performance envelope of one campaign-matrix cell — what
+/// the (mode, driver) pairing achieves when nothing is attacking it.
+/// Calibration input for [`calibrated_slo`]: budgets judge the faulted
+/// runs *relative to what this cell can actually do*, so a
+/// single-channel baseline is not held to a multi-AP Spider bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Payload bytes the fault-free run delivered.
+    pub bytes: u64,
+    /// Connectivity fraction of the fault-free run.
+    pub connectivity: f64,
+    /// Fault-free p90 DHCP acquisition, seconds (`None` when the run
+    /// never completed an acquisition — nothing to calibrate against).
+    pub dhcp_p90_s: Option<f64>,
+}
+
+impl Envelope {
+    /// Measure the envelope off a fault-free run.
+    pub fn measure(r: &RunResult) -> Envelope {
+        Envelope {
+            bytes: r.bytes,
+            connectivity: r.connectivity,
+            dhcp_p90_s: SloMetric::MaxDhcpP90S.measure(r),
+        }
+    }
+
+    /// Report form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bytes", Json::UInt(self.bytes)),
+            ("connectivity", Json::Num(self.connectivity)),
+            (
+                "dhcp_p90_s",
+                match self.dhcp_p90_s {
+                    Some(v) => Json::Num(v),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Paper-derived margins layered on a measured [`Envelope`] to produce
+/// one matrix cell's calibrated [`SloTable`]. Detection and recovery
+/// budgets are absolute (they come from the monitor's timers, not from
+/// throughput); the byte floor and DHCP ceiling scale with the
+/// envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloMargins {
+    /// Per-class detection budgets, seconds. Classes absent here are
+    /// not judged for detection in this cell.
+    pub detect_s: Vec<(&'static str, f64)>,
+    /// Recovery ceiling, seconds.
+    pub recover_s: f64,
+    /// The faulted run must still deliver at least this fraction of
+    /// the envelope's bytes (floored at one byte, so a cell whose
+    /// envelope is empty only demands *something* got through).
+    pub bytes_frac: f64,
+    /// DHCP p90 ceiling = envelope p90 × this headroom ...
+    pub dhcp_headroom: f64,
+    /// ... but never tighter than this floor, seconds — which is also
+    /// the ceiling when the envelope had no acquisitions to calibrate
+    /// against.
+    pub dhcp_floor_s: f64,
+}
+
+impl SloMargins {
+    /// Margins for Spider's §3.2.2 monitor (100 ms pings, 30 losses):
+    ///
+    /// * blackout / zombie / ARP-poison ≤ 3.15 s — 30 losses at
+    ///   10 pings/s is 3.0 s, plus up to one full 100 ms ping tick of
+    ///   onset phase. An ARP-poisoned gateway swallows the fallback
+    ///   pings too, so the end-to-end clock runs undisturbed,
+    /// * captive portal ≤ 16 s — the gateway fallback arms at ~1.0 s
+    ///   and keeps the monitor *happy*; the zero-progress portal
+    ///   classifier needs its full 10 s window on top, and the detect
+    ///   clock starts at the first *hijacked* packet, which can land
+    ///   seconds before the monitored session's pings even start
+    ///   (town cells measure up to ~14.6 s),
+    /// * asymmetric loss ≤ 45 s — directional loss only kills liveness
+    ///   while it is deep, so the budget is the generator's episode-
+    ///   window ceiling rather than a monitor constant.
+    pub fn spider_paper() -> SloMargins {
+        SloMargins {
+            // 3.0 s monitor budget + one full 100 ms ping tick of
+            // phase: the detect clock starts at the first swallowed
+            // packet, which lands anywhere within the ping cadence.
+            detect_s: vec![
+                ("blackout", 3.15),
+                ("zombie", 3.15),
+                ("arp-poison", 3.15),
+                ("captive-portal", 16.0),
+                ("asymmetric-loss", 45.0),
+            ],
+            recover_s: 45.0,
+            bytes_frac: 0.05,
+            dhcp_headroom: 3.0,
+            dhcp_floor_s: 10.0,
+        }
+    }
+
+    /// Margins for the stock supplicant's 1 s × 12-failure monitor:
+    /// every data-plane class collapses into one "pings stopped"
+    /// signal at ~12 s (it never falls back to the gateway, so a
+    /// captive portal is detected *sooner* than under Spider — by
+    /// accident of having no fallback to trap). Recovery is slower
+    /// (full rescans from channel 1) and the byte floor looser.
+    pub fn stock_monitor() -> SloMargins {
+        SloMargins {
+            detect_s: vec![
+                ("blackout", 13.0),
+                ("zombie", 13.0),
+                ("arp-poison", 13.0),
+                ("captive-portal", 13.0),
+                ("asymmetric-loss", 60.0),
+            ],
+            recover_s: 90.0,
+            bytes_frac: 0.01,
+            dhcp_headroom: 3.0,
+            dhcp_floor_s: 15.0,
+        }
+    }
+}
+
+/// Build one matrix cell's SLO table from its measured fault-free
+/// envelope plus paper margins (DESIGN.md §12).
+pub fn calibrated_slo(envelope: &Envelope, margins: &SloMargins) -> SloTable {
+    let mut rules: Vec<SloRule> = margins
+        .detect_s
+        .iter()
+        .map(|&(class, budget)| SloRule {
+            metric: SloMetric::MaxDetectS(class),
+            budget,
+        })
+        .collect();
+    rules.push(SloRule {
+        metric: SloMetric::MaxRecoverS,
+        budget: margins.recover_s,
+    });
+    rules.push(SloRule {
+        metric: SloMetric::MaxDhcpP90S,
+        budget: match envelope.dhcp_p90_s {
+            Some(p90) => (p90 * margins.dhcp_headroom).max(margins.dhcp_floor_s),
+            None => margins.dhcp_floor_s,
+        },
+    });
+    rules.push(SloRule {
+        metric: SloMetric::MinBytes,
+        budget: (envelope.bytes as f64 * margins.bytes_frac).max(1.0),
+    });
+    SloTable { rules }
+}
+
+/// One judged cell of the campaign matrix: an operation-mode / driver
+/// pairing with its calibration envelope, the SLO table derived from
+/// it, and the full campaign outcome under that table.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Operation-mode label (rows of the matrix).
+    pub mode: String,
+    /// Driver label (columns of the matrix).
+    pub driver: String,
+    /// The measured fault-free envelope.
+    pub envelope: Envelope,
+    /// The calibrated table every trial in this cell was judged by.
+    pub slo: SloTable,
+    /// The campaign outcome.
+    pub report: CampaignReport,
+}
+
+impl MatrixCell {
+    /// Report form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::str(self.mode.clone())),
+            ("driver", Json::str(self.driver.clone())),
+            ("envelope", self.envelope.to_json()),
+            ("slo", self.slo.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+/// The aggregated matrix: every cell's calibration and campaign
+/// outcome in one artifact. Byte-deterministic for a deterministic
+/// runner at any worker count — the timing-only fields (`hung`, fork
+/// statistics) stay out of it.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Campaign seed shared by every cell (each cell judges the *same*
+    /// generated schedules, so columns are comparable).
+    pub seed: u64,
+    /// Cells in caller-fixed (mode-major) order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// Cells whose campaign had at least one violating or failed trial.
+    pub fn violating_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.report.is_clean()).count()
+    }
+
+    /// Whether every cell came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.violating_cells() == 0
+    }
+
+    /// The byte-diffable artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("artifact", Json::str("spider-chaos-matrix")),
+            ("seed", Json::UInt(self.seed)),
+            ("cells", Json::UInt(self.cells.len() as u64)),
+            ("violating_cells", Json::UInt(self.violating_cells() as u64)),
+            (
+                "matrix",
+                Json::arr(self.cells.iter().map(MatrixCell::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Run one matrix cell: measure the fault-free envelope, calibrate the
+/// cell's SLO table from it, then run the campaign under that table —
+/// forked (checkpoint prefix-sharing) or cold. The caller supplies the
+/// labels and the world factory; the same `cfg.seed` across cells
+/// means every cell judges the same generated schedules.
+pub fn run_matrix_cell<C, F>(
+    mode: &str,
+    driver: &str,
+    cfg: &CampaignConfig,
+    margins: &SloMargins,
+    forked: bool,
+    make: F,
+) -> (MatrixCell, ForkStats)
+where
+    C: ClientSystem + Clone + Send + Sync,
+    F: Fn(&FaultPlan) -> World<C> + Sync,
+{
+    // Calibration run: this cell, nothing attacking it.
+    let (baseline, _) = make(&FaultPlan::none()).run_with();
+    let envelope = Envelope::measure(&baseline);
+    let mut cell_cfg = cfg.clone();
+    cell_cfg.slo = calibrated_slo(&envelope, margins);
+    let (report, stats) = if forked {
+        run_campaign_forked(&cell_cfg, &make)
+    } else {
+        (
+            run_campaign(&cell_cfg, |p| make(p).run_with().0),
+            ForkStats::default(),
+        )
+    };
+    (
+        MatrixCell {
+            mode: mode.to_string(),
+            driver: driver.to_string(),
+            envelope,
+            slo: cell_cfg.slo,
+            report,
         },
         stats,
     )

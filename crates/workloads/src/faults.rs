@@ -46,6 +46,32 @@ pub enum FaultKind {
         /// Additional independent loss probability in `[0, 1]`.
         extra: f64,
     },
+    /// The gateway's ARP mapping is hijacked for the episode:
+    /// association and DHCP still succeed (the attacker leaves the
+    /// control plane alone), but the client's upstream unicast frames
+    /// are delivered to a black-hole MAC. Link state looks perfect —
+    /// only the end-to-end ping monitor (§3.2.2) sees the dead data
+    /// plane, and recovery requires re-resolving the gateway.
+    ArpPoison,
+    /// A captive portal: DHCP answers normally and the portal
+    /// impersonates the gateway (gateway pings are answered), but
+    /// end-to-end traffic is hijacked until the client "authenticates"
+    /// — which scripted clients never do. This defeats the gateway-ping
+    /// fallback exactly where it lies: the link looks alive while zero
+    /// payload gets through.
+    CaptivePortal,
+    /// Directional extra loss on the medium. Uplink loss starves the
+    /// AP of ACKs and pings; downlink loss fades replies and payload —
+    /// different recovery problems that the symmetric [`LossBurst`]
+    /// cannot distinguish.
+    ///
+    /// [`LossBurst`]: FaultKind::LossBurst
+    AsymmetricLoss {
+        /// Extra independent loss probability on client → AP frames.
+        up: f64,
+        /// Extra independent loss probability on AP → client frames.
+        down: f64,
+    },
 }
 
 /// One fault episode: a kind, a target, and a time window.
@@ -72,6 +98,9 @@ impl FaultKind {
             FaultKind::DhcpExhausted => "dhcp-exhausted",
             FaultKind::IcmpBlackhole => "icmp-blackhole",
             FaultKind::LossBurst { .. } => "loss-burst",
+            FaultKind::ArpPoison => "arp-poison",
+            FaultKind::CaptivePortal => "captive-portal",
+            FaultKind::AsymmetricLoss { .. } => "asymmetric-loss",
         }
     }
 
@@ -81,6 +110,11 @@ impl FaultKind {
             FaultKind::LossBurst { extra } => Json::obj([
                 ("kind", Json::str(self.label())),
                 ("extra", Json::Num(*extra)),
+            ]),
+            FaultKind::AsymmetricLoss { up, down } => Json::obj([
+                ("kind", Json::str(self.label())),
+                ("up", Json::Num(*up)),
+                ("down", Json::Num(*down)),
             ]),
             _ => Json::obj([("kind", Json::str(self.label()))]),
         }
@@ -97,6 +131,12 @@ impl FaultKind {
             "icmp-blackhole" => Some(FaultKind::IcmpBlackhole),
             "loss-burst" => Some(FaultKind::LossBurst {
                 extra: v.get("extra")?.as_f64()?,
+            }),
+            "arp-poison" => Some(FaultKind::ArpPoison),
+            "captive-portal" => Some(FaultKind::CaptivePortal),
+            "asymmetric-loss" => Some(FaultKind::AsymmetricLoss {
+                up: v.get("up")?.as_f64()?,
+                down: v.get("down")?.as_f64()?,
             }),
             _ => None,
         }
@@ -228,7 +268,15 @@ impl FaultPlan {
     }
 
     /// A scripted plan (tests and examples).
-    pub fn scripted(episodes: Vec<FaultEpisode>) -> FaultPlan {
+    ///
+    /// Zero-length windows are dropped at construction: `applies` treats
+    /// `start == end` as empty, but an episode kept in the list would
+    /// still count toward `episodes` accounting (and the shrinker's
+    /// window-narrowing phase can emit such husks). Replay paths parse
+    /// with [`FaultPlan::from_json`], which is exact and does not
+    /// normalize.
+    pub fn scripted(mut episodes: Vec<FaultEpisode>) -> FaultPlan {
+        episodes.retain(|e| e.start < e.end);
         FaultPlan { episodes }
     }
 
@@ -355,18 +403,41 @@ impl FaultPlan {
         self.active(now, ap, |k| k == FaultKind::IcmpBlackhole)
     }
 
+    /// Is `ap`'s gateway ARP mapping hijacked at `now`?
+    pub fn arp_poisoned(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::ArpPoison)
+    }
+
+    /// Is `ap` fronted by a captive portal at `now`?
+    pub fn captive_portal(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::CaptivePortal)
+    }
+
+    /// Is any directional-loss episode active on `ap` at `now`? The
+    /// attribution gate for the directional drop counters.
+    pub fn asym_active(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| matches!(k, FaultKind::AsymmetricLoss { .. }))
+    }
+
     /// Combined extra loss probability on `ap`'s link at `now`
-    /// (independent bursts compose: `1 - Π(1 - extra_i)`).
+    /// (independent bursts compose: `1 - Π(1 - extra_i)`). Symmetric
+    /// classes only; the world's transmit paths use the directional
+    /// [`FaultPlan::extra_loss_up`]/[`FaultPlan::extra_loss_down`],
+    /// which fold [`FaultKind::AsymmetricLoss`] in as well.
     pub fn extra_loss(&self, now: SimTime, ap: usize) -> f64 {
-        let mut pass = 1.0f64;
-        for e in &self.episodes {
-            if let FaultKind::LossBurst { extra } = e.kind {
-                if e.applies(now, ap) {
-                    pass *= 1.0 - extra.clamp(0.0, 1.0);
-                }
-            }
-        }
-        1.0 - pass
+        extra_loss_dir(&self.episodes, now, ap, None)
+    }
+
+    /// Combined extra loss on client → AP frames at `now` (symmetric
+    /// bursts plus the `up` leg of directional episodes).
+    pub fn extra_loss_up(&self, now: SimTime, ap: usize) -> f64 {
+        extra_loss_dir(&self.episodes, now, ap, Some(Direction::Up))
+    }
+
+    /// Combined extra loss on AP → client frames at `now` (symmetric
+    /// bursts plus the `down` leg of directional episodes).
+    pub fn extra_loss_down(&self, now: SimTime, ap: usize) -> f64 {
+        extra_loss_dir(&self.episodes, now, ap, Some(Direction::Down))
     }
 
     /// If a connectivity-killing (data-plane) fault is active on `ap`
@@ -487,8 +558,51 @@ impl FaultPlan {
     }
 }
 
-/// Shared onset query: earliest-starting data-plane (blackout/zombie)
-/// episode covering `(now, ap)` in `episodes`.
+/// Which leg of the link a directional-loss query asks about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// Shared loss composition: independent episodes compose as
+/// `1 - Π(1 - extra_i)` in episode order. `dir: None` folds symmetric
+/// bursts only (the legacy [`FaultPlan::extra_loss`] contract);
+/// `Some(_)` folds the matching leg of directional episodes in as
+/// well. When no directional episode covers `(now, ap)` the factor
+/// sequence — and so the float result, bit for bit — is identical for
+/// all three variants.
+fn extra_loss_dir(
+    episodes: &[FaultEpisode],
+    now: SimTime,
+    ap: usize,
+    dir: Option<Direction>,
+) -> f64 {
+    let mut pass = 1.0f64;
+    for e in episodes {
+        let extra = match e.kind {
+            FaultKind::LossBurst { extra } => extra,
+            FaultKind::AsymmetricLoss { up, down } => match dir {
+                Some(Direction::Up) => up,
+                Some(Direction::Down) => down,
+                None => continue,
+            },
+            _ => continue,
+        };
+        if e.applies(now, ap) {
+            pass *= 1.0 - extra.clamp(0.0, 1.0);
+        }
+    }
+    1.0 - pass
+}
+
+/// Shared onset query: earliest-starting data-plane episode covering
+/// `(now, ap)` in `episodes`. Data-plane means the payload path is
+/// degraded while (for most classes) the control plane still looks
+/// fine: blackouts and zombies, plus the adversarial classes — ARP
+/// poison, captive portals, and directional loss. Control-plane DHCP
+/// faults and [`FaultKind::IcmpBlackhole`] (survivable via the gateway
+/// fallback) never arm a detection measurement.
 fn data_fault_at(
     episodes: &[FaultEpisode],
     now: SimTime,
@@ -496,7 +610,16 @@ fn data_fault_at(
 ) -> Option<(SimTime, FaultKind)> {
     episodes
         .iter()
-        .filter(|e| matches!(e.kind, FaultKind::Blackout | FaultKind::Zombie) && e.applies(now, ap))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                FaultKind::Blackout
+                    | FaultKind::Zombie
+                    | FaultKind::ArpPoison
+                    | FaultKind::CaptivePortal
+                    | FaultKind::AsymmetricLoss { .. }
+            ) && e.applies(now, ap)
+        })
         .map(|e| (e.start, e.kind))
         .min_by_key(|(start, _)| *start)
 }
@@ -592,17 +715,35 @@ impl FaultIndex {
         self.active(now, ap, |k| k == FaultKind::IcmpBlackhole)
     }
 
-    /// Combined extra loss probability on `ap`'s link at `now`.
+    /// Is `ap`'s gateway ARP mapping hijacked at `now`?
+    pub fn arp_poisoned(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::ArpPoison)
+    }
+
+    /// Is `ap` fronted by a captive portal at `now`?
+    pub fn captive_portal(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| k == FaultKind::CaptivePortal)
+    }
+
+    /// Is any directional-loss episode active on `ap` at `now`?
+    pub fn asym_active(&self, now: SimTime, ap: usize) -> bool {
+        self.active(now, ap, |k| matches!(k, FaultKind::AsymmetricLoss { .. }))
+    }
+
+    /// Combined extra loss probability on `ap`'s link at `now`
+    /// (symmetric classes only; see [`FaultPlan::extra_loss`]).
     pub fn extra_loss(&self, now: SimTime, ap: usize) -> f64 {
-        let mut pass = 1.0f64;
-        for e in self.episodes_for(ap) {
-            if let FaultKind::LossBurst { extra } = e.kind {
-                if e.applies(now, ap) {
-                    pass *= 1.0 - extra.clamp(0.0, 1.0);
-                }
-            }
-        }
-        1.0 - pass
+        extra_loss_dir(self.episodes_for(ap), now, ap, None)
+    }
+
+    /// Combined extra loss on client → AP frames at `now`.
+    pub fn extra_loss_up(&self, now: SimTime, ap: usize) -> f64 {
+        extra_loss_dir(self.episodes_for(ap), now, ap, Some(Direction::Up))
+    }
+
+    /// Combined extra loss on AP → client frames at `now`.
+    pub fn extra_loss_down(&self, now: SimTime, ap: usize) -> f64 {
+        extra_loss_dir(self.episodes_for(ap), now, ap, Some(Direction::Down))
     }
 
     /// Start of the earliest data-plane fault covering `(now, ap)`.
@@ -638,15 +779,28 @@ pub struct FaultStats {
     pub dhcp_naks_exhausted: u64,
     /// End-to-end pings black-holed by ICMP-filtering gateways.
     pub icmp_dropped_filtered: u64,
+    /// Upstream data-plane frames delivered to a hijacked (black-hole)
+    /// gateway MAC during ARP-poison episodes.
+    pub frames_blackholed_arp: u64,
+    /// End-to-end packets intercepted by captive portals (gateway
+    /// pings are answered; everything else is hijacked).
+    pub packets_hijacked_portal: u64,
+    /// Client → AP frames dropped while a directional-loss episode was
+    /// active on the link.
+    pub uplink_dropped_asym: u64,
+    /// AP → client frames dropped while a directional-loss episode was
+    /// active on the link.
+    pub downlink_dropped_asym: u64,
     /// AP reboots performed at the end of blackout episodes.
     pub ap_reboots: u64,
     /// Time from data-plane fault onset to the client tearing the link
     /// down (deauth), seconds — the ping monitor's detection latency.
     pub detect_times_s: Vec<f64>,
     /// Fault class behind each detection, parallel to
-    /// `detect_times_s` (always `Blackout` or `Zombie` — only
-    /// data-plane faults arm detection measurements). The attribution
-    /// key for per-class SLO budgets.
+    /// `detect_times_s` (always a data-plane class — blackout, zombie,
+    /// ARP poison, captive portal, or asymmetric loss; only data-plane
+    /// faults arm detection measurements). The attribution key for
+    /// per-class SLO budgets.
     pub detect_kinds: Vec<FaultKind>,
     /// Time from a fault-coincident connectivity loss to the next
     /// restored connectivity, seconds, counting only spans with a
@@ -704,6 +858,19 @@ impl FaultStats {
                 "icmp_dropped_filtered",
                 Json::UInt(self.icmp_dropped_filtered),
             ),
+            (
+                "frames_blackholed_arp",
+                Json::UInt(self.frames_blackholed_arp),
+            ),
+            (
+                "packets_hijacked_portal",
+                Json::UInt(self.packets_hijacked_portal),
+            ),
+            ("uplink_dropped_asym", Json::UInt(self.uplink_dropped_asym)),
+            (
+                "downlink_dropped_asym",
+                Json::UInt(self.downlink_dropped_asym),
+            ),
             ("ap_reboots", Json::UInt(self.ap_reboots)),
             (
                 "detect_times_s",
@@ -726,6 +893,10 @@ impl FaultStats {
             + self.dhcp_dropped_silent
             + self.dhcp_naks_exhausted
             + self.icmp_dropped_filtered
+            + self.frames_blackholed_arp
+            + self.packets_hijacked_portal
+            + self.uplink_dropped_asym
+            + self.downlink_dropped_asym
     }
 
     /// Mean detection latency in seconds, if any detections happened.
@@ -981,6 +1152,149 @@ mod tests {
         assert_eq!(FaultKind::from_json(&v), None);
         let missing_extra = Json::obj([("kind", Json::str("loss-burst"))]);
         assert_eq!(FaultKind::from_json(&missing_extra), None);
+    }
+
+    #[test]
+    fn kind_json_rejects_missing_directional_fields() {
+        // Replay must never guess a direction: both legs are required.
+        let missing_down = Json::obj([
+            ("kind", Json::str("asymmetric-loss")),
+            ("up", Json::Num(0.5)),
+        ]);
+        assert_eq!(FaultKind::from_json(&missing_down), None);
+        let missing_up = Json::obj([
+            ("kind", Json::str("asymmetric-loss")),
+            ("down", Json::Num(0.5)),
+        ]);
+        assert_eq!(FaultKind::from_json(&missing_up), None);
+        let missing_both = Json::obj([("kind", Json::str("asymmetric-loss"))]);
+        assert_eq!(FaultKind::from_json(&missing_both), None);
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        let kinds = [
+            FaultKind::Blackout,
+            FaultKind::Zombie,
+            FaultKind::DhcpSilence,
+            FaultKind::DhcpExhausted,
+            FaultKind::IcmpBlackhole,
+            FaultKind::LossBurst {
+                extra: 0.123456789012345,
+            },
+            FaultKind::ArpPoison,
+            FaultKind::CaptivePortal,
+            FaultKind::AsymmetricLoss {
+                up: 0.987654321098765,
+                down: 0.0123,
+            },
+        ];
+        for kind in kinds {
+            let text = kind.to_json().pretty();
+            let back = FaultKind::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, kind, "{} must round-trip", kind.label());
+            // Episodes carrying each kind round-trip too.
+            let e = FaultEpisode {
+                ap: Some(4),
+                kind,
+                start: t(1.25),
+                end: t(9.5),
+            };
+            let back = FaultEpisode::from_json(&Json::parse(&e.to_json().pretty()).unwrap());
+            assert_eq!(back, Some(e));
+        }
+    }
+
+    #[test]
+    fn scripted_drops_zero_length_episodes() {
+        let plan = FaultPlan::scripted(vec![
+            ep(Some(0), FaultKind::Blackout, 10.0, 10.0),
+            ep(Some(0), FaultKind::Zombie, 5.0, 15.0),
+            ep(None, FaultKind::CaptivePortal, 20.0, 20.0),
+        ]);
+        assert_eq!(plan.episodes.len(), 1, "empty windows are husks");
+        assert_eq!(plan.episodes[0].kind, FaultKind::Zombie);
+        // from_json stays exact: replay artifacts are never rewritten.
+        let husk = FaultPlan {
+            episodes: vec![ep(Some(0), FaultKind::Blackout, 10.0, 10.0)],
+        };
+        let back = FaultPlan::from_json(&Json::parse(&husk.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back.episodes.len(), 1);
+    }
+
+    #[test]
+    fn adversarial_queries_and_directional_loss() {
+        let plan = FaultPlan::scripted(vec![
+            ep(Some(0), FaultKind::ArpPoison, 10.0, 20.0),
+            ep(Some(0), FaultKind::CaptivePortal, 30.0, 40.0),
+            ep(
+                Some(0),
+                FaultKind::AsymmetricLoss {
+                    up: 0.5,
+                    down: 0.25,
+                },
+                50.0,
+                60.0,
+            ),
+            ep(Some(0), FaultKind::LossBurst { extra: 0.5 }, 50.0, 60.0),
+        ]);
+        assert!(plan.arp_poisoned(t(15.0), 0));
+        assert!(!plan.arp_poisoned(t(25.0), 0));
+        assert!(!plan.arp_poisoned(t(15.0), 1), "wrong AP untouched");
+        assert!(plan.captive_portal(t(35.0), 0));
+        assert!(!plan.captive_portal(t(15.0), 0));
+        assert!(plan.asym_active(t(55.0), 0));
+        assert!(!plan.asym_active(t(45.0), 0));
+        // Directional composition folds the matching leg with the
+        // symmetric burst; the legacy query sees only the burst.
+        assert!((plan.extra_loss_up(t(55.0), 0) - 0.75).abs() < 1e-12);
+        assert!((plan.extra_loss_down(t(55.0), 0) - 0.625).abs() < 1e-12);
+        assert!((plan.extra_loss(t(55.0), 0) - 0.5).abs() < 1e-12);
+        // With no directional episode active all three agree bit-wise.
+        assert_eq!(plan.extra_loss(t(49.9), 0), 0.0);
+        assert_eq!(
+            plan.extra_loss_up(t(55.0), 1).to_bits(),
+            plan.extra_loss(t(55.0), 1).to_bits()
+        );
+        // All three adversarial classes are data-plane: they arm the
+        // detect-attribution query with the right onset and class.
+        assert_eq!(
+            plan.data_fault_at(t(15.0), 0),
+            Some((t(10.0), FaultKind::ArpPoison))
+        );
+        assert_eq!(
+            plan.data_fault_at(t(35.0), 0),
+            Some((t(30.0), FaultKind::CaptivePortal))
+        );
+        assert_eq!(
+            plan.data_fault_at(t(55.0), 0),
+            Some((
+                t(50.0),
+                FaultKind::AsymmetricLoss {
+                    up: 0.5,
+                    down: 0.25
+                }
+            ))
+        );
+        // Index parity on every new query.
+        let index = FaultIndex::build(&plan, 2);
+        for step in 0..130 {
+            let now = t(step as f64 * 0.5);
+            for ap in 0..2 {
+                assert_eq!(index.arp_poisoned(now, ap), plan.arp_poisoned(now, ap));
+                assert_eq!(index.captive_portal(now, ap), plan.captive_portal(now, ap));
+                assert_eq!(index.asym_active(now, ap), plan.asym_active(now, ap));
+                assert_eq!(
+                    index.extra_loss_up(now, ap).to_bits(),
+                    plan.extra_loss_up(now, ap).to_bits()
+                );
+                assert_eq!(
+                    index.extra_loss_down(now, ap).to_bits(),
+                    plan.extra_loss_down(now, ap).to_bits()
+                );
+                assert_eq!(index.data_fault_at(now, ap), plan.data_fault_at(now, ap));
+            }
+        }
     }
 
     #[test]

@@ -35,9 +35,10 @@ pub mod scenarios;
 pub mod world;
 
 pub use campaign::{
-    chaos_plan, run_campaign, run_campaign_forked, shrink_schedule, CampaignConfig, CampaignReport,
-    ChaosProfile, CheckpointCache, ForkEdge, ForkStats, MinimizedRepro, ShrinkOutcome, SloMetric,
-    SloRule, SloTable, SloViolation, TrialRecord,
+    calibrated_slo, chaos_plan, run_campaign, run_campaign_forked, run_matrix_cell,
+    shrink_schedule, CampaignConfig, CampaignReport, ChaosProfile, CheckpointCache, Envelope,
+    ForkEdge, ForkStats, MatrixCell, MatrixReport, MinimizedRepro, ShrinkOutcome, SloMargins,
+    SloMetric, SloRule, SloTable, SloViolation, TrialRecord,
 };
 pub use capture::{read_capture, CaptureRecord, CaptureWriter, Direction};
 pub use faults::{FaultEpisode, FaultIndex, FaultKind, FaultPlan, FaultProfile, FaultStats};

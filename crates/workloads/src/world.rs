@@ -1353,7 +1353,9 @@ impl<C: ClientSystem> World<C> {
                 .cfg
                 .loss
                 .loss_probability_sq(d2, self.cfg.propagation.range_m);
-            let burst = self.findex.extra_loss(start, i);
+            // Client → AP frames ride the *up* leg: symmetric bursts
+            // plus the `up` side of any directional-loss episode.
+            let burst = self.findex.extra_loss_up(start, i);
             if burst > 0.0 {
                 p = 1.0 - (1.0 - p) * (1.0 - burst);
             }
@@ -1365,6 +1367,10 @@ impl<C: ClientSystem> World<C> {
                 ok
             };
             if !delivered {
+                if self.findex.asym_active(start, i) {
+                    self.fstats.uplink_dropped_asym += 1;
+                    self.note_fault_bite(start, i);
+                }
                 continue;
             }
             let payload = match &shared {
@@ -1407,7 +1413,8 @@ impl<C: ClientSystem> World<C> {
             .cfg
             .loss
             .loss_probability_sq(d2, self.cfg.propagation.range_m);
-        let burst = self.findex.extra_loss(start, ap);
+        // AP → client frames ride the *down* leg.
+        let burst = self.findex.extra_loss_down(start, ap);
         if burst > 0.0 {
             p = 1.0 - (1.0 - p) * (1.0 - burst);
         }
@@ -1421,6 +1428,10 @@ impl<C: ClientSystem> World<C> {
                 .reserve(end, ch, airtime.mul_f64(expected_tx - 1.0));
         }
         if !delivered {
+            if self.findex.asym_active(start, ap) {
+                self.fstats.downlink_dropped_asym += 1;
+                self.note_fault_bite(start, ap);
+            }
             return;
         }
         #[cfg(feature = "validate")]
@@ -1535,7 +1546,27 @@ impl<C: ClientSystem> World<C> {
                     self.note_fault_bite(now, ap);
                     return;
                 }
+                if self.findex.arp_poisoned(now, ap) {
+                    // Poisoned gateway mapping: every upstream unicast
+                    // rides to the attacker's MAC and dies — including
+                    // "gateway" pings, because the poisoned mapping IS
+                    // the gateway. Association and DHCP stay green, so
+                    // only the end-to-end monitor can notice.
+                    self.fstats.frames_blackholed_arp += 1;
+                    self.note_fault_bite(now, ap);
+                    return;
+                }
                 if packet.dst == SERVER_IP {
+                    if self.findex.captive_portal(now, ap) {
+                        // The portal intercepts end-to-end ICMP (the
+                        // walled garden answers nothing outside itself)
+                        // while the gateway arm below keeps replying —
+                        // exactly the trap that defeats the
+                        // gateway-ping fallback.
+                        self.fstats.packets_hijacked_portal += 1;
+                        self.note_fault_bite(now, ap);
+                        return;
+                    }
                     if self.findex.icmp_filtered(now, ap) {
                         // Filtered gateway: end-to-end pings black-hole,
                         // the gateway itself (below) still answers.
@@ -1585,6 +1616,18 @@ impl<C: ClientSystem> World<C> {
             L4::Tcp(_) => {
                 if self.findex.zombie(now, ap) {
                     self.fstats.packets_dropped_zombie += 1;
+                    self.note_fault_bite(now, ap);
+                    return;
+                }
+                if self.findex.arp_poisoned(now, ap) {
+                    self.fstats.frames_blackholed_arp += 1;
+                    self.note_fault_bite(now, ap);
+                    return;
+                }
+                if self.findex.captive_portal(now, ap) {
+                    // TCP to the outside world lands on the portal's
+                    // redirect page: no payload ever comes back.
+                    self.fstats.packets_hijacked_portal += 1;
                     self.note_fault_bite(now, ap);
                     return;
                 }

@@ -5,12 +5,14 @@
 //! (c) come out byte-identical whether the campaign's sweep runs on
 //! one worker or four.
 
+use spider_repro::baselines::{StockConfig, StockDriver};
 use spider_repro::core::{OperationMode, SpiderConfig, SpiderDriver};
 use spider_repro::simcore::{SimDuration, SimTime};
 use spider_repro::wire::Channel;
 use spider_repro::workloads::campaign::{
-    run_campaign, run_campaign_forked, CampaignConfig, ChaosProfile, CheckpointCache,
-    MinimizedRepro, SloMetric, SloRule, SloTable,
+    run_campaign, run_campaign_forked, run_matrix_cell, shrink_schedule, CampaignConfig,
+    ChaosProfile, CheckpointCache, MatrixReport, MinimizedRepro, SloMargins, SloMetric, SloRule,
+    SloTable,
 };
 use spider_repro::workloads::scenarios::lab_scenario;
 use spider_repro::workloads::{FaultEpisode, FaultKind, FaultPlan, RunResult, World};
@@ -158,6 +160,104 @@ fn forked_campaign_report_matches_cold_byte_for_byte() {
         assert!(
             stats.shrink_events_simulated < stats.shrink_events_cold,
             "shrink phase shared no prefixes"
+        );
+    }
+}
+
+#[test]
+fn shrinking_never_emits_zero_length_episodes() {
+    // Window narrowing halves episodes from both ends; under maximal
+    // pressure (a check that accepts every candidate) it must bottom
+    // out at the minimum window, never at start == end — a zero-length
+    // episode would be silently dropped by plan normalization and the
+    // "minimized" artifact would stop reproducing.
+    let ep = |kind: FaultKind, start: f64, end: f64| FaultEpisode {
+        ap: Some(0),
+        kind,
+        start: SimTime::ZERO + SimDuration::from_secs_f64(start),
+        end: SimTime::ZERO + SimDuration::from_secs_f64(end),
+    };
+    let plan = FaultPlan::scripted(vec![
+        ep(FaultKind::ArpPoison, 5.0, 30.0),
+        ep(FaultKind::CaptivePortal, 8.0, 20.0),
+        ep(FaultKind::AsymmetricLoss { up: 0.9, down: 0.1 }, 10.0, 26.0),
+        ep(FaultKind::Blackout, 12.0, 33.0),
+    ]);
+    let outcome = shrink_schedule(&plan, 400, |_| true);
+    assert_eq!(
+        outcome.plan.episodes.len(),
+        1,
+        "an always-failing check should shrink to a single episode"
+    );
+    for e in &outcome.plan.episodes {
+        assert!(
+            e.start < e.end,
+            "shrinker produced a zero-length episode at {:?}",
+            e.start
+        );
+    }
+    // Round-tripping through normalization keeps every episode: none
+    // were degenerate, so none get dropped.
+    let renormalized = FaultPlan::scripted(outcome.plan.episodes.clone());
+    assert_eq!(renormalized.episodes.len(), outcome.plan.episodes.len());
+}
+
+#[test]
+fn matrix_cells_are_byte_identical_across_workers_and_forking() {
+    // The matrix runner layers envelope calibration and per-cell SLO
+    // tables on top of the campaign sweep; none of that may introduce
+    // scheduling sensitivity. A two-cell lab matrix (Spider + stock on
+    // the same channel) must render to identical JSON at 1 vs 4
+    // workers, forked vs cold.
+    let make_spider = |plan: &FaultPlan| make_lab(plan);
+    let make_stock = |plan: &FaultPlan| {
+        let mut cfg = lab_scenario(
+            &[Channel::CH1, Channel::CH1],
+            400_000.0,
+            SimDuration::from_secs(40),
+            4,
+        );
+        cfg.faults = plan.clone();
+        let mut sc = StockConfig::quickwifi(1);
+        sc.scan_channels = vec![Channel::CH1];
+        World::new(cfg, StockDriver::new(sc))
+    };
+    let margins = SloMargins::spider_paper();
+    let stock_margins = SloMargins::stock_monitor();
+
+    let matrix = |workers: usize, forked: bool| {
+        let mut cfg = campaign_config(workers);
+        cfg.profile = ChaosProfile::adversarial();
+        let (spider_cell, _) = run_matrix_cell(
+            "single-channel-multi-ap",
+            "spider",
+            &cfg,
+            &margins,
+            forked,
+            make_spider,
+        );
+        let (stock_cell, _) = run_matrix_cell(
+            "single-channel-multi-ap",
+            "stock",
+            &cfg,
+            &stock_margins,
+            forked,
+            make_stock,
+        );
+        MatrixReport {
+            seed: cfg.seed,
+            cells: vec![spider_cell, stock_cell],
+        }
+        .to_json()
+        .pretty()
+    };
+
+    let reference = matrix(1, false);
+    for (workers, forked) in [(4, false), (1, true), (4, true)] {
+        assert_eq!(
+            matrix(workers, forked),
+            reference,
+            "matrix report diverged at {workers} workers, forked={forked}"
         );
     }
 }

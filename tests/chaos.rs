@@ -271,6 +271,188 @@ fn dhcp_exhaustion_naks_the_cached_lease_rejoin() {
 }
 
 #[test]
+fn arp_poison_is_detected_only_by_the_end_to_end_monitor() {
+    // ARP poisoning leaves every control-plane signal green —
+    // association holds, DHCP answers, the AP beacons — while the
+    // client's upstream unicast rides a hijacked gateway mapping into
+    // a black hole. Even the gateway-ping fallback is useless: the
+    // poisoned mapping IS the gateway. Only end-to-end probing can
+    // notice, within the §3.2.2 budget, and every recovery re-join
+    // must re-resolve the gateway.
+    // Seed picked so the first swallowed packet lands just before a
+    // ping tick: the detect clock starts at the first bite, so an
+    // unlucky phase can add up to one 100 ms ping interval on top of
+    // the 3.0 s monitor budget.
+    let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(40), 7);
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::ArpPoison,
+        start: SimTime::from_secs(10),
+        end: SimTime::from_secs(25),
+    }]);
+    let (result, driver) = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+    )
+    .run_with();
+    assert!(
+        result.faults.frames_blackholed_arp > 0,
+        "the poison never swallowed anything: {result}"
+    );
+    // Control plane stayed green: the mid-episode re-join completed
+    // DHCP *during* the poisoning window.
+    assert!(
+        result.join_log.dhcp.len() >= 2,
+        "DHCP should keep succeeding under ARP poison (the fault is \
+         invisible to the join path): {result}"
+    );
+    let detects: Vec<f64> = result.faults.detect_times_for("arp-poison").collect();
+    assert!(
+        !detects.is_empty(),
+        "the poison was never detected: {result}"
+    );
+    for d in detects {
+        assert!(
+            d <= DETECT_BUDGET_S + 0.05,
+            "ARP-poison detection took {d:.3}s, over the {DETECT_BUDGET_S}s budget"
+        );
+    }
+    // Recovery re-resolved the gateway: one resolution for the initial
+    // join, at least one more for a re-join.
+    assert!(
+        driver.gateway_resolutions() >= 2,
+        "recovery never re-resolved the gateway ({} resolutions)",
+        driver.gateway_resolutions()
+    );
+    assert!(
+        result.bytes > 0,
+        "no data after the poisoning ended: {result}"
+    );
+}
+
+#[test]
+fn captive_portal_defeats_gateway_fallback_but_demotion_recovers() {
+    // A captive portal answers DHCP and gateway pings but hijacks
+    // everything end-to-end — exactly the trap the §3.2.2 gateway-ping
+    // fallback walks into: the client joins while the portal is up,
+    // verification succeeds via the fallback, and the monitor stays
+    // happy forever while TCP delivers nothing. The zero-progress
+    // portal classifier must fire, demote the AP to the blacklist
+    // ceiling, and let the healthy neighbour carry the session.
+    let mut cfg = lab_scenario(
+        &[Channel::CH1, Channel::CH1],
+        500_000.0,
+        SimDuration::from_secs(40),
+        12,
+    );
+    cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+        ap: Some(0),
+        kind: FaultKind::CaptivePortal,
+        start: SimTime::ZERO,
+        end: SimTime::from_secs(40),
+    }]);
+    let (result, driver) = World::new(
+        cfg,
+        spider(OperationMode::SingleChannelMultiAp(Channel::CH1)),
+    )
+    .run_with();
+    assert!(
+        result.faults.packets_hijacked_portal > 0,
+        "the portal never hijacked anything: {result}"
+    );
+    let detects: Vec<f64> = result.faults.detect_times_for("captive-portal").collect();
+    assert!(
+        !detects.is_empty(),
+        "the portal was never classified: {result}"
+    );
+    for d in detects {
+        assert!(
+            d <= 12.0,
+            "portal classification took {d:.3}s, over the fallback + \
+             zero-progress-window budget"
+        );
+    }
+    // Demoted, not retried forever: the portal AP sits at the
+    // blacklist ceiling (strikes past the exponential ladder).
+    let end = SimTime::from_secs(40);
+    let blocked = driver.blacklist().blocked(end);
+    assert!(
+        blocked.iter().any(|&b| driver.blacklist().strikes(b) >= 17),
+        "the portal AP was not demoted to the ceiling: {blocked:?}"
+    );
+    assert!(
+        result.bytes > 0,
+        "the healthy neighbour never carried data: {result}"
+    );
+}
+
+#[test]
+fn asymmetric_loss_up_and_down_take_different_detect_paths() {
+    // Directional loss is one fault class with two distinct failure
+    // signatures: an uplink-dead episode swallows the client's probes
+    // on their way out (the world counts them at the client's
+    // transmit), a downlink-dead episode swallows replies and beacons
+    // on the way back (counted at the AP's transmit). Both must be
+    // detected, and the drop attribution must discriminate the legs.
+    let run = |up: f64, down: f64, seed: u64| {
+        let mut cfg = lab_scenario(&[Channel::CH1], 500_000.0, SimDuration::from_secs(30), seed);
+        cfg.faults = FaultPlan::scripted(vec![FaultEpisode {
+            ap: Some(0),
+            kind: FaultKind::AsymmetricLoss { up, down },
+            start: SimTime::from_secs(8),
+            end: SimTime::from_secs(22),
+        }]);
+        World::new(
+            cfg,
+            spider(OperationMode::SingleChannelSingleAp(Channel::CH1)),
+        )
+        .run()
+    };
+
+    let up_dead = run(1.0, 0.0, 13);
+    assert!(
+        up_dead.faults.uplink_dropped_asym > 0,
+        "uplink-dead episode never bit: {up_dead}"
+    );
+    assert!(
+        up_dead.faults.uplink_dropped_asym > up_dead.faults.downlink_dropped_asym,
+        "uplink-dead run must attribute drops to the up leg \
+         (up {} vs down {})",
+        up_dead.faults.uplink_dropped_asym,
+        up_dead.faults.downlink_dropped_asym
+    );
+    assert!(
+        up_dead
+            .faults
+            .detect_times_for("asymmetric-loss")
+            .next()
+            .is_some(),
+        "uplink-dead episode was never detected: {up_dead}"
+    );
+
+    let down_dead = run(0.0, 1.0, 13);
+    assert!(
+        down_dead.faults.downlink_dropped_asym > 0,
+        "downlink-dead episode never bit: {down_dead}"
+    );
+    assert!(
+        down_dead.faults.downlink_dropped_asym > down_dead.faults.uplink_dropped_asym,
+        "downlink-dead run must attribute drops to the down leg \
+         (up {} vs down {})",
+        down_dead.faults.uplink_dropped_asym,
+        down_dead.faults.downlink_dropped_asym
+    );
+    assert!(
+        down_dead
+            .faults
+            .detect_times_for("asymmetric-loss")
+            .next()
+            .is_some(),
+        "downlink-dead episode was never detected: {down_dead}"
+    );
+}
+
+#[test]
 fn drivers_survive_a_seeded_fault_storm() {
     let params = ScenarioParams {
         duration: SimDuration::from_secs(300),
@@ -430,6 +612,19 @@ fn dense_deployment_rerun_is_bit_identical() {
     assert_eq!(
         a.faults.icmp_dropped_filtered,
         b.faults.icmp_dropped_filtered
+    );
+    assert_eq!(
+        a.faults.frames_blackholed_arp,
+        b.faults.frames_blackholed_arp
+    );
+    assert_eq!(
+        a.faults.packets_hijacked_portal,
+        b.faults.packets_hijacked_portal
+    );
+    assert_eq!(a.faults.uplink_dropped_asym, b.faults.uplink_dropped_asym);
+    assert_eq!(
+        a.faults.downlink_dropped_asym,
+        b.faults.downlink_dropped_asym
     );
     assert_eq!(a.faults.ap_reboots, b.faults.ap_reboots);
     assert_eq!(a.faults.detect_times_s.len(), b.faults.detect_times_s.len());

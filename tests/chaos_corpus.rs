@@ -46,7 +46,10 @@ fn corpus_world(plan: &FaultPlan) -> World<SpiderDriver> {
 }
 
 /// The `--tight` table the corpus campaigns were judged by: any
-/// blackout or zombie detection at all is a violation.
+/// detection at all — blackout, zombie, or one of the adversarial
+/// classes — is a violation. Rules that an old artifact's plan cannot
+/// trigger measure nothing, so widening the table keeps every
+/// previously-recorded violation list stable.
 fn tight_table() -> SloTable {
     SloTable {
         rules: vec![
@@ -56,6 +59,18 @@ fn tight_table() -> SloTable {
             },
             SloRule {
                 metric: SloMetric::MaxDetectS("zombie"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("arp-poison"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("captive-portal"),
+                budget: 0.0,
+            },
+            SloRule {
+                metric: SloMetric::MaxDetectS("asymmetric-loss"),
                 budget: 0.0,
             },
         ],
